@@ -1,0 +1,89 @@
+// E5 (Sec 3 + Figure 4): online A/B test. Control arm recommends by
+// matching ontology-driven categories; treatment matches SHOAL topics.
+// The paper reports a +5% CTR boost over 3M users. The simulator runs
+// paired sessions against the planted intent model with a position-aware
+// click model; sweeps session counts to show convergence of the lift.
+
+#include "baselines/ontology_recommender.h"
+#include "baselines/topic_recommender.h"
+#include "bench_common.h"
+#include "eval/ctr_sim.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace shoal;
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddInt64("entities", 3000, "entity count");
+  flags.AddString("sessions", "5000,20000,80000", "session counts");
+  flags.AddInt64("slate", 8, "slate size");
+  flags.AddInt64("seed", 2019, "random seed");
+  auto status = flags.Parse(argc, argv);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  if (flags.help_requested()) return 0;
+
+  bench::PrintHeader("E5 bench_ctr",
+                     "SHOAL topic-matched recommendations boost CTR by 5% "
+                     "over ontology-category matching (A/B, 3M users)");
+
+  auto workload = bench::BuildWorkload(
+      bench::ScaledDataset(
+          static_cast<size_t>(flags.GetInt64("entities")),
+          static_cast<uint64_t>(flags.GetInt64("seed"))),
+      core::ShoalOptions{});
+
+  baselines::OntologyRecommender control(workload.dataset.ontology,
+                                         workload.bundle.entity_categories);
+  baselines::TopicRecommender treatment(workload.model.taxonomy(), &control);
+  auto intents = workload.dataset.EntityIntentLabels();
+  std::vector<uint32_t> intent_roots(workload.dataset.intents.size());
+  for (uint32_t i = 0; i < workload.dataset.intents.size(); ++i) {
+    intent_roots[i] = workload.dataset.intents.RootOf(i);
+  }
+
+  std::printf("%-12s %-14s %-14s %-10s %-8s\n", "sessions", "control_CTR",
+              "treatment_CTR", "lift", "z");
+  for (const std::string& session_text :
+       util::Split(flags.GetString("sessions"), ',')) {
+    eval::CtrSimOptions options;
+    options.num_sessions = std::strtoull(session_text.c_str(), nullptr, 10);
+    options.slate_size = static_cast<size_t>(flags.GetInt64("slate"));
+    options.seed = static_cast<uint64_t>(flags.GetInt64("seed")) + 13;
+    auto result = eval::RunCtrSimulation(
+        control, treatment, intents, workload.bundle.entity_categories,
+        intent_roots, options);
+    SHOAL_CHECK(result.ok()) << result.status().ToString();
+    std::printf("%-12zu %-14.4f %-14.4f %+-9.2f%% %-8.1f\n",
+                options.num_sessions, result->control.ctr(),
+                result->treatment.ctr(), result->Lift() * 100.0,
+                result->ZScore());
+  }
+
+  std::printf("\nslate-size sweep at 20000 sessions:\n");
+  std::printf("%-8s %-14s %-14s %-10s\n", "slate", "control_CTR",
+              "treatment_CTR", "lift");
+  for (size_t slate : {4u, 8u, 12u}) {
+    eval::CtrSimOptions options;
+    options.num_sessions = 20000;
+    options.slate_size = slate;
+    options.seed = static_cast<uint64_t>(flags.GetInt64("seed")) + 17;
+    auto result = eval::RunCtrSimulation(
+        control, treatment, intents, workload.bundle.entity_categories,
+        intent_roots, options);
+    SHOAL_CHECK(result.ok()) << result.status().ToString();
+    std::printf("%-8zu %-14.4f %-14.4f %+.2f%%\n", slate,
+                result->control.ctr(), result->treatment.ctr(),
+                result->Lift() * 100.0);
+  }
+  std::printf(
+      "\nexpected shape: a stable positive single/low-double-digit lift —\n"
+      "the treatment's extra intent-matched items win the margin while\n"
+      "navigational clicks keep both arms close (paper: +5%%).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,80 @@
+// E1 (Sec 2.2): "Parallel HAC consistently produces clusters with
+// modularity > 0.3". Sweeps dataset size and similarity threshold and
+// reports the Newman-Girvan modularity of the root-topic partition on
+// the item entity graph, plus cluster quality against the planted
+// intents.
+
+#include "bench_common.h"
+#include "eval/cluster_metrics.h"
+#include "graph/modularity.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace shoal;
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("sizes", "500,1000,2000,4000", "entity counts to sweep");
+  flags.AddInt64("seed", 2019, "random seed");
+  auto status = flags.Parse(argc, argv);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  if (flags.help_requested()) return 0;
+
+  bench::PrintHeader(
+      "E1 bench_modularity",
+      "Parallel HAC consistently produces clusters with modularity > 0.3");
+
+  std::printf("%-10s %-10s %-8s %-12s %-8s %-8s %-8s %-6s\n", "entities",
+              "edges", "roots", "modularity", "NMI", "purity", "time_s",
+              ">0.3");
+  for (const std::string& size_text : util::Split(flags.GetString("sizes"), ',')) {
+    size_t entities = std::strtoull(size_text.c_str(), nullptr, 10);
+    auto workload = bench::BuildWorkload(
+        bench::ScaledDataset(entities,
+                             static_cast<uint64_t>(flags.GetInt64("seed"))),
+        core::ShoalOptions{});
+    auto labels = workload.model.taxonomy().RootLabels();
+    auto modularity =
+        graph::Modularity(workload.model.entity_graph(), labels);
+    SHOAL_CHECK(modularity.ok()) << modularity.status().ToString();
+    auto nmi = eval::NormalizedMutualInformation(
+        labels, workload.dataset.EntityIntentLabels());
+    auto purity =
+        eval::Purity(labels, workload.dataset.EntityIntentLabels());
+    SHOAL_CHECK(nmi.ok() && purity.ok());
+    std::printf("%-10zu %-10zu %-8zu %-12.4f %-8.4f %-8.4f %-8.2f %-6s\n",
+                entities, workload.model.entity_graph().num_edges(),
+                workload.model.taxonomy().roots().size(),
+                modularity.value(), nmi.value(), purity.value(),
+                workload.build_seconds,
+                modularity.value() > 0.3 ? "yes" : "NO");
+  }
+  std::printf(
+      "\nthreshold sweep at 2000 entities (sparsification vs quality):\n");
+  std::printf("%-12s %-12s %-8s %-12s %-8s\n", "hac_thresh", "merges",
+              "roots", "modularity", "NMI");
+  for (double threshold : {0.45, 0.40, 0.35, 0.30, 0.25}) {
+    core::ShoalOptions options;
+    options.hac.hac.threshold = threshold;
+    auto workload = bench::BuildWorkload(
+        bench::ScaledDataset(2000,
+                             static_cast<uint64_t>(flags.GetInt64("seed"))),
+        options);
+    auto labels = workload.model.taxonomy().RootLabels();
+    auto modularity =
+        graph::Modularity(workload.model.entity_graph(), labels);
+    auto nmi = eval::NormalizedMutualInformation(
+        labels, workload.dataset.EntityIntentLabels());
+    SHOAL_CHECK(modularity.ok() && nmi.ok());
+    std::printf("%-12.2f %-12zu %-8zu %-12.4f %-8.4f\n", threshold,
+                workload.model.stats().hac.total_merges,
+                workload.model.taxonomy().roots().size(),
+                modularity.value(), nmi.value());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,74 @@
+// E12 (robustness ablation): how gracefully does the pipeline degrade as
+// the click log gets noisier? The paper's production log has organic
+// noise (misclicks, exploration); the generator's `click_noise` knob
+// sweeps it. Reports taxonomy quality and the expert-precision metric
+// per noise level — the reproduction analogue of "how dirty can the log
+// be before the 98% claim breaks".
+
+#include "bench_common.h"
+#include "eval/cluster_metrics.h"
+#include "eval/precision_eval.h"
+#include "graph/modularity.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace shoal;
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddInt64("entities", 2000, "entity count");
+  flags.AddString("noise", "0,0.05,0.1,0.2,0.3,0.4", "click-noise sweep");
+  flags.AddInt64("seed", 2019, "random seed");
+  auto status = flags.Parse(argc, argv);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  if (flags.help_requested()) return 0;
+
+  bench::PrintHeader(
+      "E12 bench_noise",
+      "robustness ablation: taxonomy quality vs click-log noise (paper's "
+      "log has organic misclick/exploration noise)");
+
+  std::printf("%-8s %-10s %-8s %-8s %-8s %-12s %-12s\n", "noise", "edges",
+              "roots", "NMI", "purity", "modularity", "precision");
+  for (const std::string& noise_text :
+       util::Split(flags.GetString("noise"), ',')) {
+    double noise = std::strtod(noise_text.c_str(), nullptr);
+    auto data_options = bench::ScaledDataset(
+        static_cast<size_t>(flags.GetInt64("entities")),
+        static_cast<uint64_t>(flags.GetInt64("seed")));
+    data_options.click_noise = noise;
+    auto workload =
+        bench::BuildWorkload(data_options, core::ShoalOptions{});
+
+    auto labels = workload.model.taxonomy().RootLabels();
+    auto truth = workload.dataset.EntityIntentLabels();
+    auto nmi = eval::NormalizedMutualInformation(labels, truth);
+    auto purity = eval::Purity(labels, truth);
+    auto modularity =
+        graph::Modularity(workload.model.entity_graph(), labels);
+    eval::PrecisionEvalOptions precision_options;
+    precision_options.topics_to_sample = 1000;
+    precision_options.items_per_topic = 100;
+    auto precision = eval::EvaluatePlacementPrecision(
+        workload.model.taxonomy(), truth, precision_options);
+    SHOAL_CHECK(nmi.ok() && purity.ok() && precision.ok());
+    std::printf("%-8.2f %-10zu %-8zu %-8.4f %-8.4f %-12s %-12.4f\n", noise,
+                workload.model.entity_graph().num_edges(),
+                workload.model.taxonomy().roots().size(), nmi.value(),
+                purity.value(),
+                modularity.ok()
+                    ? util::FormatDouble(modularity.value(), 4).c_str()
+                    : "n/a",
+                precision->precision);
+  }
+  std::printf(
+      "\nexpected shape: quality degrades smoothly — placement precision\n"
+      "stays high well past realistic noise levels (~5-10%%), because the\n"
+      "Jaccard coalition averages noise out across many queries.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,116 @@
+// E2 (Sec 2.2): scalability. The paper reports that Parallel HAC on the
+// distributed platform clusters 200M entities within 4 hours, while
+// naive HAC cannot scale (Challenge 2). This bench measures, at laptop
+// scale, Parallel HAC vs the exact sequential baseline on the same
+// entity graphs: wall-clock, rounds vs merges, and throughput; plus the
+// effect of worker threads on the BSP engine.
+
+#include "bench_common.h"
+#include "core/sequential_hac.h"
+#include "eval/cluster_metrics.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace shoal;
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddString("sizes", "500,1000,2000,4000,8000",
+                  "entity counts to sweep");
+  flags.AddString("threads", "1,2,4", "worker thread counts");
+  flags.AddInt64("seed", 2019, "random seed");
+  auto status = flags.Parse(argc, argv);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  if (flags.help_requested()) return 0;
+
+  bench::PrintHeader(
+      "E2 bench_scalability",
+      "Parallel HAC generates the taxonomy for 200M entities within 4h on "
+      "ODPS; naive HAC does not scale (one merge per scan)");
+
+  std::printf(
+      "%-10s %-10s %-12s %-12s %-12s %-14s %-12s %-8s\n", "entities",
+      "edges", "par_time_s", "seq_time_s", "par_rounds",
+      "merges(par/seq)", "rounds/merges", "NMI_gap");
+  for (const std::string& size_text :
+       util::Split(flags.GetString("sizes"), ',')) {
+    size_t entities = std::strtoull(size_text.c_str(), nullptr, 10);
+    auto workload = bench::BuildWorkload(
+        bench::ScaledDataset(entities,
+                             static_cast<uint64_t>(flags.GetInt64("seed"))),
+        core::ShoalOptions{});
+    const auto& graph = workload.model.entity_graph();
+
+    // Parallel HAC (re-run standalone so timing excludes the pipeline).
+    core::ParallelHacOptions par_options;
+    par_options.num_threads = 2;
+    par_options.num_partitions = 8;
+    core::ParallelHacStats par_stats;
+    util::Stopwatch par_timer;
+    auto par = core::ParallelHac(graph, par_options, &par_stats);
+    double par_seconds = par_timer.ElapsedSeconds();
+    SHOAL_CHECK(par.ok()) << par.status().ToString();
+
+    // Exact sequential baseline.
+    core::SequentialHacStats seq_stats;
+    util::Stopwatch seq_timer;
+    auto seq = core::SequentialHac(graph, core::HacOptions{}, &seq_stats);
+    double seq_seconds = seq_timer.ElapsedSeconds();
+    SHOAL_CHECK(seq.ok()) << seq.status().ToString();
+
+    auto nmi_par = eval::NormalizedMutualInformation(
+        par->FlatClusters(), workload.dataset.EntityIntentLabels());
+    auto nmi_seq = eval::NormalizedMutualInformation(
+        seq->FlatClusters(), workload.dataset.EntityIntentLabels());
+    SHOAL_CHECK(nmi_par.ok() && nmi_seq.ok());
+
+    std::printf(
+        "%-10zu %-10zu %-12.3f %-12.3f %-12zu %zu/%-10zu %-12.3f %+-8.3f\n",
+        entities, graph.num_edges(), par_seconds, seq_seconds,
+        par_stats.rounds, par_stats.total_merges, seq_stats.merges,
+        static_cast<double>(par_stats.rounds) /
+            std::max<size_t>(1, par_stats.total_merges),
+        nmi_par.value() - nmi_seq.value());
+  }
+
+  std::printf("\nworker-thread scaling at 4000 entities:\n");
+  std::printf("%-10s %-12s %-12s %-14s\n", "threads", "time_s", "rounds",
+              "msgs");
+  {
+    auto workload = bench::BuildWorkload(
+        bench::ScaledDataset(4000,
+                             static_cast<uint64_t>(flags.GetInt64("seed"))),
+        core::ShoalOptions{});
+    for (const std::string& thread_text :
+         util::Split(flags.GetString("threads"), ',')) {
+      size_t threads = std::strtoull(thread_text.c_str(), nullptr, 10);
+      core::ParallelHacOptions options;
+      options.num_threads = threads;
+      options.num_partitions = std::max<size_t>(8, threads * 4);
+      core::ParallelHacStats stats;
+      util::Stopwatch timer;
+      auto d = core::ParallelHac(workload.model.entity_graph(), options,
+                                 &stats);
+      SHOAL_CHECK(d.ok()) << d.status().ToString();
+      std::printf("%-10zu %-12.3f %-12zu %-14llu\n", threads,
+                  timer.ElapsedSeconds(), stats.rounds,
+                  static_cast<unsigned long long>(stats.total_messages));
+    }
+  }
+  std::printf(
+      "\nnote: the paper's 200M/4h figure is a 100+ node ODPS deployment;\n"
+      "the reproduction checks the *shape*, not absolute wall-clock:\n"
+      "  (1) parallel quality == exact greedy quality (NMI_gap ~ 0);\n"
+      "  (2) rounds << merges: sequential HAC's critical path is one\n"
+      "      strictly-serial heap operation per merge, while Parallel\n"
+      "      HAC's is one BSP round for *many* merges — the quantity\n"
+      "      that distribution divides by machine count.\n"
+      "On one in-process machine the BSP simulation pays its message\n"
+      "overhead without the cluster, so par_time_s > seq_time_s here.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,91 @@
+// A/B test demo (Sec 3, Figure 4): simulates the online experiment that
+// compared ontology-category-matched recommendations (control) with
+// SHOAL topic-matched recommendations (treatment) and reports the CTR
+// lift. The paper observed +5% CTR over 3M users; here sessions are
+// simulated against the planted intent model.
+//
+//   ./ab_test_demo --sessions=50000
+
+#include <cstdio>
+
+#include "baselines/ontology_recommender.h"
+#include "baselines/topic_recommender.h"
+#include "core/shoal.h"
+#include "data/dataset.h"
+#include "data/shoal_adapter.h"
+#include "eval/ctr_sim.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  shoal::util::FlagParser flags;
+  flags.AddInt64("entities", 2000, "number of item entities");
+  flags.AddInt64("sessions", 50000, "simulated user sessions");
+  flags.AddInt64("slate", 8, "recommendation slate size (Fig 4 grid)");
+  flags.AddInt64("seed", 2019, "random seed");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  shoal::data::DatasetOptions data_options;
+  data_options.num_entities = static_cast<size_t>(flags.GetInt64("entities"));
+  data_options.num_queries = data_options.num_entities;
+  data_options.num_clicks = data_options.num_entities * 50;
+  data_options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto dataset = shoal::data::GenerateDataset(data_options);
+  SHOAL_CHECK(dataset.ok()) << dataset.status().ToString();
+
+  auto bundle = shoal::data::MakeShoalInput(*dataset);
+  auto model = shoal::core::BuildShoal(bundle.View(),
+                                       shoal::core::ShoalOptions{});
+  SHOAL_CHECK(model.ok()) << model.status().ToString();
+
+  // Arms.
+  shoal::baselines::OntologyRecommender control(dataset->ontology,
+                                                bundle.entity_categories);
+  // Treatment blends topic matches with the category fallback so slates
+  // stay full — the arms differ only in the topic-matched slots.
+  shoal::baselines::TopicRecommender treatment(model->taxonomy(), &control);
+
+  // Ground truth for the click model.
+  std::vector<uint32_t> entity_intents = dataset->EntityIntentLabels();
+  std::vector<uint32_t> intent_roots(dataset->intents.size());
+  for (uint32_t i = 0; i < dataset->intents.size(); ++i) {
+    intent_roots[i] = dataset->intents.RootOf(i);
+  }
+
+  shoal::eval::CtrSimOptions sim_options;
+  sim_options.num_sessions = static_cast<size_t>(flags.GetInt64("sessions"));
+  sim_options.slate_size = static_cast<size_t>(flags.GetInt64("slate"));
+  sim_options.seed = static_cast<uint64_t>(flags.GetInt64("seed")) + 1;
+  auto result = shoal::eval::RunCtrSimulation(
+      control, treatment, entity_intents, bundle.entity_categories,
+      intent_roots, sim_options);
+  SHOAL_CHECK(result.ok()) << result.status().ToString();
+
+  std::printf("A/B test over %zu paired sessions (slate size %zu):\n\n",
+              sim_options.num_sessions, sim_options.slate_size);
+  std::printf("  %-28s impressions %-10llu clicks %-8llu CTR %s\n",
+              control.name(),
+              static_cast<unsigned long long>(result->control.impressions),
+              static_cast<unsigned long long>(result->control.clicks),
+              shoal::util::FormatDouble(result->control.ctr(), 4).c_str());
+  std::printf("  %-28s impressions %-10llu clicks %-8llu CTR %s\n",
+              treatment.name(),
+              static_cast<unsigned long long>(result->treatment.impressions),
+              static_cast<unsigned long long>(result->treatment.clicks),
+              shoal::util::FormatDouble(result->treatment.ctr(), 4).c_str());
+  std::printf("\n  CTR lift: %+.2f%%  (paper reports +5%%)\n",
+              result->Lift() * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

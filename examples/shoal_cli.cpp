@@ -1,0 +1,155 @@
+// shoal_cli: run the SHOAL pipeline over TSV search logs — the
+// "bring your own data" path a platform would use in production.
+//
+//   shoal_cli generate --out log_dir [--entities N --seed S]
+//       write a synthetic search log (items/queries/clicks TSVs)
+//   shoal_cli build --in log_dir --out taxonomy_dir [--alpha A ...]
+//       import the log, build the taxonomy, persist it as TSVs
+//   shoal_cli inspect --taxonomy taxonomy_dir [--top K]
+//       summarise a persisted taxonomy
+//
+// generate -> build -> inspect round-trips entirely through files, so
+// each step can run on a different machine or schedule.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/shoal.h"
+#include "core/taxonomy_io.h"
+#include "data/dataset.h"
+#include "data/log_io.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace shoal;
+
+int Generate(util::FlagParser& flags) {
+  data::DatasetOptions options;
+  options.num_entities = static_cast<size_t>(flags.GetInt64("entities"));
+  options.num_queries = options.num_entities * 3 / 4;
+  options.num_clicks = options.num_entities * 50;
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto dataset = data::GenerateDataset(options);
+  SHOAL_CHECK(dataset.ok()) << dataset.status().ToString();
+  const std::string& dir = flags.GetString("out");
+  auto status = data::ExportSearchLog(*dataset, dir);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  std::printf("wrote %zu items, %zu queries, %zu clicks to %s\n",
+              dataset->entities.size(), dataset->queries.size(),
+              dataset->clicks.size(), dir.c_str());
+  return 0;
+}
+
+int Build(util::FlagParser& flags) {
+  const std::string& in_dir = flags.GetString("in");
+  auto log = data::ImportSearchLog(in_dir);
+  if (!log.ok()) {
+    std::fprintf(stderr, "cannot import %s: %s\n", in_dir.c_str(),
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("imported %zu items, %zu queries, %zu clicks (vocab %zu)\n",
+              log->items.size(), log->queries.size(), log->clicks.size(),
+              log->vocab.size());
+
+  auto bundle =
+      data::MakeShoalInputFromLog(*log, flags.GetDouble("window_days"));
+  core::ShoalOptions options;
+  options.entity_graph.alpha = flags.GetDouble("alpha");
+  options.hac.hac.threshold = flags.GetDouble("threshold");
+  options.correlation.min_strength =
+      static_cast<uint32_t>(flags.GetInt64("min_strength"));
+  auto model = core::BuildShoal(bundle.View(), options);
+  if (!model.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %zu topics under %zu roots "
+              "(%zu entity-graph edges, %zu merges)\n",
+              model->taxonomy().num_topics(),
+              model->taxonomy().roots().size(),
+              model->entity_graph().num_edges(),
+              model->stats().hac.total_merges);
+
+  const std::string& out_dir = flags.GetString("out");
+  auto status =
+      core::SaveTaxonomy(model->taxonomy(), model->correlations(), out_dir);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  std::printf("persisted taxonomy to %s\n", out_dir.c_str());
+  return 0;
+}
+
+int Inspect(util::FlagParser& flags) {
+  const std::string& dir = flags.GetString("taxonomy");
+  auto loaded = core::LoadTaxonomy(dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", dir.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto& taxonomy = loaded->taxonomy;
+  std::printf("%s: %zu topics, %zu roots, %zu entities, %zu correlations\n",
+              dir.c_str(), taxonomy.num_topics(), taxonomy.roots().size(),
+              taxonomy.num_entities(), loaded->correlations.pairs().size());
+
+  std::vector<uint32_t> roots = taxonomy.roots();
+  std::sort(roots.begin(), roots.end(), [&](uint32_t a, uint32_t b) {
+    return taxonomy.topic(a).entities.size() >
+           taxonomy.topic(b).entities.size();
+  });
+  size_t top = static_cast<size_t>(flags.GetInt64("top"));
+  for (size_t i = 0; i < roots.size() && i < top; ++i) {
+    const auto& topic = taxonomy.topic(roots[i]);
+    std::printf("  topic #%-5u %4zu items, %zu sub-topics%s%s\n", topic.id,
+                topic.entities.size(), topic.children.size(),
+                topic.description.empty() ? "" : "  — ",
+                topic.description.empty()
+                    ? ""
+                    : topic.description.front().c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <generate|build|inspect> [flags]\n"
+                 "       %s <command> --help\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  std::string command = argv[1];
+  util::FlagParser flags;
+  flags.AddInt64("entities", 2000, "entities for 'generate'");
+  flags.AddInt64("seed", 2019, "seed for 'generate'");
+  flags.AddString("out", "shoal_out", "output directory");
+  flags.AddString("in", "shoal_log", "input log directory for 'build'");
+  flags.AddString("taxonomy", "shoal_out",
+                  "taxonomy directory for 'inspect'");
+  flags.AddDouble("alpha", 0.7, "similarity mix (Eq. 3)");
+  flags.AddDouble("threshold", 0.35, "HAC merge threshold");
+  flags.AddDouble("window_days", 7.0, "sliding window length");
+  flags.AddInt64("min_strength", 1, "correlation threshold (paper: 10)");
+  flags.AddInt64("top", 10, "roots to print for 'inspect'");
+  auto status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  if (command == "generate") return Generate(flags);
+  if (command == "build") return Build(flags);
+  if (command == "inspect") return Inspect(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

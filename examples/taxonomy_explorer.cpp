@@ -1,0 +1,246 @@
+// Taxonomy explorer: a CLI rendition of the SHOAL demo GUI (Figure 5),
+// implementing all four demonstration scenarios of Sec 3.1:
+//
+//   (A) Query -> Topic          : query <text>
+//   (B) Topic -> Sub-topic      : topic <id>
+//   (C) Topic -> Category -> Item: categories <id> / items <id> <category>
+//   (D) Category -> Category    : related <category name>
+//
+// Runs an interactive prompt, or executes commands given with --cmd
+// (semicolon-separated) and exits — which is how the integration test
+// drives it.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/shoal.h"
+#include "data/dataset.h"
+#include "data/shoal_adapter.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using shoal::core::kNoTopic;
+
+class Explorer {
+ public:
+  Explorer(const shoal::data::Dataset& dataset,
+           const shoal::core::ShoalModel& model)
+      : dataset_(dataset), model_(model) {}
+
+  void Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return;
+    std::string rest;
+    std::getline(in, rest);
+    std::string arg(shoal::util::Trim(rest));
+
+    if (command == "query") {
+      ScenarioA(arg);
+    } else if (command == "topic") {
+      ScenarioB(arg);
+    } else if (command == "categories") {
+      ScenarioCCategories(arg);
+    } else if (command == "items") {
+      ScenarioCItems(arg);
+    } else if (command == "related") {
+      ScenarioD(arg);
+    } else if (command == "help") {
+      PrintHelp();
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", command.c_str());
+    }
+  }
+
+  static void PrintHelp() {
+    std::printf(
+        "commands:\n"
+        "  query <text>            (A) find topics matching a query\n"
+        "  topic <id>              (B) show a topic and its sub-topics\n"
+        "  categories <id>         (C) categories under a topic\n"
+        "  items <id> <category>   (C) items of a category in a topic\n"
+        "  related <category>      (D) correlated categories\n"
+        "  help                    this message\n");
+  }
+
+ private:
+  // (A) Query -> Topic: star graph of related topics for a keyword query.
+  void ScenarioA(const std::string& text) {
+    auto hits = model_.SearchTopics(text, 6);
+    if (hits.empty()) {
+      std::printf("no topics match \"%s\"\n", text.c_str());
+      return;
+    }
+    std::printf("topics for \"%s\":\n", text.c_str());
+    for (const auto& hit : hits) {
+      const auto& topic = model_.taxonomy().topic(hit.topic);
+      std::printf("  #%-5u score %-7s %zu items%s%s\n", hit.topic,
+                  shoal::util::FormatDouble(hit.score, 2).c_str(),
+                  topic.entities.size(),
+                  topic.description.empty() ? "" : "  — ",
+                  topic.description.empty()
+                      ? ""
+                      : topic.description.front().c_str());
+    }
+  }
+
+  // (B) Topic -> Sub-topic: explore the hierarchy below one topic.
+  void ScenarioB(const std::string& arg) {
+    uint32_t id;
+    if (!ParseTopicId(arg, &id)) return;
+    const auto& topic = model_.taxonomy().topic(id);
+    std::printf("topic #%u: %zu items, level %u\n", id,
+                topic.entities.size(), topic.level);
+    for (size_t i = 0; i < topic.description.size(); ++i) {
+      std::printf("  repr query %zu: \"%s\"\n", i + 1,
+                  topic.description[i].c_str());
+    }
+    if (topic.children.empty()) {
+      std::printf("  (no sub-topics)\n");
+    }
+    for (uint32_t child : topic.children) {
+      const auto& sub = model_.taxonomy().topic(child);
+      std::printf("  sub-topic #%-5u %zu items%s%s\n", child,
+                  sub.entities.size(),
+                  sub.description.empty() ? "" : "  — ",
+                  sub.description.empty() ? ""
+                                          : sub.description.front().c_str());
+    }
+  }
+
+  // (C) Topic -> Category: categories associated with a topic.
+  void ScenarioCCategories(const std::string& arg) {
+    uint32_t id;
+    if (!ParseTopicId(arg, &id)) return;
+    const auto& topic = model_.taxonomy().topic(id);
+    std::printf("categories of topic #%u:\n", id);
+    for (const auto& [category, count] : topic.categories) {
+      std::printf("  %-20s %zu items\n",
+                  dataset_.ontology.node(category).name.c_str(), count);
+    }
+  }
+
+  // (C) Category -> Item: items of one category inside a topic.
+  void ScenarioCItems(const std::string& arg) {
+    std::istringstream in(arg);
+    std::string id_text, category_name;
+    in >> id_text >> category_name;
+    uint32_t id;
+    if (!ParseTopicId(id_text, &id)) return;
+    uint32_t category = FindCategory(category_name);
+    if (category == shoal::data::kNoCategory) return;
+    const auto& topic = model_.taxonomy().topic(id);
+    std::printf("items of category '%s' in topic #%u:\n",
+                category_name.c_str(), id);
+    size_t shown = 0;
+    for (uint32_t e : topic.entities) {
+      if (dataset_.entities[e].category != category) continue;
+      std::printf("  [%u] %s (price %.2f)\n", e,
+                  dataset_.entities[e].title.c_str(),
+                  dataset_.entities[e].price);
+      if (++shown >= 10) break;
+    }
+    if (shown == 0) std::printf("  (none)\n");
+  }
+
+  // (D) Category -> Category: correlated categories (Sec 2.4).
+  void ScenarioD(const std::string& category_name) {
+    uint32_t category = FindCategory(category_name);
+    if (category == shoal::data::kNoCategory) return;
+    auto related = model_.correlations().Related(category);
+    if (related.empty()) {
+      std::printf("no categories correlated with '%s'\n",
+                  category_name.c_str());
+      return;
+    }
+    std::printf("categories correlated with '%s':\n", category_name.c_str());
+    for (const auto& [other, strength] : related) {
+      std::printf("  %-20s strength %u\n",
+                  dataset_.ontology.node(other).name.c_str(), strength);
+    }
+  }
+
+  bool ParseTopicId(const std::string& text, uint32_t* id) {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() ||
+        value >= model_.taxonomy().num_topics()) {
+      std::printf("expected a topic id in [0, %zu)\n",
+                  model_.taxonomy().num_topics());
+      return false;
+    }
+    *id = static_cast<uint32_t>(value);
+    return true;
+  }
+
+  uint32_t FindCategory(const std::string& name) {
+    for (uint32_t c = 0; c < dataset_.ontology.size(); ++c) {
+      if (dataset_.ontology.node(c).name == name) return c;
+    }
+    std::printf("unknown category '%s'\n", name.c_str());
+    return shoal::data::kNoCategory;
+  }
+
+  const shoal::data::Dataset& dataset_;
+  const shoal::core::ShoalModel& model_;
+};
+
+int Run(int argc, char** argv) {
+  shoal::util::FlagParser flags;
+  flags.AddInt64("entities", 1200, "number of item entities");
+  flags.AddInt64("seed", 2019, "random seed");
+  flags.AddString("cmd", "", "semicolon-separated commands to run and exit");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  shoal::data::DatasetOptions data_options;
+  data_options.num_entities = static_cast<size_t>(flags.GetInt64("entities"));
+  data_options.num_queries = data_options.num_entities;
+  data_options.num_clicks = data_options.num_entities * 50;
+  data_options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto dataset = shoal::data::GenerateDataset(data_options);
+  SHOAL_CHECK(dataset.ok()) << dataset.status().ToString();
+
+  auto bundle = shoal::data::MakeShoalInput(*dataset);
+  shoal::core::ShoalOptions options;
+  options.correlation.min_strength = 1;
+  auto model = shoal::core::BuildShoal(bundle.View(), options);
+  SHOAL_CHECK(model.ok()) << model.status().ToString();
+  std::printf("SHOAL explorer: %zu topics under %zu roots. ",
+              model->taxonomy().num_topics(),
+              model->taxonomy().roots().size());
+  Explorer::PrintHelp();
+
+  Explorer explorer(*dataset, *model);
+  const std::string& script = flags.GetString("cmd");
+  if (!script.empty()) {
+    for (const std::string& command : shoal::util::Split(script, ';')) {
+      std::printf("> %s\n", std::string(shoal::util::Trim(command)).c_str());
+      explorer.Execute(std::string(shoal::util::Trim(command)));
+    }
+    return 0;
+  }
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    explorer.Execute(line);
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,194 @@
+#include "baselines/louvain.h"
+
+#include <unordered_map>
+
+#include "graph/modularity.h"
+#include "util/random.h"
+
+namespace shoal::baselines {
+
+namespace {
+
+// Working graph representation for one Louvain level: adjacency with
+// self-loop weights (aggregated intra-community weight).
+struct LevelGraph {
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  std::vector<double> self_loop;
+  double total_weight = 0.0;  // m: sum of edge weights incl. self loops
+
+  size_t size() const { return adjacency.size(); }
+};
+
+LevelGraph FromWeightedGraph(const graph::WeightedGraph& graph) {
+  LevelGraph level;
+  level.adjacency.resize(graph.num_vertices());
+  level.self_loop.assign(graph.num_vertices(), 0.0);
+  for (graph::VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const graph::Edge& e : graph.Neighbors(u)) {
+      level.adjacency[u].emplace_back(e.to, e.weight);
+    }
+  }
+  level.total_weight = graph.TotalEdgeWeight();
+  return level;
+}
+
+// One level of local moving. Returns the community per node and whether
+// any move happened.
+bool LocalMoving(const LevelGraph& graph, const LouvainOptions& options,
+                 util::Rng& rng, std::vector<uint32_t>& community) {
+  const size_t n = graph.size();
+  community.resize(n);
+  for (uint32_t v = 0; v < n; ++v) community[v] = v;
+
+  // Weighted degree (incl. self loops, counted twice as usual).
+  std::vector<double> degree(n, 0.0);
+  std::vector<double> community_degree(n, 0.0);
+  for (uint32_t v = 0; v < n; ++v) {
+    double d = 2.0 * graph.self_loop[v];
+    for (const auto& [to, w] : graph.adjacency[v]) {
+      (void)to;
+      d += w;
+    }
+    degree[v] = d;
+    community_degree[v] = d;
+  }
+  const double two_m = 2.0 * graph.total_weight;
+  if (two_m <= 0.0) return false;
+
+  std::vector<uint32_t> order(n);
+  for (uint32_t v = 0; v < n; ++v) order[v] = v;
+  rng.Shuffle(order);
+
+  bool any_move = false;
+  for (size_t sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    size_t moves = 0;
+    for (uint32_t v : order) {
+      const uint32_t old_community = community[v];
+      // Weight from v to each neighbouring community.
+      std::unordered_map<uint32_t, double> to_community;
+      for (const auto& [to, w] : graph.adjacency[v]) {
+        to_community[community[to]] += w;
+      }
+      // Remove v from its community.
+      community_degree[old_community] -= degree[v];
+      double best_gain = 0.0;
+      uint32_t best_community = old_community;
+      double old_links = 0.0;
+      if (auto it = to_community.find(old_community);
+          it != to_community.end()) {
+        old_links = it->second;
+      }
+      for (const auto& [c, links] : to_community) {
+        // Gain of joining c relative to staying isolated:
+        //   links/m - degree[v]*sum_deg(c)/(2m^2)  (constant factors
+        // cancel when comparing communities).
+        double gain =
+            links - degree[v] * community_degree[c] / two_m;
+        double reference =
+            old_links - degree[v] * community_degree[old_community] / two_m;
+        if (gain - reference > best_gain + 1e-12) {
+          best_gain = gain - reference;
+          best_community = c;
+        }
+      }
+      community_degree[best_community] += degree[v];
+      if (best_community != old_community) {
+        community[v] = best_community;
+        ++moves;
+        any_move = true;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return any_move;
+}
+
+// Aggregates communities into super-nodes.
+LevelGraph Aggregate(const LevelGraph& graph,
+                     const std::vector<uint32_t>& community,
+                     std::vector<uint32_t>& dense_labels) {
+  // Densify community ids.
+  std::unordered_map<uint32_t, uint32_t> dense;
+  dense_labels.resize(graph.size());
+  for (size_t v = 0; v < graph.size(); ++v) {
+    auto [it, inserted] =
+        dense.emplace(community[v], static_cast<uint32_t>(dense.size()));
+    (void)inserted;
+    dense_labels[v] = it->second;
+  }
+  LevelGraph next;
+  next.adjacency.resize(dense.size());
+  next.self_loop.assign(dense.size(), 0.0);
+  next.total_weight = graph.total_weight;
+  std::vector<std::unordered_map<uint32_t, double>> edges(dense.size());
+  for (size_t v = 0; v < graph.size(); ++v) {
+    uint32_t cv = dense_labels[v];
+    next.self_loop[cv] += graph.self_loop[v];
+    for (const auto& [to, w] : graph.adjacency[v]) {
+      uint32_t ct = dense_labels[to];
+      if (ct == cv) {
+        next.self_loop[cv] += w * 0.5;  // each intra edge visited twice
+      } else {
+        edges[cv][ct] += w;
+      }
+    }
+  }
+  for (uint32_t c = 0; c < edges.size(); ++c) {
+    for (const auto& [to, w] : edges[c]) {
+      next.adjacency[c].emplace_back(to, w);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+util::Result<LouvainResult> RunLouvain(const graph::WeightedGraph& graph,
+                                       const LouvainOptions& options) {
+  if (graph.num_vertices() == 0) {
+    return util::Status::InvalidArgument("empty graph");
+  }
+  if (graph.TotalEdgeWeight() <= 0.0) {
+    return util::Status::FailedPrecondition(
+        "Louvain requires positive total edge weight");
+  }
+
+  util::Rng rng(options.seed);
+  LevelGraph level = FromWeightedGraph(graph);
+
+  // labels[v] tracks each original vertex's community through levels.
+  LouvainResult result;
+  result.labels.resize(graph.num_vertices());
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) result.labels[v] = v;
+
+  double previous_modularity = -1.0;
+  for (size_t pass = 0; pass < options.max_levels; ++pass) {
+    std::vector<uint32_t> community;
+    bool moved = LocalMoving(level, options, rng, community);
+    if (!moved && pass > 0) break;
+
+    std::vector<uint32_t> dense_labels;
+    level = Aggregate(level, community, dense_labels);
+    for (auto& label : result.labels) label = dense_labels[label];
+    ++result.levels;
+
+    auto q = graph::Modularity(graph, result.labels);
+    SHOAL_RETURN_IF_ERROR(q.status());
+    if (q.value() - previous_modularity < options.min_modularity_gain) {
+      previous_modularity = std::max(previous_modularity, q.value());
+      break;
+    }
+    previous_modularity = q.value();
+    if (!moved) break;
+  }
+  result.modularity = previous_modularity;
+  std::unordered_map<uint32_t, uint32_t> distinct;
+  for (uint32_t label : result.labels) {
+    distinct.emplace(label, static_cast<uint32_t>(distinct.size()));
+  }
+  for (auto& label : result.labels) label = distinct.at(label);
+  result.num_communities = distinct.size();
+  return result;
+}
+
+}  // namespace shoal::baselines

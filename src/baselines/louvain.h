@@ -1,0 +1,36 @@
+#ifndef SHOAL_BASELINES_LOUVAIN_H_
+#define SHOAL_BASELINES_LOUVAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::baselines {
+
+// Louvain community detection (Blondel et al. 2008): greedy modularity
+// maximisation with graph aggregation. A flat-clustering baseline for
+// the item entity graph — it optimises the very metric the paper
+// benchmarks with (modularity), so it upper-bounds what Parallel HAC
+// can score there, while having no hierarchy and no merge threshold.
+struct LouvainOptions {
+  size_t max_levels = 10;
+  size_t max_sweeps_per_level = 50;
+  double min_modularity_gain = 1e-7;  // stop when a level gains less
+  uint64_t seed = 3;                  // node visiting order
+};
+
+struct LouvainResult {
+  std::vector<uint32_t> labels;  // community per original vertex, dense
+  double modularity = 0.0;
+  size_t levels = 0;
+  size_t num_communities = 0;
+};
+
+util::Result<LouvainResult> RunLouvain(const graph::WeightedGraph& graph,
+                                       const LouvainOptions& options);
+
+}  // namespace shoal::baselines
+
+#endif  // SHOAL_BASELINES_LOUVAIN_H_

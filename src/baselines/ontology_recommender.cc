@@ -1,0 +1,56 @@
+#include "baselines/ontology_recommender.h"
+
+#include <algorithm>
+
+namespace shoal::baselines {
+
+OntologyRecommender::OntologyRecommender(
+    const data::Ontology& ontology,
+    const std::vector<uint32_t>& entity_categories)
+    : ontology_(ontology), entity_categories_(entity_categories) {
+  for (uint32_t e = 0; e < entity_categories_.size(); ++e) {
+    entities_by_category_[entity_categories_[e]].push_back(e);
+  }
+}
+
+std::vector<uint32_t> OntologyRecommender::Recommend(uint32_t seed_entity,
+                                                     size_t k,
+                                                     util::Rng& rng) const {
+  std::vector<uint32_t> slate;
+  if (seed_entity >= entity_categories_.size() || k == 0) return slate;
+  const uint32_t seed_category = entity_categories_[seed_entity];
+
+  // Candidate pool: same leaf category, then sibling leaves (same
+  // department), in that priority order.
+  std::vector<uint32_t> pool;
+  auto append_category = [&](uint32_t category) {
+    auto it = entities_by_category_.find(category);
+    if (it == entities_by_category_.end()) return;
+    for (uint32_t e : it->second) {
+      if (e != seed_entity) pool.push_back(e);
+    }
+  };
+  append_category(seed_category);
+  size_t same_category_end = pool.size();
+  for (uint32_t sibling : ontology_.SiblingLeaves(seed_category)) {
+    if (sibling != seed_category) append_category(sibling);
+  }
+
+  // Shuffle within each priority band, keep the band order.
+  std::vector<uint32_t> same(pool.begin(), pool.begin() + same_category_end);
+  std::vector<uint32_t> siblings(pool.begin() + same_category_end,
+                                 pool.end());
+  rng.Shuffle(same);
+  rng.Shuffle(siblings);
+  for (uint32_t e : same) {
+    if (slate.size() >= k) break;
+    slate.push_back(e);
+  }
+  for (uint32_t e : siblings) {
+    if (slate.size() >= k) break;
+    slate.push_back(e);
+  }
+  return slate;
+}
+
+}  // namespace shoal::baselines

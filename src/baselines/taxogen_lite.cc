@@ -1,0 +1,174 @@
+#include "baselines/taxogen_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace shoal::baselines {
+
+namespace {
+
+void NormalizeRow(std::vector<float>& v) {
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm == 0.0) return;
+  float inv = static_cast<float>(1.0 / norm);
+  for (float& x : v) x *= inv;
+}
+
+float DotVec(const std::vector<float>& a, const std::vector<float>& b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Spherical k-means over the subset `members`; returns a cluster id in
+// [0, k_eff) per member. k-means++-style seeding on cosine distance.
+std::vector<uint32_t> SphericalKMeans(
+    const std::vector<std::vector<float>>& data,
+    const std::vector<uint32_t>& members, size_t k, size_t iterations,
+    util::Rng& rng) {
+  const size_t n = members.size();
+  k = std::min(k, n);
+  std::vector<uint32_t> assignment(n, 0);
+  if (k <= 1 || n == 0) return assignment;
+  const size_t dim = data[members[0]].size();
+
+  // Seeding: first centroid random, then farthest-point heuristic.
+  std::vector<std::vector<float>> centroids;
+  centroids.push_back(data[members[rng.Uniform(n)]]);
+  NormalizeRow(centroids.back());
+  std::vector<float> best_sim(n, -2.0f);
+  while (centroids.size() < k) {
+    size_t farthest = 0;
+    float lowest = 2.0f;
+    for (size_t i = 0; i < n; ++i) {
+      float sim = DotVec(data[members[i]], centroids.back());
+      best_sim[i] = std::max(best_sim[i], sim);
+      if (best_sim[i] < lowest) {
+        lowest = best_sim[i];
+        farthest = i;
+      }
+    }
+    centroids.push_back(data[members[farthest]]);
+    NormalizeRow(centroids.back());
+  }
+
+  for (size_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      float best = -2.0f;
+      uint32_t arg = 0;
+      for (uint32_t c = 0; c < centroids.size(); ++c) {
+        float sim = DotVec(data[members[i]], centroids[c]);
+        if (sim > best) {
+          best = sim;
+          arg = c;
+        }
+      }
+      if (assignment[i] != arg) {
+        assignment[i] = arg;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0f);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& row = data[members[i]];
+      auto& centroid = centroids[assignment[i]];
+      for (size_t d = 0; d < dim; ++d) centroid[d] += row[d];
+    }
+    for (auto& c : centroids) NormalizeRow(c);
+  }
+  return assignment;
+}
+
+struct Frame {
+  std::vector<uint32_t> members;
+  size_t depth;
+};
+
+}  // namespace
+
+util::Result<TaxoGenLiteResult> RunTaxoGenLite(
+    const std::vector<std::vector<float>>& embeddings,
+    const TaxoGenLiteOptions& options) {
+  if (embeddings.empty()) {
+    return util::Status::InvalidArgument("no embeddings");
+  }
+  const size_t dim = embeddings[0].size();
+  if (dim == 0) {
+    return util::Status::InvalidArgument("zero-dimensional embeddings");
+  }
+  for (const auto& row : embeddings) {
+    if (row.size() != dim) {
+      return util::Status::InvalidArgument("ragged embedding matrix");
+    }
+  }
+  if (options.branching < 2) {
+    return util::Status::InvalidArgument("branching must be >= 2");
+  }
+
+  util::Rng rng(options.seed);
+  TaxoGenLiteResult result;
+  const size_t n = embeddings.size();
+  result.leaf_labels.assign(n, 0);
+  result.root_labels.assign(n, 0);
+
+  std::vector<uint32_t> all(n);
+  for (uint32_t i = 0; i < n; ++i) all[i] = i;
+
+  // Top split defines the root clusters.
+  std::vector<uint32_t> top =
+      SphericalKMeans(embeddings, all, options.branching,
+                      options.kmeans_iterations, rng);
+  uint32_t num_root = 0;
+  for (uint32_t label : top) num_root = std::max(num_root, label + 1);
+  result.num_root_clusters = num_root;
+  for (size_t i = 0; i < n; ++i) result.root_labels[i] = top[i];
+
+  // Recursive refinement.
+  std::vector<Frame> stack;
+  {
+    std::vector<std::vector<uint32_t>> groups(num_root);
+    for (uint32_t i = 0; i < n; ++i) groups[top[i]].push_back(i);
+    for (auto& g : groups) stack.push_back(Frame{std::move(g), 1});
+  }
+  uint32_t next_leaf = 0;
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const bool split = frame.depth < options.max_depth &&
+                       frame.members.size() >= options.min_cluster_size &&
+                       frame.members.size() >= 2 * options.branching;
+    if (!split) {
+      uint32_t label = next_leaf++;
+      for (uint32_t e : frame.members) result.leaf_labels[e] = label;
+      continue;
+    }
+    std::vector<uint32_t> sub =
+        SphericalKMeans(embeddings, frame.members, options.branching,
+                        options.kmeans_iterations, rng);
+    uint32_t parts = 0;
+    for (uint32_t label : sub) parts = std::max(parts, label + 1);
+    std::vector<std::vector<uint32_t>> groups(parts);
+    for (size_t i = 0; i < frame.members.size(); ++i) {
+      groups[sub[i]].push_back(frame.members[i]);
+    }
+    if (parts <= 1) {  // degenerate split; finalize here
+      uint32_t label = next_leaf++;
+      for (uint32_t e : frame.members) result.leaf_labels[e] = label;
+      continue;
+    }
+    for (auto& g : groups) {
+      if (g.empty()) continue;
+      stack.push_back(Frame{std::move(g), frame.depth + 1});
+    }
+  }
+  result.num_leaf_clusters = next_leaf;
+  return result;
+}
+
+}  // namespace shoal::baselines

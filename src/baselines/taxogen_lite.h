@@ -1,0 +1,43 @@
+#ifndef SHOAL_BASELINES_TAXOGEN_LITE_H_
+#define SHOAL_BASELINES_TAXOGEN_LITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/embedding.h"
+#include "util/result.h"
+
+namespace shoal::baselines {
+
+// Embedding-only taxonomy induction baseline in the spirit of TaxoGen
+// (Zhang et al., KDD 2018, the paper's reference [6]): recursive
+// spherical k-means over entity content embeddings. It uses *textual*
+// similarity only — no query-coalition structure — which is exactly the
+// contrast SHOAL's related-work section draws.
+struct TaxoGenLiteOptions {
+  size_t branching = 5;        // clusters per recursion level
+  size_t max_depth = 2;        // recursion depth
+  size_t min_cluster_size = 8; // stop splitting below this
+  size_t kmeans_iterations = 20;
+  uint64_t seed = 5;
+};
+
+struct TaxoGenLiteResult {
+  // Finest-level cluster label per entity.
+  std::vector<uint32_t> leaf_labels;
+  // Top-level cluster label per entity (after the first split).
+  std::vector<uint32_t> root_labels;
+  size_t num_leaf_clusters = 0;
+  size_t num_root_clusters = 0;
+};
+
+// `embeddings[e]` is a dense vector per entity (commonly the mean of the
+// entity's unit title-word vectors). All vectors must share a dimension;
+// zero vectors are assigned to cluster 0 of their level.
+util::Result<TaxoGenLiteResult> RunTaxoGenLite(
+    const std::vector<std::vector<float>>& embeddings,
+    const TaxoGenLiteOptions& options);
+
+}  // namespace shoal::baselines
+
+#endif  // SHOAL_BASELINES_TAXOGEN_LITE_H_

@@ -1,0 +1,42 @@
+#include "baselines/topic_recommender.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace shoal::baselines {
+
+TopicRecommender::TopicRecommender(const core::Taxonomy& taxonomy,
+                                   const eval::Recommender* fallback)
+    : taxonomy_(taxonomy), fallback_(fallback) {}
+
+std::vector<uint32_t> TopicRecommender::Recommend(uint32_t seed_entity,
+                                                  size_t k,
+                                                  util::Rng& rng) const {
+  std::vector<uint32_t> slate;
+  if (seed_entity >= taxonomy_.num_entities() || k == 0) return slate;
+
+  uint32_t deep = taxonomy_.TopicOfEntity(seed_entity);
+  uint32_t root = taxonomy_.RootTopicOfEntity(seed_entity);
+  std::unordered_set<uint32_t> chosen{seed_entity};
+
+  auto fill_from = [&](uint32_t topic_id) {
+    if (topic_id == core::kNoTopic || slate.size() >= k) return;
+    std::vector<uint32_t> members = taxonomy_.topic(topic_id).entities;
+    rng.Shuffle(members);
+    for (uint32_t e : members) {
+      if (slate.size() >= k) break;
+      if (chosen.insert(e).second) slate.push_back(e);
+    }
+  };
+  fill_from(deep);
+  if (root != deep) fill_from(root);
+  if (slate.size() < k && fallback_ != nullptr) {
+    for (uint32_t e : fallback_->Recommend(seed_entity, k, rng)) {
+      if (slate.size() >= k) break;
+      if (chosen.insert(e).second) slate.push_back(e);
+    }
+  }
+  return slate;
+}
+
+}  // namespace shoal::baselines

@@ -1,0 +1,36 @@
+#ifndef SHOAL_BASELINES_TOPIC_RECOMMENDER_H_
+#define SHOAL_BASELINES_TOPIC_RECOMMENDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "eval/ctr_sim.h"
+
+namespace shoal::baselines {
+
+// The A/B test's treatment arm (Figure 4(b)): recommendations generated
+// by matching SHOAL topics. Given a seed item, the slate is filled from
+// the seed's deepest topic first, then widened to its root topic —
+// surfacing cross-category items that share the shopping scenario. When
+// the topic cannot fill the slate, remaining slots fall through to the
+// optional `fallback` recommender (production systems blend sources so
+// slates are never short).
+class TopicRecommender : public eval::Recommender {
+ public:
+  explicit TopicRecommender(const core::Taxonomy& taxonomy,
+                            const eval::Recommender* fallback = nullptr);
+
+  std::vector<uint32_t> Recommend(uint32_t seed_entity, size_t k,
+                                  util::Rng& rng) const override;
+
+  const char* name() const override { return "shoal-topic-match"; }
+
+ private:
+  const core::Taxonomy& taxonomy_;
+  const eval::Recommender* fallback_;  // not owned; may be null
+};
+
+}  // namespace shoal::baselines
+
+#endif  // SHOAL_BASELINES_TOPIC_RECOMMENDER_H_

@@ -1,0 +1,65 @@
+#include "core/category_correlation.h"
+
+#include <algorithm>
+
+namespace shoal::core {
+
+CategoryCorrelation CategoryCorrelation::Mine(
+    const Taxonomy& taxonomy, const CategoryCorrelationOptions& options) {
+  CategoryCorrelation result;
+
+  // Raw co-occurrence counts over root topics (Eq. 5).
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (uint32_t root : taxonomy.roots()) {
+    const Topic& topic = taxonomy.topic(root);
+    std::vector<uint32_t> cats;
+    for (const auto& [cat, count] : topic.categories) {
+      if (count >= options.min_category_count) cats.push_back(cat);
+    }
+    std::sort(cats.begin(), cats.end());
+    for (size_t i = 0; i < cats.size(); ++i) {
+      for (size_t j = i + 1; j < cats.size(); ++j) {
+        ++counts[Key(cats[i], cats[j])];
+      }
+    }
+  }
+
+  // Prune by the strength threshold ("> min_strength" per the paper).
+  for (const auto& [key, strength] : counts) {
+    if (strength <= options.min_strength) continue;
+    uint32_t c1 = static_cast<uint32_t>(key >> 32);
+    uint32_t c2 = static_cast<uint32_t>(key & 0xffffffffULL);
+    result.strength_.emplace(key, strength);
+    result.related_[c1].emplace_back(c2, strength);
+    result.related_[c2].emplace_back(c1, strength);
+    result.pairs_.push_back(Pair{c1, c2, strength});
+  }
+  for (auto& [c, list] : result.related_) {
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  std::sort(result.pairs_.begin(), result.pairs_.end(),
+            [](const Pair& a, const Pair& b) {
+              if (a.strength != b.strength) return a.strength > b.strength;
+              if (a.c1 != b.c1) return a.c1 < b.c1;
+              return a.c2 < b.c2;
+            });
+  return result;
+}
+
+uint32_t CategoryCorrelation::Strength(uint32_t c1, uint32_t c2) const {
+  auto it = strength_.find(Key(c1, c2));
+  return it == strength_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> CategoryCorrelation::Related(
+    uint32_t c) const {
+  auto it = related_.find(c);
+  return it == related_.end()
+             ? std::vector<std::pair<uint32_t, uint32_t>>{}
+             : it->second;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,62 @@
+#ifndef SHOAL_CORE_CATEGORY_CORRELATION_H_
+#define SHOAL_CORE_CATEGORY_CORRELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Category correlation mining (Sec 2.4, Eq. 5): two ontology categories
+// are correlated when they co-occur in enough *root topics*. The
+// correlation strength is the number of root topics containing both;
+// pairs at or below `min_strength` are discarded (paper: > 10).
+struct CategoryCorrelationOptions {
+  uint32_t min_strength = 10;
+  // A category "belongs" to a root topic when at least this many of the
+  // topic's entities carry it (filters incidental members).
+  size_t min_category_count = 1;
+};
+
+class CategoryCorrelation {
+ public:
+  static CategoryCorrelation Mine(const Taxonomy& taxonomy,
+                                  const CategoryCorrelationOptions& options);
+
+  // Correlation strength of a pair (0 when uncorrelated or pruned).
+  uint32_t Strength(uint32_t c1, uint32_t c2) const;
+
+  // Related categories of `c`, strongest first.
+  std::vector<std::pair<uint32_t, uint32_t>> Related(uint32_t c) const;
+
+  // Every surviving pair (c1 < c2) with its strength.
+  struct Pair {
+    uint32_t c1;
+    uint32_t c2;
+    uint32_t strength;
+  };
+  const std::vector<Pair>& pairs() const { return pairs_; }
+
+ private:
+  // Reconstruction path for the TSV loader (taxonomy_io.h).
+  friend util::Result<CategoryCorrelation> CorrelationFromPairs(
+      const std::vector<Pair>&);
+
+  static uint64_t Key(uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<uint64_t, uint32_t> strength_;
+  std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      related_;
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_CATEGORY_CORRELATION_H_

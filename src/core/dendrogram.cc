@@ -1,0 +1,101 @@
+#include "core/dendrogram.h"
+
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace shoal::core {
+
+Dendrogram::Dendrogram(size_t num_leaves) : num_leaves_(num_leaves) {
+  nodes_.resize(num_leaves);
+  for (size_t i = 0; i < num_leaves; ++i) {
+    nodes_[i].id = static_cast<uint32_t>(i);
+  }
+}
+
+util::Result<uint32_t> Dendrogram::Merge(uint32_t a, uint32_t b,
+                                         double similarity) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return util::Status::OutOfRange(
+        util::StringPrintf("merge of unknown nodes (%u,%u)", a, b));
+  }
+  if (a == b) {
+    return util::Status::InvalidArgument("cannot merge a node with itself");
+  }
+  if (!IsRoot(a) || !IsRoot(b)) {
+    return util::Status::FailedPrecondition(
+        util::StringPrintf("merge arguments must be roots (%u,%u)", a, b));
+  }
+  Node merged;
+  merged.id = static_cast<uint32_t>(nodes_.size());
+  merged.left = a;
+  merged.right = b;
+  merged.size = nodes_[a].size + nodes_[b].size;
+  merged.merge_similarity = similarity;
+  nodes_[a].parent = merged.id;
+  nodes_[b].parent = merged.id;
+  nodes_.push_back(merged);
+  return merged.id;
+}
+
+std::vector<uint32_t> Dendrogram::Roots() const {
+  std::vector<uint32_t> roots;
+  for (const Node& node : nodes_) {
+    if (node.parent == kNoNode) roots.push_back(node.id);
+  }
+  return roots;
+}
+
+std::vector<uint32_t> Dendrogram::LeavesUnder(uint32_t id) const {
+  std::vector<uint32_t> leaves;
+  std::deque<uint32_t> stack{id};
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    if (IsLeaf(cur)) {
+      leaves.push_back(cur);
+      continue;
+    }
+    stack.push_back(nodes_[cur].left);
+    stack.push_back(nodes_[cur].right);
+  }
+  return leaves;
+}
+
+std::vector<uint32_t> Dendrogram::FlatClusters() const {
+  std::vector<uint32_t> labels(num_leaves_, 0);
+  uint32_t next = 0;
+  for (const Node& node : nodes_) {
+    if (node.parent != kNoNode) continue;
+    for (uint32_t leaf : LeavesUnder(node.id)) labels[leaf] = next;
+    ++next;
+  }
+  return labels;
+}
+
+std::vector<uint32_t> Dendrogram::CutAt(double min_similarity) const {
+  std::vector<uint32_t> labels(num_leaves_, kNoNode);
+  uint32_t next = 0;
+  // A node survives the cut if every merge on the path from it up to its
+  // root happened at similarity >= min_similarity... inverted view: walk
+  // down from each root; descend through merges below the cut.
+  std::deque<uint32_t> stack;
+  for (const Node& node : nodes_) {
+    if (node.parent == kNoNode) stack.push_back(node.id);
+  }
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[cur];
+    if (!IsLeaf(cur) && node.merge_similarity < min_similarity) {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+      continue;
+    }
+    uint32_t label = next++;
+    for (uint32_t leaf : LeavesUnder(cur)) labels[leaf] = label;
+  }
+  return labels;
+}
+
+}  // namespace shoal::core

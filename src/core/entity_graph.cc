@@ -1,0 +1,102 @@
+#include "core/entity_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/similarity.h"
+#include "util/string_util.h"
+
+namespace shoal::core {
+
+util::Result<graph::WeightedGraph> BuildEntityGraph(
+    const graph::BipartiteGraph& query_item_graph,
+    const std::vector<std::vector<uint32_t>>& title_words,
+    const text::EmbeddingTable& word_vectors,
+    const EntityGraphOptions& options, EntityGraphStats* stats) {
+  const size_t num_entities = query_item_graph.num_right();
+  if (title_words.size() != num_entities) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "title_words size %zu != entity count %zu", title_words.size(),
+        num_entities));
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return util::Status::InvalidArgument("alpha must be in [0,1]");
+  }
+
+  EntityGraphStats local_stats;
+
+  // Per-entity sorted query sets (Eq. 1 inputs).
+  std::vector<std::vector<uint32_t>> queries_of(num_entities);
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    queries_of[e] = query_item_graph.QueriesOfItem(e);
+  }
+
+  // Per-entity content profiles (Eq. 2, factorised).
+  std::vector<ContentProfile> profiles(num_entities);
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    profiles[e] = BuildContentProfile(word_vectors, title_words[e]);
+  }
+
+  // Candidate pairs: co-clicked under at least one query.
+  std::unordered_set<uint64_t> candidates;
+  for (uint32_t q = 0; q < query_item_graph.num_left(); ++q) {
+    const auto& links = query_item_graph.LeftNeighbors(q);
+    size_t fanout = links.size();
+    if (fanout > options.max_items_per_query) {
+      ++local_stats.capped_queries;
+      fanout = options.max_items_per_query;
+    }
+    for (size_t i = 0; i < fanout; ++i) {
+      for (size_t j = i + 1; j < fanout; ++j) {
+        uint32_t a = links[i].id;
+        uint32_t b = links[j].id;
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        candidates.insert((static_cast<uint64_t>(a) << 32) | b);
+      }
+    }
+  }
+  local_stats.candidate_pairs = candidates.size();
+
+  // Score candidates and collect edges above the threshold.
+  struct Scored {
+    uint32_t u;
+    uint32_t v;
+    double s;
+  };
+  std::vector<Scored> edges;
+  edges.reserve(candidates.size() / 4 + 1);
+  for (uint64_t key : candidates) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffULL);
+    double sq = QueryJaccard(queries_of[u], queries_of[v]);
+    double sc = ContentSimilarity(profiles[u], profiles[v]);
+    double s = CombinedSimilarity(sq, sc, options.alpha);
+    ++local_stats.scored_pairs;
+    if (s >= options.similarity_threshold) edges.push_back({u, v, s});
+  }
+
+  // Degree cap: keep each entity's strongest edges only ("one item entity
+  // should have only a few neighbor entities", Sec 2.2). An edge survives
+  // if it ranks within the cap for *either* endpoint, so the graph stays
+  // connected along strong paths.
+  std::vector<size_t> degree(num_entities, 0);
+  std::sort(edges.begin(), edges.end(),
+            [](const Scored& a, const Scored& b) { return a.s > b.s; });
+  graph::WeightedGraph entity_graph(num_entities);
+  for (const Scored& e : edges) {
+    if (degree[e.u] >= options.max_degree &&
+        degree[e.v] >= options.max_degree) {
+      continue;
+    }
+    SHOAL_RETURN_IF_ERROR(entity_graph.AddEdge(e.u, e.v, e.s));
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  local_stats.kept_edges = entity_graph.num_edges();
+
+  if (stats != nullptr) *stats = local_stats;
+  return entity_graph;
+}
+
+}  // namespace shoal::core

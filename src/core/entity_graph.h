@@ -1,0 +1,47 @@
+#ifndef SHOAL_CORE_ENTITY_GRAPH_H_
+#define SHOAL_CORE_ENTITY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/weighted_graph.h"
+#include "text/embedding.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Builds the item entity graph G(V, E, S) of Sec 2.1.
+//
+// Candidate pairs come from the query-item bipartite graph: two entities
+// are compared only if at least one query links to both (entities with
+// disjoint query sets have Sq = 0, and the paper filters low-S edges
+// anyway). Head queries are capped to `max_items_per_query` to avoid a
+// quadratic blow-up on navigational queries — a standard production
+// guard that only drops pairs whose Jaccard contribution is tiny.
+struct EntityGraphOptions {
+  double alpha = 0.7;            // Eq. 3 mix (paper's demo value)
+  double similarity_threshold = 0.35;  // sparsification (Challenge 1)
+  size_t max_items_per_query = 256;
+  size_t max_degree = 64;        // keep only the best edges per entity
+};
+
+struct EntityGraphStats {
+  size_t candidate_pairs = 0;
+  size_t scored_pairs = 0;
+  size_t kept_edges = 0;
+  size_t capped_queries = 0;
+};
+
+// `title_words[i]` are the title token ids of entity i; `word_vectors`
+// is the trained word2vec table indexed by those ids. The bipartite
+// graph's right side must have exactly `title_words.size()` vertices.
+util::Result<graph::WeightedGraph> BuildEntityGraph(
+    const graph::BipartiteGraph& query_item_graph,
+    const std::vector<std::vector<uint32_t>>& title_words,
+    const text::EmbeddingTable& word_vectors,
+    const EntityGraphOptions& options, EntityGraphStats* stats = nullptr);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_ENTITY_GRAPH_H_

@@ -1,0 +1,182 @@
+#include "core/hac_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace shoal::core {
+
+const char* LinkageRuleName(LinkageRule rule) {
+  switch (rule) {
+    case LinkageRule::kSqrtNormalized:
+      return "sqrt_normalized";
+    case LinkageRule::kArithmeticMean:
+      return "arithmetic_mean";
+    case LinkageRule::kMax:
+      return "max";
+    case LinkageRule::kMin:
+      return "min";
+  }
+  return "unknown";
+}
+
+double MergedSimilarity(LinkageRule rule, double s_ac, double s_bc,
+                        uint32_t n_a, uint32_t n_b) {
+  switch (rule) {
+    case LinkageRule::kSqrtNormalized: {
+      double ra = std::sqrt(static_cast<double>(n_a));
+      double rb = std::sqrt(static_cast<double>(n_b));
+      return (ra * s_ac + rb * s_bc) / (ra + rb);
+    }
+    case LinkageRule::kArithmeticMean: {
+      double na = static_cast<double>(n_a);
+      double nb = static_cast<double>(n_b);
+      return (na * s_ac + nb * s_bc) / (na + nb);
+    }
+    case LinkageRule::kMax:
+      return std::max(s_ac, s_bc);
+    case LinkageRule::kMin:
+      return std::min(s_ac, s_bc);
+  }
+  return 0.0;
+}
+
+bool EdgeBeats(uint32_t cu, uint32_t cv, double cs, uint32_t iu, uint32_t iv,
+               double is) {
+  if (cs != is) return cs > is;
+  uint32_t cmin = std::min(cu, cv);
+  uint32_t cmax = std::max(cu, cv);
+  uint32_t imin = std::min(iu, iv);
+  uint32_t imax = std::max(iu, iv);
+  if (cmin != imin) return cmin < imin;
+  return cmax < imax;
+}
+
+ClusterGraph::ClusterGraph(const graph::WeightedGraph& base,
+                           double track_threshold)
+    : track_threshold_(track_threshold) {
+  const size_t n = base.num_vertices();
+  adjacency_.resize(n);
+  sizes_.assign(n, 1);
+  active_.assign(n, 1);
+  mergeable_count_.assign(n, 0);
+  num_active_ = n;
+  for (graph::VertexId u = 0; u < n; ++u) {
+    for (const graph::Edge& e : base.Neighbors(u)) {
+      adjacency_[u].emplace(e.to, e.weight);
+      if (track_threshold_ > 0.0 && e.weight >= track_threshold_) {
+        ++mergeable_count_[u];
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> ClusterGraph::ActiveClusters() const {
+  std::vector<uint32_t> out;
+  out.reserve(num_active_);
+  for (uint32_t c = 0; c < active_.size(); ++c) {
+    if (active_[c]) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<uint32_t> ClusterGraph::MergeableClusters() const {
+  std::vector<uint32_t> out;
+  for (uint32_t c = 0; c < active_.size(); ++c) {
+    if (active_[c] && mergeable_count_[c] > 0) out.push_back(c);
+  }
+  return out;
+}
+
+util::Status ClusterGraph::Merge(uint32_t a, uint32_t b, uint32_t new_id,
+                                 LinkageRule rule) {
+  if (a >= active_.size() || b >= active_.size() || !active_[a] ||
+      !active_[b]) {
+    return util::Status::FailedPrecondition(
+        util::StringPrintf("merge of inactive clusters (%u,%u)", a, b));
+  }
+  if (a == b) {
+    return util::Status::InvalidArgument("cannot merge cluster with itself");
+  }
+  if (new_id != adjacency_.size()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "new_id %u must be the next node id %zu", new_id, adjacency_.size()));
+  }
+
+  const uint32_t n_a = sizes_[a];
+  const uint32_t n_b = sizes_[b];
+
+  // Union of the two neighbourhoods (excluding the merging pair), with
+  // missing similarities treated as 0 per Eq. 4.
+  std::unordered_map<uint32_t, double> merged;
+  merged.reserve(adjacency_[a].size() + adjacency_[b].size());
+  for (const auto& [c, s_ac] : adjacency_[a]) {
+    if (c == b) continue;
+    double s_bc = 0.0;
+    if (auto it = adjacency_[b].find(c); it != adjacency_[b].end()) {
+      s_bc = it->second;
+    }
+    merged.emplace(c, MergedSimilarity(rule, s_ac, s_bc, n_a, n_b));
+  }
+  for (const auto& [c, s_bc] : adjacency_[b]) {
+    if (c == a || merged.contains(c)) continue;
+    merged.emplace(c, MergedSimilarity(rule, 0.0, s_bc, n_a, n_b));
+  }
+
+  // Rewire neighbours from a/b to the new cluster, keeping the
+  // mergeable-edge counts in sync (old edges to a/b leave, the new edge
+  // to the merged cluster arrives).
+  const bool track = track_threshold_ > 0.0;
+  uint32_t new_count = 0;
+  for (const auto& [c, s] : merged) {
+    auto& adj_c = adjacency_[c];
+    if (track) {
+      if (auto it = adj_c.find(a);
+          it != adj_c.end() && it->second >= track_threshold_) {
+        --mergeable_count_[c];
+      }
+      if (auto it = adj_c.find(b);
+          it != adj_c.end() && it->second >= track_threshold_) {
+        --mergeable_count_[c];
+      }
+      if (s >= track_threshold_) {
+        ++mergeable_count_[c];
+        ++new_count;
+      }
+    }
+    adj_c.erase(a);
+    adj_c.erase(b);
+    adj_c.emplace(new_id, s);
+  }
+
+  adjacency_.push_back(std::move(merged));
+  sizes_.push_back(n_a + n_b);
+  active_.push_back(1);
+  mergeable_count_.push_back(new_count);
+  adjacency_[a].clear();
+  adjacency_[b].clear();
+  active_[a] = 0;
+  active_[b] = 0;
+  mergeable_count_[a] = 0;
+  mergeable_count_[b] = 0;
+  --num_active_;  // two removed, one added
+  return util::Status::OK();
+}
+
+ClusterGraph::BestEdge ClusterGraph::GlobalBestEdge() const {
+  BestEdge best;
+  for (uint32_t c = 0; c < active_.size(); ++c) {
+    if (!active_[c]) continue;
+    for (const auto& [d, s] : adjacency_[c]) {
+      if (d < c) continue;  // visit each edge once
+      if (best.similarity < 0.0 ||
+          EdgeBeats(c, d, s, best.u, best.v, best.similarity)) {
+        best = BestEdge{c, d, s};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace shoal::core

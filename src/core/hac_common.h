@@ -1,0 +1,105 @@
+#ifndef SHOAL_CORE_HAC_COMMON_H_
+#define SHOAL_CORE_HAC_COMMON_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dendrogram.h"
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Rule for computing S(AB, C) when clusters A and B merge. The paper's
+// rule is kSqrtNormalized (Eq. 4); the others are ablation alternatives
+// (bench_linkage_ablation) corresponding to classic linkage schemes
+// adapted to sparse graphs (missing similarity treated as 0).
+enum class LinkageRule {
+  kSqrtNormalized,   // Eq. 4: sqrt(n)-weighted average
+  kArithmeticMean,   // UPGMA-style n-weighted average
+  kMax,              // single linkage
+  kMin,              // complete linkage
+};
+
+const char* LinkageRuleName(LinkageRule rule);
+
+// S(AB, C) given S(A,C), S(B,C) (0 when unavailable) and cluster sizes.
+double MergedSimilarity(LinkageRule rule, double s_ac, double s_bc,
+                        uint32_t n_a, uint32_t n_b);
+
+// Stopping rule and linkage shared by both HAC implementations.
+struct HacOptions {
+  // Merging stops when every remaining similarity is below this. The
+  // default is calibrated to Eq. 3 similarities with alpha = 0.7, where
+  // same-topic pairs typically score 0.4-0.6 (Jaccard rarely saturates
+  // even for items with identical intent).
+  double threshold = 0.35;
+  LinkageRule linkage = LinkageRule::kSqrtNormalized;
+};
+
+// Mutable cluster-level overlay over the (static) entity graph used
+// while HAC runs. Cluster ids are dendrogram node ids: the original
+// entities are leaves [0, n) and every merge appends a node.
+class ClusterGraph {
+ public:
+  // When `track_threshold` > 0 the graph additionally maintains, per
+  // cluster, the number of incident edges with similarity >=
+  // track_threshold, so callers can iterate only the clusters that can
+  // still merge (ParallelHac's per-round frontier).
+  explicit ClusterGraph(const graph::WeightedGraph& base,
+                        double track_threshold = 0.0);
+
+  size_t num_active() const { return num_active_; }
+  bool IsActive(uint32_t c) const { return active_[c]; }
+  uint32_t ClusterSize(uint32_t c) const { return sizes_[c]; }
+
+  // Active cluster ids, ascending.
+  std::vector<uint32_t> ActiveClusters() const;
+
+  // Active clusters with at least one edge >= track_threshold.
+  // Requires track_threshold > 0 at construction.
+  std::vector<uint32_t> MergeableClusters() const;
+  size_t MergeableEdgeCount(uint32_t c) const {
+    return mergeable_count_[c];
+  }
+
+  // Similarity map of an active cluster (neighbors are active clusters).
+  const std::unordered_map<uint32_t, double>& Neighbors(uint32_t c) const {
+    return adjacency_[c];
+  }
+
+  // Merges active clusters a and b into a new cluster with id `new_id`
+  // (must equal the dendrogram node id just created). Applies the
+  // linkage rule to every neighbor.
+  util::Status Merge(uint32_t a, uint32_t b, uint32_t new_id,
+                     LinkageRule rule);
+
+  // Highest-similarity edge among active clusters, or similarity < 0 if
+  // the graph has no remaining edges. Ties break toward the
+  // lexicographically smallest (min id, max id) pair so every
+  // implementation picks the same edge.
+  struct BestEdge {
+    uint32_t u = kNoNode;
+    uint32_t v = kNoNode;
+    double similarity = -1.0;
+  };
+  BestEdge GlobalBestEdge() const;
+
+ private:
+  std::vector<std::unordered_map<uint32_t, double>> adjacency_;
+  std::vector<uint32_t> sizes_;
+  std::vector<uint8_t> active_;
+  std::vector<uint32_t> mergeable_count_;
+  double track_threshold_ = 0.0;
+  size_t num_active_ = 0;
+};
+
+// True if `candidate` beats `incumbent` under the deterministic total
+// order (higher similarity wins; ties prefer smaller sorted id pair).
+bool EdgeBeats(uint32_t cu, uint32_t cv, double cs, uint32_t iu, uint32_t iv,
+               double is);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_HAC_COMMON_H_

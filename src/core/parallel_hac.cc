@@ -1,0 +1,169 @@
+#include "core/parallel_hac.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/bsp_engine.h"
+
+namespace shoal::core {
+
+namespace {
+
+// Best edge a vertex has seen during diffusion. Ids are *cluster* ids.
+struct BestEdge {
+  uint32_t u = kNoNode;
+  uint32_t v = kNoNode;
+  double similarity = -1.0;
+
+  bool valid() const { return similarity >= 0.0; }
+  bool operator==(const BestEdge&) const = default;
+};
+
+// Per-vertex diffusion state: the best edge seen so far, plus the last
+// value broadcast to neighbours (so unchanged values are not re-sent).
+struct DiffusionState {
+  BestEdge best;
+  BestEdge sent;
+};
+
+// Keeps `acc` as the winner under the deterministic edge order.
+void FoldMax(BestEdge& acc, const BestEdge& other) {
+  if (!other.valid()) return;
+  if (!acc.valid() ||
+      EdgeBeats(other.u, other.v, other.similarity, acc.u, acc.v,
+                acc.similarity)) {
+    acc = other;
+  }
+}
+
+}  // namespace
+
+util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
+                                     const ParallelHacOptions& options,
+                                     ParallelHacStats* stats) {
+  if (options.hac.threshold <= 0.0) {
+    return util::Status::InvalidArgument("threshold must be positive");
+  }
+  if (options.diffusion_iterations == 0) {
+    return util::Status::InvalidArgument(
+        "diffusion_iterations must be >= 1");
+  }
+
+  Dendrogram dendrogram(graph.num_vertices());
+  const double threshold = options.hac.threshold;
+  ClusterGraph clusters(graph, /*track_threshold=*/threshold);
+  ParallelHacStats local_stats;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    // --- snapshot the *mergeable frontier*: only clusters that still
+    // have an edge >= threshold participate in this round's diffusion.
+    // Late rounds involve a shrinking fraction of the graph, so the
+    // per-round cost tracks the remaining work instead of O(V + E).
+    std::vector<uint32_t> active = clusters.MergeableClusters();
+    const size_t n = active.size();
+    if (n < 2) break;
+    std::unordered_map<uint32_t, uint32_t> compact;  // cluster id -> [0,n)
+    compact.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) compact.emplace(active[i], i);
+
+    std::vector<std::vector<std::pair<uint32_t, double>>> snapshot(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (const auto& [c, s] : clusters.Neighbors(active[i])) {
+        if (s < threshold) continue;
+        // Both endpoints of a mergeable edge are mergeable clusters, so
+        // the lookup always succeeds.
+        snapshot[i].emplace_back(compact.at(c), s);
+      }
+    }
+
+    // --- diffusion on the BSP engine -------------------------------------
+    // Superstep 0: every vertex with a mergeable edge proposes its best
+    // incident edge to its neighbours. Supersteps 1..k-1: fold received
+    // proposals into the running best and forward improvements. After the
+    // final superstep each vertex knows the best edge within its
+    // k-hop neighbourhood (restricted to mergeable edges).
+    using Engine = engine::BspEngine<DiffusionState, BestEdge>;
+    Engine::Options engine_options;
+    engine_options.num_partitions = options.num_partitions;
+    engine_options.num_threads = options.num_threads;
+    // k message exchanges need k+1 supersteps (send on 0..k-1, final fold
+    // on superstep k).
+    engine_options.max_supersteps = options.diffusion_iterations + 1;
+    Engine engine(n, engine_options);
+    engine.SetCombiner(
+        [](BestEdge& acc, const BestEdge& incoming) { FoldMax(acc, incoming); });
+
+    const size_t last_send_superstep = options.diffusion_iterations - 1;
+    auto status = engine.Run([&](Engine::Context& ctx, uint32_t v,
+                                 DiffusionState& state,
+                                 const std::vector<BestEdge>& messages) {
+      if (ctx.superstep() == 0) {
+        // Best incident edge, expressed in original cluster ids and
+        // normalised to u < v so both endpoints describe it identically.
+        for (const auto& [to, s] : snapshot[v]) {
+          uint32_t a = std::min(active[v], active[to]);
+          uint32_t b = std::max(active[v], active[to]);
+          FoldMax(state.best, BestEdge{a, b, s});
+        }
+      }
+      for (const BestEdge& m : messages) FoldMax(state.best, m);
+      if (ctx.superstep() > last_send_superstep || snapshot[v].empty()) {
+        ctx.VoteToHalt();
+        return;
+      }
+      // Broadcast only improvements; neighbours already hold anything
+      // sent before, so unchanged values would be wasted messages.
+      if (state.best.valid() && !(state.best == state.sent)) {
+        for (const auto& [to, s] : snapshot[v]) {
+          (void)s;
+          ctx.SendMessage(to, state.best);
+        }
+        state.sent = state.best;
+      }
+      ctx.VoteToHalt();  // reactivated by incoming messages
+    });
+    if (!status.ok()) return status;
+    local_stats.total_messages += engine.total_messages();
+    local_stats.total_supersteps += engine.superstep();
+
+    // --- collect local maximal edges: both endpoints agree ----------------
+    // Each vertex's value is the best edge in its k-hop neighbourhood;
+    // edge (a,b) is locally maximal iff it is the best for both a and b.
+    std::vector<std::pair<uint32_t, uint32_t>> to_merge;
+    std::vector<double> merge_similarity;
+    for (uint32_t i = 0; i < n; ++i) {
+      const BestEdge& mine = engine.VertexValue(i).best;
+      if (!mine.valid()) continue;
+      // Edges are normalised (u < v); the smaller endpoint reports, which
+      // also deduplicates each agreeing pair.
+      if (mine.u != active[i]) continue;
+      uint32_t j = compact.at(mine.v);
+      const BestEdge& theirs = engine.VertexValue(j).best;
+      if (theirs.valid() && theirs.u == mine.u && theirs.v == mine.v) {
+        to_merge.emplace_back(mine.u, mine.v);
+        merge_similarity.push_back(mine.similarity);
+      }
+    }
+    if (to_merge.empty()) break;
+
+    // --- parallel merge phase ---------------------------------------------
+    // Locally maximal edges form a matching (each vertex names a unique
+    // best edge), so the merges are independent; applying them within one
+    // round is the "distributed merging" step.
+    for (size_t m = 0; m < to_merge.size(); ++m) {
+      auto [a, b] = to_merge[m];
+      auto merged = dendrogram.Merge(a, b, merge_similarity[m]);
+      if (!merged.ok()) return merged.status();
+      SHOAL_RETURN_IF_ERROR(
+          clusters.Merge(a, b, merged.value(), options.hac.linkage));
+    }
+    local_stats.total_merges += to_merge.size();
+    local_stats.merges_per_round.push_back(to_merge.size());
+    ++local_stats.rounds;
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return dendrogram;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,53 @@
+#ifndef SHOAL_CORE_PARALLEL_HAC_H_
+#define SHOAL_CORE_PARALLEL_HAC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dendrogram.h"
+#include "core/hac_common.h"
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Parallel Hierarchical Agglomerative Clustering (Sec 2.2) — the paper's
+// contribution. Each *round*:
+//
+//   1. Graph diffusion on the BSP engine: for `diffusion_iterations`
+//      supersteps every cluster exchanges the best edge it knows with
+//      its neighbours. An edge survives as a *local maximal edge* when
+//      both endpoints still consider it the best edge they have seen.
+//   2. All local maximal edges (a matching, hence conflict-free) are
+//      merged in parallel; similarities to the merged cluster follow the
+//      linkage rule (Eq. 4 by default).
+//
+// Rounds repeat until no remaining similarity reaches the threshold.
+// Fewer diffusion iterations -> more local maxima -> more merges per
+// round -> higher parallel degree (the trade-off of Figure 3); the paper
+// fixes diffusion_iterations = 2.
+struct ParallelHacOptions {
+  HacOptions hac;
+  size_t diffusion_iterations = 2;
+  size_t num_partitions = 8;
+  size_t num_threads = 2;
+  size_t max_rounds = 100000;
+};
+
+struct ParallelHacStats {
+  size_t rounds = 0;
+  size_t total_merges = 0;
+  uint64_t total_messages = 0;    // BSP messages across all rounds
+  size_t total_supersteps = 0;
+  // Local maximal edges found (== merges) in each round; the parallel
+  // degree trace reported by bench_diffusion.
+  std::vector<size_t> merges_per_round;
+};
+
+util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
+                                     const ParallelHacOptions& options,
+                                     ParallelHacStats* stats = nullptr);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_PARALLEL_HAC_H_

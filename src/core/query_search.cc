@@ -1,0 +1,73 @@
+#include "core/query_search.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace shoal::core {
+
+util::Result<QueryTopicIndex> QueryTopicIndex::Build(
+    const Taxonomy& taxonomy,
+    const std::vector<std::vector<uint32_t>>& entity_title_words,
+    const text::Vocabulary* vocab, const Options& options) {
+  if (vocab == nullptr) {
+    return util::Status::InvalidArgument("vocab must not be null");
+  }
+  QueryTopicIndex index;
+  index.vocab_ = vocab;
+  index.bm25_ = text::Bm25Index(options.bm25);
+
+  std::vector<uint32_t> topic_ids;
+  if (options.roots_only) {
+    topic_ids = taxonomy.roots();
+  } else {
+    topic_ids.resize(taxonomy.num_topics());
+    for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) topic_ids[t] = t;
+  }
+
+  for (uint32_t t : topic_ids) {
+    const Topic& topic = taxonomy.topic(t);
+    std::vector<uint32_t> doc;
+    for (uint32_t e : topic.entities) {
+      if (e >= entity_title_words.size()) {
+        return util::Status::OutOfRange("entity without title words");
+      }
+      doc.insert(doc.end(), entity_title_words[e].begin(),
+                 entity_title_words[e].end());
+    }
+    // Fold the topic's representative queries in as well; they are the
+    // most intent-bearing text attached to the topic.
+    for (const std::string& desc : topic.description) {
+      for (const std::string& token : text::Tokenize(desc)) {
+        uint32_t id = vocab->Lookup(token);
+        if (id != text::kUnknownWord) doc.push_back(id);
+      }
+    }
+    index.bm25_.AddDocument(doc);
+    index.doc_topic_.push_back(t);
+  }
+  return index;
+}
+
+std::vector<QueryTopicIndex::Hit> QueryTopicIndex::Search(
+    const std::string& query_text, size_t k) const {
+  std::vector<uint32_t> words;
+  for (const std::string& token : text::Tokenize(query_text)) {
+    uint32_t id = vocab_->Lookup(token);
+    if (id != text::kUnknownWord) words.push_back(id);
+  }
+  std::vector<Hit> hits;
+  if (words.empty()) return hits;
+  std::vector<double> scores = bm25_.ScoreAll(words);
+  for (uint32_t d = 0; d < scores.size(); ++d) {
+    if (scores[d] > 0.0) hits.push_back(Hit{doc_topic_[d], scores[d]});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.topic < b.topic;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,27 @@
+#ifndef SHOAL_CORE_SEQUENTIAL_HAC_H_
+#define SHOAL_CORE_SEQUENTIAL_HAC_H_
+
+#include "core/dendrogram.h"
+#include "core/hac_common.h"
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Exact greedy HAC baseline: repeatedly merges the globally best edge
+// until every remaining similarity is below the threshold. One merge per
+// iteration — this is the algorithm the paper's Challenge 2 describes as
+// not scaling, implemented here with a lazy-deletion priority queue so
+// the comparison is fair (O(E log E) rather than O(V * E)).
+struct SequentialHacStats {
+  size_t merges = 0;
+  size_t heap_pops = 0;  // includes stale entries (lazy deletion)
+};
+
+util::Result<Dendrogram> SequentialHac(const graph::WeightedGraph& graph,
+                                       const HacOptions& options,
+                                       SequentialHacStats* stats = nullptr);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_SEQUENTIAL_HAC_H_

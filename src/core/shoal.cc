@@ -1,0 +1,99 @@
+#include "core/shoal.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace shoal::core {
+
+util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
+                                    const ShoalOptions& options) {
+  if (input.query_item_graph == nullptr ||
+      input.entity_title_words == nullptr ||
+      input.entity_categories == nullptr || input.query_words == nullptr ||
+      input.query_texts == nullptr || input.vocab == nullptr) {
+    return util::Status::InvalidArgument("ShoalInput has null fields");
+  }
+  const auto& qi = *input.query_item_graph;
+  if (input.entity_title_words->size() != qi.num_right() ||
+      input.entity_categories->size() != qi.num_right()) {
+    return util::Status::InvalidArgument(
+        "entity metadata does not match bipartite graph");
+  }
+  if (input.query_words->size() != qi.num_left() ||
+      input.query_texts->size() != qi.num_left()) {
+    return util::Status::InvalidArgument(
+        "query metadata does not match bipartite graph");
+  }
+
+  ShoalModel model;
+  util::Stopwatch stopwatch;
+
+  // --- word2vec over titles + queries (Sec 2.1, content similarity) ----
+  std::vector<std::vector<uint32_t>> corpus;
+  corpus.reserve(input.entity_title_words->size() +
+                 input.query_words->size());
+  for (const auto& title : *input.entity_title_words) corpus.push_back(title);
+  for (const auto& words : *input.query_words) corpus.push_back(words);
+  auto word2vec = text::Word2Vec::Train(*input.vocab, corpus,
+                                        options.word2vec);
+  if (!word2vec.ok()) return word2vec.status();
+  model.stats_.word2vec_seconds = stopwatch.ElapsedSeconds();
+
+  // --- item entity graph (Sec 2.1) --------------------------------------
+  stopwatch.Restart();
+  auto entity_graph = BuildEntityGraph(qi, *input.entity_title_words,
+                                       word2vec.value().vectors(),
+                                       options.entity_graph,
+                                       &model.stats_.entity_graph);
+  if (!entity_graph.ok()) return entity_graph.status();
+  model.entity_graph_ = std::move(entity_graph).value();
+  model.stats_.entity_graph_seconds = stopwatch.ElapsedSeconds();
+
+  // --- Parallel HAC (Sec 2.2) -------------------------------------------
+  stopwatch.Restart();
+  auto dendrogram =
+      ParallelHac(model.entity_graph_, options.hac, &model.stats_.hac);
+  if (!dendrogram.ok()) return dendrogram.status();
+  model.dendrogram_ =
+      std::make_shared<Dendrogram>(std::move(dendrogram).value());
+  model.stats_.hac_seconds = stopwatch.ElapsedSeconds();
+
+  // --- taxonomy extraction ------------------------------------------------
+  stopwatch.Restart();
+  model.taxonomy_ = Taxonomy::Build(*model.dendrogram_,
+                                    *input.entity_categories,
+                                    options.taxonomy);
+  model.stats_.num_topics = model.taxonomy_.num_topics();
+  model.stats_.num_root_topics = model.taxonomy_.roots().size();
+  model.stats_.taxonomy_seconds = stopwatch.ElapsedSeconds();
+
+  // --- topic descriptions (Sec 2.3) ---------------------------------------
+  stopwatch.Restart();
+  DescriberInput describe_input;
+  describe_input.taxonomy = &model.taxonomy_;
+  describe_input.query_item_graph = &qi;
+  describe_input.query_words = input.query_words;
+  describe_input.query_texts = input.query_texts;
+  describe_input.entity_title_words = input.entity_title_words;
+  auto rankings = TopicDescriber::Describe(model.taxonomy_, describe_input,
+                                           options.describer);
+  if (!rankings.ok()) return rankings.status();
+  model.stats_.describe_seconds = stopwatch.ElapsedSeconds();
+
+  // --- category correlation (Sec 2.4) --------------------------------------
+  stopwatch.Restart();
+  model.correlations_ =
+      CategoryCorrelation::Mine(model.taxonomy_, options.correlation);
+  model.stats_.correlation_seconds = stopwatch.ElapsedSeconds();
+
+  // --- query -> topic search index (demo scenarios A/B) --------------------
+  auto index = QueryTopicIndex::Build(model.taxonomy_,
+                                      *input.entity_title_words,
+                                      input.vocab, options.search);
+  if (!index.ok()) return index.status();
+  model.search_index_ =
+      std::make_shared<QueryTopicIndex>(std::move(index).value());
+  return model;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,75 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace shoal::core {
+
+double QueryJaccard(const std::vector<uint32_t>& queries_u,
+                    const std::vector<uint32_t>& queries_v) {
+  if (queries_u.empty() && queries_v.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t intersection = 0;
+  while (i < queries_u.size() && j < queries_v.size()) {
+    if (queries_u[i] == queries_v[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (queries_u[i] < queries_v[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t union_size = queries_u.size() + queries_v.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+ContentProfile BuildContentProfile(const text::EmbeddingTable& vectors,
+                                   const std::vector<uint32_t>& word_ids) {
+  ContentProfile profile;
+  if (word_ids.empty()) return profile;
+  const size_t dim = vectors.dim();
+  profile.mean_unit_vector.assign(dim, 0.0f);
+  size_t used = 0;
+  for (uint32_t id : word_ids) {
+    if (id >= vectors.rows()) continue;
+    const float* row = vectors.Row(id);
+    float norm = text::Norm(row, dim);
+    if (norm == 0.0f) continue;
+    float inv = 1.0f / norm;
+    for (size_t d = 0; d < dim; ++d) {
+      profile.mean_unit_vector[d] += row[d] * inv;
+    }
+    ++used;
+  }
+  if (used == 0) {
+    profile.mean_unit_vector.clear();
+    return profile;
+  }
+  float inv = 1.0f / static_cast<float>(used);
+  for (float& v : profile.mean_unit_vector) v *= inv;
+  return profile;
+}
+
+double ContentSimilarity(const ContentProfile& u, const ContentProfile& v) {
+  if (u.mean_unit_vector.empty() || v.mean_unit_vector.empty()) return 0.5;
+  SHOAL_CHECK(u.mean_unit_vector.size() == v.mean_unit_vector.size())
+      << "content profiles built from different embedding tables";
+  double dot = 0.0;
+  for (size_t d = 0; d < u.mean_unit_vector.size(); ++d) {
+    dot += static_cast<double>(u.mean_unit_vector[d]) *
+           static_cast<double>(v.mean_unit_vector[d]);
+  }
+  return 0.5 + 0.5 * dot;
+}
+
+double CombinedSimilarity(double query_sim, double content_sim,
+                          double alpha) {
+  return alpha * query_sim + (1.0 - alpha) * content_sim;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,43 @@
+#ifndef SHOAL_CORE_SIMILARITY_H_
+#define SHOAL_CORE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/embedding.h"
+
+namespace shoal::core {
+
+// Query-driven similarity (Eq. 1): Jaccard coefficient of the two
+// entities' associated query sets. Inputs must be sorted and
+// duplicate-free.
+double QueryJaccard(const std::vector<uint32_t>& queries_u,
+                    const std::vector<uint32_t>& queries_v);
+
+// Per-entity content profile for the content-driven similarity (Eq. 2).
+//
+// Eq. 2 averages (1/2 + 1/2 cos(w1, w2)) over every pair of title words,
+// which factorises exactly:
+//
+//   Sc(u,v) = 1/2 + 1/2 * mean_u_hat . mean_v_hat
+//
+// where mean_x_hat is the mean of the entity's *unit-normalised* word
+// vectors. We precompute that mean once per entity, turning each pair
+// evaluation from O(|Vu||Vv| d) into O(d).
+struct ContentProfile {
+  std::vector<float> mean_unit_vector;  // empty if the entity has no words
+};
+
+ContentProfile BuildContentProfile(const text::EmbeddingTable& vectors,
+                                   const std::vector<uint32_t>& word_ids);
+
+// Content-driven similarity (Eq. 2) from two precomputed profiles.
+// Entities without words get the uninformative midpoint 0.5.
+double ContentSimilarity(const ContentProfile& u, const ContentProfile& v);
+
+// Combined similarity (Eq. 3): alpha * Sq + (1 - alpha) * Sc.
+double CombinedSimilarity(double query_sim, double content_sim, double alpha);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_SIMILARITY_H_

@@ -1,0 +1,137 @@
+#include "core/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace shoal::core {
+
+namespace {
+
+// Aggregates category counts for a member list, descending by count.
+std::vector<std::pair<uint32_t, size_t>> CountCategories(
+    const std::vector<uint32_t>& entities,
+    const std::vector<uint32_t>& entity_categories) {
+  std::unordered_map<uint32_t, size_t> counts;
+  for (uint32_t e : entities) {
+    if (e < entity_categories.size()) ++counts[entity_categories[e]];
+  }
+  std::vector<std::pair<uint32_t, size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+Taxonomy Taxonomy::Build(const Dendrogram& dendrogram,
+                         const std::vector<uint32_t>& entity_categories,
+                         const TaxonomyOptions& options) {
+  Taxonomy taxonomy;
+  taxonomy.entity_topic_.assign(dendrogram.num_leaves(), kNoTopic);
+
+  // Work item: dendrogram node to consider, plus the taxonomy parent
+  // under which a qualifying node should hang.
+  struct Work {
+    uint32_t node;
+    uint32_t parent_topic;
+    uint32_t level;
+  };
+  std::deque<Work> queue;
+  for (uint32_t root : dendrogram.Roots()) {
+    if (dendrogram.node(root).size < options.min_root_size) continue;
+    queue.push_back(Work{root, kNoTopic, 0});
+  }
+
+  while (!queue.empty()) {
+    Work work = queue.front();
+    queue.pop_front();
+    const auto& node = dendrogram.node(work.node);
+
+    const bool qualifies = node.size >= options.min_topic_size &&
+                           !dendrogram.IsLeaf(work.node);
+    if (!qualifies && work.parent_topic != kNoTopic) {
+      // Fold this subtree's entities into the nearest qualifying
+      // ancestor (they are already members there; nothing to do).
+      continue;
+    }
+    if (!qualifies && work.parent_topic == kNoTopic) {
+      continue;  // tiny root already filtered by min_root_size or a leaf
+    }
+
+    Topic topic;
+    topic.id = static_cast<uint32_t>(taxonomy.topics_.size());
+    topic.dendro_node = work.node;
+    topic.parent = work.parent_topic;
+    topic.level = work.level;
+    topic.entities = dendrogram.LeavesUnder(work.node);
+    topic.categories = CountCategories(topic.entities, entity_categories);
+    taxonomy.topics_.push_back(topic);
+    const uint32_t topic_id = topic.id;
+
+    if (work.parent_topic == kNoTopic) {
+      taxonomy.roots_.push_back(topic_id);
+    } else {
+      taxonomy.topics_[work.parent_topic].children.push_back(topic_id);
+    }
+    // The deepest topic wins for entity->topic; children overwrite later.
+    for (uint32_t e : taxonomy.topics_[topic_id].entities) {
+      taxonomy.entity_topic_[e] = topic_id;
+    }
+
+    // Children: descend both branches looking for qualifying nodes.
+    std::deque<uint32_t> descend{dendrogram.node(work.node).left,
+                                 dendrogram.node(work.node).right};
+    while (!descend.empty()) {
+      uint32_t child = descend.front();
+      descend.pop_front();
+      if (child == kNoNode) continue;
+      const auto& child_node = dendrogram.node(child);
+      if (!dendrogram.IsLeaf(child) &&
+          child_node.size >= options.min_topic_size) {
+        queue.push_back(Work{child, topic_id, work.level + 1});
+      } else if (!dendrogram.IsLeaf(child)) {
+        descend.push_back(child_node.left);
+        descend.push_back(child_node.right);
+      }
+    }
+  }
+
+  // BFS order guarantees parents were processed before children, but the
+  // "deepest topic wins" rule needs children to overwrite parents —
+  // re-apply by increasing level.
+  std::vector<uint32_t> order(taxonomy.topics_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return taxonomy.topics_[a].level < taxonomy.topics_[b].level;
+  });
+  for (uint32_t t : order) {
+    for (uint32_t e : taxonomy.topics_[t].entities) {
+      taxonomy.entity_topic_[e] = t;
+    }
+  }
+  return taxonomy;
+}
+
+uint32_t Taxonomy::RootTopicOfEntity(uint32_t entity) const {
+  uint32_t t = entity_topic_[entity];
+  if (t == kNoTopic) return kNoTopic;
+  while (topics_[t].parent != kNoTopic) t = topics_[t].parent;
+  return t;
+}
+
+std::vector<uint32_t> Taxonomy::RootLabels() const {
+  std::vector<uint32_t> labels(entity_topic_.size());
+  std::unordered_map<uint32_t, uint32_t> root_ids;
+  uint32_t next = 0;
+  for (uint32_t root : roots_) root_ids.emplace(root, next++);
+  for (uint32_t e = 0; e < entity_topic_.size(); ++e) {
+    uint32_t root = RootTopicOfEntity(e);
+    labels[e] = root == kNoTopic ? next++ : root_ids.at(root);
+  }
+  return labels;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,274 @@
+#include "core/taxonomy_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_map>
+
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace shoal::core {
+
+namespace {
+
+std::string PathOf(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+uint32_t ParseU32(const std::string& text) {
+  return static_cast<uint32_t>(std::strtoul(text.c_str(), nullptr, 10));
+}
+
+util::Status ExpectFields(const std::vector<std::string>& row,
+                          size_t expected, const char* file) {
+  if (row.size() != expected) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "%s: expected %zu fields, got %zu", file, expected, row.size()));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status SaveTaxonomy(const Taxonomy& taxonomy,
+                          const CategoryCorrelation& correlations,
+                          const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create directory " + dir + ": " +
+                                 ec.message());
+  }
+
+  std::vector<std::vector<std::string>> topics;
+  std::vector<std::vector<std::string>> members;
+  std::vector<std::vector<std::string>> categories;
+  std::vector<std::vector<std::string>> descriptions;
+  topics.push_back({"# id", "parent", "level", "size"});
+  // num_entities is recorded in the header comment of members.tsv.
+  members.push_back({"# num_entities=" + std::to_string(
+                         taxonomy.num_entities())});
+  for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) {
+    const Topic& topic = taxonomy.topic(t);
+    topics.push_back({std::to_string(topic.id),
+                      topic.parent == kNoTopic
+                          ? "-"
+                          : std::to_string(topic.parent),
+                      std::to_string(topic.level),
+                      std::to_string(topic.entities.size())});
+    for (uint32_t e : topic.entities) {
+      members.push_back({std::to_string(t), std::to_string(e)});
+    }
+    for (const auto& [category, count] : topic.categories) {
+      categories.push_back({std::to_string(t), std::to_string(category),
+                            std::to_string(count)});
+    }
+    for (size_t rank = 0; rank < topic.description.size(); ++rank) {
+      descriptions.push_back({std::to_string(t), std::to_string(rank),
+                              topic.description[rank]});
+    }
+  }
+  std::vector<std::vector<std::string>> pairs;
+  for (const auto& pair : correlations.pairs()) {
+    pairs.push_back({std::to_string(pair.c1), std::to_string(pair.c2),
+                     std::to_string(pair.strength)});
+  }
+
+  SHOAL_RETURN_IF_ERROR(util::WriteTsv(PathOf(dir, "topics.tsv"), topics));
+  SHOAL_RETURN_IF_ERROR(util::WriteTsv(PathOf(dir, "members.tsv"), members));
+  SHOAL_RETURN_IF_ERROR(
+      util::WriteTsv(PathOf(dir, "categories.tsv"), categories));
+  SHOAL_RETURN_IF_ERROR(
+      util::WriteTsv(PathOf(dir, "descriptions.tsv"), descriptions));
+  SHOAL_RETURN_IF_ERROR(
+      util::WriteTsv(PathOf(dir, "correlations.tsv"), pairs));
+  return util::Status::OK();
+}
+
+util::Result<Taxonomy> TaxonomyFromTopics(std::vector<Topic> topics,
+                                          size_t num_entities) {
+  Taxonomy taxonomy;
+  // Validate ids, parent links and members before committing.
+  for (uint32_t t = 0; t < topics.size(); ++t) {
+    Topic& topic = topics[t];
+    if (topic.id != t) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "topic %u stored at index %u", topic.id, t));
+    }
+    if (topic.parent != kNoTopic) {
+      if (topic.parent >= topics.size()) {
+        return util::Status::InvalidArgument(
+            util::StringPrintf("topic %u has unknown parent %u", t,
+                               topic.parent));
+      }
+      if (topic.parent == t) {
+        return util::Status::InvalidArgument(
+            util::StringPrintf("topic %u is its own parent", t));
+      }
+    }
+    for (uint32_t e : topic.entities) {
+      if (e >= num_entities) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "topic %u contains entity %u outside [0,%zu)", t, e,
+            num_entities));
+      }
+    }
+  }
+  // Cycle check via parent-chain walking (paths are short; O(n^2) worst
+  // case is fine for the taxonomy sizes involved).
+  for (uint32_t t = 0; t < topics.size(); ++t) {
+    uint32_t cur = topics[t].parent;
+    size_t steps = 0;
+    while (cur != kNoTopic) {
+      if (++steps > topics.size()) {
+        return util::Status::InvalidArgument(
+            util::StringPrintf("parent cycle through topic %u", t));
+      }
+      cur = topics[cur].parent;
+    }
+  }
+
+  // Rebuild derived structure: children lists, roots, entity mapping.
+  for (Topic& topic : topics) topic.children.clear();
+  taxonomy.topics_ = std::move(topics);
+  for (Topic& topic : taxonomy.topics_) {
+    if (topic.parent == kNoTopic) {
+      taxonomy.roots_.push_back(topic.id);
+    } else {
+      taxonomy.topics_[topic.parent].children.push_back(topic.id);
+    }
+  }
+  taxonomy.entity_topic_.assign(num_entities, kNoTopic);
+  std::vector<uint32_t> order(taxonomy.topics_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return taxonomy.topics_[a].level < taxonomy.topics_[b].level;
+  });
+  for (uint32_t t : order) {
+    for (uint32_t e : taxonomy.topics_[t].entities) {
+      taxonomy.entity_topic_[e] = t;
+    }
+  }
+  return taxonomy;
+}
+
+util::Result<CategoryCorrelation> CorrelationFromPairs(
+    const std::vector<CategoryCorrelation::Pair>& pairs) {
+  CategoryCorrelation correlation;
+  for (const auto& pair : pairs) {
+    if (pair.c1 == pair.c2) {
+      return util::Status::InvalidArgument("self-correlated category");
+    }
+    if (pair.strength == 0) {
+      return util::Status::InvalidArgument("zero-strength correlation");
+    }
+    uint64_t key = CategoryCorrelation::Key(pair.c1, pair.c2);
+    if (!correlation.strength_.emplace(key, pair.strength).second) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "duplicate correlation pair (%u,%u)", pair.c1, pair.c2));
+    }
+    correlation.related_[pair.c1].emplace_back(pair.c2, pair.strength);
+    correlation.related_[pair.c2].emplace_back(pair.c1, pair.strength);
+    correlation.pairs_.push_back(pair);
+  }
+  for (auto& [c, list] : correlation.related_) {
+    (void)c;
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  std::sort(correlation.pairs_.begin(), correlation.pairs_.end(),
+            [](const CategoryCorrelation::Pair& a,
+               const CategoryCorrelation::Pair& b) {
+              if (a.strength != b.strength) return a.strength > b.strength;
+              if (a.c1 != b.c1) return a.c1 < b.c1;
+              return a.c2 < b.c2;
+            });
+  return correlation;
+}
+
+util::Result<LoadedTaxonomy> LoadTaxonomy(const std::string& dir) {
+  SHOAL_ASSIGN_OR_RETURN(auto topic_rows,
+                         util::ReadTsv(PathOf(dir, "topics.tsv")));
+  std::vector<Topic> topics;
+  topics.reserve(topic_rows.size());
+  for (const auto& row : topic_rows) {
+    SHOAL_RETURN_IF_ERROR(ExpectFields(row, 4, "topics.tsv"));
+    Topic topic;
+    topic.id = ParseU32(row[0]);
+    topic.parent = row[1] == "-" ? kNoTopic : ParseU32(row[1]);
+    topic.level = ParseU32(row[2]);
+    topics.push_back(std::move(topic));
+  }
+
+  // members.tsv carries the entity count in a header comment; ReadTsv
+  // strips comments, so read it separately.
+  SHOAL_ASSIGN_OR_RETURN(std::string members_raw,
+                         util::ReadTextFile(PathOf(dir, "members.tsv")));
+  size_t num_entities = 0;
+  {
+    size_t pos = members_raw.find("num_entities=");
+    if (pos == std::string::npos) {
+      return util::Status::InvalidArgument(
+          "members.tsv missing num_entities header");
+    }
+    num_entities = std::strtoull(members_raw.c_str() + pos + 13, nullptr, 10);
+  }
+  SHOAL_ASSIGN_OR_RETURN(auto member_rows,
+                         util::ReadTsv(PathOf(dir, "members.tsv")));
+  for (const auto& row : member_rows) {
+    SHOAL_RETURN_IF_ERROR(ExpectFields(row, 2, "members.tsv"));
+    uint32_t t = ParseU32(row[0]);
+    if (t >= topics.size()) {
+      return util::Status::InvalidArgument("members.tsv: unknown topic");
+    }
+    topics[t].entities.push_back(ParseU32(row[1]));
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(auto category_rows,
+                         util::ReadTsv(PathOf(dir, "categories.tsv")));
+  for (const auto& row : category_rows) {
+    SHOAL_RETURN_IF_ERROR(ExpectFields(row, 3, "categories.tsv"));
+    uint32_t t = ParseU32(row[0]);
+    if (t >= topics.size()) {
+      return util::Status::InvalidArgument("categories.tsv: unknown topic");
+    }
+    topics[t].categories.emplace_back(ParseU32(row[1]),
+                                      std::strtoull(row[2].c_str(), nullptr,
+                                                    10));
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(auto description_rows,
+                         util::ReadTsv(PathOf(dir, "descriptions.tsv")));
+  for (const auto& row : description_rows) {
+    SHOAL_RETURN_IF_ERROR(ExpectFields(row, 3, "descriptions.tsv"));
+    uint32_t t = ParseU32(row[0]);
+    size_t rank = std::strtoull(row[1].c_str(), nullptr, 10);
+    if (t >= topics.size()) {
+      return util::Status::InvalidArgument(
+          "descriptions.tsv: unknown topic");
+    }
+    auto& description = topics[t].description;
+    if (description.size() <= rank) description.resize(rank + 1);
+    description[rank] = row[2];
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(auto pair_rows,
+                         util::ReadTsv(PathOf(dir, "correlations.tsv")));
+  std::vector<CategoryCorrelation::Pair> pairs;
+  for (const auto& row : pair_rows) {
+    SHOAL_RETURN_IF_ERROR(ExpectFields(row, 3, "correlations.tsv"));
+    pairs.push_back(CategoryCorrelation::Pair{
+        ParseU32(row[0]), ParseU32(row[1]), ParseU32(row[2])});
+  }
+
+  LoadedTaxonomy loaded;
+  SHOAL_ASSIGN_OR_RETURN(loaded.taxonomy,
+                         TaxonomyFromTopics(std::move(topics), num_entities));
+  SHOAL_ASSIGN_OR_RETURN(loaded.correlations, CorrelationFromPairs(pairs));
+  return loaded;
+}
+
+}  // namespace shoal::core

@@ -1,0 +1,50 @@
+#ifndef SHOAL_CORE_TAXONOMY_IO_H_
+#define SHOAL_CORE_TAXONOMY_IO_H_
+
+#include <string>
+
+#include "core/category_correlation.h"
+#include "core/taxonomy.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Persists a built taxonomy as a directory of TSV files so a taxonomy
+// can be served without re-running the pipeline:
+//
+//   <dir>/topics.tsv        id  parent  level  size
+//   <dir>/members.tsv       topic_id  entity_id
+//   <dir>/categories.tsv    topic_id  category_id  count
+//   <dir>/descriptions.tsv  topic_id  rank  query_text
+//   <dir>/correlations.tsv  category_a  category_b  strength
+//
+// The directory is created if missing; existing files are overwritten.
+util::Status SaveTaxonomy(const Taxonomy& taxonomy,
+                          const CategoryCorrelation& correlations,
+                          const std::string& dir);
+
+struct LoadedTaxonomy {
+  Taxonomy taxonomy;
+  CategoryCorrelation correlations;
+};
+
+// Loads a directory written by SaveTaxonomy. Validates structural
+// invariants (parent links, member/entity consistency) and fails with
+// InvalidArgument on any corruption.
+util::Result<LoadedTaxonomy> LoadTaxonomy(const std::string& dir);
+
+// Reconstructs a Taxonomy from explicit topic records. `topics[i].id`
+// must equal i; parents must precede children or be kNoTopic; children
+// lists are rebuilt from parent links; entity->topic mapping is rebuilt
+// with the deepest-topic rule. Exposed for LoadTaxonomy and for tests.
+util::Result<Taxonomy> TaxonomyFromTopics(std::vector<Topic> topics,
+                                          size_t num_entities);
+
+// Rebuilds a CategoryCorrelation from explicit pairs (strengths must be
+// positive; pairs must not repeat).
+util::Result<CategoryCorrelation> CorrelationFromPairs(
+    const std::vector<CategoryCorrelation::Pair>& pairs);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_TAXONOMY_IO_H_

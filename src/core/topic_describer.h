@@ -1,0 +1,63 @@
+#ifndef SHOAL_CORE_TOPIC_DESCRIBER_H_
+#define SHOAL_CORE_TOPIC_DESCRIBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "graph/bipartite_graph.h"
+#include "text/bm25.h"
+#include "util/result.h"
+
+namespace shoal::core {
+
+// Topic description matching (Sec 2.3): tags every topic with its most
+// representative queries. For query q and topic t,
+//
+//   r(q, t)   = sqrt(pop(q, t) * con(q, t))
+//   pop(q, t) = (log tf(q, I_t) + 1) / log tf(I_t)
+//   con(q, t) = exp(rel(q, D_t)) / (1 + sum_j exp(rel(q, D_j)))
+//
+// where I_t are the topic's items, tf counts query-item interactions in
+// the bipartite graph, D_t is the pseudo-document concatenating the
+// titles of I_t, and rel is BM25. The softmax is evaluated in a
+// numerically stable form (equivalent up to the paper's "+1" term, which
+// is kept by carrying exp(-max) explicitly).
+struct DescriberOptions {
+  size_t queries_per_topic = 5;
+  // When true only root topics are described (cheaper); sub-topics
+  // inherit nothing. The pipeline defaults to describing every topic.
+  bool roots_only = false;
+  text::Bm25Index::Options bm25;
+};
+
+struct DescriberInput {
+  const Taxonomy* taxonomy = nullptr;
+  const graph::BipartiteGraph* query_item_graph = nullptr;
+  // Word-id form of each query / entity title (vocab-aligned).
+  const std::vector<std::vector<uint32_t>>* query_words = nullptr;
+  const std::vector<std::string>* query_texts = nullptr;
+  const std::vector<std::vector<uint32_t>>* entity_title_words = nullptr;
+};
+
+struct ScoredQuery {
+  uint32_t query = 0;
+  double representativeness = 0.0;
+  double popularity = 0.0;
+  double concentration = 0.0;
+};
+
+class TopicDescriber {
+ public:
+  // Scores queries for every topic and writes the top
+  // `queries_per_topic` query texts into taxonomy.topic(t).description.
+  // Returns the full per-topic rankings for inspection / evaluation.
+  static util::Result<std::vector<std::vector<ScoredQuery>>> Describe(
+      Taxonomy& taxonomy, const DescriberInput& input,
+      const DescriberOptions& options);
+};
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_TOPIC_DESCRIBER_H_

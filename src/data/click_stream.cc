@@ -1,0 +1,69 @@
+#include "data/click_stream.h"
+
+#include "util/string_util.h"
+
+namespace shoal::data {
+
+SlidingWindowLog::SlidingWindowLog(uint64_t window_sec, size_t num_queries,
+                                   size_t num_items)
+    : window_sec_(window_sec),
+      num_queries_(num_queries),
+      num_items_(num_items) {}
+
+util::Status SlidingWindowLog::Ingest(const ClickEvent& event) {
+  if (event.query >= num_queries_ || event.entity >= num_items_) {
+    return util::Status::OutOfRange(util::StringPrintf(
+        "click (%u,%u) outside id spaces (%zu,%zu)", event.query,
+        event.entity, num_queries_, num_items_));
+  }
+  if (event.timestamp_sec < now_sec_) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "out-of-order event at %llu (clock at %llu)",
+        static_cast<unsigned long long>(event.timestamp_sec),
+        static_cast<unsigned long long>(now_sec_)));
+  }
+  now_sec_ = event.timestamp_sec;
+  events_.push_back(event);
+  ++counts_[Key(event.query, event.entity)];
+  Evict();
+  return util::Status::OK();
+}
+
+util::Status SlidingWindowLog::AdvanceTo(uint64_t now_sec) {
+  if (now_sec < now_sec_) {
+    return util::Status::InvalidArgument("clock cannot move backwards");
+  }
+  now_sec_ = now_sec;
+  Evict();
+  return util::Status::OK();
+}
+
+void SlidingWindowLog::Evict() {
+  const uint64_t horizon =
+      now_sec_ >= window_sec_ ? now_sec_ - window_sec_ : 0;
+  while (!events_.empty() && events_.front().timestamp_sec < horizon) {
+    const ClickEvent& old = events_.front();
+    uint64_t key = Key(old.query, old.entity);
+    auto it = counts_.find(key);
+    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+    events_.pop_front();
+  }
+}
+
+uint32_t SlidingWindowLog::Count(uint32_t query, uint32_t item) const {
+  auto it = counts_.find(Key(query, item));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+graph::BipartiteGraph SlidingWindowLog::Snapshot() const {
+  graph::BipartiteGraph snapshot(num_queries_, num_items_);
+  for (const auto& [key, count] : counts_) {
+    uint32_t query = static_cast<uint32_t>(key >> 32);
+    uint32_t item = static_cast<uint32_t>(key & 0xffffffffULL);
+    auto status = snapshot.AddInteraction(query, item, count);
+    (void)status;  // ids validated at ingest
+  }
+  return snapshot;
+}
+
+}  // namespace shoal::data

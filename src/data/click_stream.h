@@ -1,0 +1,64 @@
+#ifndef SHOAL_DATA_CLICK_STREAM_H_
+#define SHOAL_DATA_CLICK_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+#include "util/result.h"
+
+namespace shoal::data {
+
+// Streaming maintenance of the query-item interaction counts inside a
+// sliding time window — the production shape of "a sliding window
+// containing search queries in the last seven days" (Sec 3). Events are
+// ingested in timestamp order; events older than the window are evicted
+// lazily as time advances; a bipartite-graph snapshot can be
+// materialised at any moment for a taxonomy rebuild.
+class SlidingWindowLog {
+ public:
+  // `window_sec` is the window length; ids must stay below the given
+  // bounds (matching the platform's query/item id spaces).
+  SlidingWindowLog(uint64_t window_sec, size_t num_queries,
+                   size_t num_items);
+
+  // Ingests one click. Events must arrive in non-decreasing timestamp
+  // order (out-of-order events are rejected with InvalidArgument, as a
+  // real ingestion pipeline would dead-letter them).
+  util::Status Ingest(const ClickEvent& event);
+
+  // Advances the clock without an event (e.g. a quiet period), evicting
+  // everything older than now - window.
+  util::Status AdvanceTo(uint64_t now_sec);
+
+  // Number of events currently inside the window.
+  size_t size() const { return events_.size(); }
+  uint64_t now_sec() const { return now_sec_; }
+
+  // Interaction count of a (query, item) pair within the window.
+  uint32_t Count(uint32_t query, uint32_t item) const;
+
+  // Materialises the current window as a query-item bipartite graph.
+  graph::BipartiteGraph Snapshot() const;
+
+ private:
+  static uint64_t Key(uint32_t query, uint32_t item) {
+    return (static_cast<uint64_t>(query) << 32) | item;
+  }
+
+  void Evict();
+
+  uint64_t window_sec_;
+  size_t num_queries_;
+  size_t num_items_;
+  uint64_t now_sec_ = 0;
+  std::deque<ClickEvent> events_;                 // ordered by timestamp
+  std::unordered_map<uint64_t, uint32_t> counts_; // live pair counts
+};
+
+}  // namespace shoal::data
+
+#endif  // SHOAL_DATA_CLICK_STREAM_H_

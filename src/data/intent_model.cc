@@ -1,0 +1,55 @@
+#include "data/intent_model.h"
+
+#include "util/logging.h"
+
+namespace shoal::data {
+
+uint32_t IntentModel::AddRoot(Intent intent) {
+  intent.id = static_cast<uint32_t>(intents_.size());
+  intent.parent = kNoIntent;
+  intent.depth = 0;
+  intents_.push_back(std::move(intent));
+  roots_.push_back(intents_.back().id);
+  RefreshLeaves();
+  return intents_.back().id;
+}
+
+uint32_t IntentModel::AddChild(uint32_t parent, Intent intent) {
+  SHOAL_CHECK(parent < intents_.size()) << "parent intent out of range";
+  intent.id = static_cast<uint32_t>(intents_.size());
+  intent.parent = parent;
+  intent.depth = intents_[parent].depth + 1;
+  intents_.push_back(std::move(intent));
+  intents_[parent].children.push_back(intents_.back().id);
+  RefreshLeaves();
+  return intents_.back().id;
+}
+
+uint32_t IntentModel::RootOf(uint32_t id) const {
+  SHOAL_CHECK(id < intents_.size()) << "intent id out of range";
+  uint32_t cur = id;
+  while (intents_[cur].parent != kNoIntent) cur = intents_[cur].parent;
+  return cur;
+}
+
+std::vector<uint32_t> IntentModel::EffectiveVocabulary(uint32_t id) const {
+  SHOAL_CHECK(id < intents_.size()) << "intent id out of range";
+  std::vector<uint32_t> vocab;
+  uint32_t cur = id;
+  while (true) {
+    const Intent& node = intents_[cur];
+    vocab.insert(vocab.end(), node.vocabulary.begin(), node.vocabulary.end());
+    if (node.parent == kNoIntent) break;
+    cur = node.parent;
+  }
+  return vocab;
+}
+
+void IntentModel::RefreshLeaves() {
+  leaves_.clear();
+  for (const Intent& intent : intents_) {
+    if (intent.is_leaf()) leaves_.push_back(intent.id);
+  }
+}
+
+}  // namespace shoal::data

@@ -1,0 +1,65 @@
+#ifndef SHOAL_DATA_INTENT_MODEL_H_
+#define SHOAL_DATA_INTENT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shoal::data {
+
+inline constexpr uint32_t kNoIntent = static_cast<uint32_t>(-1);
+
+// A planted shopping intent ("Trip to the beach" / "family camping").
+// The intent tree is the *hidden ground truth* that the generators embed
+// into titles, queries and clicks, and that SHOAL is expected to recover
+// as its topic hierarchy. Leaf intents correspond to fine-grained topics;
+// root intents to conceptual shopping scenarios.
+struct Intent {
+  uint32_t id = kNoIntent;
+  uint32_t parent = kNoIntent;
+  uint32_t depth = 0;
+  std::string name;
+  std::vector<uint32_t> children;
+
+  // Topical vocabulary (word ids) characteristic of this intent. Children
+  // also draw from their ancestors' vocabulary.
+  std::vector<uint32_t> vocabulary;
+
+  // Leaf ontology categories this intent shops across, with sampling
+  // weights (the cross-category structure of Figure 1(b)).
+  std::vector<uint32_t> categories;
+  std::vector<double> category_weights;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+// The planted intent hierarchy.
+class IntentModel {
+ public:
+  size_t size() const { return intents_.size(); }
+  const Intent& intent(uint32_t id) const { return intents_[id]; }
+  Intent& intent(uint32_t id) { return intents_[id]; }
+
+  const std::vector<uint32_t>& roots() const { return roots_; }
+  const std::vector<uint32_t>& leaves() const { return leaves_; }
+
+  uint32_t AddRoot(Intent intent);
+  uint32_t AddChild(uint32_t parent, Intent intent);
+
+  // Root ancestor of any intent.
+  uint32_t RootOf(uint32_t id) const;
+
+  // Vocabulary of the intent plus all its ancestors.
+  std::vector<uint32_t> EffectiveVocabulary(uint32_t id) const;
+
+ private:
+  std::vector<Intent> intents_;
+  std::vector<uint32_t> roots_;
+  std::vector<uint32_t> leaves_;
+
+  void RefreshLeaves();
+};
+
+}  // namespace shoal::data
+
+#endif  // SHOAL_DATA_INTENT_MODEL_H_

@@ -1,0 +1,133 @@
+#include "data/lexicon.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace shoal::data {
+
+namespace {
+
+// Conceptual shopping scenarios, mirroring the paper's examples
+// ("Trip to the beach", "Mountaineering", "Outdoor activities").
+const char* const kScenarioThemes[] = {
+    "beach trip",      "mountaineering", "home office",    "baby care",
+    "fitness",         "camping",        "wedding",        "winter commute",
+    "gaming setup",    "pet care",       "breakfast",      "running",
+    "yoga",            "fishing",        "barbecue",       "road trip",
+    "gardening",       "skiing",         "cycling",        "diving",
+    "picnic",          "dorm life",      "kitchen refresh", "home cinema",
+    "rainy season",    "summer cooling", "new year party", "school season",
+    "photography",     "hiking",         "swimming",       "travel abroad",
+    "night market",    "tea ceremony",   "coffee corner",  "cleaning day",
+    "car care",        "crafting",       "painting",       "skincare routine",
+    "men fashion",     "street dance",   "board games",    "bird watching",
+    "home bakery",     "city festival",  "baby shower",    "work commute",
+};
+
+const char* const kModifiers[] = {
+    "family", "budget",  "luxury", "outdoor", "mini",   "pro",
+    "urban",  "classic", "smart",  "compact", "deluxe", "eco",
+    "travel", "night",   "summer", "winter",  "daily",  "weekend",
+};
+
+const char* const kProductNouns[] = {
+    "dress",      "sunblock",   "swimwear",   "sunglasses", "backpack",
+    "alpenstock", "jacket",     "boots",      "tent",       "lantern",
+    "stove",      "chair",      "desk",       "monitor",    "keyboard",
+    "router",     "headset",    "stroller",   "bottle",     "diaper",
+    "formula",    "dumbbell",   "treadmill",  "mat",        "leggings",
+    "sneakers",   "rod",        "reel",       "bait",       "grill",
+    "skewer",     "charcoal",   "trowel",     "seeds",      "planter",
+    "skis",       "goggles",    "helmet",     "gloves",     "wetsuit",
+    "fins",       "basket",     "blanket",    "thermos",    "kettle",
+    "toaster",    "projector",  "speaker",    "umbrella",   "raincoat",
+    "fan",        "cooler",     "balloon",    "notebook",   "pencil",
+    "camera",     "tripod",     "lens",       "towel",      "shampoo",
+    "serum",      "cleanser",   "tie",        "blazer",     "cap",
+    "puzzle",     "binoculars", "flour",      "oven",       "whisk",
+    "collar",     "leash",      "kennel",     "cereal",     "jam",
+    "espresso",   "grinder",    "mop",        "polish",     "wax",
+};
+
+const char* const kFillerWords[] = {
+    "new",   "hot",     "sale",   "premium", "official", "2019",
+    "style", "edition", "series", "brand",   "quality",  "original",
+};
+
+constexpr size_t kNumThemes = sizeof(kScenarioThemes) / sizeof(char*);
+constexpr size_t kNumModifiers = sizeof(kModifiers) / sizeof(char*);
+constexpr size_t kNumNouns = sizeof(kProductNouns) / sizeof(char*);
+constexpr size_t kNumFiller = sizeof(kFillerWords) / sizeof(char*);
+
+const char* const kOnsets[] = {"b", "d", "f", "g", "k", "l", "m",
+                               "n", "p", "r", "s", "t", "v", "z",
+                               "br", "dr", "gr", "kl", "pl", "st"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou"};
+const char* const kCodas[] = {"", "n", "r", "s", "l", "k", "x"};
+
+}  // namespace
+
+Lexicon::Lexicon(uint64_t seed) : rng_(seed) {}
+
+std::string Lexicon::ScenarioName(size_t i) const {
+  std::string base = kScenarioThemes[i % kNumThemes];
+  size_t round = i / kNumThemes;
+  if (round > 0) base += " " + std::to_string(round + 1);
+  return base;
+}
+
+std::string Lexicon::Modifier(size_t i) const {
+  std::string base = kModifiers[i % kNumModifiers];
+  size_t round = i / kNumModifiers;
+  if (round > 0) base += std::to_string(round + 1);
+  return base;
+}
+
+std::string Lexicon::ProductNoun(size_t i) const {
+  std::string base = kProductNouns[i % kNumNouns];
+  size_t round = i / kNumNouns;
+  if (round > 0) base += std::to_string(round + 1);
+  return base;
+}
+
+std::string Lexicon::MakePseudoWord() {
+  std::string word;
+  size_t syllables = 2 + rng_.Uniform(2);
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[rng_.Uniform(sizeof(kOnsets) / sizeof(char*))];
+    word += kVowels[rng_.Uniform(sizeof(kVowels) / sizeof(char*))];
+    word += kCodas[rng_.Uniform(sizeof(kCodas) / sizeof(char*))];
+  }
+  return word;
+}
+
+std::vector<uint32_t> Lexicon::MintTopicWords(size_t count) {
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Suffix with a serial number so minted words never collide with each
+    // other or with curated words.
+    std::string word = MakePseudoWord() + std::to_string(minted_++);
+    ids.push_back(vocab_.AddWord(word, 0));
+  }
+  return ids;
+}
+
+const std::vector<uint32_t>& Lexicon::FillerWords() {
+  if (filler_.empty()) {
+    for (size_t i = 0; i < kNumFiller; ++i) {
+      filler_.push_back(vocab_.AddWord(kFillerWords[i], 0));
+    }
+  }
+  return filler_;
+}
+
+std::vector<uint32_t> Lexicon::InternPhrase(const std::string& phrase) {
+  std::vector<uint32_t> ids;
+  for (const std::string& token : text::Tokenize(phrase)) {
+    ids.push_back(vocab_.AddWord(token, 0));
+  }
+  return ids;
+}
+
+}  // namespace shoal::data

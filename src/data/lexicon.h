@@ -1,0 +1,59 @@
+#ifndef SHOAL_DATA_LEXICON_H_
+#define SHOAL_DATA_LEXICON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/random.h"
+
+namespace shoal::data {
+
+// Word supply for the synthetic corpus. Provides
+//  * curated word lists (shopping-scenario themes, sub-scenario modifiers,
+//    product nouns, generic filler) so small demos read naturally, and
+//  * unlimited deterministic pseudo-words ("zorelka", "mabrid") so large
+//    datasets never run out of distinct vocabulary.
+//
+// All words used by the generators are interned into a text::Vocabulary so
+// that titles/queries are id sequences usable by word2vec and BM25.
+class Lexicon {
+ public:
+  explicit Lexicon(uint64_t seed);
+
+  text::Vocabulary& vocab() { return vocab_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+
+  // i-th scenario theme name, e.g. "beach trip"; cycles through the
+  // curated list and appends a numeric suffix beyond it.
+  std::string ScenarioName(size_t i) const;
+
+  // i-th sub-scenario modifier, e.g. "family".
+  std::string Modifier(size_t i) const;
+
+  // i-th product noun, e.g. "sunblock".
+  std::string ProductNoun(size_t i) const;
+
+  // Generates `count` fresh pseudo-words and interns them; returned ids
+  // are unique across calls.
+  std::vector<uint32_t> MintTopicWords(size_t count);
+
+  // Shared filler words ("new", "hot", "sale", ...) interned on first use.
+  const std::vector<uint32_t>& FillerWords();
+
+  // Interns every token of `phrase` and returns the ids.
+  std::vector<uint32_t> InternPhrase(const std::string& phrase);
+
+ private:
+  std::string MakePseudoWord();
+
+  text::Vocabulary vocab_;
+  util::Rng rng_;
+  std::vector<uint32_t> filler_;
+  size_t minted_ = 0;
+};
+
+}  // namespace shoal::data
+
+#endif  // SHOAL_DATA_LEXICON_H_

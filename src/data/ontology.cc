@@ -1,0 +1,73 @@
+#include "data/ontology.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shoal::data {
+
+Ontology Ontology::BuildThreeLevel(
+    const std::vector<std::string>& department_names,
+    const std::vector<std::vector<std::string>>& leaf_names) {
+  SHOAL_CHECK(department_names.size() == leaf_names.size())
+      << "one leaf-name list per department required";
+  Ontology ontology;
+  Category root;
+  root.id = 0;
+  root.name = "all";
+  root.depth = 0;
+  ontology.nodes_.push_back(root);
+
+  for (size_t d = 0; d < department_names.size(); ++d) {
+    Category dept;
+    dept.id = static_cast<uint32_t>(ontology.nodes_.size());
+    dept.parent = 0;
+    dept.name = department_names[d];
+    dept.depth = 1;
+    ontology.nodes_.push_back(dept);
+    ontology.nodes_[0].children.push_back(dept.id);
+    for (const std::string& leaf_name : leaf_names[d]) {
+      Category leaf;
+      leaf.id = static_cast<uint32_t>(ontology.nodes_.size());
+      leaf.parent = dept.id;
+      leaf.name = leaf_name;
+      leaf.depth = 2;
+      ontology.nodes_.push_back(leaf);
+      ontology.nodes_[dept.id].children.push_back(leaf.id);
+      ontology.leaves_.push_back(leaf.id);
+    }
+  }
+  return ontology;
+}
+
+uint32_t Ontology::DepartmentOf(uint32_t id) const {
+  SHOAL_CHECK(id < nodes_.size()) << "category id out of range";
+  uint32_t cur = id;
+  while (nodes_[cur].depth > 1) cur = nodes_[cur].parent;
+  return cur;
+}
+
+std::vector<std::string> Ontology::PathNames(uint32_t id) const {
+  SHOAL_CHECK(id < nodes_.size()) << "category id out of range";
+  std::vector<std::string> path;
+  uint32_t cur = id;
+  while (true) {
+    path.push_back(nodes_[cur].name);
+    if (cur == root()) break;
+    cur = nodes_[cur].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<uint32_t> Ontology::SiblingLeaves(uint32_t leaf) const {
+  SHOAL_CHECK(leaf < nodes_.size()) << "category id out of range";
+  uint32_t dept = DepartmentOf(leaf);
+  std::vector<uint32_t> out;
+  for (uint32_t child : nodes_[dept].children) {
+    if (nodes_[child].is_leaf()) out.push_back(child);
+  }
+  return out;
+}
+
+}  // namespace shoal::data

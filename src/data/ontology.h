@@ -1,0 +1,62 @@
+#ifndef SHOAL_DATA_ONTOLOGY_H_
+#define SHOAL_DATA_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace shoal::data {
+
+inline constexpr uint32_t kNoCategory = static_cast<uint32_t>(-1);
+
+// One node of the ontology-driven category tree (Figure 1(a)): a root,
+// departments ("Ladies' wear"), and leaf categories ("Dress").
+struct Category {
+  uint32_t id = kNoCategory;
+  uint32_t parent = kNoCategory;
+  std::string name;
+  uint32_t depth = 0;
+  std::vector<uint32_t> children;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+// Dictionary-based ontology taxonomy: a rooted tree of categories. This
+// is the *existing* taxonomy SHOAL complements; the control arm of the
+// A/B experiment recommends within it.
+class Ontology {
+ public:
+  // Builds a 3-level tree: root -> `num_departments` departments ->
+  // `leaves_per_department` leaf categories each. Names come from the
+  // caller (generator composes them from the lexicon).
+  static Ontology BuildThreeLevel(
+      const std::vector<std::string>& department_names,
+      const std::vector<std::vector<std::string>>& leaf_names);
+
+  size_t size() const { return nodes_.size(); }
+  const Category& node(uint32_t id) const { return nodes_[id]; }
+  uint32_t root() const { return 0; }
+
+  const std::vector<uint32_t>& leaves() const { return leaves_; }
+
+  // Department (depth-1 ancestor) of a category; the root maps to itself.
+  uint32_t DepartmentOf(uint32_t id) const;
+
+  // Path of category names from the root to `id`, e.g.
+  // {"all", "ladies wear", "dress"}.
+  std::vector<std::string> PathNames(uint32_t id) const;
+
+  // Leaf categories sharing the department of `leaf` (including itself) —
+  // what an ontology-driven recommender considers "related".
+  std::vector<uint32_t> SiblingLeaves(uint32_t leaf) const;
+
+ private:
+  std::vector<Category> nodes_;
+  std::vector<uint32_t> leaves_;
+};
+
+}  // namespace shoal::data
+
+#endif  // SHOAL_DATA_ONTOLOGY_H_

@@ -1,0 +1,35 @@
+#include "data/shoal_adapter.h"
+
+namespace shoal::data {
+
+core::ShoalInput ShoalInputBundle::View() const {
+  core::ShoalInput input;
+  input.query_item_graph = &query_item_graph;
+  input.entity_title_words = &entity_title_words;
+  input.entity_categories = &entity_categories;
+  input.query_words = &query_words;
+  input.query_texts = &query_texts;
+  input.vocab = vocab;
+  return input;
+}
+
+ShoalInputBundle MakeShoalInput(const Dataset& dataset, double window_days) {
+  ShoalInputBundle bundle;
+  bundle.query_item_graph = BuildRecentQueryItemGraph(dataset, window_days);
+  bundle.entity_title_words.reserve(dataset.entities.size());
+  bundle.entity_categories.reserve(dataset.entities.size());
+  for (const ItemEntity& entity : dataset.entities) {
+    bundle.entity_title_words.push_back(entity.title_words);
+    bundle.entity_categories.push_back(entity.category);
+  }
+  bundle.query_words.reserve(dataset.queries.size());
+  bundle.query_texts.reserve(dataset.queries.size());
+  for (const SearchQuery& query : dataset.queries) {
+    bundle.query_words.push_back(query.words);
+    bundle.query_texts.push_back(query.text);
+  }
+  bundle.vocab = &dataset.lexicon.vocab();
+  return bundle;
+}
+
+}  // namespace shoal::data

@@ -1,0 +1,35 @@
+#ifndef SHOAL_DATA_SHOAL_ADAPTER_H_
+#define SHOAL_DATA_SHOAL_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/shoal.h"
+#include "data/dataset.h"
+#include "graph/bipartite_graph.h"
+
+namespace shoal::data {
+
+// Owns the materialised views a synthetic Dataset needs to feed the
+// SHOAL pipeline (core::ShoalInput only holds pointers).
+struct ShoalInputBundle {
+  graph::BipartiteGraph query_item_graph{0, 0};
+  std::vector<std::vector<uint32_t>> entity_title_words;
+  std::vector<uint32_t> entity_categories;
+  std::vector<std::vector<uint32_t>> query_words;
+  std::vector<std::string> query_texts;
+  const text::Vocabulary* vocab = nullptr;  // borrowed from the Dataset
+
+  // A view over this bundle; valid while the bundle is alive.
+  core::ShoalInput View() const;
+};
+
+// Extracts the trailing `window_days` of the dataset's click log into a
+// pipeline-ready bundle. The Dataset must outlive the bundle (the vocab
+// is borrowed).
+ShoalInputBundle MakeShoalInput(const Dataset& dataset,
+                                double window_days = 7.0);
+
+}  // namespace shoal::data
+
+#endif  // SHOAL_DATA_SHOAL_ADAPTER_H_

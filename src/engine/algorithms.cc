@@ -1,0 +1,101 @@
+#include "engine/algorithms.h"
+
+#include <algorithm>
+
+#include "engine/bsp_engine.h"
+
+namespace shoal::engine {
+
+util::Result<std::vector<uint32_t>> BspConnectedComponents(
+    const graph::WeightedGraph& graph, const BspRunOptions& options) {
+  using Engine = BspEngine<uint32_t, uint32_t>;
+  Engine::Options engine_options;
+  engine_options.num_partitions = options.num_partitions;
+  engine_options.num_threads = options.num_threads;
+  engine_options.max_supersteps = graph.num_vertices() + 2;
+  Engine engine(graph.num_vertices(), engine_options);
+  engine.SetCombiner([](uint32_t& acc, const uint32_t& incoming) {
+    acc = std::min(acc, incoming);
+  });
+
+  auto status = engine.Run([&graph](Engine::Context& ctx, uint32_t v,
+                                    uint32_t& label,
+                                    const std::vector<uint32_t>& messages) {
+    bool changed = false;
+    if (ctx.superstep() == 0) {
+      label = v;
+      changed = true;
+    }
+    for (uint32_t m : messages) {
+      if (m < label) {
+        label = m;
+        changed = true;
+      }
+    }
+    if (changed) {
+      for (const graph::Edge& e : graph.Neighbors(v)) {
+        ctx.SendMessage(e.to, label);
+      }
+    }
+    ctx.VoteToHalt();
+  });
+  SHOAL_RETURN_IF_ERROR(status);
+
+  std::vector<uint32_t> labels(graph.num_vertices());
+  for (uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    labels[v] = engine.VertexValue(v);
+  }
+  return labels;
+}
+
+util::Result<std::vector<double>> BspPageRank(
+    const graph::WeightedGraph& graph, const PageRankOptions& options) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return util::Status::InvalidArgument("damping must be in [0,1)");
+  }
+  const size_t n = graph.num_vertices();
+  if (n == 0) return std::vector<double>{};
+
+  using Engine = BspEngine<double, double>;
+  Engine::Options engine_options;
+  engine_options.num_partitions = options.run.num_partitions;
+  engine_options.num_threads = options.run.num_threads;
+  engine_options.max_supersteps = options.iterations + 1;
+  Engine engine(n, engine_options);
+  engine.SetCombiner(
+      [](double& acc, const double& incoming) { acc += incoming; });
+
+  const double base = (1.0 - options.damping) / static_cast<double>(n);
+  const size_t last = options.iterations;
+  auto status = engine.Run([&, base](Engine::Context& ctx, uint32_t v,
+                                     double& rank,
+                                     const std::vector<double>& messages) {
+    if (ctx.superstep() == 0) {
+      rank = 1.0 / static_cast<double>(ctx.num_vertices());
+    } else {
+      double incoming = 0.0;
+      for (double m : messages) incoming += m;
+      rank = base + options.damping * incoming;
+    }
+    if (ctx.superstep() < last) {
+      size_t degree = graph.Degree(v);
+      if (degree > 0) {
+        double share = rank / static_cast<double>(degree);
+        for (const graph::Edge& e : graph.Neighbors(v)) {
+          ctx.SendMessage(e.to, share);
+        }
+      }
+      // Keep the vertex alive even without incoming messages so every
+      // iteration recomputes (dangling vertices keep their base rank).
+      ctx.SendMessage(v, 0.0);
+    }
+    ctx.VoteToHalt();
+  });
+  SHOAL_RETURN_IF_ERROR(status);
+
+  std::vector<double> ranks(n);
+  for (uint32_t v = 0; v < n; ++v) ranks[v] = engine.VertexValue(v);
+  return ranks;
+}
+
+}  // namespace shoal::engine

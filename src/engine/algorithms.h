@@ -1,0 +1,41 @@
+#ifndef SHOAL_ENGINE_ALGORITHMS_H_
+#define SHOAL_ENGINE_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::engine {
+
+// Classic vertex-centric algorithms implemented on the BSP engine —
+// both regression tests for the engine (results are checked against
+// direct implementations) and a demonstration that the ODPS stand-in is
+// a general graph platform, not a HAC-only harness.
+
+struct BspRunOptions {
+  size_t num_partitions = 8;
+  size_t num_threads = 2;
+};
+
+// Connected components via min-label propagation. Returns a label per
+// vertex; vertices share a label iff they are connected. Labels are the
+// minimum vertex id of the component.
+util::Result<std::vector<uint32_t>> BspConnectedComponents(
+    const graph::WeightedGraph& graph, const BspRunOptions& options = {});
+
+// PageRank with damping `d`, run for `iterations` supersteps over the
+// undirected graph (each edge acts in both directions). Returns one
+// score per vertex; scores sum to ~1.
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t iterations = 20;
+  BspRunOptions run;
+};
+util::Result<std::vector<double>> BspPageRank(
+    const graph::WeightedGraph& graph, const PageRankOptions& options = {});
+
+}  // namespace shoal::engine
+
+#endif  // SHOAL_ENGINE_ALGORITHMS_H_

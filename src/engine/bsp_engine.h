@@ -1,0 +1,205 @@
+#ifndef SHOAL_ENGINE_BSP_ENGINE_H_
+#define SHOAL_ENGINE_BSP_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/partitioner.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace shoal::engine {
+
+// In-process stand-in for the distributed graph platform (ODPS) the paper
+// deploys Parallel HAC on. Implements the Pregel/BSP model:
+//
+//  * vertices carry a value of type V and are spread over partitions;
+//  * computation proceeds in supersteps; in each superstep every *active*
+//    vertex runs the user compute function, may read messages sent to it
+//    in the previous superstep, send messages of type M to any vertex,
+//    update aggregators, and vote to halt;
+//  * a vertex is reactivated by an incoming message;
+//  * the run terminates when every vertex has halted and no messages are
+//    in flight, or after `max_supersteps`.
+//
+// Partitions are executed by a thread pool; message delivery is
+// double-buffered and merged in fixed partition order, so a run is fully
+// deterministic for a given input regardless of thread count.
+template <typename V, typename M>
+class BspEngine {
+ public:
+  struct Options {
+    size_t num_partitions = 8;
+    size_t num_threads = 2;
+    size_t max_supersteps = 1000;
+    PartitionStrategy partition_strategy = PartitionStrategy::kRange;
+  };
+
+  class Context;
+  // Compute(ctx, vertex_id, vertex_value, incoming_messages)
+  using ComputeFn =
+      std::function<void(Context&, uint32_t, V&, const std::vector<M>&)>;
+  // Optional message combiner: folds `incoming` into `accumulated`.
+  using CombineFn = std::function<void(M& accumulated, const M& incoming)>;
+
+  BspEngine(size_t num_vertices, Options options)
+      : options_(options),
+        partitioner_(num_vertices, options.num_partitions,
+                     options.partition_strategy),
+        values_(num_vertices),
+        halted_(num_vertices, 0),
+        inbox_(num_vertices),
+        pool_(options.num_threads) {
+    partition_vertices_.resize(partitioner_.num_partitions());
+    for (uint32_t p = 0; p < partitioner_.num_partitions(); ++p) {
+      partition_vertices_[p] = partitioner_.VerticesOf(p);
+    }
+  }
+
+  size_t num_vertices() const { return values_.size(); }
+  size_t superstep() const { return superstep_; }
+
+  V& VertexValue(uint32_t v) { return values_[v]; }
+  const V& VertexValue(uint32_t v) const { return values_[v]; }
+
+  void SetCombiner(CombineFn combine) { combine_ = std::move(combine); }
+
+  // Aggregator value from the *previous* superstep (sum semantics),
+  // 0.0 when never written.
+  double GetAggregate(const std::string& name) const {
+    auto it = prev_aggregates_.find(name);
+    return it == prev_aggregates_.end() ? 0.0 : it->second;
+  }
+
+  // Per-vertex execution context handed to the compute function.
+  class Context {
+   public:
+    Context(BspEngine* engine, uint32_t partition)
+        : engine_(engine), partition_(partition) {}
+
+    size_t superstep() const { return engine_->superstep_; }
+    size_t num_vertices() const { return engine_->num_vertices(); }
+
+    // Queues a message for delivery at the start of the next superstep.
+    void SendMessage(uint32_t target, M message) {
+      outbox_.emplace_back(target, std::move(message));
+    }
+
+    // The current vertex becomes inactive until a message arrives.
+    void VoteToHalt() { halt_current_ = true; }
+
+    // Adds into a named global sum aggregator, visible next superstep.
+    void AggregateSum(const std::string& name, double value) {
+      local_aggregates_[name] += value;
+    }
+
+    double GetAggregate(const std::string& name) const {
+      return engine_->GetAggregate(name);
+    }
+
+   private:
+    friend class BspEngine;
+    BspEngine* engine_;
+    uint32_t partition_;
+    std::vector<std::pair<uint32_t, M>> outbox_;
+    std::map<std::string, double> local_aggregates_;
+    bool halt_current_ = false;
+  };
+
+  // Runs supersteps until quiescence. Statistics are collected into the
+  // public counters below.
+  util::Status Run(const ComputeFn& compute) {
+    if (!compute) {
+      return util::Status::InvalidArgument("compute function is empty");
+    }
+    const size_t num_parts = partitioner_.num_partitions();
+    superstep_ = 0;
+    total_messages_ = 0;
+
+    while (superstep_ < options_.max_supersteps) {
+      std::vector<Context> contexts;
+      contexts.reserve(num_parts);
+      for (uint32_t p = 0; p < num_parts; ++p) contexts.emplace_back(this, p);
+
+      // --- compute phase (parallel over partitions) ---
+      pool_.ParallelForChunked(
+          num_parts, [&](size_t begin, size_t end, size_t /*worker*/) {
+            for (size_t p = begin; p < end; ++p) {
+              Context& ctx = contexts[p];
+              for (uint32_t v : partition_vertices_[p]) {
+                const bool has_messages = !inbox_[v].empty();
+                if (halted_[v] && !has_messages) continue;
+                halted_[v] = 0;
+                ctx.halt_current_ = false;
+                compute(ctx, v, values_[v], inbox_[v]);
+                if (ctx.halt_current_) halted_[v] = 1;
+              }
+            }
+          });
+
+      // --- barrier: clear old inboxes, deliver outboxes in partition
+      // order (deterministic), merge aggregators ---
+      for (auto& inbox : inbox_) inbox.clear();
+      size_t delivered = 0;
+      prev_aggregates_.clear();
+      for (uint32_t p = 0; p < num_parts; ++p) {
+        for (auto& [target, message] : contexts[p].outbox_) {
+          if (target >= num_vertices()) {
+            return util::Status::OutOfRange(
+                "message sent to nonexistent vertex");
+          }
+          auto& box = inbox_[target];
+          if (combine_ && !box.empty()) {
+            combine_(box.front(), message);
+          } else {
+            box.push_back(std::move(message));
+          }
+          ++delivered;
+        }
+        for (const auto& [name, value] : contexts[p].local_aggregates_) {
+          prev_aggregates_[name] += value;
+        }
+      }
+      total_messages_ += delivered;
+      ++superstep_;
+
+      if (delivered == 0) {
+        bool all_halted = true;
+        for (uint8_t h : halted_) {
+          if (!h) {
+            all_halted = false;
+            break;
+          }
+        }
+        if (all_halted) return util::Status::OK();
+      }
+    }
+    return util::Status::OK();  // hit max_supersteps; callers may inspect
+  }
+
+  // Wakes every vertex (used between phases of multi-stage algorithms).
+  void ActivateAll() { std::fill(halted_.begin(), halted_.end(), 0); }
+
+  uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  Options options_;
+  Partitioner partitioner_;
+  std::vector<std::vector<uint32_t>> partition_vertices_;
+  std::vector<V> values_;
+  std::vector<uint8_t> halted_;
+  std::vector<std::vector<M>> inbox_;
+  util::ThreadPool pool_;
+  CombineFn combine_;
+  std::map<std::string, double> prev_aggregates_;
+  size_t superstep_ = 0;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace shoal::engine
+
+#endif  // SHOAL_ENGINE_BSP_ENGINE_H_

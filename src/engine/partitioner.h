@@ -1,0 +1,40 @@
+#ifndef SHOAL_ENGINE_PARTITIONER_H_
+#define SHOAL_ENGINE_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shoal::engine {
+
+// Assigns vertices to partitions. Contiguous range partitioning keeps
+// neighbouring ids together (good for the generators' cluster-ordered
+// ids); hash partitioning spreads them (good for load balance).
+enum class PartitionStrategy {
+  kRange,
+  kHash,
+};
+
+class Partitioner {
+ public:
+  Partitioner(size_t num_vertices, size_t num_partitions,
+              PartitionStrategy strategy = PartitionStrategy::kHash);
+
+  size_t num_partitions() const { return num_partitions_; }
+  size_t num_vertices() const { return num_vertices_; }
+
+  uint32_t PartitionOf(uint32_t vertex) const;
+
+  // Vertices owned by a partition, in ascending id order.
+  std::vector<uint32_t> VerticesOf(uint32_t partition) const;
+
+ private:
+  size_t num_vertices_;
+  size_t num_partitions_;
+  PartitionStrategy strategy_;
+  size_t chunk_;  // for range partitioning
+};
+
+}  // namespace shoal::engine
+
+#endif  // SHOAL_ENGINE_PARTITIONER_H_

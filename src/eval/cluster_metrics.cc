@@ -1,0 +1,159 @@
+#include "eval/cluster_metrics.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace shoal::eval {
+
+namespace {
+
+util::Status ValidateInputs(const std::vector<uint32_t>& predicted,
+                            const std::vector<uint32_t>& truth) {
+  if (predicted.empty() || predicted.size() != truth.size()) {
+    return util::Status::InvalidArgument(
+        "labellings must be non-empty and of equal size");
+  }
+  return util::Status::OK();
+}
+
+// Contingency table and marginals for a pair of labellings.
+struct Contingency {
+  std::unordered_map<uint64_t, uint64_t> joint;  // (p,t) -> count
+  std::unordered_map<uint32_t, uint64_t> p_marginal;
+  std::unordered_map<uint32_t, uint64_t> t_marginal;
+  uint64_t n = 0;
+};
+
+Contingency BuildContingency(const std::vector<uint32_t>& predicted,
+                             const std::vector<uint32_t>& truth) {
+  Contingency c;
+  c.n = predicted.size();
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    uint64_t key = (static_cast<uint64_t>(predicted[i]) << 32) | truth[i];
+    ++c.joint[key];
+    ++c.p_marginal[predicted[i]];
+    ++c.t_marginal[truth[i]];
+  }
+  return c;
+}
+
+double Comb2(uint64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+util::Result<double> NormalizedMutualInformation(
+    const std::vector<uint32_t>& predicted,
+    const std::vector<uint32_t>& truth) {
+  SHOAL_RETURN_IF_ERROR(ValidateInputs(predicted, truth));
+  Contingency c = BuildContingency(predicted, truth);
+  const double n = static_cast<double>(c.n);
+
+  double mi = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    uint32_t p = static_cast<uint32_t>(key >> 32);
+    uint32_t t = static_cast<uint32_t>(key & 0xffffffffULL);
+    double pij = count / n;
+    double pi = c.p_marginal.at(p) / n;
+    double pj = c.t_marginal.at(t) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  double hp = 0.0;
+  for (const auto& [p, count] : c.p_marginal) {
+    (void)p;
+    double pi = count / n;
+    hp -= pi * std::log(pi);
+  }
+  double ht = 0.0;
+  for (const auto& [t, count] : c.t_marginal) {
+    (void)t;
+    double pj = count / n;
+    ht -= pj * std::log(pj);
+  }
+  if (hp == 0.0 && ht == 0.0) return 1.0;  // both partitions trivial
+  double denom = 0.5 * (hp + ht);
+  if (denom == 0.0) return 0.0;
+  return std::max(0.0, mi / denom);
+}
+
+util::Result<double> AdjustedRandIndex(const std::vector<uint32_t>& predicted,
+                                       const std::vector<uint32_t>& truth) {
+  SHOAL_RETURN_IF_ERROR(ValidateInputs(predicted, truth));
+  Contingency c = BuildContingency(predicted, truth);
+
+  double sum_joint = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    (void)key;
+    sum_joint += Comb2(count);
+  }
+  double sum_p = 0.0;
+  for (const auto& [p, count] : c.p_marginal) {
+    (void)p;
+    sum_p += Comb2(count);
+  }
+  double sum_t = 0.0;
+  for (const auto& [t, count] : c.t_marginal) {
+    (void)t;
+    sum_t += Comb2(count);
+  }
+  double total_pairs = Comb2(c.n);
+  double expected = sum_p * sum_t / total_pairs;
+  double max_index = 0.5 * (sum_p + sum_t);
+  if (max_index == expected) return 1.0;  // degenerate: identical trivial
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+util::Result<double> Purity(const std::vector<uint32_t>& predicted,
+                            const std::vector<uint32_t>& truth) {
+  SHOAL_RETURN_IF_ERROR(ValidateInputs(predicted, truth));
+  // cluster -> (truth -> count)
+  std::unordered_map<uint32_t, std::unordered_map<uint32_t, uint64_t>> table;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++table[predicted[i]][truth[i]];
+  }
+  uint64_t majority_sum = 0;
+  for (const auto& [cluster, counts] : table) {
+    (void)cluster;
+    uint64_t best = 0;
+    for (const auto& [t, count] : counts) {
+      (void)t;
+      best = std::max(best, count);
+    }
+    majority_sum += best;
+  }
+  return static_cast<double>(majority_sum) /
+         static_cast<double>(predicted.size());
+}
+
+util::Result<PairwiseScores> PairwiseF1(
+    const std::vector<uint32_t>& predicted,
+    const std::vector<uint32_t>& truth) {
+  SHOAL_RETURN_IF_ERROR(ValidateInputs(predicted, truth));
+  Contingency c = BuildContingency(predicted, truth);
+
+  double tp = 0.0;  // pairs together in both
+  for (const auto& [key, count] : c.joint) {
+    (void)key;
+    tp += Comb2(count);
+  }
+  double predicted_pairs = 0.0;
+  for (const auto& [p, count] : c.p_marginal) {
+    (void)p;
+    predicted_pairs += Comb2(count);
+  }
+  double truth_pairs = 0.0;
+  for (const auto& [t, count] : c.t_marginal) {
+    (void)t;
+    truth_pairs += Comb2(count);
+  }
+  PairwiseScores scores;
+  scores.precision = predicted_pairs == 0.0 ? 1.0 : tp / predicted_pairs;
+  scores.recall = truth_pairs == 0.0 ? 1.0 : tp / truth_pairs;
+  double denom = scores.precision + scores.recall;
+  scores.f1 = denom == 0.0 ? 0.0
+                           : 2.0 * scores.precision * scores.recall / denom;
+  return scores;
+}
+
+}  // namespace shoal::eval

@@ -1,0 +1,41 @@
+#ifndef SHOAL_EVAL_CLUSTER_METRICS_H_
+#define SHOAL_EVAL_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace shoal::eval {
+
+// External cluster-quality metrics comparing a predicted labelling with
+// the planted ground truth. All take dense per-element labels (values
+// need not be contiguous) and require equal, non-zero sizes.
+
+// Normalized Mutual Information in [0, 1] (arithmetic-mean
+// normalisation). 1 means identical partitions.
+util::Result<double> NormalizedMutualInformation(
+    const std::vector<uint32_t>& predicted,
+    const std::vector<uint32_t>& truth);
+
+// Adjusted Rand Index in [-1, 1]; expected value 0 for random labels.
+util::Result<double> AdjustedRandIndex(const std::vector<uint32_t>& predicted,
+                                       const std::vector<uint32_t>& truth);
+
+// Purity in (0, 1]: weighted fraction of each predicted cluster covered
+// by its majority truth class.
+util::Result<double> Purity(const std::vector<uint32_t>& predicted,
+                            const std::vector<uint32_t>& truth);
+
+// Pairwise precision/recall/F1 over same-cluster pairs.
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+util::Result<PairwiseScores> PairwiseF1(const std::vector<uint32_t>& predicted,
+                                        const std::vector<uint32_t>& truth);
+
+}  // namespace shoal::eval
+
+#endif  // SHOAL_EVAL_CLUSTER_METRICS_H_

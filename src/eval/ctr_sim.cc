@@ -1,0 +1,107 @@
+#include "eval/ctr_sim.h"
+
+#include <cmath>
+
+namespace shoal::eval {
+
+double CtrSimResult::ZScore() const {
+  const double n1 = static_cast<double>(control.impressions);
+  const double n2 = static_cast<double>(treatment.impressions);
+  if (n1 == 0.0 || n2 == 0.0) return 0.0;
+  const double p1 = control.ctr();
+  const double p2 = treatment.ctr();
+  const double pooled =
+      (static_cast<double>(control.clicks) + treatment.clicks) / (n1 + n2);
+  const double se =
+      std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  if (se == 0.0) return 0.0;
+  return (p2 - p1) / se;
+}
+
+namespace {
+
+// Click probability of one slate slot for a user with hidden intent
+// `user_intent` browsing from `seed_category`.
+double ClickProbability(uint32_t item_intent, uint32_t item_category,
+                        uint32_t user_intent, uint32_t seed_category,
+                        const std::vector<uint32_t>& intent_roots,
+                        size_t position, const CtrSimOptions& options) {
+  double intent_relevance;
+  if (item_intent == user_intent) {
+    intent_relevance = options.p_click_exact;
+  } else if (item_intent < intent_roots.size() &&
+             user_intent < intent_roots.size() &&
+             intent_roots[item_intent] == intent_roots[user_intent]) {
+    intent_relevance = options.p_click_same_root;
+  } else {
+    intent_relevance = options.p_click_unrelated;
+  }
+  double category_relevance = item_category == seed_category
+                                  ? options.p_click_same_category
+                                  : 0.0;
+  double relevance = std::max(intent_relevance, category_relevance);
+  double decay = 1.0;
+  for (size_t p = 0; p < position; ++p) decay *= options.position_decay;
+  return relevance * decay;
+}
+
+void ServeSlate(const Recommender& recommender, uint32_t seed_entity,
+                uint32_t user_intent,
+                const std::vector<uint32_t>& entity_intents,
+                const std::vector<uint32_t>& entity_categories,
+                const std::vector<uint32_t>& intent_roots,
+                const CtrSimOptions& options, util::Rng& rng,
+                ArmResult& arm) {
+  std::vector<uint32_t> slate =
+      recommender.Recommend(seed_entity, options.slate_size, rng);
+  const uint32_t seed_category = entity_categories[seed_entity];
+  for (size_t pos = 0; pos < slate.size(); ++pos) {
+    ++arm.impressions;
+    double p = ClickProbability(entity_intents[slate[pos]],
+                                entity_categories[slate[pos]], user_intent,
+                                seed_category, intent_roots, pos, options);
+    if (rng.Bernoulli(p)) ++arm.clicks;
+  }
+}
+
+}  // namespace
+
+util::Result<CtrSimResult> RunCtrSimulation(
+    const Recommender& control, const Recommender& treatment,
+    const std::vector<uint32_t>& entity_intents,
+    const std::vector<uint32_t>& entity_categories,
+    const std::vector<uint32_t>& intent_roots,
+    const CtrSimOptions& options) {
+  if (entity_intents.empty() ||
+      entity_intents.size() != entity_categories.size()) {
+    return util::Status::InvalidArgument(
+        "entity intents/categories must be non-empty and equal-sized");
+  }
+  if (options.slate_size == 0 || options.num_sessions == 0) {
+    return util::Status::InvalidArgument(
+        "slate_size and num_sessions must be positive");
+  }
+
+  // Sessions seed on an entity the user engaged with; the hidden intent
+  // is that entity's planted intent (users look at things they want).
+  util::Rng rng(options.seed);
+  CtrSimResult result;
+  for (size_t s = 0; s < options.num_sessions; ++s) {
+    uint32_t seed_entity =
+        static_cast<uint32_t>(rng.Uniform(entity_intents.size()));
+    uint32_t user_intent = entity_intents[seed_entity];
+    // Paired design: both arms see the identical session. Split the RNG
+    // deterministically so arms cannot influence each other.
+    util::Rng control_rng(rng.Next());
+    util::Rng treatment_rng(rng.Next());
+    ServeSlate(control, seed_entity, user_intent, entity_intents,
+               entity_categories, intent_roots, options, control_rng,
+               result.control);
+    ServeSlate(treatment, seed_entity, user_intent, entity_intents,
+               entity_categories, intent_roots, options, treatment_rng,
+               result.treatment);
+  }
+  return result;
+}
+
+}  // namespace shoal::eval

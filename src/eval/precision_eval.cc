@@ -1,0 +1,94 @@
+#include "eval/precision_eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace shoal::eval {
+
+namespace {
+
+// Majority planted intent among the topic's members — what a domain
+// expert would perceive as "the" concept of the topic.
+uint32_t MajorityIntent(const core::Topic& topic,
+                        const std::vector<uint32_t>& entity_intents) {
+  std::unordered_map<uint32_t, size_t> counts;
+  for (uint32_t e : topic.entities) ++counts[entity_intents[e]];
+  uint32_t best = 0;
+  size_t best_count = 0;
+  for (const auto& [intent, count] : counts) {
+    if (count > best_count ||
+        (count == best_count && intent < best)) {
+      best = intent;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+util::Result<PrecisionEvalResult> EvaluatePlacementPrecision(
+    const core::Taxonomy& taxonomy,
+    const std::vector<uint32_t>& entity_intents,
+    const PrecisionEvalOptions& options) {
+  if (entity_intents.size() != taxonomy.num_entities()) {
+    return util::Status::InvalidArgument(
+        "entity_intents size does not match taxonomy");
+  }
+  if (options.judge_noise < 0.0 || options.judge_noise > 1.0) {
+    return util::Status::InvalidArgument("judge_noise must be in [0,1]");
+  }
+
+  // Candidate topics.
+  std::vector<uint32_t> candidates;
+  if (options.roots_only) {
+    candidates = taxonomy.roots();
+  } else {
+    for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) {
+      candidates.push_back(t);
+    }
+  }
+  std::erase_if(candidates, [&](uint32_t t) {
+    return taxonomy.topic(t).entities.size() < options.min_topic_size;
+  });
+  if (candidates.empty()) {
+    return util::Status::FailedPrecondition(
+        "no topics large enough to evaluate");
+  }
+
+  util::Rng rng(options.seed);
+  rng.Shuffle(candidates);
+  if (candidates.size() > options.topics_to_sample) {
+    candidates.resize(options.topics_to_sample);
+  }
+
+  PrecisionEvalResult result;
+  result.topics_sampled = candidates.size();
+  size_t correct = 0;
+  for (uint32_t t : candidates) {
+    const core::Topic& topic = taxonomy.topic(t);
+    uint32_t majority = MajorityIntent(topic, entity_intents);
+
+    // Sample without replacement up to items_per_topic members.
+    std::vector<uint32_t> members = topic.entities;
+    rng.Shuffle(members);
+    size_t take = std::min(options.items_per_topic, members.size());
+    for (size_t i = 0; i < take; ++i) {
+      bool judged_correct = entity_intents[members[i]] == majority;
+      if (options.judge_noise > 0.0 && rng.Bernoulli(options.judge_noise)) {
+        judged_correct = !judged_correct;
+      }
+      if (judged_correct) ++correct;
+      ++result.items_judged;
+    }
+  }
+  result.precision = result.items_judged == 0
+                         ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(result.items_judged);
+  return result;
+}
+
+}  // namespace shoal::eval

@@ -1,0 +1,45 @@
+#ifndef SHOAL_EVAL_PRECISION_EVAL_H_
+#define SHOAL_EVAL_PRECISION_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "util/result.h"
+
+namespace shoal::eval {
+
+// Simulated expert evaluation of Sec 3: "experts pick 1000 topics and
+// randomly select 100 items placed under each topic to evaluate the
+// precision". The oracle judge marks an item correctly placed when its
+// planted leaf intent matches the topic's majority intent; judge_noise
+// flips a verdict with the given probability, modelling human
+// disagreement.
+struct PrecisionEvalOptions {
+  size_t topics_to_sample = 1000;
+  size_t items_per_topic = 100;
+  double judge_noise = 0.0;
+  uint64_t seed = 11;
+  // Topics smaller than this are not shown to the experts.
+  uint32_t min_topic_size = 2;
+  // Sample only root topics (mirrors evaluating the final clusters) or
+  // every topic in the hierarchy.
+  bool roots_only = false;
+};
+
+struct PrecisionEvalResult {
+  double precision = 0.0;     // fraction of sampled items judged correct
+  size_t topics_sampled = 0;
+  size_t items_judged = 0;
+};
+
+// `entity_intents[e]` is the planted (ground-truth) leaf intent of
+// entity e.
+util::Result<PrecisionEvalResult> EvaluatePlacementPrecision(
+    const core::Taxonomy& taxonomy,
+    const std::vector<uint32_t>& entity_intents,
+    const PrecisionEvalOptions& options);
+
+}  // namespace shoal::eval
+
+#endif  // SHOAL_EVAL_PRECISION_EVAL_H_

@@ -1,0 +1,48 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace shoal::graph {
+
+BipartiteGraph::BipartiteGraph(size_t num_left, size_t num_right)
+    : left_adj_(num_left), right_adj_(num_right) {}
+
+util::Status BipartiteGraph::AddInteraction(uint32_t left, uint32_t right,
+                                            uint32_t count) {
+  if (left >= num_left() || right >= num_right()) {
+    return util::Status::OutOfRange(
+        util::StringPrintf("interaction (%u,%u) outside (%zu,%zu)", left,
+                           right, num_left(), num_right()));
+  }
+  if (count == 0) {
+    return util::Status::InvalidArgument("interaction count must be > 0");
+  }
+  auto& links = left_adj_[left];
+  auto it = std::find_if(links.begin(), links.end(),
+                         [right](const Link& l) { return l.id == right; });
+  if (it != links.end()) {
+    it->count += count;
+    auto& rlinks = right_adj_[right];
+    auto rit = std::find_if(rlinks.begin(), rlinks.end(),
+                            [left](const Link& l) { return l.id == left; });
+    rit->count += count;
+  } else {
+    links.push_back(Link{right, count});
+    right_adj_[right].push_back(Link{left, count});
+    ++num_edges_;
+  }
+  total_interactions_ += count;
+  return util::Status::OK();
+}
+
+std::vector<uint32_t> BipartiteGraph::QueriesOfItem(uint32_t right) const {
+  std::vector<uint32_t> out;
+  out.reserve(right_adj_[right].size());
+  for (const Link& l : right_adj_[right]) out.push_back(l.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace shoal::graph

@@ -1,0 +1,57 @@
+#include "graph/components.h"
+
+#include <deque>
+
+namespace shoal::graph {
+
+std::vector<uint32_t> ConnectedComponents(const WeightedGraph& graph,
+                                          size_t* num_components) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> label(n, kInvalidVertex);
+  uint32_t next_label = 0;
+  std::deque<VertexId> frontier;
+  for (VertexId start = 0; start < n; ++start) {
+    if (label[start] != kInvalidVertex) continue;
+    label[start] = next_label;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      VertexId u = frontier.front();
+      frontier.pop_front();
+      for (const Edge& e : graph.Neighbors(u)) {
+        if (label[e.to] == kInvalidVertex) {
+          label[e.to] = next_label;
+          frontier.push_back(e.to);
+        }
+      }
+    }
+    ++next_label;
+  }
+  if (num_components != nullptr) *num_components = next_label;
+  return label;
+}
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return ra;
+}
+
+}  // namespace shoal::graph

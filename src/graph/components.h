@@ -1,0 +1,37 @@
+#ifndef SHOAL_GRAPH_COMPONENTS_H_
+#define SHOAL_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+
+namespace shoal::graph {
+
+// Connected components via BFS. Returns a label in [0, num_components)
+// per vertex; labels are assigned in order of discovery.
+std::vector<uint32_t> ConnectedComponents(const WeightedGraph& graph,
+                                          size_t* num_components = nullptr);
+
+// Union-find with path halving and union by size. Used by the parallel
+// merge step of Parallel HAC and exposed for tests.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  uint32_t Find(uint32_t x);
+  // Returns the new root. If already united, returns the common root.
+  uint32_t Union(uint32_t a, uint32_t b);
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+  size_t ComponentSize(uint32_t x) { return size_[Find(x)]; }
+  size_t num_components() const { return num_components_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace shoal::graph
+
+#endif  // SHOAL_GRAPH_COMPONENTS_H_

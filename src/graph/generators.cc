@@ -1,0 +1,98 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shoal::graph {
+
+namespace {
+
+double ClampWeight(double w) { return std::clamp(w, 1e-6, 1.0); }
+
+}  // namespace
+
+util::Result<PlantedPartitionResult> GeneratePlantedPartition(
+    const PlantedPartitionOptions& options) {
+  if (options.num_clusters == 0 ||
+      options.num_clusters > options.num_vertices) {
+    return util::Status::InvalidArgument(
+        "num_clusters must be in [1, num_vertices]");
+  }
+  if (options.p_in < 0 || options.p_in > 1 || options.p_out < 0 ||
+      options.p_out > 1) {
+    return util::Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  util::Rng rng(options.seed);
+  PlantedPartitionResult result;
+  result.graph.Resize(options.num_vertices);
+  result.ground_truth.resize(options.num_vertices);
+  for (size_t v = 0; v < options.num_vertices; ++v) {
+    result.ground_truth[v] =
+        static_cast<uint32_t>(v % options.num_clusters);
+  }
+
+  // Sampling every pair is O(n^2); acceptable for the sizes we test, and
+  // the scalability bench uses the geometric-skip variant below for the
+  // sparse cross-cluster part when p_out is tiny.
+  for (VertexId u = 0; u < options.num_vertices; ++u) {
+    for (VertexId v = u + 1; v < options.num_vertices; ++v) {
+      bool same = result.ground_truth[u] == result.ground_truth[v];
+      double p = same ? options.p_in : options.p_out;
+      if (p <= 0.0) continue;
+      if (rng.UniformDouble() < p) {
+        double mu = same ? options.mu_in : options.mu_out;
+        double w = ClampWeight(rng.Gaussian(mu, options.sigma));
+        // Pair (u,v) visited once, so the edge cannot already exist.
+        (void)result.graph.AddEdge(u, v, w);
+      }
+    }
+  }
+  return result;
+}
+
+util::Result<WeightedGraph> GenerateErdosRenyi(size_t num_vertices, double p,
+                                               uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    return util::Status::InvalidArgument("p must be in [0,1]");
+  }
+  util::Rng rng(seed);
+  WeightedGraph graph(num_vertices);
+  if (p == 0.0 || num_vertices < 2) return graph;
+  // Geometric skipping over the upper-triangular pair sequence: O(edges).
+  const double log1mp = std::log(1.0 - p);
+  uint64_t total_pairs = static_cast<uint64_t>(num_vertices) *
+                         (num_vertices - 1) / 2;
+  uint64_t idx = 0;
+  while (true) {
+    double r = rng.UniformDouble();
+    uint64_t skip =
+        p >= 1.0 ? 0
+                 : static_cast<uint64_t>(std::log(1.0 - r) / log1mp);
+    idx += skip;
+    if (idx >= total_pairs) break;
+    // Map linear index -> (u, v) in the upper triangle.
+    uint64_t u = 0;
+    uint64_t remaining = idx;
+    uint64_t row_len = num_vertices - 1;
+    while (remaining >= row_len) {
+      remaining -= row_len;
+      ++u;
+      --row_len;
+    }
+    uint64_t v = u + 1 + remaining;
+    (void)graph.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                        ClampWeight(rng.UniformDouble()));
+    ++idx;
+  }
+  return graph;
+}
+
+WeightedGraph GeneratePath(size_t num_vertices, double weight) {
+  WeightedGraph graph(num_vertices);
+  for (VertexId u = 0; u + 1 < num_vertices; ++u) {
+    (void)graph.AddEdge(u, u + 1, weight);
+  }
+  return graph;
+}
+
+}  // namespace shoal::graph

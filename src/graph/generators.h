@@ -1,0 +1,47 @@
+#ifndef SHOAL_GRAPH_GENERATORS_H_
+#define SHOAL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace shoal::graph {
+
+// Planted-partition (stochastic block model) parameters. Within-cluster
+// edges appear with probability `p_in` and weight drawn from
+// N(mu_in, sigma), cross-cluster edges with probability `p_out` and weight
+// N(mu_out, sigma); weights are clamped to (0, 1].
+struct PlantedPartitionOptions {
+  size_t num_vertices = 1000;
+  size_t num_clusters = 10;
+  double p_in = 0.3;
+  double p_out = 0.01;
+  double mu_in = 0.8;
+  double mu_out = 0.2;
+  double sigma = 0.05;
+  uint64_t seed = 42;
+};
+
+struct PlantedPartitionResult {
+  WeightedGraph graph;
+  std::vector<uint32_t> ground_truth;  // planted cluster per vertex
+};
+
+// Generates a planted-partition graph; used by HAC/modularity tests and
+// the scalability benches as a controllable stand-in for an entity graph.
+util::Result<PlantedPartitionResult> GeneratePlantedPartition(
+    const PlantedPartitionOptions& options);
+
+// Erdos-Renyi G(n, p) with Uniform(0,1] weights.
+util::Result<WeightedGraph> GenerateErdosRenyi(size_t num_vertices, double p,
+                                               uint64_t seed);
+
+// Path graph 0-1-2-...-(n-1) with constant weight.
+WeightedGraph GeneratePath(size_t num_vertices, double weight = 1.0);
+
+}  // namespace shoal::graph
+
+#endif  // SHOAL_GRAPH_GENERATORS_H_

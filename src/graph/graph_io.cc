@@ -1,0 +1,63 @@
+#include "graph/graph_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace shoal::graph {
+
+util::Status SaveGraphTsv(const WeightedGraph& graph,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  out << "# shoal-graph v1 vertices=" << graph.num_vertices() << "\n";
+  for (const auto& e : graph.AllEdges()) {
+    out << e.u << '\t' << e.v << '\t'
+        << util::StringPrintf("%.9g", e.weight) << '\n';
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<WeightedGraph> LoadGraphTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::IoError("empty graph file: " + path);
+  }
+  size_t pos = line.find("vertices=");
+  if (!line.starts_with("# shoal-graph") || pos == std::string::npos) {
+    return util::Status::InvalidArgument("missing shoal-graph header: " +
+                                         path);
+  }
+  size_t num_vertices = std::strtoull(line.c_str() + pos + 9, nullptr, 10);
+  WeightedGraph graph(num_vertices);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = util::Split(line, '\t');
+    if (fields.size() != 3) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "%s:%zu: expected 3 fields, got %zu", path.c_str(), line_no,
+          fields.size()));
+    }
+    VertexId u = static_cast<VertexId>(std::strtoul(fields[0].c_str(),
+                                                    nullptr, 10));
+    VertexId v = static_cast<VertexId>(std::strtoul(fields[1].c_str(),
+                                                    nullptr, 10));
+    double w = std::strtod(fields[2].c_str(), nullptr);
+    auto status = graph.AddEdge(u, v, w);
+    if (!status.ok()) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "%s:%zu: %s", path.c_str(), line_no,
+          status.ToString().c_str()));
+    }
+  }
+  return graph;
+}
+
+}  // namespace shoal::graph

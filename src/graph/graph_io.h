@@ -1,0 +1,19 @@
+#ifndef SHOAL_GRAPH_GRAPH_IO_H_
+#define SHOAL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::graph {
+
+// Persists a graph as "u <TAB> v <TAB> weight" lines with a header
+// comment carrying the vertex count; loads the same format.
+util::Status SaveGraphTsv(const WeightedGraph& graph,
+                          const std::string& path);
+util::Result<WeightedGraph> LoadGraphTsv(const std::string& path);
+
+}  // namespace shoal::graph
+
+#endif  // SHOAL_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,42 @@
+#include "graph/modularity.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace shoal::graph {
+
+util::Result<double> Modularity(const WeightedGraph& graph,
+                                const std::vector<uint32_t>& community) {
+  if (community.size() != graph.num_vertices()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "community size %zu != vertex count %zu", community.size(),
+        graph.num_vertices()));
+  }
+  const double two_m = 2.0 * graph.TotalEdgeWeight();
+  if (two_m <= 0.0) {
+    return util::Status::FailedPrecondition(
+        "modularity undefined on a graph with no edge weight");
+  }
+
+  // Q = sum_c [ in_c / 2m - (deg_c / 2m)^2 ], with in_c counting both
+  // directions of each intra-community edge.
+  std::unordered_map<uint32_t, double> internal;   // 2 * intra weight
+  std::unordered_map<uint32_t, double> degree_sum; // sum of weighted degrees
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    degree_sum[community[u]] += graph.WeightedDegree(u);
+    for (const Edge& e : graph.Neighbors(u)) {
+      if (community[e.to] == community[u]) internal[community[u]] += e.weight;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, deg] : degree_sum) {
+    double in_c = 0.0;
+    if (auto it = internal.find(c); it != internal.end()) in_c = it->second;
+    double frac_deg = deg / two_m;
+    q += in_c / two_m - frac_deg * frac_deg;
+  }
+  return q;
+}
+
+}  // namespace shoal::graph

@@ -1,0 +1,27 @@
+#ifndef SHOAL_GRAPH_MODULARITY_H_
+#define SHOAL_GRAPH_MODULARITY_H_
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+
+namespace shoal::graph {
+
+// Newman-Girvan modularity of a vertex partition (the paper's
+// "benchmarking metric" for Parallel HAC, citing [2]):
+//
+//   Q = (1 / 2m) * sum_ij [ A_ij - k_i * k_j / 2m ] * delta(c_i, c_j)
+//
+// computed on the weighted graph, where m is the total edge weight, A_ij
+// the weight of edge (i, j) and k_i the weighted degree. Q is in
+// [-0.5, 1]; values above ~0.3 indicate significant community structure.
+//
+// `community` maps each vertex to its cluster id. Errors when the size
+// does not match the graph or the graph has no edges.
+util::Result<double> Modularity(const WeightedGraph& graph,
+                                const std::vector<uint32_t>& community);
+
+}  // namespace shoal::graph
+
+#endif  // SHOAL_GRAPH_MODULARITY_H_

@@ -1,0 +1,117 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace shoal::graph {
+
+void WeightedGraph::Resize(size_t num_vertices) {
+  if (num_vertices > adjacency_.size()) {
+    adjacency_.resize(num_vertices);
+    weighted_degree_.resize(num_vertices, 0.0);
+  }
+}
+
+util::Status WeightedGraph::AddEdge(VertexId u, VertexId v, double weight) {
+  if (u == v) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("self-loop on vertex %u", u));
+  }
+  if (u >= num_vertices() || v >= num_vertices()) {
+    return util::Status::OutOfRange(
+        util::StringPrintf("edge (%u,%u) outside vertex range [0,%zu)", u, v,
+                           num_vertices()));
+  }
+  uint64_t key = Key(std::min(u, v), std::max(u, v));
+  if (edge_index_.contains(key)) {
+    return util::Status::AlreadyExists(
+        util::StringPrintf("edge (%u,%u) already present", u, v));
+  }
+  edge_index_.emplace(key, weight);
+  adjacency_[u].push_back(Edge{v, weight});
+  adjacency_[v].push_back(Edge{u, weight});
+  weighted_degree_[u] += weight;
+  weighted_degree_[v] += weight;
+  total_weight_ += weight;
+  ++num_edges_;
+  return util::Status::OK();
+}
+
+util::Status WeightedGraph::AddOrUpdateEdge(VertexId u, VertexId v,
+                                            double weight) {
+  if (u == v) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("self-loop on vertex %u", u));
+  }
+  if (u >= num_vertices() || v >= num_vertices()) {
+    return util::Status::OutOfRange(
+        util::StringPrintf("edge (%u,%u) outside vertex range [0,%zu)", u, v,
+                           num_vertices()));
+  }
+  uint64_t key = Key(std::min(u, v), std::max(u, v));
+  auto it = edge_index_.find(key);
+  if (it == edge_index_.end()) return AddEdge(u, v, weight);
+  double old = it->second;
+  it->second = weight;
+  for (Edge& e : adjacency_[u]) {
+    if (e.to == v) e.weight = weight;
+  }
+  for (Edge& e : adjacency_[v]) {
+    if (e.to == u) e.weight = weight;
+  }
+  weighted_degree_[u] += weight - old;
+  weighted_degree_[v] += weight - old;
+  total_weight_ += weight - old;
+  return util::Status::OK();
+}
+
+bool WeightedGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u == v || u >= num_vertices() || v >= num_vertices()) return false;
+  return edge_index_.contains(Key(std::min(u, v), std::max(u, v)));
+}
+
+double WeightedGraph::EdgeWeight(VertexId u, VertexId v) const {
+  if (u == v || u >= num_vertices() || v >= num_vertices()) return 0.0;
+  auto it = edge_index_.find(Key(std::min(u, v), std::max(u, v)));
+  return it == edge_index_.end() ? 0.0 : it->second;
+}
+
+size_t WeightedGraph::SparsifyBelow(double threshold) {
+  size_t removed = 0;
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    auto& adj = adjacency_[u];
+    auto keep_end = std::remove_if(adj.begin(), adj.end(), [&](const Edge& e) {
+      return e.weight < threshold;
+    });
+    adj.erase(keep_end, adj.end());
+  }
+  for (auto it = edge_index_.begin(); it != edge_index_.end();) {
+    if (it->second < threshold) {
+      VertexId u = static_cast<VertexId>(it->first >> 32);
+      VertexId v = static_cast<VertexId>(it->first & 0xffffffffULL);
+      weighted_degree_[u] -= it->second;
+      weighted_degree_[v] -= it->second;
+      total_weight_ -= it->second;
+      it = edge_index_.erase(it);
+      ++removed;
+      --num_edges_;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<WeightedGraph::FullEdge> WeightedGraph::AllEdges() const {
+  std::vector<FullEdge> out;
+  out.reserve(num_edges_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (const Edge& e : adjacency_[u]) {
+      if (e.to > u) out.push_back(FullEdge{u, e.to, e.weight});
+    }
+  }
+  return out;
+}
+
+}  // namespace shoal::graph

@@ -1,0 +1,63 @@
+#include "text/bm25.h"
+
+#include <cmath>
+
+namespace shoal::text {
+
+Bm25Index::Bm25Index(Options options) : options_(options) {}
+
+uint32_t Bm25Index::AddDocument(const std::vector<uint32_t>& word_ids) {
+  uint32_t doc_id = static_cast<uint32_t>(doc_lengths_.size());
+  doc_lengths_.push_back(static_cast<uint32_t>(word_ids.size()));
+  total_length_ += word_ids.size();
+  for (uint32_t w : word_ids) {
+    ++postings_[w][doc_id];
+  }
+  return doc_id;
+}
+
+double Bm25Index::Idf(uint32_t word) const {
+  auto it = postings_.find(word);
+  double df = it == postings_.end() ? 0.0
+                                    : static_cast<double>(it->second.size());
+  double n = static_cast<double>(num_documents());
+  // BM25+-style floor at 0 avoids negative idf for very common words.
+  return std::max(0.0, std::log((n - df + 0.5) / (df + 0.5) + 1.0));
+}
+
+double Bm25Index::AvgDocLength() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+double Bm25Index::Score(const std::vector<uint32_t>& query_word_ids,
+                        uint32_t doc_id) const {
+  if (doc_id >= num_documents()) return 0.0;
+  const double avgdl = AvgDocLength();
+  if (avgdl == 0.0) return 0.0;
+  double score = 0.0;
+  for (uint32_t w : query_word_ids) {
+    auto it = postings_.find(w);
+    if (it == postings_.end()) continue;
+    auto dit = it->second.find(doc_id);
+    if (dit == it->second.end()) continue;
+    double tf = static_cast<double>(dit->second);
+    double norm = options_.k1 *
+                  (1.0 - options_.b +
+                   options_.b * doc_lengths_[doc_id] / avgdl);
+    score += Idf(w) * tf * (options_.k1 + 1.0) / (tf + norm);
+  }
+  return score;
+}
+
+std::vector<double> Bm25Index::ScoreAll(
+    const std::vector<uint32_t>& query_word_ids) const {
+  std::vector<double> scores(num_documents(), 0.0);
+  for (uint32_t d = 0; d < num_documents(); ++d) {
+    scores[d] = Score(query_word_ids, d);
+  }
+  return scores;
+}
+
+}  // namespace shoal::text

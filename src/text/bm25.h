@@ -1,0 +1,54 @@
+#ifndef SHOAL_TEXT_BM25_H_
+#define SHOAL_TEXT_BM25_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace shoal::text {
+
+// Okapi BM25 index over a small set of documents (the per-topic pseudo
+// documents of Sec 2.3). Documents are bags of word ids.
+//
+//   score(q, D) = sum_{w in q} idf(w) * tf(w,D)*(k1+1) /
+//                 (tf(w,D) + k1*(1 - b + b*|D|/avgdl))
+class Bm25Index {
+ public:
+  struct Options {
+    double k1 = 1.2;
+    double b = 0.75;
+  };
+
+  Bm25Index() : Bm25Index(Options{}) {}
+  explicit Bm25Index(Options options);
+
+  // Adds a document and returns its id.
+  uint32_t AddDocument(const std::vector<uint32_t>& word_ids);
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+
+  // BM25 relevance of the query (bag of word ids) to one document.
+  double Score(const std::vector<uint32_t>& query_word_ids,
+               uint32_t doc_id) const;
+
+  // Scores the query against every document.
+  std::vector<double> ScoreAll(
+      const std::vector<uint32_t>& query_word_ids) const;
+
+ private:
+  double Idf(uint32_t word) const;
+  double AvgDocLength() const;
+
+  Options options_;
+  // word id -> (doc id -> term frequency)
+  std::unordered_map<uint32_t, std::unordered_map<uint32_t, uint32_t>>
+      postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_BM25_H_

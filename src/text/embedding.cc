@@ -1,0 +1,42 @@
+#include "text/embedding.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace shoal::text {
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float Norm(const float* a, size_t dim) {
+  return std::sqrt(Dot(a, a, dim));
+}
+
+float Cosine(const float* a, const float* b, size_t dim) {
+  float na = Norm(a, dim);
+  float nb = Norm(b, dim);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b, dim) / (na * nb);
+}
+
+float ShiftedCosine(const float* a, const float* b, size_t dim) {
+  return 0.5f + 0.5f * Cosine(a, b, dim);
+}
+
+std::vector<float> MeanVector(const EmbeddingTable& table,
+                              const std::vector<uint32_t>& ids) {
+  std::vector<float> mean(table.dim(), 0.0f);
+  if (ids.empty()) return mean;
+  for (uint32_t id : ids) {
+    const float* row = table.Row(id);
+    for (size_t d = 0; d < table.dim(); ++d) mean[d] += row[d];
+  }
+  float inv = 1.0f / static_cast<float>(ids.size());
+  for (float& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace shoal::text

@@ -1,0 +1,51 @@
+#ifndef SHOAL_TEXT_EMBEDDING_H_
+#define SHOAL_TEXT_EMBEDDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shoal::text {
+
+// Dense row-major embedding table: `rows` vectors of dimension `dim`,
+// stored contiguously for cache-friendly training.
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  EmbeddingTable(size_t rows, size_t dim, float init = 0.0f)
+      : rows_(rows), dim_(dim), data_(rows * dim, init) {}
+
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  float* Row(size_t r) { return data_.data() + r * dim_; }
+  const float* Row(size_t r) const { return data_.data() + r * dim_; }
+
+  std::vector<float> RowCopy(size_t r) const {
+    return std::vector<float>(Row(r), Row(r) + dim_);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+// Basic dense vector kernels used by similarity computations.
+float Dot(const float* a, const float* b, size_t dim);
+float Norm(const float* a, size_t dim);
+
+// cos(a, b); 0 when either vector has zero norm.
+float Cosine(const float* a, const float* b, size_t dim);
+
+// The paper's Eq. 2 maps cosine from [-1,1] to [0,1]:
+// 1/2 + 1/2 * cos(a, b).
+float ShiftedCosine(const float* a, const float* b, size_t dim);
+
+// Mean of the rows indexed by `ids` (commonly used to embed a title).
+std::vector<float> MeanVector(const EmbeddingTable& table,
+                              const std::vector<uint32_t>& ids);
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_EMBEDDING_H_

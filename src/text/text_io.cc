@@ -1,0 +1,104 @@
+#include "text/text_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace shoal::text {
+
+util::Status SaveVocabulary(const Vocabulary& vocab,
+                            const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(vocab.size() + 1);
+  rows.push_back({"# word", "count"});
+  for (uint32_t id = 0; id < vocab.size(); ++id) {
+    rows.push_back({vocab.WordOf(id), std::to_string(vocab.CountOf(id))});
+  }
+  return util::WriteTsv(path, rows);
+}
+
+util::Result<Vocabulary> LoadVocabulary(const std::string& path) {
+  SHOAL_ASSIGN_OR_RETURN(auto rows, util::ReadTsv(path));
+  Vocabulary vocab;
+  for (const auto& row : rows) {
+    if (row.size() != 2) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("%s: expected 2 fields, got %zu", path.c_str(),
+                             row.size()));
+    }
+    if (row[0].empty()) {
+      return util::Status::InvalidArgument(path + ": empty word");
+    }
+    uint64_t count = std::strtoull(row[1].c_str(), nullptr, 10);
+    uint32_t before = vocab.Lookup(row[0]);
+    if (before != kUnknownWord) {
+      return util::Status::InvalidArgument(path + ": duplicate word " +
+                                           row[0]);
+    }
+    vocab.AddWord(row[0], count);
+  }
+  return vocab;
+}
+
+util::Status SaveEmbeddings(const EmbeddingTable& table,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  out << "# shoal-vectors rows=" << table.rows() << " dim=" << table.dim()
+      << "\n";
+  for (size_t r = 0; r < table.rows(); ++r) {
+    const float* row = table.Row(r);
+    for (size_t d = 0; d < table.dim(); ++d) {
+      if (d > 0) out << ' ';
+      out << util::StringPrintf("%.8g", row[d]);
+    }
+    out << '\n';
+  }
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<EmbeddingTable> LoadEmbeddings(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.find("# shoal-vectors") == std::string::npos) {
+    return util::Status::InvalidArgument(path + ": missing vectors header");
+  }
+  size_t rows_pos = header.find("rows=");
+  size_t dim_pos = header.find("dim=");
+  if (rows_pos == std::string::npos || dim_pos == std::string::npos) {
+    return util::Status::InvalidArgument(path + ": malformed header");
+  }
+  size_t rows = std::strtoull(header.c_str() + rows_pos + 5, nullptr, 10);
+  size_t dim = std::strtoull(header.c_str() + dim_pos + 4, nullptr, 10);
+  if (dim == 0) {
+    return util::Status::InvalidArgument(path + ": zero dimension");
+  }
+  EmbeddingTable table(rows, dim);
+  std::string line;
+  for (size_t r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("%s: expected %zu rows, file ends at %zu",
+                             path.c_str(), rows, r));
+    }
+    const char* cursor = line.c_str();
+    float* out_row = table.Row(r);
+    for (size_t d = 0; d < dim; ++d) {
+      char* end = nullptr;
+      out_row[d] = std::strtof(cursor, &end);
+      if (end == cursor) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "%s: row %zu has fewer than %zu values", path.c_str(), r, dim));
+      }
+      cursor = end;
+    }
+  }
+  return table;
+}
+
+}  // namespace shoal::text

@@ -1,0 +1,29 @@
+#ifndef SHOAL_TEXT_TEXT_IO_H_
+#define SHOAL_TEXT_TEXT_IO_H_
+
+#include <string>
+
+#include "text/embedding.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace shoal::text {
+
+// Persistence for the text assets a production deployment would train
+// offline and reuse across daily taxonomy rebuilds (E11): the token
+// vocabulary and the trained word vectors.
+
+// vocabulary.tsv: one "word <TAB> count" row per id, in id order.
+util::Status SaveVocabulary(const Vocabulary& vocab,
+                            const std::string& path);
+util::Result<Vocabulary> LoadVocabulary(const std::string& path);
+
+// vectors.tsv: header "# shoal-vectors rows=R dim=D", then one row of D
+// space-separated floats per embedding row, in row order.
+util::Status SaveEmbeddings(const EmbeddingTable& table,
+                            const std::string& path);
+util::Result<EmbeddingTable> LoadEmbeddings(const std::string& path);
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_TEXT_IO_H_

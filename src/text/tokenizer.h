@@ -1,0 +1,19 @@
+#ifndef SHOAL_TEXT_TOKENIZER_H_
+#define SHOAL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shoal::text {
+
+// Segments a title or query into lower-cased word tokens. Alphanumeric
+// runs form tokens; everything else is a separator. The paper segments
+// Chinese item titles with a proprietary segmenter; for the synthetic
+// English-like corpus whitespace/punctuation segmentation is the exact
+// analogue.
+std::vector<std::string> Tokenize(std::string_view input);
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_TOKENIZER_H_

@@ -1,0 +1,34 @@
+#include "text/vocabulary.h"
+
+namespace shoal::text {
+
+uint32_t Vocabulary::AddWord(std::string_view word, uint64_t count) {
+  auto it = index_.find(std::string(word));
+  uint32_t id;
+  if (it == index_.end()) {
+    id = static_cast<uint32_t>(words_.size());
+    index_.emplace(std::string(word), id);
+    words_.emplace_back(word);
+    counts_.push_back(0);
+  } else {
+    id = it->second;
+  }
+  counts_[id] += count;
+  total_count_ += count;
+  return id;
+}
+
+uint32_t Vocabulary::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnknownWord : it->second;
+}
+
+std::vector<uint32_t> Vocabulary::FrequentWords(uint64_t min_count) const {
+  std::vector<uint32_t> out;
+  for (uint32_t id = 0; id < words_.size(); ++id) {
+    if (counts_[id] >= min_count) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace shoal::text

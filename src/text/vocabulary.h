@@ -1,0 +1,40 @@
+#ifndef SHOAL_TEXT_VOCABULARY_H_
+#define SHOAL_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace shoal::text {
+
+inline constexpr uint32_t kUnknownWord = static_cast<uint32_t>(-1);
+
+// Bidirectional word <-> id mapping with corpus frequencies.
+class Vocabulary {
+ public:
+  // Returns the id for `word`, inserting it if new, and bumps its count.
+  uint32_t AddWord(std::string_view word, uint64_t count = 1);
+
+  // Id lookup without insertion; kUnknownWord when absent.
+  uint32_t Lookup(std::string_view word) const;
+
+  const std::string& WordOf(uint32_t id) const { return words_[id]; }
+  uint64_t CountOf(uint32_t id) const { return counts_[id]; }
+  size_t size() const { return words_.size(); }
+  uint64_t total_count() const { return total_count_; }
+
+  // Ids of all words with count >= min_count.
+  std::vector<uint32_t> FrequentWords(uint64_t min_count) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> words_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_VOCABULARY_H_

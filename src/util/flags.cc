@@ -1,0 +1,143 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace shoal::util {
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, help, std::to_string(default_value)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, help, FormatDouble(default_value, 9)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Type::kBool, help, default_value ? "true" : "false"};
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, default_value};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt64: {
+      char* end = nullptr;
+      (void)std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + text +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + text +
+                                       "'");
+      }
+      break;
+    }
+    case Type::kBool:
+      if (text != "true" && text != "false" && text != "1" && text != "0") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + text +
+                                       "'");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  flag.value = text;
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::printf("%s", Usage(argv[0]).c_str());
+      help_requested_ = true;
+      return Status::OK();
+    }
+    size_t eq = body.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " missing value");
+      }
+    }
+    SHOAL_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetChecked(const std::string& name,
+                                               Type type) const {
+  auto it = flags_.find(name);
+  SHOAL_CHECK(it != flags_.end()) << "undeclared flag --" << name;
+  SHOAL_CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return std::strtoll(GetChecked(name, Type::kInt64).value.c_str(), nullptr,
+                      10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetChecked(name, Type::kDouble).value.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = GetChecked(name, Type::kBool).value;
+  return v == "true" || v == "1";
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StringPrintf("  --%-24s %s (default: %s)\n", name.c_str(),
+                        flag.help.c_str(), flag.value.c_str());
+  }
+  return out;
+}
+
+}  // namespace shoal::util

@@ -1,0 +1,67 @@
+#ifndef SHOAL_UTIL_FLAGS_H_
+#define SHOAL_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace shoal::util {
+
+// Minimal command-line flag parser for the bench and example binaries.
+//
+//   FlagParser flags;
+//   flags.AddInt64("entities", 5000, "number of item entities");
+//   flags.AddDouble("alpha", 0.7, "similarity mix weight");
+//   SHOAL_CHECK(flags.Parse(argc, argv).ok());
+//   int64_t n = flags.GetInt64("entities");
+//
+// Accepts --name=value and --name value; --help prints usage.
+class FlagParser {
+ public:
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  // Parses argv; unknown flags produce InvalidArgument. If --help is seen,
+  // prints usage to stdout and returns OK with help_requested() true.
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical textual form
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_FLAGS_H_

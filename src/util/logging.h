@@ -1,0 +1,55 @@
+#ifndef SHOAL_UTIL_LOGGING_H_
+#define SHOAL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace shoal::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: streams one log record to stderr on destruction. Use the
+// SHOAL_LOG macro rather than this class directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace shoal::util
+
+// Usage: SHOAL_LOG(kInfo) << "built graph with " << n << " nodes";
+#define SHOAL_LOG(severity)                                             \
+  ::shoal::util::LogMessage(::shoal::util::LogLevel::severity, __FILE__, \
+                            __LINE__)                                   \
+      .stream()
+
+// Always-on invariant check; aborts with a message on failure. Used for
+// programmer errors, not for data-dependent failures (those return Status).
+#define SHOAL_CHECK(cond)                                                  \
+  if (!(cond))                                                             \
+  ::shoal::util::LogMessage(::shoal::util::LogLevel::kFatal, __FILE__,     \
+                            __LINE__)                                      \
+      .stream()                                                            \
+      << "Check failed: " #cond " "
+
+#endif  // SHOAL_UTIL_LOGGING_H_

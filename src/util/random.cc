@@ -1,0 +1,63 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace shoal::util {
+
+double Rng::Gaussian() {
+  // Box-Muller; draw until u1 is nonzero to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  const double limit = std::exp(-mean);
+  double product = UniformDouble();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= UniformDouble();
+  }
+  return count;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double r = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace shoal::util

@@ -1,0 +1,77 @@
+#ifndef SHOAL_UTIL_RESULT_H_
+#define SHOAL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace shoal::util {
+
+// Value-or-error holder, in the style of arrow::Result<T>.
+//
+//   Result<Taxonomy> r = BuildTaxonomy(...);
+//   if (!r.ok()) return r.status();
+//   Taxonomy t = std::move(r).value();
+//
+// Constructing from an OK status is a programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return repr_.index() == 0; }
+
+  // Returns the error status; OK when the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<0>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace shoal::util
+
+// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define SHOAL_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto SHOAL_CONCAT_(_shoal_result_, __LINE__) = (expr);       \
+  if (!SHOAL_CONCAT_(_shoal_result_, __LINE__).ok())           \
+    return SHOAL_CONCAT_(_shoal_result_, __LINE__).status();   \
+  lhs = std::move(SHOAL_CONCAT_(_shoal_result_, __LINE__)).value()
+
+#define SHOAL_CONCAT_(a, b) SHOAL_CONCAT_IMPL_(a, b)
+#define SHOAL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SHOAL_UTIL_RESULT_H_

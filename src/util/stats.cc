@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace shoal::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::Add(double x) {
+  double idx = (x - lo_) / bucket_width_;
+  long i = static_cast<long>(idx);
+  i = std::clamp<long>(i, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(i)];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total_);
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = acc + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      double frac = counts_[i] == 0
+                        ? 0.0
+                        : (target - acc) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(size_t max_width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double bucket_lo = lo_ + static_cast<double>(i) * bucket_width_;
+    size_t bar =
+        peak == 0 ? 0 : (counts_[i] * max_width + peak - 1) / peak;
+    out += StringPrintf("[%8.3f, %8.3f) %8zu ", bucket_lo,
+                        bucket_lo + bucket_width_, counts_[i]);
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace shoal::util

@@ -1,0 +1,58 @@
+#ifndef SHOAL_UTIL_STATS_H_
+#define SHOAL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shoal::util {
+
+// Streaming summary statistics (Welford's online algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket. Used for degree and similarity distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t total() const { return total_; }
+  const std::vector<size_t>& buckets() const { return counts_; }
+
+  // Approximate quantile (linear within the bucket).
+  double Quantile(double q) const;
+
+  // Multi-line ASCII rendering for logs/bench output.
+  std::string ToString(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_STATS_H_

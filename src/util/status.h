@@ -1,0 +1,98 @@
+#ifndef SHOAL_UTIL_STATUS_H_
+#define SHOAL_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace shoal::util {
+
+// Error categories used across the library. Follows the RocksDB/Arrow
+// convention: library code never throws; fallible operations return a
+// `Status` (or a `Result<T>`, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kUnimplemented = 8,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+//
+//   Status s = DoThing();
+//   if (!s.ok()) return s;
+//
+// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace shoal::util
+
+// Propagates a non-OK status to the caller.
+#define SHOAL_RETURN_IF_ERROR(expr)                          \
+  do {                                                       \
+    ::shoal::util::Status _shoal_status = (expr);            \
+    if (!_shoal_status.ok()) return _shoal_status;           \
+  } while (false)
+
+#endif  // SHOAL_UTIL_STATUS_H_

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace shoal::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunked(n, [&fn](size_t begin, size_t end, size_t /*worker*/) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks = std::min(n, workers_.size());
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    const size_t end = begin + len;
+    Submit([&fn, begin, end, c] { fn(begin, end, c); });
+    begin = end;
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace shoal::util

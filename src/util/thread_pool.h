@@ -1,0 +1,56 @@
+#ifndef SHOAL_UTIL_THREAD_POOL_H_
+#define SHOAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shoal::util {
+
+// Fixed-size worker pool with a simple FIFO queue. Used by the BSP engine
+// and by Hogwild word2vec training. Tasks must not throw.
+class ThreadPool {
+ public:
+  // `num_threads` == 0 means "hardware concurrency, at least 1".
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Work is divided into contiguous chunks, one per worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Runs fn(chunk_begin, chunk_end, worker_index) once per chunk.
+  void ParallelForChunked(
+      size_t n,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,28 @@
+#ifndef SHOAL_UTIL_TIMER_H_
+#define SHOAL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace shoal::util {
+
+// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_TIMER_H_

@@ -1,0 +1,30 @@
+#ifndef SHOAL_UTIL_TSV_H_
+#define SHOAL_UTIL_TSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::util {
+
+// Reads a tab-separated file into rows of string fields. Lines starting
+// with '#' and blank lines are skipped.
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path);
+
+// Writes rows as tab-separated lines; fields must not contain tabs or
+// newlines (checked).
+Status WriteTsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows);
+
+// Writes raw text to a file (used by the report writer).
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
+// Reads an entire file into a string.
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_TSV_H_

@@ -1,0 +1,104 @@
+#include "baselines/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/cluster_metrics.h"
+#include "graph/generators.h"
+#include "graph/modularity.h"
+
+namespace shoal::baselines {
+namespace {
+
+TEST(LouvainTest, ValidatesInputs) {
+  graph::WeightedGraph empty;
+  EXPECT_FALSE(RunLouvain(empty, LouvainOptions{}).ok());
+  graph::WeightedGraph edgeless(5);
+  EXPECT_FALSE(RunLouvain(edgeless, LouvainOptions{}).ok());
+}
+
+TEST(LouvainTest, TwoCliquesWithBridge) {
+  graph::WeightedGraph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 5, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  auto result = RunLouvain(g, LouvainOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_communities, 2u);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[1], result->labels[2]);
+  EXPECT_EQ(result->labels[3], result->labels[4]);
+  EXPECT_NE(result->labels[0], result->labels[3]);
+  EXPECT_NEAR(result->modularity, 6.0 / 7.0 - 0.5, 1e-9);
+}
+
+TEST(LouvainTest, RecoversPlantedPartition) {
+  graph::PlantedPartitionOptions options;
+  options.num_vertices = 300;
+  options.num_clusters = 6;
+  options.p_in = 0.3;
+  options.p_out = 0.01;
+  auto planted = graph::GeneratePlantedPartition(options);
+  ASSERT_TRUE(planted.ok());
+  auto result = RunLouvain(planted->graph, LouvainOptions{});
+  ASSERT_TRUE(result.ok());
+  auto nmi = eval::NormalizedMutualInformation(result->labels,
+                                               planted->ground_truth);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GT(nmi.value(), 0.85);
+  EXPECT_GT(result->modularity, 0.3);
+}
+
+TEST(LouvainTest, ModularityMatchesRecomputation) {
+  auto g = graph::GenerateErdosRenyi(120, 0.08, 9);
+  ASSERT_TRUE(g.ok());
+  auto result = RunLouvain(*g, LouvainOptions{});
+  ASSERT_TRUE(result.ok());
+  auto q = graph::Modularity(*g, result->labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value(), result->modularity, 1e-9);
+}
+
+TEST(LouvainTest, LabelsAreDense) {
+  auto g = graph::GenerateErdosRenyi(150, 0.05, 21);
+  ASSERT_TRUE(g.ok());
+  auto result = RunLouvain(*g, LouvainOptions{});
+  ASSERT_TRUE(result.ok());
+  uint32_t max_label = 0;
+  for (uint32_t l : result->labels) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label + 1, result->num_communities);
+}
+
+TEST(LouvainTest, DeterministicForSeed) {
+  auto g = graph::GenerateErdosRenyi(100, 0.1, 33);
+  ASSERT_TRUE(g.ok());
+  LouvainOptions options;
+  options.seed = 12;
+  auto a = RunLouvain(*g, options);
+  auto b = RunLouvain(*g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(LouvainTest, BeatsRandomLabelsOnModularity) {
+  graph::PlantedPartitionOptions options;
+  options.num_vertices = 200;
+  options.num_clusters = 4;
+  auto planted = graph::GeneratePlantedPartition(options);
+  ASSERT_TRUE(planted.ok());
+  auto result = RunLouvain(planted->graph, LouvainOptions{});
+  ASSERT_TRUE(result.ok());
+  auto truth_q =
+      graph::Modularity(planted->graph, planted->ground_truth);
+  ASSERT_TRUE(truth_q.ok());
+  // Louvain optimises modularity directly, so it should reach at least
+  // the planted partition's score (up to small slack).
+  EXPECT_GT(result->modularity, truth_q.value() - 0.05);
+}
+
+}  // namespace
+}  // namespace shoal::baselines

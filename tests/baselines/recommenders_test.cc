@@ -1,0 +1,156 @@
+#include "baselines/ontology_recommender.h"
+#include "baselines/topic_recommender.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace shoal::baselines {
+namespace {
+
+// Ontology: 2 departments x 2 leaves. Entities spread across leaves.
+struct RecommenderFixture {
+  data::Ontology ontology = data::Ontology::BuildThreeLevel(
+      {"wear", "outdoor"}, {{"dress", "jeans"}, {"tent", "lantern"}});
+  // entity -> leaf category: 3 in each of the 4 leaves.
+  std::vector<uint32_t> categories;
+
+  RecommenderFixture() {
+    for (uint32_t leaf : ontology.leaves()) {
+      for (int i = 0; i < 3; ++i) categories.push_back(leaf);
+    }
+  }
+};
+
+TEST(OntologyRecommenderTest, PrefersSameCategory) {
+  RecommenderFixture f;
+  OntologyRecommender rec(f.ontology, f.categories);
+  util::Rng rng(1);
+  auto slate = rec.Recommend(0, 2, rng);
+  ASSERT_EQ(slate.size(), 2u);
+  for (uint32_t e : slate) {
+    EXPECT_EQ(f.categories[e], f.categories[0]);
+    EXPECT_NE(e, 0u);
+  }
+}
+
+TEST(OntologyRecommenderTest, FallsBackToSiblingLeaves) {
+  RecommenderFixture f;
+  OntologyRecommender rec(f.ontology, f.categories);
+  util::Rng rng(2);
+  // Ask for more than the same-category pool (2 others) can provide.
+  auto slate = rec.Recommend(0, 5, rng);
+  EXPECT_EQ(slate.size(), 5u);
+  // First two from the same leaf, rest from the sibling leaf of the same
+  // department.
+  uint32_t dept = f.ontology.DepartmentOf(f.categories[0]);
+  for (uint32_t e : slate) {
+    EXPECT_EQ(f.ontology.DepartmentOf(f.categories[e]), dept);
+  }
+}
+
+TEST(OntologyRecommenderTest, NeverRecommendsSeed) {
+  RecommenderFixture f;
+  OntologyRecommender rec(f.ontology, f.categories);
+  util::Rng rng(3);
+  for (uint32_t seed = 0; seed < f.categories.size(); ++seed) {
+    for (uint32_t e : rec.Recommend(seed, 6, rng)) {
+      EXPECT_NE(e, seed);
+    }
+  }
+}
+
+TEST(OntologyRecommenderTest, HandlesInvalidSeedAndZeroK) {
+  RecommenderFixture f;
+  OntologyRecommender rec(f.ontology, f.categories);
+  util::Rng rng(4);
+  EXPECT_TRUE(rec.Recommend(9999, 4, rng).empty());
+  EXPECT_TRUE(rec.Recommend(0, 0, rng).empty());
+}
+
+TEST(OntologyRecommenderTest, SlateBoundedByDepartmentPool) {
+  RecommenderFixture f;
+  OntologyRecommender rec(f.ontology, f.categories);
+  util::Rng rng(5);
+  // Department has 6 entities; excluding the seed leaves 5.
+  auto slate = rec.Recommend(0, 50, rng);
+  EXPECT_EQ(slate.size(), 5u);
+}
+
+// --- TopicRecommender ---------------------------------------------------
+
+struct TopicFixture {
+  core::Dendrogram dendrogram{6};
+  core::Taxonomy taxonomy;
+
+  TopicFixture() {
+    // Cluster {0,1,2} with subcluster {0,1}; cluster {3,4,5} likewise.
+    uint32_t m01 = dendrogram.Merge(0, 1, 0.9).value();
+    (void)dendrogram.Merge(m01, 2, 0.7).value();
+    uint32_t m34 = dendrogram.Merge(3, 4, 0.9).value();
+    (void)dendrogram.Merge(m34, 5, 0.7).value();
+    core::TaxonomyOptions options;
+    options.min_topic_size = 2;
+    options.min_root_size = 2;
+    taxonomy = core::Taxonomy::Build(dendrogram, {0, 0, 0, 1, 1, 1},
+                                     options);
+  }
+};
+
+TEST(TopicRecommenderTest, RecommendsFromOwnTopic) {
+  TopicFixture f;
+  TopicRecommender rec(f.taxonomy);
+  util::Rng rng(6);
+  auto slate = rec.Recommend(0, 2, rng);
+  ASSERT_EQ(slate.size(), 2u);
+  std::unordered_set<uint32_t> own_cluster = {1, 2};
+  for (uint32_t e : slate) {
+    EXPECT_TRUE(own_cluster.contains(e)) << "entity " << e;
+  }
+}
+
+TEST(TopicRecommenderTest, NeverRecommendsSeedOrDuplicates) {
+  TopicFixture f;
+  TopicRecommender rec(f.taxonomy);
+  util::Rng rng(7);
+  auto slate = rec.Recommend(3, 5, rng);
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t e : slate) {
+    EXPECT_NE(e, 3u);
+    EXPECT_TRUE(seen.insert(e).second);
+  }
+}
+
+TEST(TopicRecommenderTest, SlateLimitedByTopicWithoutFallback) {
+  TopicFixture f;
+  TopicRecommender rec(f.taxonomy);
+  util::Rng rng(8);
+  // Root topic of entity 0 has 3 members; excluding the seed leaves 2.
+  auto slate = rec.Recommend(0, 10, rng);
+  EXPECT_EQ(slate.size(), 2u);
+}
+
+TEST(TopicRecommenderTest, FallbackFillsSlate) {
+  TopicFixture f;
+  RecommenderFixture ontology_fixture;
+  // Reuse a fixed-category ontology recommender over 6 entities.
+  std::vector<uint32_t> categories(6, ontology_fixture.ontology.leaves()[0]);
+  OntologyRecommender fallback(ontology_fixture.ontology, categories);
+  TopicRecommender rec(f.taxonomy, &fallback);
+  util::Rng rng(9);
+  auto slate = rec.Recommend(0, 5, rng);
+  EXPECT_EQ(slate.size(), 5u);
+  std::unordered_set<uint32_t> seen(slate.begin(), slate.end());
+  EXPECT_EQ(seen.size(), slate.size());
+  EXPECT_FALSE(seen.contains(0));
+}
+
+TEST(TopicRecommenderTest, InvalidSeedEmptySlate) {
+  TopicFixture f;
+  TopicRecommender rec(f.taxonomy);
+  util::Rng rng(10);
+  EXPECT_TRUE(rec.Recommend(9999, 3, rng).empty());
+}
+
+}  // namespace
+}  // namespace shoal::baselines

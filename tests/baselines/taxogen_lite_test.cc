@@ -1,0 +1,117 @@
+#include "baselines/taxogen_lite.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/cluster_metrics.h"
+#include "util/random.h"
+
+namespace shoal::baselines {
+namespace {
+
+// Embeddings with `clusters` well-separated directions in 8-d.
+struct EmbeddingFixture {
+  std::vector<std::vector<float>> data;
+  std::vector<uint32_t> truth;
+
+  EmbeddingFixture(size_t n, size_t clusters, uint64_t seed = 31) {
+    util::Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = static_cast<uint32_t>(i % clusters);
+      std::vector<float> v(8, 0.0f);
+      v[c] = 1.0f;  // cluster axis
+      for (auto& x : v) {
+        x += static_cast<float>(rng.Gaussian(0.0, 0.08));
+      }
+      data.push_back(std::move(v));
+      truth.push_back(c);
+    }
+  }
+};
+
+TEST(TaxoGenLiteTest, ValidatesInputs) {
+  TaxoGenLiteOptions options;
+  EXPECT_FALSE(RunTaxoGenLite({}, options).ok());
+  EXPECT_FALSE(RunTaxoGenLite({{}}, options).ok());
+  EXPECT_FALSE(RunTaxoGenLite({{1.0f, 2.0f}, {1.0f}}, options).ok());
+  options.branching = 1;
+  EXPECT_FALSE(RunTaxoGenLite({{1.0f}}, options).ok());
+}
+
+TEST(TaxoGenLiteTest, LabelsCoverAllEntities) {
+  EmbeddingFixture f(120, 4);
+  TaxoGenLiteOptions options;
+  options.branching = 4;
+  auto result = RunTaxoGenLite(f.data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->leaf_labels.size(), 120u);
+  EXPECT_EQ(result->root_labels.size(), 120u);
+  for (uint32_t label : result->leaf_labels) {
+    EXPECT_LT(label, result->num_leaf_clusters);
+  }
+  for (uint32_t label : result->root_labels) {
+    EXPECT_LT(label, result->num_root_clusters);
+  }
+}
+
+TEST(TaxoGenLiteTest, RecoversWellSeparatedClusters) {
+  EmbeddingFixture f(200, 4);
+  TaxoGenLiteOptions options;
+  options.branching = 4;
+  options.max_depth = 1;
+  auto result = RunTaxoGenLite(f.data, options);
+  ASSERT_TRUE(result.ok());
+  auto nmi =
+      eval::NormalizedMutualInformation(result->root_labels, f.truth);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GT(nmi.value(), 0.8);
+}
+
+TEST(TaxoGenLiteTest, DeterministicForSeed) {
+  EmbeddingFixture f(100, 3);
+  TaxoGenLiteOptions options;
+  options.branching = 3;
+  auto a = RunTaxoGenLite(f.data, options);
+  auto b = RunTaxoGenLite(f.data, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->leaf_labels, b->leaf_labels);
+}
+
+TEST(TaxoGenLiteTest, DepthTwoRefinesLeafClusters) {
+  EmbeddingFixture f(300, 3);
+  TaxoGenLiteOptions shallow;
+  shallow.branching = 3;
+  shallow.max_depth = 1;
+  TaxoGenLiteOptions deep = shallow;
+  deep.max_depth = 2;
+  deep.min_cluster_size = 10;
+  auto s = RunTaxoGenLite(f.data, shallow);
+  auto d = RunTaxoGenLite(f.data, deep);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d->num_leaf_clusters, s->num_leaf_clusters);
+}
+
+TEST(TaxoGenLiteTest, TinyInputFewerClustersThanBranching) {
+  EmbeddingFixture f(3, 3);
+  TaxoGenLiteOptions options;
+  options.branching = 5;
+  auto result = RunTaxoGenLite(f.data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->num_root_clusters, 3u);
+}
+
+TEST(TaxoGenLiteTest, ZeroVectorsHandled) {
+  std::vector<std::vector<float>> data(10, std::vector<float>(4, 0.0f));
+  data[0][0] = 1.0f;
+  TaxoGenLiteOptions options;
+  options.branching = 2;
+  auto result = RunTaxoGenLite(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->leaf_labels.size(), 10u);
+}
+
+}  // namespace
+}  // namespace shoal::baselines

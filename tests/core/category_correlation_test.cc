@@ -1,0 +1,112 @@
+#include "core/category_correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::core {
+namespace {
+
+// Builds a taxonomy whose root topics have controlled category sets by
+// driving Taxonomy::Build with a hand-made dendrogram and category map.
+//
+// Root topic A covers entities {0,1,2} with categories {10,11,10}.
+// Root topic B covers entities {3,4,5} with categories {10,11,12}.
+// Root topic C covers entities {6,7,8} with categories {12,13,12}.
+// Co-occurrences over root topics:
+//   (10,11): A and B -> 2
+//   (10,12): B       -> 1
+//   (11,12): B       -> 1
+//   (12,13): C       -> 1
+Taxonomy MakeTaxonomy() {
+  Dendrogram d(9);
+  auto chain = [&d](uint32_t a, uint32_t b, uint32_t c) {
+    uint32_t m = d.Merge(a, b, 0.9).value();
+    (void)d.Merge(m, c, 0.8).value();
+  };
+  chain(0, 1, 2);
+  chain(3, 4, 5);
+  chain(6, 7, 8);
+  std::vector<uint32_t> categories = {10, 11, 10, 10, 11, 12, 12, 13, 12};
+  TaxonomyOptions options;
+  options.min_topic_size = 3;
+  options.min_root_size = 3;
+  return Taxonomy::Build(d, categories, options);
+}
+
+TEST(CategoryCorrelationTest, CountsCoOccurrences) {
+  auto taxonomy = MakeTaxonomy();
+  CategoryCorrelationOptions options;
+  options.min_strength = 0;  // keep everything
+  auto correlation = CategoryCorrelation::Mine(taxonomy, options);
+  EXPECT_EQ(correlation.Strength(10, 11), 2u);
+  EXPECT_EQ(correlation.Strength(11, 10), 2u);  // symmetric
+  EXPECT_EQ(correlation.Strength(10, 12), 1u);
+  EXPECT_EQ(correlation.Strength(12, 13), 1u);
+  EXPECT_EQ(correlation.Strength(10, 13), 0u);
+}
+
+TEST(CategoryCorrelationTest, ThresholdPrunes) {
+  auto taxonomy = MakeTaxonomy();
+  CategoryCorrelationOptions options;
+  options.min_strength = 1;  // keep strictly greater than 1
+  auto correlation = CategoryCorrelation::Mine(taxonomy, options);
+  EXPECT_EQ(correlation.Strength(10, 11), 2u);
+  EXPECT_EQ(correlation.Strength(10, 12), 0u);  // pruned
+  EXPECT_EQ(correlation.pairs().size(), 1u);
+}
+
+TEST(CategoryCorrelationTest, RelatedSortedByStrength) {
+  auto taxonomy = MakeTaxonomy();
+  CategoryCorrelationOptions options;
+  options.min_strength = 0;
+  auto correlation = CategoryCorrelation::Mine(taxonomy, options);
+  auto related = correlation.Related(10);
+  ASSERT_EQ(related.size(), 2u);
+  EXPECT_EQ(related[0].first, 11u);
+  EXPECT_EQ(related[0].second, 2u);
+  EXPECT_EQ(related[1].first, 12u);
+  EXPECT_EQ(related[1].second, 1u);
+}
+
+TEST(CategoryCorrelationTest, RelatedOfUnknownCategoryEmpty) {
+  auto taxonomy = MakeTaxonomy();
+  auto correlation =
+      CategoryCorrelation::Mine(taxonomy, CategoryCorrelationOptions{});
+  EXPECT_TRUE(correlation.Related(999).empty());
+}
+
+TEST(CategoryCorrelationTest, PairsSortedByStrengthThenIds) {
+  auto taxonomy = MakeTaxonomy();
+  CategoryCorrelationOptions options;
+  options.min_strength = 0;
+  auto correlation = CategoryCorrelation::Mine(taxonomy, options);
+  const auto& pairs = correlation.pairs();
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0].strength, 2u);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i].strength, pairs[i - 1].strength);
+    EXPECT_LT(pairs[i].c1, pairs[i].c2);
+  }
+}
+
+TEST(CategoryCorrelationTest, MinCategoryCountFiltersIncidentalMembers) {
+  auto taxonomy = MakeTaxonomy();
+  CategoryCorrelationOptions options;
+  options.min_strength = 0;
+  options.min_category_count = 2;  // categories need >= 2 items in a topic
+  auto correlation = CategoryCorrelation::Mine(taxonomy, options);
+  // Topic A: only category 10 has 2 items -> no pair from A.
+  // Topic B: all categories have 1 item -> no pairs.
+  // Topic C: only category 12 qualifies -> no pairs.
+  EXPECT_TRUE(correlation.pairs().empty());
+}
+
+TEST(CategoryCorrelationTest, EmptyTaxonomyYieldsNothing) {
+  Dendrogram d(2);
+  auto taxonomy = Taxonomy::Build(d, {1, 2}, TaxonomyOptions{});
+  auto correlation =
+      CategoryCorrelation::Mine(taxonomy, CategoryCorrelationOptions{});
+  EXPECT_TRUE(correlation.pairs().empty());
+}
+
+}  // namespace
+}  // namespace shoal::core

@@ -1,0 +1,146 @@
+#include "core/dendrogram.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace shoal::core {
+namespace {
+
+TEST(DendrogramTest, InitialStateAllLeavesAreRoots) {
+  Dendrogram d(4);
+  EXPECT_EQ(d.num_leaves(), 4u);
+  EXPECT_EQ(d.num_nodes(), 4u);
+  EXPECT_EQ(d.num_merges(), 0u);
+  EXPECT_EQ(d.Roots().size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(d.IsLeaf(i));
+    EXPECT_TRUE(d.IsRoot(i));
+    EXPECT_EQ(d.node(i).size, 1u);
+  }
+}
+
+TEST(DendrogramTest, MergeCreatesInternalNode) {
+  Dendrogram d(3);
+  auto merged = d.Merge(0, 1, 0.9);
+  ASSERT_TRUE(merged.ok());
+  uint32_t m = merged.value();
+  EXPECT_EQ(m, 3u);
+  EXPECT_FALSE(d.IsLeaf(m));
+  EXPECT_TRUE(d.IsRoot(m));
+  EXPECT_FALSE(d.IsRoot(0));
+  EXPECT_FALSE(d.IsRoot(1));
+  EXPECT_EQ(d.node(m).size, 2u);
+  EXPECT_EQ(d.node(m).left, 0u);
+  EXPECT_EQ(d.node(m).right, 1u);
+  EXPECT_DOUBLE_EQ(d.node(m).merge_similarity, 0.9);
+  EXPECT_EQ(d.node(0).parent, m);
+  EXPECT_EQ(d.node(1).parent, m);
+}
+
+TEST(DendrogramTest, MergeOfNonRootRejected) {
+  Dendrogram d(3);
+  ASSERT_TRUE(d.Merge(0, 1, 0.9).ok());
+  EXPECT_EQ(d.Merge(0, 2, 0.8).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(DendrogramTest, MergeSelfRejected) {
+  Dendrogram d(2);
+  EXPECT_EQ(d.Merge(0, 0, 0.5).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(DendrogramTest, MergeOutOfRangeRejected) {
+  Dendrogram d(2);
+  EXPECT_EQ(d.Merge(0, 9, 0.5).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+TEST(DendrogramTest, MergingMergedNodes) {
+  Dendrogram d(4);
+  uint32_t m1 = d.Merge(0, 1, 0.9).value();
+  uint32_t m2 = d.Merge(2, 3, 0.8).value();
+  uint32_t m3 = d.Merge(m1, m2, 0.6).value();
+  EXPECT_EQ(d.node(m3).size, 4u);
+  EXPECT_EQ(d.Roots().size(), 1u);
+  EXPECT_EQ(d.Roots()[0], m3);
+  EXPECT_EQ(d.num_merges(), 3u);
+}
+
+TEST(DendrogramTest, LeavesUnderCollectsMembers) {
+  Dendrogram d(5);
+  uint32_t m1 = d.Merge(1, 3, 0.9).value();
+  uint32_t m2 = d.Merge(m1, 4, 0.7).value();
+  auto leaves = d.LeavesUnder(m2);
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(leaves, (std::vector<uint32_t>{1, 3, 4}));
+  EXPECT_EQ(d.LeavesUnder(0), std::vector<uint32_t>{0});
+}
+
+TEST(DendrogramTest, FlatClustersGroupByRoot) {
+  Dendrogram d(5);
+  d.Merge(0, 1, 0.9).value();
+  d.Merge(2, 3, 0.8).value();
+  auto labels = d.FlatClusters();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+  EXPECT_NE(labels[4], labels[2]);
+}
+
+TEST(DendrogramTest, CutAtHighThresholdSplitsWeakMerges) {
+  Dendrogram d(4);
+  uint32_t m1 = d.Merge(0, 1, 0.9).value();
+  uint32_t m2 = d.Merge(2, 3, 0.4).value();
+  (void)d.Merge(m1, m2, 0.2).value();
+  // Cut at 0.5: the 0.9 merge survives, the 0.4 and 0.2 merges split.
+  auto labels = d.CutAt(0.5);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(DendrogramTest, CutAtZeroKeepsRoots) {
+  Dendrogram d(4);
+  uint32_t m1 = d.Merge(0, 1, 0.9).value();
+  (void)d.Merge(m1, 2, 0.5).value();
+  auto labels = d.CutAt(0.0);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[3], labels[0]);
+}
+
+TEST(DendrogramTest, CutAboveEverythingIsAllSingletons) {
+  Dendrogram d(3);
+  uint32_t m1 = d.Merge(0, 1, 0.9).value();
+  (void)d.Merge(m1, 2, 0.8).value();
+  auto labels = d.CutAt(0.95);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(DendrogramTest, SizesAreConsistentInvariant) {
+  // Property: after any merge sequence, each internal node's size equals
+  // the sum of its children's sizes, and root sizes sum to num_leaves.
+  Dendrogram d(8);
+  uint32_t a = d.Merge(0, 1, 0.9).value();
+  uint32_t b = d.Merge(2, 3, 0.85).value();
+  uint32_t c = d.Merge(a, b, 0.7).value();
+  (void)d.Merge(4, 5, 0.6).value();
+  (void)c;
+  size_t root_size_sum = 0;
+  for (uint32_t root : d.Roots()) root_size_sum += d.node(root).size;
+  EXPECT_EQ(root_size_sum, 8u);
+  for (uint32_t n = static_cast<uint32_t>(d.num_leaves());
+       n < d.num_nodes(); ++n) {
+    EXPECT_EQ(d.node(n).size,
+              d.node(d.node(n).left).size + d.node(d.node(n).right).size);
+  }
+}
+
+}  // namespace
+}  // namespace shoal::core

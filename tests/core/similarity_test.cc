@@ -1,0 +1,156 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace shoal::core {
+namespace {
+
+TEST(QueryJaccardTest, IdenticalSetsIsOne) {
+  EXPECT_DOUBLE_EQ(QueryJaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(QueryJaccardTest, DisjointSetsIsZero) {
+  EXPECT_DOUBLE_EQ(QueryJaccard({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(QueryJaccardTest, PartialOverlap) {
+  // |{2,3}| / |{1,2,3,4}| = 0.5
+  EXPECT_DOUBLE_EQ(QueryJaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(QueryJaccardTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(QueryJaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(QueryJaccard({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(QueryJaccard({}, {1}), 0.0);
+}
+
+TEST(QueryJaccardTest, Symmetric) {
+  std::vector<uint32_t> a = {1, 5, 9};
+  std::vector<uint32_t> b = {2, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(QueryJaccard(a, b), QueryJaccard(b, a));
+}
+
+TEST(QueryJaccardTest, SubsetRelation) {
+  // |{1,2}| / |{1,2,3,4}| = 0.5
+  EXPECT_DOUBLE_EQ(QueryJaccard({1, 2}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(QueryJaccardTest, BoundedInUnitInterval) {
+  std::vector<uint32_t> a = {1, 2, 3, 4, 5};
+  std::vector<uint32_t> b = {4, 5, 6};
+  double j = QueryJaccard(a, b);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+}
+
+// --- content similarity -----------------------------------------------
+
+text::EmbeddingTable MakeTable() {
+  // 4 words in 2-d: two pointing +x, one +y, one -x.
+  text::EmbeddingTable table(4, 2);
+  table.Row(0)[0] = 1.0f;
+  table.Row(1)[0] = 2.0f;   // same direction as word 0
+  table.Row(2)[1] = 1.0f;   // orthogonal
+  table.Row(3)[0] = -1.0f;  // opposite
+  return table;
+}
+
+TEST(ContentSimilarityTest, IdenticalDirectionIsOne) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {0});
+  auto v = BuildContentProfile(table, {1});
+  EXPECT_NEAR(ContentSimilarity(u, v), 1.0, 1e-6);
+}
+
+TEST(ContentSimilarityTest, OppositeDirectionIsZero) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {0});
+  auto v = BuildContentProfile(table, {3});
+  EXPECT_NEAR(ContentSimilarity(u, v), 0.0, 1e-6);
+}
+
+TEST(ContentSimilarityTest, OrthogonalIsHalf) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {0});
+  auto v = BuildContentProfile(table, {2});
+  EXPECT_NEAR(ContentSimilarity(u, v), 0.5, 1e-6);
+}
+
+TEST(ContentSimilarityTest, FactorisationMatchesPairwiseDefinition) {
+  // Eq. 2 as written: mean over word pairs of (1/2 + 1/2 cos). The
+  // profile-based implementation must agree exactly.
+  auto table = MakeTable();
+  std::vector<uint32_t> words_u = {0, 2};
+  std::vector<uint32_t> words_v = {1, 3, 2};
+  double direct = 0.0;
+  for (uint32_t wu : words_u) {
+    for (uint32_t wv : words_v) {
+      direct += 0.5 + 0.5 * text::Cosine(table.Row(wu), table.Row(wv), 2);
+    }
+  }
+  direct /= static_cast<double>(words_u.size() * words_v.size());
+  auto u = BuildContentProfile(table, words_u);
+  auto v = BuildContentProfile(table, words_v);
+  EXPECT_NEAR(ContentSimilarity(u, v), direct, 1e-6);
+}
+
+TEST(ContentSimilarityTest, EmptyProfileGivesMidpoint) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {});
+  auto v = BuildContentProfile(table, {0});
+  EXPECT_DOUBLE_EQ(ContentSimilarity(u, v), 0.5);
+  EXPECT_DOUBLE_EQ(ContentSimilarity(u, u), 0.5);
+}
+
+TEST(ContentSimilarityTest, ZeroVectorsSkipped) {
+  text::EmbeddingTable table(2, 2);
+  table.Row(0)[0] = 1.0f;  // word 1 stays zero
+  auto u = BuildContentProfile(table, {0, 1});
+  auto v = BuildContentProfile(table, {0});
+  EXPECT_NEAR(ContentSimilarity(u, v), 1.0, 1e-6);
+}
+
+TEST(ContentSimilarityTest, OutOfRangeWordIdsIgnored) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {0, 999});
+  auto v = BuildContentProfile(table, {1});
+  EXPECT_NEAR(ContentSimilarity(u, v), 1.0, 1e-6);
+}
+
+TEST(ContentSimilarityTest, Symmetric) {
+  auto table = MakeTable();
+  auto u = BuildContentProfile(table, {0, 2});
+  auto v = BuildContentProfile(table, {1, 3});
+  EXPECT_DOUBLE_EQ(ContentSimilarity(u, v), ContentSimilarity(v, u));
+}
+
+// --- combined similarity -----------------------------------------------
+
+TEST(CombinedSimilarityTest, AlphaMixing) {
+  // Eq. 3 with the paper's alpha = 0.7.
+  EXPECT_NEAR(CombinedSimilarity(1.0, 0.0, 0.7), 0.7, 1e-12);
+  EXPECT_NEAR(CombinedSimilarity(0.0, 1.0, 0.7), 0.3, 1e-12);
+  EXPECT_NEAR(CombinedSimilarity(0.5, 0.5, 0.7), 0.5, 1e-12);
+}
+
+TEST(CombinedSimilarityTest, ExtremeAlphas) {
+  EXPECT_DOUBLE_EQ(CombinedSimilarity(0.8, 0.2, 1.0), 0.8);
+  EXPECT_DOUBLE_EQ(CombinedSimilarity(0.8, 0.2, 0.0), 0.2);
+}
+
+TEST(CombinedSimilarityTest, StaysInUnitInterval) {
+  for (double alpha : {0.0, 0.3, 0.7, 1.0}) {
+    for (double sq : {0.0, 0.5, 1.0}) {
+      for (double sc : {0.0, 0.5, 1.0}) {
+        double s = CombinedSimilarity(sq, sc, alpha);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shoal::core

@@ -1,0 +1,172 @@
+#include "core/taxonomy.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace shoal::core {
+namespace {
+
+// Builds a dendrogram over 8 leaves with two final clusters:
+//   cluster A = {0,1,2,3} built as ((0,1),(2,3)) then merged
+//   cluster B = {4,5,6}  built as ((4,5),6)
+//   leaf 7 stays a singleton root.
+Dendrogram MakeTwoClusterDendrogram() {
+  Dendrogram d(8);
+  uint32_t m01 = d.Merge(0, 1, 0.9).value();    // node 8
+  uint32_t m23 = d.Merge(2, 3, 0.85).value();   // node 9
+  uint32_t a = d.Merge(m01, m23, 0.7).value();  // node 10
+  uint32_t m45 = d.Merge(4, 5, 0.8).value();    // node 11
+  uint32_t b = d.Merge(m45, 6, 0.6).value();    // node 12
+  (void)a;
+  (void)b;
+  return d;
+}
+
+std::vector<uint32_t> Categories() {
+  // Entities 0-3 in categories {10,10,11,11}; 4-6 in {12,12,13}; 7 in 14.
+  return {10, 10, 11, 11, 12, 12, 13, 14};
+}
+
+TEST(TaxonomyTest, RootsAreFinalClusters) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_topic_size = 2;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  // Singleton root (leaf 7) is dropped; two root topics remain.
+  EXPECT_EQ(taxonomy.roots().size(), 2u);
+  std::vector<size_t> sizes;
+  for (uint32_t r : taxonomy.roots()) {
+    sizes.push_back(taxonomy.topic(r).entities.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 4}));
+}
+
+TEST(TaxonomyTest, SubTopicsNestUnderRoots) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_topic_size = 2;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  // Cluster A (4 leaves) has sub-topics {0,1} and {2,3}.
+  uint32_t root_a = kNoTopic;
+  for (uint32_t r : taxonomy.roots()) {
+    if (taxonomy.topic(r).entities.size() == 4) root_a = r;
+  }
+  ASSERT_NE(root_a, kNoTopic);
+  const auto& topic_a = taxonomy.topic(root_a);
+  ASSERT_EQ(topic_a.children.size(), 2u);
+  for (uint32_t child : topic_a.children) {
+    const auto& sub = taxonomy.topic(child);
+    EXPECT_EQ(sub.parent, root_a);
+    EXPECT_EQ(sub.level, 1u);
+    EXPECT_EQ(sub.entities.size(), 2u);
+  }
+}
+
+TEST(TaxonomyTest, SmallNodesFoldIntoParents) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_topic_size = 4;  // only cluster A qualifies as a topic
+  options.min_root_size = 3;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  // Cluster B (3 leaves) is a root >= min_root_size but below
+  // min_topic_size... root still qualifies only via queue admission:
+  // roots enter the queue when >= min_root_size, and become topics when
+  // >= min_topic_size. Cluster B (3) fails min_topic_size -> dropped.
+  ASSERT_EQ(taxonomy.roots().size(), 1u);
+  const auto& root = taxonomy.topic(taxonomy.roots()[0]);
+  EXPECT_EQ(root.entities.size(), 4u);
+  EXPECT_TRUE(root.children.empty());  // sub-merges of size 2 are folded
+}
+
+TEST(TaxonomyTest, CategoryCountsAggregated) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  uint32_t root_a = kNoTopic;
+  for (uint32_t r : taxonomy.roots()) {
+    if (taxonomy.topic(r).entities.size() == 4) root_a = r;
+  }
+  ASSERT_NE(root_a, kNoTopic);
+  const auto& cats = taxonomy.topic(root_a).categories;
+  ASSERT_EQ(cats.size(), 2u);
+  // Categories 10 and 11, two entities each; ties sorted by id.
+  EXPECT_EQ(cats[0].first, 10u);
+  EXPECT_EQ(cats[0].second, 2u);
+  EXPECT_EQ(cats[1].first, 11u);
+  EXPECT_EQ(cats[1].second, 2u);
+}
+
+TEST(TaxonomyTest, TopicOfEntityIsDeepest) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_topic_size = 2;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  uint32_t t0 = taxonomy.TopicOfEntity(0);
+  ASSERT_NE(t0, kNoTopic);
+  EXPECT_EQ(taxonomy.topic(t0).entities.size(), 2u);  // the {0,1} subtopic
+  EXPECT_EQ(taxonomy.TopicOfEntity(1), t0);
+  EXPECT_NE(taxonomy.TopicOfEntity(2), t0);
+}
+
+TEST(TaxonomyTest, RootTopicOfEntityWalksUp) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_topic_size = 2;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  uint32_t root0 = taxonomy.RootTopicOfEntity(0);
+  EXPECT_EQ(taxonomy.topic(root0).parent, kNoTopic);
+  EXPECT_EQ(taxonomy.RootTopicOfEntity(3), root0);
+  EXPECT_NE(taxonomy.RootTopicOfEntity(4), root0);
+}
+
+TEST(TaxonomyTest, DroppedEntityMapsToNoTopic) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  EXPECT_EQ(taxonomy.TopicOfEntity(7), kNoTopic);
+  EXPECT_EQ(taxonomy.RootTopicOfEntity(7), kNoTopic);
+}
+
+TEST(TaxonomyTest, RootLabelsDenseAndComplete) {
+  auto d = MakeTwoClusterDendrogram();
+  TaxonomyOptions options;
+  options.min_root_size = 2;
+  auto taxonomy = Taxonomy::Build(d, Categories(), options);
+  auto labels = taxonomy.RootLabels();
+  ASSERT_EQ(labels.size(), 8u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[6]);
+  EXPECT_NE(labels[0], labels[4]);
+  // Dropped leaf 7 gets its own label distinct from both clusters.
+  EXPECT_NE(labels[7], labels[0]);
+  EXPECT_NE(labels[7], labels[4]);
+}
+
+TEST(TaxonomyTest, EmptyDendrogramProducesEmptyTaxonomy) {
+  Dendrogram d(3);  // no merges: all roots are singletons
+  auto taxonomy = Taxonomy::Build(d, {1, 2, 3}, TaxonomyOptions{});
+  EXPECT_EQ(taxonomy.num_topics(), 0u);
+  EXPECT_TRUE(taxonomy.roots().empty());
+}
+
+TEST(TaxonomyTest, SingleRootSizeOneOptions) {
+  Dendrogram d(2);
+  (void)d.Merge(0, 1, 0.9).value();
+  TaxonomyOptions options;
+  options.min_topic_size = 1;
+  options.min_root_size = 1;
+  auto taxonomy = Taxonomy::Build(d, {5, 6}, options);
+  ASSERT_EQ(taxonomy.roots().size(), 1u);
+  EXPECT_EQ(taxonomy.topic(taxonomy.roots()[0]).entities.size(), 2u);
+}
+
+}  // namespace
+}  // namespace shoal::core

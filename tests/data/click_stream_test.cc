@@ -1,0 +1,114 @@
+#include "data/click_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::data {
+namespace {
+
+ClickEvent Click(uint32_t query, uint32_t item, uint64_t ts) {
+  ClickEvent event;
+  event.query = query;
+  event.entity = item;
+  event.timestamp_sec = ts;
+  return event;
+}
+
+TEST(SlidingWindowLogTest, IngestAndCount) {
+  SlidingWindowLog log(100, 4, 4);
+  ASSERT_TRUE(log.Ingest(Click(0, 1, 10)).ok());
+  ASSERT_TRUE(log.Ingest(Click(0, 1, 20)).ok());
+  ASSERT_TRUE(log.Ingest(Click(2, 3, 30)).ok());
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.Count(0, 1), 2u);
+  EXPECT_EQ(log.Count(2, 3), 1u);
+  EXPECT_EQ(log.Count(1, 1), 0u);
+}
+
+TEST(SlidingWindowLogTest, RejectsBadIds) {
+  SlidingWindowLog log(100, 2, 2);
+  EXPECT_FALSE(log.Ingest(Click(5, 0, 10)).ok());
+  EXPECT_FALSE(log.Ingest(Click(0, 5, 10)).ok());
+}
+
+TEST(SlidingWindowLogTest, RejectsOutOfOrder) {
+  SlidingWindowLog log(100, 2, 2);
+  ASSERT_TRUE(log.Ingest(Click(0, 0, 50)).ok());
+  EXPECT_FALSE(log.Ingest(Click(0, 0, 40)).ok());
+  EXPECT_FALSE(log.AdvanceTo(10).ok());
+}
+
+TEST(SlidingWindowLogTest, EvictsOldEvents) {
+  SlidingWindowLog log(100, 2, 2);
+  ASSERT_TRUE(log.Ingest(Click(0, 0, 10)).ok());
+  ASSERT_TRUE(log.Ingest(Click(0, 1, 60)).ok());
+  ASSERT_TRUE(log.Ingest(Click(1, 1, 150)).ok());
+  // Window [50, 150]: the t=10 event is gone.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.Count(0, 0), 0u);
+  EXPECT_EQ(log.Count(0, 1), 1u);
+}
+
+TEST(SlidingWindowLogTest, AdvanceEvictsWithoutEvents) {
+  SlidingWindowLog log(100, 2, 2);
+  ASSERT_TRUE(log.Ingest(Click(0, 0, 10)).ok());
+  ASSERT_TRUE(log.AdvanceTo(200).ok());
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.Count(0, 0), 0u);
+  EXPECT_EQ(log.now_sec(), 200u);
+}
+
+TEST(SlidingWindowLogTest, BoundaryExactlyAtHorizonKept) {
+  SlidingWindowLog log(100, 2, 2);
+  ASSERT_TRUE(log.Ingest(Click(0, 0, 100)).ok());
+  ASSERT_TRUE(log.AdvanceTo(200).ok());
+  // horizon = 200 - 100 = 100; events at exactly the horizon stay.
+  EXPECT_EQ(log.Count(0, 0), 1u);
+  ASSERT_TRUE(log.AdvanceTo(201).ok());
+  EXPECT_EQ(log.Count(0, 0), 0u);
+}
+
+TEST(SlidingWindowLogTest, SnapshotMatchesCounts) {
+  SlidingWindowLog log(1000, 3, 3);
+  ASSERT_TRUE(log.Ingest(Click(0, 1, 10)).ok());
+  ASSERT_TRUE(log.Ingest(Click(0, 1, 20)).ok());
+  ASSERT_TRUE(log.Ingest(Click(2, 0, 30)).ok());
+  auto snapshot = log.Snapshot();
+  EXPECT_EQ(snapshot.num_left(), 3u);
+  EXPECT_EQ(snapshot.num_right(), 3u);
+  EXPECT_EQ(snapshot.num_edges(), 2u);
+  EXPECT_EQ(snapshot.total_interactions(), 3u);
+  ASSERT_EQ(snapshot.RightNeighbors(1).size(), 1u);
+  EXPECT_EQ(snapshot.RightNeighbors(1)[0].count, 2u);
+}
+
+TEST(SlidingWindowLogTest, SnapshotMatchesBatchExtraction) {
+  // Streaming the dataset's log through the window must produce the
+  // same bipartite graph as the batch BuildQueryItemGraph.
+  DatasetOptions options;
+  options.num_entities = 150;
+  options.num_queries = 100;
+  options.num_clicks = 4000;
+  options.seed = 13;
+  auto dataset = GenerateDataset(options);
+  ASSERT_TRUE(dataset.ok());
+
+  const uint64_t window = 7 * 86400;
+  SlidingWindowLog log(window, dataset->queries.size(),
+                       dataset->entities.size());
+  for (const ClickEvent& event : dataset->clicks) {
+    ASSERT_TRUE(log.Ingest(event).ok());
+  }
+  uint64_t end = dataset->clicks.back().timestamp_sec;
+  auto streaming = log.Snapshot();
+  auto batch = BuildQueryItemGraph(*dataset, end - window, end + 1);
+  ASSERT_EQ(streaming.num_edges(), batch.num_edges());
+  EXPECT_EQ(streaming.total_interactions(), batch.total_interactions());
+  for (uint32_t q = 0; q < dataset->queries.size(); ++q) {
+    auto streaming_links = streaming.LeftNeighbors(q);
+    auto batch_links = batch.LeftNeighbors(q);
+    ASSERT_EQ(streaming_links.size(), batch_links.size()) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace shoal::data

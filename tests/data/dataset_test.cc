@@ -1,0 +1,222 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace shoal::data {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options;
+  options.num_root_intents = 4;
+  options.children_per_root = 2;
+  options.num_departments = 3;
+  options.leaves_per_department = 4;
+  options.num_entities = 200;
+  options.num_queries = 150;
+  options.num_clicks = 3000;
+  options.seed = 99;
+  return options;
+}
+
+TEST(DatasetTest, ValidatesOptions) {
+  DatasetOptions bad = SmallOptions();
+  bad.num_root_intents = 0;
+  EXPECT_FALSE(GenerateDataset(bad).ok());
+  bad = SmallOptions();
+  bad.num_entities = 0;
+  EXPECT_FALSE(GenerateDataset(bad).ok());
+  bad = SmallOptions();
+  bad.click_noise = 1.5;
+  EXPECT_FALSE(GenerateDataset(bad).ok());
+}
+
+TEST(DatasetTest, SizesMatchOptions) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->entities.size(), 200u);
+  EXPECT_EQ(ds->queries.size(), 150u);
+  EXPECT_EQ(ds->clicks.size(), 3000u);
+  EXPECT_EQ(ds->intents.roots().size(), 4u);
+  EXPECT_EQ(ds->intents.leaves().size(), 8u);
+  EXPECT_EQ(ds->ontology.leaves().size(), 12u);
+}
+
+TEST(DatasetTest, EntitiesHaveValidLabels) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  std::unordered_set<uint32_t> leaf_intents(ds->intents.leaves().begin(),
+                                            ds->intents.leaves().end());
+  std::unordered_set<uint32_t> leaf_categories(ds->ontology.leaves().begin(),
+                                               ds->ontology.leaves().end());
+  for (const auto& entity : ds->entities) {
+    EXPECT_TRUE(leaf_intents.contains(entity.intent));
+    EXPECT_TRUE(leaf_categories.contains(entity.category));
+    EXPECT_FALSE(entity.title_words.empty());
+    EXPECT_FALSE(entity.title.empty());
+    EXPECT_GT(entity.price, 0.0);
+    EXPECT_GE(entity.group_size, 1u);
+  }
+}
+
+TEST(DatasetTest, EntityCategoryRespectsIntentAffinity) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& entity : ds->entities) {
+    const auto& cats = ds->intents.intent(entity.intent).categories;
+    EXPECT_NE(std::find(cats.begin(), cats.end(), entity.category),
+              cats.end());
+  }
+}
+
+TEST(DatasetTest, EveryLeafIntentHasEntities) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  for (uint32_t leaf : ds->intents.leaves()) {
+    EXPECT_FALSE(ds->entities_by_intent[leaf].empty())
+        << "leaf intent " << leaf << " has no entities";
+  }
+}
+
+TEST(DatasetTest, EntitiesByIntentIsConsistent) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  size_t total = 0;
+  for (uint32_t intent = 0; intent < ds->intents.size(); ++intent) {
+    for (uint32_t e : ds->entities_by_intent[intent]) {
+      EXPECT_EQ(ds->entities[e].intent, intent);
+    }
+    total += ds->entities_by_intent[intent].size();
+  }
+  EXPECT_EQ(total, ds->entities.size());
+}
+
+TEST(DatasetTest, ClicksSortedAndInWindow) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  uint64_t span =
+      static_cast<uint64_t>(ds->options.log_days * 86400.0);
+  uint64_t begin = ds->options.log_end_time_sec - span;
+  uint64_t prev = 0;
+  for (const auto& click : ds->clicks) {
+    EXPECT_GE(click.timestamp_sec, begin);
+    EXPECT_LT(click.timestamp_sec, ds->options.log_end_time_sec);
+    EXPECT_GE(click.timestamp_sec, prev);
+    prev = click.timestamp_sec;
+    EXPECT_LT(click.query, ds->queries.size());
+    EXPECT_LT(click.entity, ds->entities.size());
+  }
+}
+
+TEST(DatasetTest, ClicksMostlyMatchQueryIntent) {
+  DatasetOptions options = SmallOptions();
+  options.click_noise = 0.05;
+  auto ds = GenerateDataset(options);
+  ASSERT_TRUE(ds.ok());
+  size_t matched = 0;
+  for (const auto& click : ds->clicks) {
+    if (ds->queries[click.query].intent == ds->entities[click.entity].intent) {
+      ++matched;
+    }
+  }
+  double rate = static_cast<double>(matched) / ds->clicks.size();
+  EXPECT_GT(rate, 0.85);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  auto a = GenerateDataset(SmallOptions());
+  auto b = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->entities.size(); ++i) {
+    EXPECT_EQ(a->entities[i].title, b->entities[i].title);
+    EXPECT_EQ(a->entities[i].intent, b->entities[i].intent);
+  }
+  for (size_t i = 0; i < a->clicks.size(); ++i) {
+    EXPECT_EQ(a->clicks[i].query, b->clicks[i].query);
+    EXPECT_EQ(a->clicks[i].entity, b->clicks[i].entity);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions o1 = SmallOptions();
+  DatasetOptions o2 = SmallOptions();
+  o2.seed = o1.seed + 1;
+  auto a = GenerateDataset(o1);
+  auto b = GenerateDataset(o2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t differing = 0;
+  for (size_t i = 0; i < a->entities.size(); ++i) {
+    if (a->entities[i].title != b->entities[i].title) ++differing;
+  }
+  EXPECT_GT(differing, a->entities.size() / 2);
+}
+
+TEST(DatasetTest, GroundTruthLabelHelpers) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  auto leaf_labels = ds->EntityIntentLabels();
+  auto root_labels = ds->EntityRootIntentLabels();
+  ASSERT_EQ(leaf_labels.size(), ds->entities.size());
+  ASSERT_EQ(root_labels.size(), ds->entities.size());
+  for (size_t e = 0; e < leaf_labels.size(); ++e) {
+    EXPECT_EQ(leaf_labels[e], ds->entities[e].intent);
+    EXPECT_EQ(root_labels[e], ds->intents.RootOf(leaf_labels[e]));
+  }
+}
+
+TEST(DatasetTest, CategoriesRelatedSymmetricAndReflexive) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  auto leaves = ds->ontology.leaves();
+  EXPECT_TRUE(ds->CategoriesRelated(leaves[0], leaves[0]));
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      EXPECT_EQ(ds->CategoriesRelated(leaves[i], leaves[j]),
+                ds->CategoriesRelated(leaves[j], leaves[i]));
+    }
+  }
+}
+
+TEST(DatasetTest, SlidingWindowFiltersClicks) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  auto full = BuildRecentQueryItemGraph(*ds, ds->options.log_days + 1);
+  auto half = BuildRecentQueryItemGraph(*ds, ds->options.log_days / 2);
+  EXPECT_GT(full.total_interactions(), half.total_interactions());
+  EXPECT_EQ(full.total_interactions(), ds->clicks.size());
+  EXPECT_EQ(full.num_left(), ds->queries.size());
+  EXPECT_EQ(full.num_right(), ds->entities.size());
+}
+
+TEST(DatasetTest, EmptyWindowYieldsNoEdges) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  auto graph = BuildQueryItemGraph(*ds, 0, 1);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+TEST(DatasetTest, TrainingCorpusCoversTitlesAndQueries) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  auto corpus = BuildTrainingCorpus(*ds);
+  EXPECT_EQ(corpus.size(), ds->entities.size() + ds->queries.size());
+  EXPECT_EQ(corpus[0], ds->entities[0].title_words);
+  EXPECT_EQ(corpus[ds->entities.size()], ds->queries[0].words);
+}
+
+TEST(DatasetTest, QueryWordsWithinVocabulary) {
+  auto ds = GenerateDataset(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& query : ds->queries) {
+    EXPECT_FALSE(query.words.empty());
+    for (uint32_t w : query.words) {
+      EXPECT_LT(w, ds->lexicon.vocab().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shoal::data

@@ -1,0 +1,81 @@
+#include "data/intent_model.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::data {
+namespace {
+
+TEST(IntentModelTest, AddRootAssignsIds) {
+  IntentModel model;
+  Intent root;
+  root.name = "beach trip";
+  uint32_t id = model.AddRoot(std::move(root));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(model.size(), 1u);
+  EXPECT_EQ(model.intent(id).depth, 0u);
+  EXPECT_EQ(model.intent(id).parent, kNoIntent);
+  ASSERT_EQ(model.roots().size(), 1u);
+  EXPECT_EQ(model.roots()[0], id);
+}
+
+TEST(IntentModelTest, AddChildLinksBothWays) {
+  IntentModel model;
+  uint32_t root = model.AddRoot(Intent{});
+  Intent child;
+  child.name = "family beach trip";
+  uint32_t child_id = model.AddChild(root, std::move(child));
+  EXPECT_EQ(model.intent(child_id).parent, root);
+  EXPECT_EQ(model.intent(child_id).depth, 1u);
+  ASSERT_EQ(model.intent(root).children.size(), 1u);
+  EXPECT_EQ(model.intent(root).children[0], child_id);
+}
+
+TEST(IntentModelTest, LeavesTrackStructure) {
+  IntentModel model;
+  uint32_t root = model.AddRoot(Intent{});
+  EXPECT_EQ(model.leaves().size(), 1u);  // a childless root is a leaf
+  uint32_t c1 = model.AddChild(root, Intent{});
+  uint32_t c2 = model.AddChild(root, Intent{});
+  ASSERT_EQ(model.leaves().size(), 2u);
+  EXPECT_EQ(model.leaves()[0], c1);
+  EXPECT_EQ(model.leaves()[1], c2);
+}
+
+TEST(IntentModelTest, RootOfWalksUp) {
+  IntentModel model;
+  uint32_t r1 = model.AddRoot(Intent{});
+  uint32_t r2 = model.AddRoot(Intent{});
+  uint32_t child = model.AddChild(r2, Intent{});
+  uint32_t grandchild = model.AddChild(child, Intent{});
+  EXPECT_EQ(model.RootOf(grandchild), r2);
+  EXPECT_EQ(model.RootOf(child), r2);
+  EXPECT_EQ(model.RootOf(r1), r1);
+}
+
+TEST(IntentModelTest, EffectiveVocabularyIncludesAncestors) {
+  IntentModel model;
+  Intent root;
+  root.vocabulary = {1, 2};
+  uint32_t root_id = model.AddRoot(std::move(root));
+  Intent child;
+  child.vocabulary = {3};
+  uint32_t child_id = model.AddChild(root_id, std::move(child));
+  auto vocab = model.EffectiveVocabulary(child_id);
+  ASSERT_EQ(vocab.size(), 3u);
+  EXPECT_EQ(vocab[0], 3u);  // own words first
+  EXPECT_EQ(vocab[1], 1u);
+  EXPECT_EQ(vocab[2], 2u);
+}
+
+TEST(IntentModelTest, DeepHierarchyDepths) {
+  IntentModel model;
+  uint32_t current = model.AddRoot(Intent{});
+  for (uint32_t depth = 1; depth <= 5; ++depth) {
+    current = model.AddChild(current, Intent{});
+    EXPECT_EQ(model.intent(current).depth, depth);
+  }
+  EXPECT_EQ(model.leaves().size(), 1u);
+}
+
+}  // namespace
+}  // namespace shoal::data

@@ -1,0 +1,77 @@
+#include "data/lexicon.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace shoal::data {
+namespace {
+
+TEST(LexiconTest, ScenarioNamesCycleWithSuffix) {
+  Lexicon lexicon(1);
+  std::string first = lexicon.ScenarioName(0);
+  EXPECT_FALSE(first.empty());
+  // The curated list has 48 themes; index 48 wraps with a suffix.
+  std::string wrapped = lexicon.ScenarioName(48);
+  EXPECT_NE(wrapped, first);
+  EXPECT_NE(wrapped.find(first), std::string::npos);
+}
+
+TEST(LexiconTest, ProductNounsUniqueAcrossRounds) {
+  Lexicon lexicon(1);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(seen.insert(lexicon.ProductNoun(i)).second)
+        << "duplicate noun at index " << i;
+  }
+}
+
+TEST(LexiconTest, ModifiersUniqueAcrossRounds) {
+  Lexicon lexicon(1);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_TRUE(seen.insert(lexicon.Modifier(i)).second);
+  }
+}
+
+TEST(LexiconTest, MintedWordsAreFreshAndInterned) {
+  Lexicon lexicon(1);
+  auto batch1 = lexicon.MintTopicWords(10);
+  auto batch2 = lexicon.MintTopicWords(10);
+  std::unordered_set<uint32_t> ids(batch1.begin(), batch1.end());
+  for (uint32_t id : batch2) EXPECT_FALSE(ids.contains(id));
+  for (uint32_t id : batch1) {
+    EXPECT_EQ(lexicon.vocab().Lookup(lexicon.vocab().WordOf(id)), id);
+  }
+}
+
+TEST(LexiconTest, MintingIsDeterministicPerSeed) {
+  Lexicon a(42);
+  Lexicon b(42);
+  auto wa = a.MintTopicWords(5);
+  auto wb = b.MintTopicWords(5);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.vocab().WordOf(wa[i]), b.vocab().WordOf(wb[i]));
+  }
+}
+
+TEST(LexiconTest, FillerWordsStable) {
+  Lexicon lexicon(1);
+  const auto& f1 = lexicon.FillerWords();
+  const auto& f2 = lexicon.FillerWords();
+  EXPECT_EQ(f1, f2);
+  EXPECT_FALSE(f1.empty());
+}
+
+TEST(LexiconTest, InternPhraseSplitsTokens) {
+  Lexicon lexicon(1);
+  auto ids = lexicon.InternPhrase("beach trip");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(lexicon.vocab().WordOf(ids[0]), "beach");
+  EXPECT_EQ(lexicon.vocab().WordOf(ids[1]), "trip");
+  // Re-interning returns the same ids.
+  EXPECT_EQ(lexicon.InternPhrase("beach trip"), ids);
+}
+
+}  // namespace
+}  // namespace shoal::data

@@ -1,0 +1,126 @@
+#include "data/log_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/shoal.h"
+#include "util/tsv.h"
+
+namespace shoal::data {
+namespace {
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ =
+        (std::filesystem::temp_directory_path() / "shoal_log_io").string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static Dataset MakeDataset() {
+    DatasetOptions options;
+    options.num_entities = 120;
+    options.num_queries = 90;
+    options.num_clicks = 3000;
+    options.seed = 77;
+    auto result = GenerateDataset(options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LogIoTest, ExportImportRoundTrip) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(ExportSearchLog(dataset, dir_).ok());
+  auto log = ImportSearchLog(dir_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->items.size(), dataset.entities.size());
+  EXPECT_EQ(log->queries.size(), dataset.queries.size());
+  EXPECT_EQ(log->clicks.size(), dataset.clicks.size());
+  for (size_t i = 0; i < log->items.size(); ++i) {
+    EXPECT_EQ(log->items[i].title, dataset.entities[i].title);
+    EXPECT_EQ(log->items[i].category, dataset.entities[i].category);
+    EXPECT_FALSE(log->items[i].title_words.empty());
+  }
+  for (size_t q = 0; q < log->queries.size(); ++q) {
+    EXPECT_EQ(log->queries[q].text, dataset.queries[q].text);
+  }
+}
+
+TEST_F(LogIoTest, ClicksSortedAfterImport) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(ExportSearchLog(dataset, dir_).ok());
+  auto log = ImportSearchLog(dir_);
+  ASSERT_TRUE(log.ok());
+  uint64_t prev = 0;
+  for (const auto& click : log->clicks) {
+    EXPECT_GE(click.timestamp_sec, prev);
+    prev = click.timestamp_sec;
+  }
+}
+
+TEST_F(LogIoTest, MissingDirectoryFails) {
+  EXPECT_FALSE(ImportSearchLog(dir_ + "/nothing").ok());
+}
+
+TEST_F(LogIoTest, NonDenseItemIdsRejected) {
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/items.tsv",
+                             {{"0", "1", "beach dress"},
+                              {"2", "1", "skipped id"}})
+                  .ok());
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/queries.tsv", {{"0", "beach"}}).ok());
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/clicks.tsv", {{"0", "0", "100"}}).ok());
+  EXPECT_FALSE(ImportSearchLog(dir_).ok());
+}
+
+TEST_F(LogIoTest, UnknownClickIdsRejected) {
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(
+      util::WriteTsv(dir_ + "/items.tsv", {{"0", "1", "beach dress"}}).ok());
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/queries.tsv", {{"0", "beach"}}).ok());
+  ASSERT_TRUE(
+      util::WriteTsv(dir_ + "/clicks.tsv", {{"0", "9", "100"}}).ok());
+  EXPECT_FALSE(ImportSearchLog(dir_).ok());
+}
+
+TEST_F(LogIoTest, EmptyItemsRejected) {
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/items.tsv", {}).ok());
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/queries.tsv", {{"0", "beach"}}).ok());
+  ASSERT_TRUE(util::WriteTsv(dir_ + "/clicks.tsv", {}).ok());
+  EXPECT_FALSE(ImportSearchLog(dir_).ok());
+}
+
+TEST_F(LogIoTest, BundleFeedsPipeline) {
+  // End-to-end: exported log -> import -> bundle -> BuildShoal succeeds
+  // and produces a plausible taxonomy.
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(ExportSearchLog(dataset, dir_).ok());
+  auto log = ImportSearchLog(dir_);
+  ASSERT_TRUE(log.ok());
+  auto bundle = MakeShoalInputFromLog(*log, /*window_days=*/30.0);
+  EXPECT_EQ(bundle.query_item_graph.num_right(), log->items.size());
+  EXPECT_GT(bundle.query_item_graph.num_edges(), 0u);
+  auto model = core::BuildShoal(bundle.View(), core::ShoalOptions{});
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_GT(model->taxonomy().num_topics(), 0u);
+}
+
+TEST_F(LogIoTest, WindowFiltersClicks) {
+  Dataset dataset = MakeDataset();
+  ASSERT_TRUE(ExportSearchLog(dataset, dir_).ok());
+  auto log = ImportSearchLog(dir_);
+  ASSERT_TRUE(log.ok());
+  auto wide = MakeShoalInputFromLog(*log, 30.0);
+  auto narrow = MakeShoalInputFromLog(*log, 2.0);
+  EXPECT_GT(wide.query_item_graph.total_interactions(),
+            narrow.query_item_graph.total_interactions());
+}
+
+}  // namespace
+}  // namespace shoal::data

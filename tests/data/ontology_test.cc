@@ -1,0 +1,77 @@
+#include "data/ontology.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::data {
+namespace {
+
+Ontology MakeSmallOntology() {
+  return Ontology::BuildThreeLevel(
+      {"ladies wear", "outdoor"},
+      {{"dress", "jeans"}, {"tent", "backpack", "lantern"}});
+}
+
+TEST(OntologyTest, StructureCounts) {
+  Ontology o = MakeSmallOntology();
+  // 1 root + 2 departments + 5 leaves.
+  EXPECT_EQ(o.size(), 8u);
+  EXPECT_EQ(o.leaves().size(), 5u);
+  EXPECT_EQ(o.node(o.root()).name, "all");
+}
+
+TEST(OntologyTest, DepthsAssigned) {
+  Ontology o = MakeSmallOntology();
+  EXPECT_EQ(o.node(o.root()).depth, 0u);
+  for (uint32_t leaf : o.leaves()) {
+    EXPECT_EQ(o.node(leaf).depth, 2u);
+    EXPECT_TRUE(o.node(leaf).is_leaf());
+  }
+}
+
+TEST(OntologyTest, ParentChildLinksConsistent) {
+  Ontology o = MakeSmallOntology();
+  for (uint32_t leaf : o.leaves()) {
+    uint32_t parent = o.node(leaf).parent;
+    const auto& siblings = o.node(parent).children;
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), leaf),
+              siblings.end());
+  }
+}
+
+TEST(OntologyTest, DepartmentOfLeaf) {
+  Ontology o = MakeSmallOntology();
+  uint32_t dress = o.leaves()[0];
+  uint32_t department = o.DepartmentOf(dress);
+  EXPECT_EQ(o.node(department).name, "ladies wear");
+  EXPECT_EQ(o.DepartmentOf(department), department);
+}
+
+TEST(OntologyTest, PathNamesFromRoot) {
+  Ontology o = MakeSmallOntology();
+  uint32_t tent = o.leaves()[2];
+  auto path = o.PathNames(tent);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], "all");
+  EXPECT_EQ(path[1], "outdoor");
+  EXPECT_EQ(path[2], "tent");
+}
+
+TEST(OntologyTest, SiblingLeavesShareDepartment) {
+  Ontology o = MakeSmallOntology();
+  uint32_t tent = o.leaves()[2];
+  auto siblings = o.SiblingLeaves(tent);
+  EXPECT_EQ(siblings.size(), 3u);  // tent, backpack, lantern
+  for (uint32_t s : siblings) {
+    EXPECT_EQ(o.DepartmentOf(s), o.DepartmentOf(tent));
+  }
+}
+
+TEST(OntologyTest, RootPathIsItself) {
+  Ontology o = MakeSmallOntology();
+  auto path = o.PathNames(o.root());
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], "all");
+}
+
+}  // namespace
+}  // namespace shoal::data

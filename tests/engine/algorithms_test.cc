@@ -1,0 +1,116 @@
+#include "engine/algorithms.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+
+namespace shoal::engine {
+namespace {
+
+TEST(BspConnectedComponentsTest, MatchesBfsReference) {
+  auto g = graph::GenerateErdosRenyi(200, 0.01, 5);
+  ASSERT_TRUE(g.ok());
+  auto bsp = BspConnectedComponents(*g);
+  ASSERT_TRUE(bsp.ok());
+  size_t reference_count = 0;
+  auto reference = graph::ConnectedComponents(*g, &reference_count);
+  // Same partition: vertices agree on "same component" pairwise.
+  // Compare via canonical min-id labels.
+  std::vector<uint32_t> canonical(g->num_vertices());
+  {
+    std::vector<uint32_t> min_of_component(reference_count,
+                                           graph::kInvalidVertex);
+    for (uint32_t v = 0; v < g->num_vertices(); ++v) {
+      min_of_component[reference[v]] =
+          std::min(min_of_component[reference[v]], v);
+    }
+    for (uint32_t v = 0; v < g->num_vertices(); ++v) {
+      canonical[v] = min_of_component[reference[v]];
+    }
+  }
+  EXPECT_EQ(*bsp, canonical);
+}
+
+TEST(BspConnectedComponentsTest, PathGraphSingleComponent) {
+  auto g = graph::GeneratePath(50);
+  auto labels = BspConnectedComponents(g);
+  ASSERT_TRUE(labels.ok());
+  for (uint32_t l : *labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(BspConnectedComponentsTest, IsolatedVerticesOwnLabels) {
+  graph::WeightedGraph g(4);
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  auto labels = BspConnectedComponents(g);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], 0u);
+  EXPECT_EQ((*labels)[1], 1u);
+  EXPECT_EQ((*labels)[2], 1u);
+  EXPECT_EQ((*labels)[3], 3u);
+}
+
+TEST(BspPageRankTest, ValidatesDamping) {
+  graph::WeightedGraph g(2);
+  PageRankOptions options;
+  options.damping = 1.5;
+  EXPECT_FALSE(BspPageRank(g, options).ok());
+}
+
+TEST(BspPageRankTest, UniformOnRegularGraph) {
+  // On a cycle every vertex has equal rank 1/n.
+  const size_t n = 20;
+  graph::WeightedGraph g(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    ASSERT_TRUE(g.AddEdge(v, (v + 1) % n, 1.0).ok());
+  }
+  auto ranks = BspPageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  for (double r : *ranks) EXPECT_NEAR(r, 1.0 / n, 1e-9);
+}
+
+TEST(BspPageRankTest, RanksSumToOne) {
+  auto g = graph::GenerateErdosRenyi(100, 0.08, 7);
+  ASSERT_TRUE(g.ok());
+  auto ranks = BspPageRank(*g);
+  ASSERT_TRUE(ranks.ok());
+  double total = std::accumulate(ranks->begin(), ranks->end(), 0.0);
+  // Isolated vertices leak a little mass; connected ER graphs at this
+  // density have none with overwhelming probability.
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(BspPageRankTest, HubOutranksLeaves) {
+  // Star graph: the hub collects rank from every leaf.
+  const size_t n = 11;
+  graph::WeightedGraph g(n);
+  for (uint32_t leaf = 1; leaf < n; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf, 1.0).ok());
+  }
+  auto ranks = BspPageRank(g);
+  ASSERT_TRUE(ranks.ok());
+  for (uint32_t leaf = 1; leaf < n; ++leaf) {
+    EXPECT_GT((*ranks)[0], (*ranks)[leaf] * 3.0);
+  }
+}
+
+TEST(BspPageRankTest, DeterministicAcrossThreadCounts) {
+  auto g = graph::GenerateErdosRenyi(80, 0.1, 11);
+  ASSERT_TRUE(g.ok());
+  PageRankOptions one;
+  one.run.num_threads = 1;
+  PageRankOptions four;
+  four.run.num_threads = 4;
+  auto a = BspPageRank(*g, one);
+  auto b = BspPageRank(*g, four);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t v = 0; v < a->size(); ++v) {
+    EXPECT_DOUBLE_EQ((*a)[v], (*b)[v]);
+  }
+}
+
+}  // namespace
+}  // namespace shoal::engine

@@ -1,0 +1,199 @@
+#include "engine/bsp_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::engine {
+namespace {
+
+using IntEngine = BspEngine<int, int>;
+
+IntEngine::Options SmallOptions(size_t partitions = 4, size_t threads = 2) {
+  IntEngine::Options options;
+  options.num_partitions = partitions;
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(BspEngineTest, RejectsEmptyComputeFunction) {
+  IntEngine engine(4, SmallOptions());
+  EXPECT_FALSE(engine.Run(nullptr).ok());
+}
+
+TEST(BspEngineTest, HaltsImmediatelyWhenAllVote) {
+  IntEngine engine(8, SmallOptions());
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t, int& value,
+                              const std::vector<int>&) {
+    value = 1;
+    ctx.VoteToHalt();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(engine.superstep(), 1u);
+  for (uint32_t v = 0; v < 8; ++v) EXPECT_EQ(engine.VertexValue(v), 1);
+}
+
+TEST(BspEngineTest, MessagesDeliveredNextSuperstep) {
+  // Vertex 0 sends its id to vertex 1 in superstep 0; vertex 1 must see
+  // it in superstep 1.
+  IntEngine engine(2, SmallOptions());
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t v, int& value,
+                              const std::vector<int>& messages) {
+    if (ctx.superstep() == 0 && v == 0) {
+      ctx.SendMessage(1, 41);
+    }
+    for (int m : messages) value = m + 1;
+    ctx.VoteToHalt();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(engine.VertexValue(1), 42);
+  EXPECT_EQ(engine.total_messages(), 1u);
+}
+
+TEST(BspEngineTest, MessageToInvalidVertexFails) {
+  IntEngine engine(2, SmallOptions());
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t, int&,
+                              const std::vector<int>&) {
+    ctx.SendMessage(99, 1);
+    ctx.VoteToHalt();
+  });
+  EXPECT_EQ(status.code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(BspEngineTest, ChainPropagation) {
+  // Value travels down a chain one hop per superstep: classic BSP.
+  const size_t n = 6;
+  IntEngine engine(n, SmallOptions());
+  auto status = engine.Run([n](IntEngine::Context& ctx, uint32_t v,
+                               int& value,
+                               const std::vector<int>& messages) {
+    if (ctx.superstep() == 0 && v == 0) {
+      value = 1;
+      ctx.SendMessage(1, 1);
+    }
+    for (int m : messages) {
+      value = m;
+      if (v + 1 < n) ctx.SendMessage(v + 1, m);
+    }
+    ctx.VoteToHalt();
+  });
+  ASSERT_TRUE(status.ok());
+  for (uint32_t v = 0; v < n; ++v) EXPECT_EQ(engine.VertexValue(v), 1);
+  EXPECT_EQ(engine.superstep(), n);  // n-1 hops + final quiescent step
+}
+
+TEST(BspEngineTest, CombinerFoldsMessages) {
+  // All vertices send to vertex 0 with a max-combiner; vertex 0 must see
+  // exactly one message carrying the max.
+  const size_t n = 10;
+  IntEngine engine(n, SmallOptions());
+  engine.SetCombiner([](int& acc, const int& incoming) {
+    acc = std::max(acc, incoming);
+  });
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t v,
+                              int& value,
+                              const std::vector<int>& messages) {
+    if (ctx.superstep() == 0) {
+      ctx.SendMessage(0, static_cast<int>(v) * 10);
+    } else if (!messages.empty()) {
+      EXPECT_EQ(messages.size(), 1u);
+      value = messages[0];
+    }
+    ctx.VoteToHalt();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(engine.VertexValue(0), 90);
+}
+
+TEST(BspEngineTest, AggregatorSumVisibleNextSuperstep) {
+  const size_t n = 5;
+  BspEngine<double, int> engine(n, {4, 2, 1000, PartitionStrategy::kRange});
+  auto status = engine.Run(
+      [](BspEngine<double, int>::Context& ctx, uint32_t v, double& value,
+         const std::vector<int>&) {
+        if (ctx.superstep() == 0) {
+          ctx.AggregateSum("degree", 1.0);
+          ctx.SendMessage(v, 0);  // keep self alive one more step
+        } else {
+          value = ctx.GetAggregate("degree");
+        }
+        ctx.VoteToHalt();
+      });
+  ASSERT_TRUE(status.ok());
+  for (uint32_t v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(engine.VertexValue(v), 5.0);
+  }
+}
+
+TEST(BspEngineTest, MaxSuperstepsBoundsRunawayPrograms) {
+  IntEngine::Options options = SmallOptions();
+  options.max_supersteps = 3;
+  IntEngine engine(2, options);
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t v, int&,
+                              const std::vector<int>&) {
+    ctx.SendMessage(1 - v, 1);  // ping-pong forever
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(engine.superstep(), 3u);
+}
+
+TEST(BspEngineTest, DeterministicAcrossThreadCounts) {
+  // Same program, 1 thread vs 4 threads: identical vertex values. The
+  // program sums incoming neighbour ids over a ring.
+  auto run_with_threads = [&](size_t threads) {
+    const size_t n = 64;
+    IntEngine::Options options;
+    options.num_partitions = 8;
+    options.num_threads = threads;
+    IntEngine engine(n, options);
+    auto status = engine.Run([n](IntEngine::Context& ctx, uint32_t v,
+                                 int& value,
+                                 const std::vector<int>& messages) {
+      if (ctx.superstep() == 0) {
+        ctx.SendMessage((v + 1) % n, static_cast<int>(v));
+        ctx.SendMessage((v + n - 1) % n, static_cast<int>(v));
+      }
+      for (int m : messages) value += m;
+      ctx.VoteToHalt();
+    });
+    EXPECT_TRUE(status.ok());
+    std::vector<int> values;
+    for (uint32_t v = 0; v < n; ++v) values.push_back(engine.VertexValue(v));
+    return values;
+  };
+  EXPECT_EQ(run_with_threads(1), run_with_threads(4));
+}
+
+TEST(BspEngineTest, HaltedVertexReactivatedByMessage) {
+  IntEngine engine(2, SmallOptions());
+  auto status = engine.Run([](IntEngine::Context& ctx, uint32_t v, int& value,
+                              const std::vector<int>& messages) {
+    if (ctx.superstep() == 0) {
+      if (v == 1) {
+        ctx.VoteToHalt();  // vertex 1 halts immediately
+        return;
+      }
+      ctx.SendMessage(1, 7);  // vertex 0 wakes it back up
+      ctx.VoteToHalt();
+      return;
+    }
+    for (int m : messages) value = m;  // must run again to see 7
+    ctx.VoteToHalt();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(engine.VertexValue(1), 7);
+}
+
+TEST(BspEngineTest, ActivateAllRestartsHaltedVertices) {
+  IntEngine engine(4, SmallOptions());
+  auto once = [](IntEngine::Context& ctx, uint32_t, int& value,
+                 const std::vector<int>&) {
+    ++value;
+    ctx.VoteToHalt();
+  };
+  ASSERT_TRUE(engine.Run(once).ok());
+  engine.ActivateAll();
+  ASSERT_TRUE(engine.Run(once).ok());
+  for (uint32_t v = 0; v < 4; ++v) EXPECT_EQ(engine.VertexValue(v), 2);
+}
+
+}  // namespace
+}  // namespace shoal::engine

@@ -1,0 +1,118 @@
+#include "eval/cluster_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace shoal::eval {
+namespace {
+
+TEST(ClusterMetricsTest, ValidatesInputs) {
+  EXPECT_FALSE(NormalizedMutualInformation({}, {}).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({1}, {1, 2}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({}, {}).ok());
+  EXPECT_FALSE(Purity({1}, {}).ok());
+  EXPECT_FALSE(PairwiseF1({}, {1}).ok());
+}
+
+TEST(ClusterMetricsTest, PerfectAgreement) {
+  std::vector<uint32_t> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, labels).value(), 1.0,
+              1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(labels, labels).value(), 1.0, 1e-12);
+  EXPECT_NEAR(Purity(labels, labels).value(), 1.0, 1e-12);
+  auto f1 = PairwiseF1(labels, labels).value();
+  EXPECT_NEAR(f1.f1, 1.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, RelabeledPartitionsStillPerfect) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> relabeled = {7, 7, 3, 3};
+  EXPECT_NEAR(NormalizedMutualInformation(relabeled, truth).value(), 1.0,
+              1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(relabeled, truth).value(), 1.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, AriNearZeroForRandomLabels) {
+  util::Rng rng(5);
+  std::vector<uint32_t> truth(2000);
+  std::vector<uint32_t> predicted(2000);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<uint32_t>(rng.Uniform(5));
+    predicted[i] = static_cast<uint32_t>(rng.Uniform(5));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(predicted, truth).value(), 0.0, 0.02);
+}
+
+TEST(ClusterMetricsTest, NmiZeroForIndependentLabels) {
+  // Predicted splits each truth class exactly in half: the contingency
+  // is independent, MI = 0.
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> predicted = {0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(predicted, truth).value(), 0.0,
+              1e-12);
+}
+
+TEST(ClusterMetricsTest, PurityOfMergedClusters) {
+  // One predicted cluster over two equal truth classes: purity 0.5.
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> predicted = {9, 9, 9, 9};
+  EXPECT_NEAR(Purity(predicted, truth).value(), 0.5, 1e-12);
+}
+
+TEST(ClusterMetricsTest, PuritySingletonsAlwaysOne) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> predicted = {0, 1, 2, 3};
+  EXPECT_NEAR(Purity(predicted, truth).value(), 1.0, 1e-12);
+}
+
+TEST(ClusterMetricsTest, PairwiseScoresOnKnownExample) {
+  // truth pairs: (0,1) and (2,3); predicted groups {0,1,2} and {3}.
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> predicted = {5, 5, 5, 6};
+  auto scores = PairwiseF1(predicted, truth).value();
+  // predicted same-pairs: (0,1),(0,2),(1,2) = 3; of those only (0,1) is a
+  // truth pair -> precision 1/3. truth pairs = 2; recall = 1/2.
+  EXPECT_NEAR(scores.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(scores.recall, 0.5, 1e-12);
+  EXPECT_NEAR(scores.f1, 2.0 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5),
+              1e-12);
+}
+
+TEST(ClusterMetricsTest, FinerPartitionHasPerfectPairPrecision) {
+  // Splitting truth clusters keeps all predicted pairs correct.
+  std::vector<uint32_t> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<uint32_t> predicted = {0, 0, 1, 1, 2, 2, 3, 3};
+  auto scores = PairwiseF1(predicted, truth).value();
+  EXPECT_NEAR(scores.precision, 1.0, 1e-12);
+  EXPECT_LT(scores.recall, 1.0);
+}
+
+TEST(ClusterMetricsTest, MetricsDegradeWithNoise) {
+  util::Rng rng(11);
+  std::vector<uint32_t> truth(500);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<uint32_t>(i % 10);
+  }
+  auto corrupt = [&](double rate) {
+    std::vector<uint32_t> labels = truth;
+    for (auto& l : labels) {
+      if (rng.Bernoulli(rate)) l = static_cast<uint32_t>(rng.Uniform(10));
+    }
+    return labels;
+  };
+  double nmi_low = NormalizedMutualInformation(corrupt(0.1), truth).value();
+  double nmi_high = NormalizedMutualInformation(corrupt(0.6), truth).value();
+  EXPECT_GT(nmi_low, nmi_high);
+  EXPECT_GT(nmi_low, 0.6);
+}
+
+TEST(ClusterMetricsTest, BothTrivialPartitionsAgree) {
+  std::vector<uint32_t> all_same = {3, 3, 3};
+  EXPECT_NEAR(NormalizedMutualInformation(all_same, all_same).value(), 1.0,
+              1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(all_same, all_same).value(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace shoal::eval

@@ -1,0 +1,188 @@
+#include "eval/ctr_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::eval {
+namespace {
+
+// Recommender that always returns items with the given intent label.
+class FixedPoolRecommender : public Recommender {
+ public:
+  FixedPoolRecommender(std::vector<uint32_t> pool, const char* name)
+      : pool_(std::move(pool)), name_(name) {}
+
+  std::vector<uint32_t> Recommend(uint32_t seed_entity, size_t k,
+                                  util::Rng& rng) const override {
+    std::vector<uint32_t> slate;
+    while (slate.size() < k) {
+      uint32_t e = pool_[rng.Uniform(pool_.size())];
+      if (e != seed_entity) slate.push_back(e);
+    }
+    return slate;
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  std::vector<uint32_t> pool_;
+  const char* name_;
+};
+
+// 10 entities: 0-4 intent 0 (root 0), 5-9 intent 1 (root 0 too).
+struct SimFixture {
+  std::vector<uint32_t> intents = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<uint32_t> categories = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<uint32_t> intent_roots = {0, 0};
+};
+
+TEST(CtrSimTest, ValidatesInputs) {
+  SimFixture f;
+  FixedPoolRecommender r({0, 1}, "r");
+  CtrSimOptions options;
+  EXPECT_FALSE(
+      RunCtrSimulation(r, r, {}, {}, f.intent_roots, options).ok());
+  options.slate_size = 0;
+  EXPECT_FALSE(RunCtrSimulation(r, r, f.intents, f.categories,
+                                f.intent_roots, options)
+                   .ok());
+}
+
+TEST(CtrSimTest, ImpressionsCounted) {
+  SimFixture f;
+  FixedPoolRecommender r({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "r");
+  CtrSimOptions options;
+  options.num_sessions = 100;
+  options.slate_size = 4;
+  auto result = RunCtrSimulation(r, r, f.intents, f.categories,
+                                 f.intent_roots, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->control.impressions, 400u);
+  EXPECT_EQ(result->treatment.impressions, 400u);
+}
+
+TEST(CtrSimTest, IntentMatchedArmWinsOverRandom) {
+  // Intents in different roots so relevance separation is sharp; every
+  // entity gets its own category so the navigational component is inert.
+  std::vector<uint32_t> intents = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  std::vector<uint32_t> categories = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<uint32_t> intent_roots = {0, 1};
+  // "Smart" arm recommends from the seed's intent group; "random" arm
+  // recommends uniformly.
+  class IntentRecommender : public Recommender {
+   public:
+    explicit IntentRecommender(const std::vector<uint32_t>& intents)
+        : intents_(intents) {}
+    std::vector<uint32_t> Recommend(uint32_t seed, size_t k,
+                                    util::Rng& rng) const override {
+      std::vector<uint32_t> slate;
+      while (slate.size() < k) {
+        uint32_t e = static_cast<uint32_t>(rng.Uniform(intents_.size()));
+        if (e != seed && intents_[e] == intents_[seed]) slate.push_back(e);
+      }
+      return slate;
+    }
+    const char* name() const override { return "intent"; }
+
+   private:
+    const std::vector<uint32_t>& intents_;
+  };
+  IntentRecommender smart(intents);
+  FixedPoolRecommender random({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "random");
+  CtrSimOptions options;
+  options.num_sessions = 4000;
+  options.seed = 9;
+  auto result = RunCtrSimulation(random, smart, intents, categories,
+                                 intent_roots, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->treatment.ctr(), result->control.ctr());
+  EXPECT_GT(result->Lift(), 0.2);
+}
+
+TEST(CtrSimTest, IdenticalArmsHaveNearZeroLift) {
+  SimFixture f;
+  FixedPoolRecommender r({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "same");
+  CtrSimOptions options;
+  options.num_sessions = 40000;
+  auto result = RunCtrSimulation(r, r, f.intents, f.categories,
+                                 f.intent_roots, options);
+  ASSERT_TRUE(result.ok());
+  // Arms draw independent samples, so only sampling noise remains:
+  // ~40k sessions x 8 slots keeps the lift within a few percent.
+  EXPECT_NEAR(result->Lift(), 0.0, 0.05);
+}
+
+TEST(CtrSimTest, DeterministicForSeed) {
+  SimFixture f;
+  FixedPoolRecommender r({0, 1, 2, 3, 4}, "r");
+  CtrSimOptions options;
+  options.num_sessions = 500;
+  auto a = RunCtrSimulation(r, r, f.intents, f.categories, f.intent_roots,
+                            options);
+  auto b = RunCtrSimulation(r, r, f.intents, f.categories, f.intent_roots,
+                            options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->control.clicks, b->control.clicks);
+  EXPECT_EQ(a->treatment.clicks, b->treatment.clicks);
+}
+
+TEST(CtrSimTest, PositionDecayLowersDeepSlotClicks) {
+  SimFixture f;
+  FixedPoolRecommender r({0, 1, 2, 3, 4}, "r");
+  CtrSimOptions strong_decay;
+  strong_decay.num_sessions = 4000;
+  strong_decay.position_decay = 0.3;
+  CtrSimOptions no_decay = strong_decay;
+  no_decay.position_decay = 1.0;
+  auto with_decay = RunCtrSimulation(r, r, f.intents, f.categories,
+                                     f.intent_roots, strong_decay);
+  auto without = RunCtrSimulation(r, r, f.intents, f.categories,
+                                  f.intent_roots, no_decay);
+  ASSERT_TRUE(with_decay.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_LT(with_decay->control.ctr(), without->control.ctr());
+}
+
+TEST(CtrSimTest, ArmResultCtrMath) {
+  ArmResult arm;
+  EXPECT_EQ(arm.ctr(), 0.0);
+  arm.impressions = 200;
+  arm.clicks = 10;
+  EXPECT_DOUBLE_EQ(arm.ctr(), 0.05);
+  CtrSimResult result;
+  result.control = arm;
+  result.treatment.impressions = 200;
+  result.treatment.clicks = 11;
+  EXPECT_NEAR(result.Lift(), 0.1, 1e-12);
+}
+
+TEST(CtrSimTest, ZScoreBehaviour) {
+  CtrSimResult result;
+  // Empty arms: no evidence.
+  EXPECT_EQ(result.ZScore(), 0.0);
+  // Identical arms: z = 0.
+  result.control.impressions = 10000;
+  result.control.clicks = 500;
+  result.treatment.impressions = 10000;
+  result.treatment.clicks = 500;
+  EXPECT_DOUBLE_EQ(result.ZScore(), 0.0);
+  // Clearly better treatment: strongly positive z.
+  result.treatment.clicks = 700;
+  EXPECT_GT(result.ZScore(), 5.0);
+  // Worse treatment: negative z.
+  result.treatment.clicks = 300;
+  EXPECT_LT(result.ZScore(), -5.0);
+}
+
+TEST(CtrSimTest, ZScoreScalesWithSampleSize) {
+  CtrSimResult small;
+  small.control = {1000, 50};
+  small.treatment = {1000, 60};
+  CtrSimResult large;
+  large.control = {100000, 5000};
+  large.treatment = {100000, 6000};
+  EXPECT_GT(large.ZScore(), small.ZScore() * 5.0);
+}
+
+}  // namespace
+}  // namespace shoal::eval

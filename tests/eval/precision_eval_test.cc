@@ -1,0 +1,121 @@
+#include "eval/precision_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::eval {
+namespace {
+
+// Taxonomy with two topics: one pure, one 3/4 pure.
+struct PrecisionFixture {
+  core::Dendrogram dendrogram{8};
+  core::Taxonomy taxonomy;
+  // Topic A = {0,1,2,3} intents {7,7,7,7}; topic B = {4,5,6,7} intents
+  // {8,8,8,9}.
+  std::vector<uint32_t> intents{7, 7, 7, 7, 8, 8, 8, 9};
+
+  PrecisionFixture() {
+    auto chain = [this](uint32_t a, uint32_t b, uint32_t c, uint32_t e) {
+      uint32_t m1 = dendrogram.Merge(a, b, 0.9).value();
+      uint32_t m2 = dendrogram.Merge(m1, c, 0.8).value();
+      (void)dendrogram.Merge(m2, e, 0.7).value();
+    };
+    chain(0, 1, 2, 3);
+    chain(4, 5, 6, 7);
+    core::TaxonomyOptions options;
+    options.min_topic_size = 4;
+    options.min_root_size = 4;
+    taxonomy = core::Taxonomy::Build(dendrogram, intents, options);
+    EXPECT_EQ(taxonomy.roots().size(), 2u);
+  }
+};
+
+TEST(PrecisionEvalTest, ValidatesInputs) {
+  PrecisionFixture f;
+  std::vector<uint32_t> wrong_size = {1, 2};
+  EXPECT_FALSE(EvaluatePlacementPrecision(f.taxonomy, wrong_size,
+                                          PrecisionEvalOptions{})
+                   .ok());
+  PrecisionEvalOptions bad;
+  bad.judge_noise = 2.0;
+  EXPECT_FALSE(EvaluatePlacementPrecision(f.taxonomy, f.intents, bad).ok());
+}
+
+TEST(PrecisionEvalTest, NoiselessOracleMeasuresMajorityAgreement) {
+  PrecisionFixture f;
+  PrecisionEvalOptions options;
+  options.topics_to_sample = 10;
+  options.items_per_topic = 100;
+  options.roots_only = true;
+  auto result = EvaluatePlacementPrecision(f.taxonomy, f.intents, options);
+  ASSERT_TRUE(result.ok());
+  // Topic A: 4/4 correct; topic B: 3/4 correct -> 7/8 overall.
+  EXPECT_EQ(result->topics_sampled, 2u);
+  EXPECT_EQ(result->items_judged, 8u);
+  EXPECT_NEAR(result->precision, 7.0 / 8.0, 1e-12);
+}
+
+TEST(PrecisionEvalTest, PerfectClusteringGivesFullPrecision) {
+  PrecisionFixture f;
+  std::vector<uint32_t> pure_intents = {7, 7, 7, 7, 8, 8, 8, 8};
+  auto result = EvaluatePlacementPrecision(f.taxonomy, pure_intents,
+                                           PrecisionEvalOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->precision, 1.0);
+}
+
+TEST(PrecisionEvalTest, SamplingCapsRespected) {
+  PrecisionFixture f;
+  PrecisionEvalOptions options;
+  options.topics_to_sample = 1;
+  options.items_per_topic = 2;
+  options.roots_only = true;
+  auto result = EvaluatePlacementPrecision(f.taxonomy, f.intents, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->topics_sampled, 1u);
+  EXPECT_EQ(result->items_judged, 2u);
+}
+
+TEST(PrecisionEvalTest, JudgeNoiseFlipsVerdicts) {
+  PrecisionFixture f;
+  std::vector<uint32_t> pure_intents = {7, 7, 7, 7, 8, 8, 8, 8};
+  PrecisionEvalOptions options;
+  options.judge_noise = 1.0;  // every verdict flipped
+  auto result = EvaluatePlacementPrecision(f.taxonomy, pure_intents, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->precision, 0.0);
+}
+
+TEST(PrecisionEvalTest, ModerateNoiseLowersPrecision) {
+  PrecisionFixture f;
+  std::vector<uint32_t> pure_intents = {7, 7, 7, 7, 8, 8, 8, 8};
+  PrecisionEvalOptions options;
+  options.judge_noise = 0.3;
+  options.seed = 3;
+  auto result = EvaluatePlacementPrecision(f.taxonomy, pure_intents, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->precision, 1.0);
+  EXPECT_GT(result->precision, 0.3);
+}
+
+TEST(PrecisionEvalTest, MinTopicSizeFiltersTinyTopics) {
+  PrecisionFixture f;
+  PrecisionEvalOptions options;
+  options.min_topic_size = 100;  // nothing qualifies
+  auto result = EvaluatePlacementPrecision(f.taxonomy, f.intents, options);
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(PrecisionEvalTest, DeterministicForSeed) {
+  PrecisionFixture f;
+  PrecisionEvalOptions options;
+  options.judge_noise = 0.2;
+  options.seed = 42;
+  auto a = EvaluatePlacementPrecision(f.taxonomy, f.intents, options);
+  auto b = EvaluatePlacementPrecision(f.taxonomy, f.intents, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->precision, b->precision);
+}
+
+}  // namespace
+}  // namespace shoal::eval

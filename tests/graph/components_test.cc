@@ -1,0 +1,91 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::graph {
+namespace {
+
+TEST(ConnectedComponentsTest, IsolatedVertices) {
+  WeightedGraph g(3);
+  size_t count = 0;
+  auto labels = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 2u);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  size_t count = 0;
+  auto labels = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 1u);
+  for (uint32_t l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  WeightedGraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 1.0).ok());
+  size_t count = 0;
+  auto labels = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3u);  // {0,1}, {2}, {3,4}
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[2], labels[3]);
+}
+
+TEST(ConnectedComponentsTest, NullCountPointerOk) {
+  WeightedGraph g(2);
+  auto labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.size(), 2u);
+}
+
+TEST(UnionFindTest, InitiallyDisjoint) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Connected(2, 2));
+}
+
+TEST(UnionFindTest, UnionConnects) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFindTest, RedundantUnionIsNoop) {
+  UnionFind uf(3);
+  uint32_t r1 = uf.Union(0, 1);
+  uint32_t r2 = uf.Union(1, 0);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFindTest, ComponentSizeTracked) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.ComponentSize(0), 3u);
+  EXPECT_EQ(uf.ComponentSize(2), 3u);
+  EXPECT_EQ(uf.ComponentSize(4), 1u);
+}
+
+TEST(UnionFindTest, ChainCollapses) {
+  UnionFind uf(100);
+  for (uint32_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+  EXPECT_EQ(uf.ComponentSize(50), 100u);
+}
+
+}  // namespace
+}  // namespace shoal::graph

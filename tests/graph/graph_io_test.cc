@@ -1,0 +1,74 @@
+#include "graph/graph_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/tsv.h"
+
+namespace shoal::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "shoal_graph_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesGraph) {
+  auto generated = GenerateErdosRenyi(40, 0.2, 5);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_TRUE(SaveGraphTsv(*generated, Path("g.tsv")).ok());
+  auto loaded = LoadGraphTsv(Path("g.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), generated->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), generated->num_edges());
+  for (const auto& e : generated->AllEdges()) {
+    EXPECT_NEAR(loaded->EdgeWeight(e.u, e.v), e.weight, 1e-9);
+  }
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrip) {
+  WeightedGraph g(7);
+  ASSERT_TRUE(SaveGraphTsv(g, Path("empty.tsv")).ok());
+  auto loaded = LoadGraphTsv(Path("empty.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 7u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadGraphTsv(Path("nope.tsv")).status().code(),
+            util::StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, MissingHeaderRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("raw.tsv"), "0\t1\t0.5\n").ok());
+  EXPECT_EQ(LoadGraphTsv(Path("raw.tsv")).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, MalformedRowRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("bad.tsv"),
+                                  "# shoal-graph v1 vertices=3\n0\t1\n")
+                  .ok());
+  EXPECT_FALSE(LoadGraphTsv(Path("bad.tsv")).ok());
+}
+
+TEST_F(GraphIoTest, OutOfRangeEdgeRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("oob.tsv"),
+                                  "# shoal-graph v1 vertices=2\n0\t5\t0.5\n")
+                  .ok());
+  EXPECT_FALSE(LoadGraphTsv(Path("oob.tsv")).ok());
+}
+
+}  // namespace
+}  // namespace shoal::graph

@@ -1,0 +1,119 @@
+#include "graph/modularity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace shoal::graph {
+namespace {
+
+TEST(ModularityTest, SizeMismatchRejected) {
+  WeightedGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  auto result = Modularity(g, {0, 1});
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModularityTest, EdgelessGraphRejected) {
+  WeightedGraph g(3);
+  auto result = Modularity(g, {0, 1, 2});
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  // With everything in one community, Q = 1 - 1 = 0 by definition.
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  auto q = Modularity(g, {0, 0, 0, 0});
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value(), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, TwoCliquesWithBridge) {
+  // Classic example: two triangles joined by one edge. Putting each
+  // triangle in its own community gives Q = 10/49 ~ 0.357 - 1/7... use
+  // exact computation: m=7, within each community in_c = 6 edges-halves
+  // -> Q = (6/14 + 6/14) - ((7/14)^2 + (7/14)^2) = 6/7 - 1/2 = 0.357...
+  WeightedGraph g(6);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 5, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  auto q = Modularity(g, {0, 0, 0, 1, 1, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q.value(), 6.0 / 7.0 - 0.5, 1e-12);
+}
+
+TEST(ModularityTest, SingletonCommunitiesNegative) {
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1.0).ok());
+  auto q = Modularity(g, {0, 1, 2, 3});
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(q.value(), 0.0);
+}
+
+TEST(ModularityTest, GroundTruthOnPlantedPartitionExceedsPointThree) {
+  // The paper's acceptance bar: clusters with modularity > 0.3.
+  PlantedPartitionOptions options;
+  options.num_vertices = 300;
+  options.num_clusters = 6;
+  options.p_in = 0.3;
+  options.p_out = 0.01;
+  auto planted = GeneratePlantedPartition(options);
+  ASSERT_TRUE(planted.ok());
+  auto q = Modularity(planted->graph, planted->ground_truth);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q.value(), 0.3);
+}
+
+TEST(ModularityTest, GroundTruthBeatsRandomLabels) {
+  PlantedPartitionOptions options;
+  options.num_vertices = 200;
+  options.num_clusters = 5;
+  auto planted = GeneratePlantedPartition(options);
+  ASSERT_TRUE(planted.ok());
+  auto q_truth = Modularity(planted->graph, planted->ground_truth);
+  ASSERT_TRUE(q_truth.ok());
+  std::vector<uint32_t> random_labels(options.num_vertices);
+  util::Rng rng(1);
+  for (auto& l : random_labels) {
+    l = static_cast<uint32_t>(rng.Uniform(options.num_clusters));
+  }
+  auto q_random = Modularity(planted->graph, random_labels);
+  ASSERT_TRUE(q_random.ok());
+  EXPECT_GT(q_truth.value(), q_random.value() + 0.2);
+}
+
+TEST(ModularityTest, WeightedEdgesRespected) {
+  // Two pairs; the heavy edge dominates the partition quality.
+  WeightedGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.1).ok());
+  auto q_good = Modularity(g, {0, 0, 1, 1});
+  auto q_bad = Modularity(g, {0, 1, 0, 1});
+  ASSERT_TRUE(q_good.ok());
+  ASSERT_TRUE(q_bad.ok());
+  EXPECT_GT(q_good.value(), q_bad.value());
+  EXPECT_GT(q_good.value(), 0.4);
+}
+
+TEST(ModularityTest, BoundedAboveByOne) {
+  PlantedPartitionOptions options;
+  options.num_vertices = 100;
+  options.num_clusters = 4;
+  auto planted = GeneratePlantedPartition(options);
+  ASSERT_TRUE(planted.ok());
+  auto q = Modularity(planted->graph, planted->ground_truth);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(q.value(), 1.0);
+  EXPECT_GE(q.value(), -0.5);
+}
+
+}  // namespace
+}  // namespace shoal::graph

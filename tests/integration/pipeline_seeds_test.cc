@@ -1,0 +1,62 @@
+// Robustness matrix: the end-to-end pipeline must hit its quality bars
+// across random seeds, not just the one the other tests use. Each case
+// generates an independent workload and checks the paper's headline
+// metrics at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "core/shoal.h"
+#include "data/dataset.h"
+#include "data/shoal_adapter.h"
+#include "eval/cluster_metrics.h"
+#include "eval/precision_eval.h"
+#include "graph/modularity.h"
+
+namespace shoal {
+namespace {
+
+class PipelineSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineSeedTest, QualityBarsHoldAcrossSeeds) {
+  data::DatasetOptions data_options;
+  data_options.num_entities = 600;
+  data_options.num_queries = 450;
+  data_options.num_clicks = 30000;
+  data_options.num_root_intents = 5;
+  data_options.children_per_root = 2;
+  data_options.seed = GetParam();
+  auto dataset = data::GenerateDataset(data_options);
+  ASSERT_TRUE(dataset.ok());
+  auto bundle = data::MakeShoalInput(*dataset);
+  auto model = core::BuildShoal(bundle.View(), core::ShoalOptions{});
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  auto labels = model->taxonomy().RootLabels();
+  auto truth = dataset->EntityIntentLabels();
+
+  // Paper bar 1: modularity > 0.3 on the entity graph.
+  auto modularity = graph::Modularity(model->entity_graph(), labels);
+  ASSERT_TRUE(modularity.ok());
+  EXPECT_GT(modularity.value(), 0.3) << "seed " << GetParam();
+
+  // Paper bar 2: high placement precision under the expert protocol.
+  eval::PrecisionEvalOptions precision_options;
+  precision_options.topics_to_sample = 200;
+  precision_options.items_per_topic = 50;
+  auto precision = eval::EvaluatePlacementPrecision(model->taxonomy(),
+                                                    truth,
+                                                    precision_options);
+  ASSERT_TRUE(precision.ok());
+  EXPECT_GT(precision->precision, 0.9) << "seed " << GetParam();
+
+  // Recovery of the planted structure.
+  auto nmi = eval::NormalizedMutualInformation(labels, truth);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GT(nmi.value(), 0.6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace shoal

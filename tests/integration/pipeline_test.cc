@@ -1,0 +1,245 @@
+// End-to-end integration tests: synthetic workload -> full SHOAL
+// pipeline -> taxonomy, descriptions, correlations, search, and the
+// evaluation harnesses on top.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ontology_recommender.h"
+#include "baselines/topic_recommender.h"
+#include "core/shoal.h"
+#include "data/dataset.h"
+#include "data/shoal_adapter.h"
+#include "eval/cluster_metrics.h"
+#include "eval/ctr_sim.h"
+#include "eval/precision_eval.h"
+#include "graph/modularity.h"
+
+namespace shoal {
+namespace {
+
+// One shared fixture build (the pipeline takes ~1s): gtest Environment
+// semantics via a function-local static.
+struct PipelineArtifacts {
+  data::Dataset dataset;
+  data::ShoalInputBundle bundle;
+  core::ShoalModel model;
+};
+
+const PipelineArtifacts& Artifacts() {
+  static PipelineArtifacts* artifacts = [] {
+    auto* a = new PipelineArtifacts();
+    data::DatasetOptions data_options;
+    data_options.num_entities = 800;
+    data_options.num_queries = 700;
+    data_options.num_clicks = 40000;
+    data_options.num_root_intents = 6;
+    data_options.children_per_root = 2;
+    data_options.seed = 4242;
+    auto dataset = data::GenerateDataset(data_options);
+    EXPECT_TRUE(dataset.ok());
+    a->dataset = std::move(dataset).value();
+    a->bundle = data::MakeShoalInput(a->dataset);
+    core::ShoalOptions options;
+    options.correlation.min_strength = 1;
+    auto model = core::BuildShoal(a->bundle.View(), options);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    a->model = std::move(model).value();
+    return a;
+  }();
+  return *artifacts;
+}
+
+TEST(PipelineTest, RejectsNullInput) {
+  core::ShoalInput input;  // all null
+  EXPECT_FALSE(core::BuildShoal(input, core::ShoalOptions{}).ok());
+}
+
+TEST(PipelineTest, RejectsMismatchedMetadata) {
+  const auto& a = Artifacts();
+  core::ShoalInput input = a.bundle.View();
+  std::vector<uint32_t> wrong_categories(3, 0);
+  input.entity_categories = &wrong_categories;
+  EXPECT_FALSE(core::BuildShoal(input, core::ShoalOptions{}).ok());
+}
+
+TEST(PipelineTest, ProducesNonTrivialTaxonomy) {
+  const auto& a = Artifacts();
+  const auto& taxonomy = a.model.taxonomy();
+  EXPECT_GT(taxonomy.num_topics(), 10u);
+  EXPECT_GT(taxonomy.roots().size(), 3u);
+  // A healthy share of entities are placed in topics.
+  size_t placed = 0;
+  for (uint32_t e = 0; e < taxonomy.num_entities(); ++e) {
+    if (taxonomy.TopicOfEntity(e) != core::kNoTopic) ++placed;
+  }
+  EXPECT_GT(placed, a.dataset.entities.size() / 2);
+}
+
+TEST(PipelineTest, TopicMembersAreMutuallyConsistent) {
+  const auto& a = Artifacts();
+  const auto& taxonomy = a.model.taxonomy();
+  for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) {
+    const auto& topic = taxonomy.topic(t);
+    // Children partition-refine the parent's members.
+    for (uint32_t child : topic.children) {
+      const auto& sub = taxonomy.topic(child);
+      EXPECT_EQ(sub.parent, t);
+      EXPECT_LT(sub.entities.size(), topic.entities.size() + 1);
+    }
+    // Category counts sum to the member count.
+    size_t category_total = 0;
+    for (const auto& [cat, count] : topic.categories) {
+      (void)cat;
+      category_total += count;
+    }
+    EXPECT_EQ(category_total, topic.entities.size());
+  }
+}
+
+TEST(PipelineTest, ClustersScoreWellAgainstPlantedIntents) {
+  const auto& a = Artifacts();
+  auto predicted = a.model.taxonomy().RootLabels();
+  auto truth = a.dataset.EntityIntentLabels();
+  auto nmi = eval::NormalizedMutualInformation(predicted, truth);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GT(nmi.value(), 0.5) << "taxonomy diverges from planted intents";
+  auto purity = eval::Purity(predicted, truth);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_GT(purity.value(), 0.7);
+}
+
+TEST(PipelineTest, EntityGraphClustersHavePaperModularity) {
+  const auto& a = Artifacts();
+  auto labels = a.model.taxonomy().RootLabels();
+  auto q = graph::Modularity(a.model.entity_graph(), labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q.value(), 0.3);  // Sec 2.2's in-text claim
+}
+
+TEST(PipelineTest, ExpertPrecisionIsHigh) {
+  const auto& a = Artifacts();
+  eval::PrecisionEvalOptions options;
+  options.topics_to_sample = 1000;
+  options.items_per_topic = 100;
+  auto result = eval::EvaluatePlacementPrecision(
+      a.model.taxonomy(), a.dataset.EntityIntentLabels(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->precision, 0.85)
+      << "paper reports 98% placement precision";
+}
+
+TEST(PipelineTest, DescriptionsExistForDescribedTopics) {
+  const auto& a = Artifacts();
+  const auto& taxonomy = a.model.taxonomy();
+  size_t described = 0;
+  for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) {
+    if (!taxonomy.topic(t).description.empty()) ++described;
+  }
+  EXPECT_GT(described, taxonomy.num_topics() / 2);
+}
+
+TEST(PipelineTest, DescriptionsComeFromTopicQueries) {
+  // Every description string must be the text of a query that actually
+  // interacted with the topic's items.
+  const auto& a = Artifacts();
+  const auto& taxonomy = a.model.taxonomy();
+  const auto& qi = a.bundle.query_item_graph;
+  for (uint32_t r : taxonomy.roots()) {
+    const auto& topic = taxonomy.topic(r);
+    std::unordered_set<std::string> topic_query_texts;
+    for (uint32_t e : topic.entities) {
+      for (const auto& link : qi.RightNeighbors(e)) {
+        topic_query_texts.insert(a.bundle.query_texts[link.id]);
+      }
+    }
+    for (const auto& description : topic.description) {
+      EXPECT_TRUE(topic_query_texts.contains(description))
+          << "description '" << description << "' alien to topic " << r;
+    }
+  }
+}
+
+TEST(PipelineTest, SearchFindsTopicsForPlantedIntentNames) {
+  // Scenario A: searching a planted root-intent name should hit topics
+  // whose members predominantly carry that scenario.
+  const auto& a = Artifacts();
+  size_t scored = 0;
+  size_t aligned = 0;
+  for (uint32_t root_intent : a.dataset.intents.roots()) {
+    const std::string& name = a.dataset.intents.intent(root_intent).name;
+    auto hits = a.model.SearchTopics(name, 1);
+    if (hits.empty()) continue;
+    ++scored;
+    const auto& topic = a.model.taxonomy().topic(hits[0].topic);
+    size_t matching = 0;
+    for (uint32_t e : topic.entities) {
+      if (a.dataset.intents.RootOf(a.dataset.entities[e].intent) ==
+          root_intent) {
+        ++matching;
+      }
+    }
+    if (matching * 2 > topic.entities.size()) ++aligned;
+  }
+  ASSERT_GT(scored, 3u);
+  EXPECT_GT(aligned * 10, scored * 7)
+      << aligned << "/" << scored << " searches aligned";
+}
+
+TEST(PipelineTest, CorrelationsMostlyMatchPlantedStructure) {
+  const auto& a = Artifacts();
+  const auto& pairs = a.model.correlations().pairs();
+  ASSERT_FALSE(pairs.empty());
+  size_t true_positive = 0;
+  for (const auto& pair : pairs) {
+    if (a.dataset.CategoriesRelated(pair.c1, pair.c2)) ++true_positive;
+  }
+  EXPECT_GT(true_positive * 10, pairs.size() * 7)
+      << true_positive << "/" << pairs.size() << " correlations planted";
+}
+
+TEST(PipelineTest, AbTestShowsPositiveModestLift) {
+  const auto& a = Artifacts();
+  baselines::OntologyRecommender control(a.dataset.ontology,
+                                         a.bundle.entity_categories);
+  baselines::TopicRecommender treatment(a.model.taxonomy(), &control);
+  std::vector<uint32_t> intent_roots(a.dataset.intents.size());
+  for (uint32_t i = 0; i < a.dataset.intents.size(); ++i) {
+    intent_roots[i] = a.dataset.intents.RootOf(i);
+  }
+  eval::CtrSimOptions options;
+  options.num_sessions = 8000;
+  auto result = eval::RunCtrSimulation(
+      control, treatment, a.dataset.EntityIntentLabels(),
+      a.bundle.entity_categories, intent_roots, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->Lift(), 0.0) << "paper reports +5% CTR";
+  EXPECT_LT(result->Lift(), 0.6) << "lift implausibly large";
+}
+
+TEST(PipelineTest, DeterministicEndToEnd) {
+  // Rebuilding from the same dataset and options reproduces the same
+  // root structure.
+  const auto& a = Artifacts();
+  core::ShoalOptions options;
+  options.correlation.min_strength = 1;
+  auto again = core::BuildShoal(a.bundle.View(), options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->taxonomy().num_topics(), a.model.taxonomy().num_topics());
+  EXPECT_EQ(again->taxonomy().RootLabels(),
+            a.model.taxonomy().RootLabels());
+}
+
+TEST(PipelineTest, StatsArePopulated) {
+  const auto& a = Artifacts();
+  const auto& stats = a.model.stats();
+  EXPECT_GT(stats.entity_graph.kept_edges, 0u);
+  EXPECT_GT(stats.hac.total_merges, 0u);
+  EXPECT_GT(stats.hac.rounds, 0u);
+  EXPECT_EQ(stats.num_topics, a.model.taxonomy().num_topics());
+  EXPECT_EQ(stats.num_root_topics, a.model.taxonomy().roots().size());
+}
+
+}  // namespace
+}  // namespace shoal

@@ -1,0 +1,119 @@
+#include "text/bm25.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::text {
+namespace {
+
+TEST(Bm25Test, EmptyIndexScoresZero) {
+  Bm25Index index;
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_EQ(index.Score({1, 2}, 0), 0.0);
+  EXPECT_TRUE(index.ScoreAll({1}).empty());
+}
+
+TEST(Bm25Test, AddDocumentAssignsSequentialIds) {
+  Bm25Index index;
+  EXPECT_EQ(index.AddDocument({1, 2}), 0u);
+  EXPECT_EQ(index.AddDocument({3}), 1u);
+  EXPECT_EQ(index.num_documents(), 2u);
+}
+
+TEST(Bm25Test, MatchingDocumentOutscoresNonMatching) {
+  Bm25Index index;
+  index.AddDocument({1, 2, 3});   // doc 0: contains query terms
+  index.AddDocument({7, 8, 9});   // doc 1: unrelated
+  double s0 = index.Score({1, 2}, 0);
+  double s1 = index.Score({1, 2}, 1);
+  EXPECT_GT(s0, 0.0);
+  EXPECT_EQ(s1, 0.0);
+}
+
+TEST(Bm25Test, RareTermWeighsMoreThanCommon) {
+  Bm25Index index;
+  // term 5 appears in every doc; term 6 only in doc 0.
+  index.AddDocument({5, 6});
+  index.AddDocument({5, 7});
+  index.AddDocument({5, 8});
+  double rare = index.Score({6}, 0);
+  double common = index.Score({5}, 0);
+  EXPECT_GT(rare, common);
+}
+
+TEST(Bm25Test, TermFrequencySaturates) {
+  Bm25Index index;
+  index.AddDocument({1});
+  index.AddDocument({1, 1, 1, 1, 1});
+  index.AddDocument({2, 3, 4, 5, 6});  // padding for idf
+  double once = index.Score({1}, 0);
+  double many = index.Score({1}, 1);
+  EXPECT_GT(many, 0.0);
+  // Five occurrences should score more, but far less than 5x (k1 saturation).
+  EXPECT_GT(many, once * 0.9);
+  EXPECT_LT(many, once * 5.0);
+}
+
+TEST(Bm25Test, LongDocumentsPenalized) {
+  Bm25Index index;
+  index.AddDocument({1, 2});                          // short doc with term
+  index.AddDocument({1, 3, 4, 5, 6, 7, 8, 9, 10, 11});  // long doc with term
+  double short_score = index.Score({1}, 0);
+  double long_score = index.Score({1}, 1);
+  EXPECT_GT(short_score, long_score);
+}
+
+TEST(Bm25Test, ScoreAllMatchesIndividualScores) {
+  Bm25Index index;
+  index.AddDocument({1, 2});
+  index.AddDocument({2, 3});
+  index.AddDocument({4});
+  auto all = index.ScoreAll({2, 4});
+  ASSERT_EQ(all.size(), 3u);
+  for (uint32_t d = 0; d < 3; ++d) {
+    EXPECT_DOUBLE_EQ(all[d], index.Score({2, 4}, d));
+  }
+}
+
+TEST(Bm25Test, UnknownQueryTermsIgnored) {
+  Bm25Index index;
+  index.AddDocument({1});
+  EXPECT_EQ(index.Score({999}, 0), 0.0);
+  EXPECT_GT(index.Score({1, 999}, 0), 0.0);
+}
+
+TEST(Bm25Test, OutOfRangeDocScoresZero) {
+  Bm25Index index;
+  index.AddDocument({1});
+  EXPECT_EQ(index.Score({1}, 5), 0.0);
+}
+
+TEST(Bm25Test, RepeatedQueryTermsAddUp) {
+  Bm25Index index;
+  index.AddDocument({1, 2});
+  index.AddDocument({3});
+  double single = index.Score({1}, 0);
+  double doubled = index.Score({1, 1}, 0);
+  EXPECT_NEAR(doubled, 2.0 * single, 1e-12);
+}
+
+TEST(Bm25Test, IdfNonNegativeEvenForUbiquitousTerms) {
+  Bm25Index index;
+  index.AddDocument({1});
+  index.AddDocument({1});
+  index.AddDocument({1});
+  EXPECT_GE(index.Score({1}, 0), 0.0);
+}
+
+TEST(Bm25Test, CustomParameters) {
+  Bm25Index::Options options;
+  options.k1 = 2.0;
+  options.b = 0.0;  // no length normalization
+  Bm25Index index(options);
+  index.AddDocument({1, 2});
+  index.AddDocument({1, 3, 4, 5, 6, 7, 8, 9});
+  // With b = 0, doc length must not matter: equal tf -> equal score.
+  EXPECT_NEAR(index.Score({1}, 0), index.Score({1}, 1), 1e-12);
+}
+
+}  // namespace
+}  // namespace shoal::text

@@ -1,0 +1,102 @@
+#include "text/embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace shoal::text {
+namespace {
+
+TEST(EmbeddingTableTest, ShapeAndInit) {
+  EmbeddingTable table(3, 4, 0.5f);
+  EXPECT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.dim(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t d = 0; d < 4; ++d) EXPECT_EQ(table.Row(r)[d], 0.5f);
+  }
+}
+
+TEST(EmbeddingTableTest, RowsAreIndependent) {
+  EmbeddingTable table(2, 2);
+  table.Row(0)[0] = 1.0f;
+  EXPECT_EQ(table.Row(1)[0], 0.0f);
+}
+
+TEST(EmbeddingTableTest, RowCopyDetaches) {
+  EmbeddingTable table(1, 2);
+  table.Row(0)[0] = 3.0f;
+  auto copy = table.RowCopy(0);
+  table.Row(0)[0] = 9.0f;
+  EXPECT_EQ(copy[0], 3.0f);
+}
+
+TEST(VectorOpsTest, DotProduct) {
+  float a[] = {1.0f, 2.0f, 3.0f};
+  float b[] = {4.0f, 5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 32.0f);
+}
+
+TEST(VectorOpsTest, Norm) {
+  float a[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.0f);
+}
+
+TEST(VectorOpsTest, CosineIdenticalIsOne) {
+  float a[] = {0.3f, -0.4f, 0.5f};
+  EXPECT_NEAR(Cosine(a, a, 3), 1.0f, 1e-6);
+}
+
+TEST(VectorOpsTest, CosineOrthogonalIsZero) {
+  float a[] = {1.0f, 0.0f};
+  float b[] = {0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(Cosine(a, b, 2), 0.0f);
+}
+
+TEST(VectorOpsTest, CosineOppositeIsMinusOne) {
+  float a[] = {2.0f, 0.0f};
+  float b[] = {-1.0f, 0.0f};
+  EXPECT_NEAR(Cosine(a, b, 2), -1.0f, 1e-6);
+}
+
+TEST(VectorOpsTest, CosineZeroVectorIsZero) {
+  float a[] = {0.0f, 0.0f};
+  float b[] = {1.0f, 1.0f};
+  EXPECT_FLOAT_EQ(Cosine(a, b, 2), 0.0f);
+}
+
+TEST(VectorOpsTest, ShiftedCosineMapsToUnitInterval) {
+  // Eq. 2 of the paper: 1/2 + 1/2 cos.
+  float a[] = {1.0f, 0.0f};
+  float b[] = {-1.0f, 0.0f};
+  EXPECT_NEAR(ShiftedCosine(a, a, 2), 1.0f, 1e-6);
+  EXPECT_NEAR(ShiftedCosine(a, b, 2), 0.0f, 1e-6);
+  float c[] = {0.0f, 1.0f};
+  EXPECT_NEAR(ShiftedCosine(a, c, 2), 0.5f, 1e-6);
+}
+
+TEST(MeanVectorTest, AveragesRows) {
+  EmbeddingTable table(3, 2);
+  table.Row(0)[0] = 1.0f;
+  table.Row(1)[0] = 3.0f;
+  table.Row(2)[1] = 6.0f;
+  auto mean = MeanVector(table, {0, 1, 2});
+  EXPECT_FLOAT_EQ(mean[0], 4.0f / 3.0f);
+  EXPECT_FLOAT_EQ(mean[1], 2.0f);
+}
+
+TEST(MeanVectorTest, EmptyIdsGiveZeroVector) {
+  EmbeddingTable table(2, 3, 1.0f);
+  auto mean = MeanVector(table, {});
+  for (float v : mean) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(MeanVectorTest, DuplicateIdsWeighting) {
+  EmbeddingTable table(2, 1);
+  table.Row(0)[0] = 1.0f;
+  table.Row(1)[0] = 4.0f;
+  auto mean = MeanVector(table, {0, 0, 1});
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace shoal::text

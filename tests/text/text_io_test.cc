@@ -1,0 +1,107 @@
+#include "text/text_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/tsv.h"
+
+namespace shoal::text {
+namespace {
+
+class TextIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "shoal_text_io";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TextIoTest, VocabularyRoundTrip) {
+  Vocabulary vocab;
+  vocab.AddWord("beach", 10);
+  vocab.AddWord("dress", 5);
+  vocab.AddWord("sunblock", 1);
+  ASSERT_TRUE(SaveVocabulary(vocab, Path("vocab.tsv")).ok());
+  auto loaded = LoadVocabulary(Path("vocab.tsv"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->Lookup("beach"), 0u);
+  EXPECT_EQ(loaded->Lookup("dress"), 1u);
+  EXPECT_EQ(loaded->CountOf(0), 10u);
+  EXPECT_EQ(loaded->total_count(), 16u);
+}
+
+TEST_F(TextIoTest, VocabularyDuplicateRejected) {
+  ASSERT_TRUE(util::WriteTsv(Path("dup.tsv"),
+                             {{"beach", "1"}, {"beach", "2"}})
+                  .ok());
+  EXPECT_FALSE(LoadVocabulary(Path("dup.tsv")).ok());
+}
+
+TEST_F(TextIoTest, VocabularyMalformedRowRejected) {
+  ASSERT_TRUE(util::WriteTsv(Path("bad.tsv"), {{"onlyfield"}}).ok());
+  EXPECT_FALSE(LoadVocabulary(Path("bad.tsv")).ok());
+}
+
+TEST_F(TextIoTest, EmbeddingsRoundTrip) {
+  util::Rng rng(5);
+  EmbeddingTable table(7, 13);
+  for (size_t r = 0; r < table.rows(); ++r) {
+    for (size_t d = 0; d < table.dim(); ++d) {
+      table.Row(r)[d] = static_cast<float>(rng.Gaussian());
+    }
+  }
+  ASSERT_TRUE(SaveEmbeddings(table, Path("vec.tsv")).ok());
+  auto loaded = LoadEmbeddings(Path("vec.tsv"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows(), 7u);
+  ASSERT_EQ(loaded->dim(), 13u);
+  for (size_t r = 0; r < table.rows(); ++r) {
+    for (size_t d = 0; d < table.dim(); ++d) {
+      EXPECT_NEAR(loaded->Row(r)[d], table.Row(r)[d], 1e-6);
+    }
+  }
+}
+
+TEST_F(TextIoTest, EmbeddingsEmptyTable) {
+  EmbeddingTable table(0, 4);
+  ASSERT_TRUE(SaveEmbeddings(table, Path("empty.tsv")).ok());
+  auto loaded = LoadEmbeddings(Path("empty.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+  EXPECT_EQ(loaded->dim(), 4u);
+}
+
+TEST_F(TextIoTest, EmbeddingsMissingHeaderRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("raw.tsv"), "1 2 3\n").ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("raw.tsv")).ok());
+}
+
+TEST_F(TextIoTest, EmbeddingsTruncatedFileRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("trunc.tsv"),
+                                  "# shoal-vectors rows=3 dim=2\n1 2\n")
+                  .ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("trunc.tsv")).ok());
+}
+
+TEST_F(TextIoTest, EmbeddingsShortRowRejected) {
+  ASSERT_TRUE(util::WriteTextFile(Path("short.tsv"),
+                                  "# shoal-vectors rows=1 dim=3\n1 2\n")
+                  .ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("short.tsv")).ok());
+}
+
+TEST_F(TextIoTest, MissingFilesFail) {
+  EXPECT_FALSE(LoadVocabulary(Path("none.tsv")).ok());
+  EXPECT_FALSE(LoadEmbeddings(Path("none.tsv")).ok());
+}
+
+}  // namespace
+}  // namespace shoal::text

@@ -1,0 +1,56 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  auto tokens = Tokenize("beach dress");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "beach");
+  EXPECT_EQ(tokens[1], "dress");
+}
+
+TEST(TokenizerTest, Lowercases) {
+  auto tokens = Tokenize("Beach DRESS");
+  EXPECT_EQ(tokens[0], "beach");
+  EXPECT_EQ(tokens[1], "dress");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto tokens = Tokenize("sun-block,2019 (official)");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "sun");
+  EXPECT_EQ(tokens[1], "block");
+  EXPECT_EQ(tokens[2], "2019");
+  EXPECT_EQ(tokens[3], "official");
+}
+
+TEST(TokenizerTest, DigitsKeptInsideTokens) {
+  auto tokens = Tokenize("dress2 v2x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "dress2");
+  EXPECT_EQ(tokens[1], "v2x");
+}
+
+TEST(TokenizerTest, EmptyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+  EXPECT_TRUE(Tokenize("!!!").empty());
+}
+
+TEST(TokenizerTest, SingleToken) {
+  auto tokens = Tokenize("swimwear");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "swimwear");
+}
+
+TEST(TokenizerTest, LeadingAndTrailingSeparators) {
+  auto tokens = Tokenize("  ..beach..  ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "beach");
+}
+
+}  // namespace
+}  // namespace shoal::text

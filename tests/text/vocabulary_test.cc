@@ -1,0 +1,74 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::text {
+namespace {
+
+TEST(VocabularyTest, AddAssignsSequentialIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.AddWord("beach"), 0u);
+  EXPECT_EQ(vocab.AddWord("dress"), 1u);
+  EXPECT_EQ(vocab.AddWord("sun"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, RepeatedAddReturnsSameIdAndBumpsCount) {
+  Vocabulary vocab;
+  uint32_t id = vocab.AddWord("beach");
+  EXPECT_EQ(vocab.AddWord("beach"), id);
+  EXPECT_EQ(vocab.CountOf(id), 2u);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupWithoutInsertion) {
+  Vocabulary vocab;
+  vocab.AddWord("beach");
+  EXPECT_EQ(vocab.Lookup("beach"), 0u);
+  EXPECT_EQ(vocab.Lookup("mountain"), kUnknownWord);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, WordOfInvertsIds) {
+  Vocabulary vocab;
+  vocab.AddWord("a");
+  vocab.AddWord("b");
+  EXPECT_EQ(vocab.WordOf(0), "a");
+  EXPECT_EQ(vocab.WordOf(1), "b");
+}
+
+TEST(VocabularyTest, ExplicitCounts) {
+  Vocabulary vocab;
+  uint32_t id = vocab.AddWord("x", 10);
+  vocab.AddWord("x", 5);
+  EXPECT_EQ(vocab.CountOf(id), 15u);
+  EXPECT_EQ(vocab.total_count(), 15u);
+}
+
+TEST(VocabularyTest, ZeroCountInsertions) {
+  Vocabulary vocab;
+  uint32_t id = vocab.AddWord("rare", 0);
+  EXPECT_EQ(vocab.CountOf(id), 0u);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, FrequentWordsFiltersByCount) {
+  Vocabulary vocab;
+  vocab.AddWord("common", 100);
+  vocab.AddWord("mid", 10);
+  vocab.AddWord("rare", 1);
+  auto frequent = vocab.FrequentWords(10);
+  ASSERT_EQ(frequent.size(), 2u);
+  EXPECT_EQ(frequent[0], vocab.Lookup("common"));
+  EXPECT_EQ(frequent[1], vocab.Lookup("mid"));
+}
+
+TEST(VocabularyTest, TotalCountAggregates) {
+  Vocabulary vocab;
+  vocab.AddWord("a", 3);
+  vocab.AddWord("b", 4);
+  EXPECT_EQ(vocab.total_count(), 7u);
+}
+
+}  // namespace
+}  // namespace shoal::text

@@ -1,0 +1,164 @@
+#include "text/word2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace shoal::text {
+namespace {
+
+// Builds a corpus with two disjoint topical word groups: words within a
+// group always co-occur, across groups never. SGNS must place same-group
+// words closer than cross-group words.
+struct TwoTopicCorpus {
+  Vocabulary vocab;
+  std::vector<std::vector<uint32_t>> sentences;
+  std::vector<uint32_t> group_a;
+  std::vector<uint32_t> group_b;
+};
+
+TwoTopicCorpus MakeTwoTopicCorpus(size_t sentences_per_group = 300) {
+  TwoTopicCorpus corpus;
+  for (const char* w : {"beach", "swim", "sand", "sun"}) {
+    corpus.group_a.push_back(corpus.vocab.AddWord(w, 0));
+  }
+  for (const char* w : {"router", "lan", "wifi", "cable"}) {
+    corpus.group_b.push_back(corpus.vocab.AddWord(w, 0));
+  }
+  util::Rng rng(99);
+  for (size_t s = 0; s < sentences_per_group; ++s) {
+    for (const auto* group : {&corpus.group_a, &corpus.group_b}) {
+      std::vector<uint32_t> sentence;
+      for (size_t t = 0; t < 6; ++t) {
+        uint32_t w = (*group)[rng.Uniform(group->size())];
+        sentence.push_back(w);
+        corpus.vocab.AddWord(corpus.vocab.WordOf(w));  // bump count
+      }
+      corpus.sentences.push_back(std::move(sentence));
+    }
+  }
+  return corpus;
+}
+
+Word2VecOptions FastOptions() {
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  options.window = 3;
+  options.seed = 12345;
+  return options;
+}
+
+TEST(Word2VecTest, RejectsEmptyVocabulary) {
+  Vocabulary vocab;
+  auto model = Word2Vec::Train(vocab, {}, FastOptions());
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(Word2VecTest, RejectsZeroDimension) {
+  Vocabulary vocab;
+  vocab.AddWord("x");
+  Word2VecOptions options = FastOptions();
+  options.dim = 0;
+  EXPECT_FALSE(Word2Vec::Train(vocab, {{0}}, options).ok());
+}
+
+TEST(Word2VecTest, RejectsOutOfVocabIds) {
+  Vocabulary vocab;
+  vocab.AddWord("x");
+  EXPECT_FALSE(Word2Vec::Train(vocab, {{5}}, FastOptions()).ok());
+}
+
+TEST(Word2VecTest, ProducesRequestedShape) {
+  auto corpus = MakeTwoTopicCorpus(20);
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, FastOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->vectors().rows(), corpus.vocab.size());
+  EXPECT_EQ(model->dim(), 16u);
+}
+
+TEST(Word2VecTest, SeparatesTopicalGroups) {
+  auto corpus = MakeTwoTopicCorpus();
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, FastOptions());
+  ASSERT_TRUE(model.ok());
+  // Mean within-group similarity must exceed mean cross-group similarity.
+  double within = 0.0;
+  int within_n = 0;
+  double cross = 0.0;
+  int cross_n = 0;
+  for (uint32_t a : corpus.group_a) {
+    for (uint32_t a2 : corpus.group_a) {
+      if (a < a2) {
+        within += model->Similarity(a, a2);
+        ++within_n;
+      }
+    }
+    for (uint32_t b : corpus.group_b) {
+      cross += model->Similarity(a, b);
+      ++cross_n;
+    }
+  }
+  within /= within_n;
+  cross /= cross_n;
+  EXPECT_GT(within, cross + 0.2)
+      << "within=" << within << " cross=" << cross;
+}
+
+TEST(Word2VecTest, DeterministicSingleThread) {
+  auto corpus = MakeTwoTopicCorpus(50);
+  Word2VecOptions options = FastOptions();
+  options.num_threads = 1;
+  auto m1 = Word2Vec::Train(corpus.vocab, corpus.sentences, options);
+  auto m2 = Word2Vec::Train(corpus.vocab, corpus.sentences, options);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (uint32_t r = 0; r < m1->vectors().rows(); ++r) {
+    for (size_t d = 0; d < m1->dim(); ++d) {
+      EXPECT_EQ(m1->vectors().Row(r)[d], m2->vectors().Row(r)[d]);
+    }
+  }
+}
+
+TEST(Word2VecTest, MultiThreadedStillSeparatesGroups) {
+  auto corpus = MakeTwoTopicCorpus();
+  Word2VecOptions options = FastOptions();
+  options.num_threads = 3;
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, options);
+  ASSERT_TRUE(model.ok());
+  double within = model->Similarity(corpus.group_a[0], corpus.group_a[1]);
+  double cross = model->Similarity(corpus.group_a[0], corpus.group_b[0]);
+  EXPECT_GT(within, cross);
+}
+
+TEST(Word2VecTest, MostSimilarPrefersSameGroup) {
+  auto corpus = MakeTwoTopicCorpus();
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, FastOptions());
+  ASSERT_TRUE(model.ok());
+  auto nearest = model->MostSimilar(corpus.group_a[0], 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  // All 3 nearest neighbours of a group-A word are the other group-A words.
+  for (const auto& [id, sim] : nearest) {
+    (void)sim;
+    bool in_a = false;
+    for (uint32_t a : corpus.group_a) in_a = in_a || id == a;
+    EXPECT_TRUE(in_a) << "unexpected neighbour " << corpus.vocab.WordOf(id);
+  }
+}
+
+TEST(Word2VecTest, MostSimilarBoundsK) {
+  auto corpus = MakeTwoTopicCorpus(10);
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, FastOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->MostSimilar(0, 100).size(), corpus.vocab.size() - 1);
+  EXPECT_TRUE(model->MostSimilar(9999, 5).empty());
+}
+
+TEST(Word2VecTest, SimilarityOutOfRangeIsZero) {
+  auto corpus = MakeTwoTopicCorpus(10);
+  auto model = Word2Vec::Train(corpus.vocab, corpus.sentences, FastOptions());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Similarity(0, 10000), 0.0f);
+}
+
+}  // namespace
+}  // namespace shoal::text

@@ -1,0 +1,143 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+// Builds an argv array from string literals (argv[0] is the program).
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "test_program");
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagParser flags;
+  flags.AddInt64("n", 10, "count");
+  flags.AddDouble("alpha", 0.7, "mix");
+  flags.AddBool("verbose", false, "chatty");
+  flags.AddString("name", "shoal", "label");
+  ArgvBuilder args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 0.7);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetString("name"), "shoal");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags;
+  flags.AddInt64("n", 0, "count");
+  ArgvBuilder args({"--n=42"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags;
+  flags.AddDouble("alpha", 0.0, "mix");
+  ArgvBuilder args({"--alpha", "0.35"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 0.35);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagParser flags;
+  flags.AddBool("fast", false, "speed");
+  ArgvBuilder args({"--fast"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.GetBool("fast"));
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  FlagParser flags;
+  flags.AddBool("fast", true, "speed");
+  ArgvBuilder args({"--fast=false"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_FALSE(flags.GetBool("fast"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser flags;
+  ArgvBuilder args({"--mystery=1"});
+  EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedIntRejected) {
+  FlagParser flags;
+  flags.AddInt64("n", 0, "count");
+  ArgvBuilder args({"--n=abc"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MalformedDoubleRejected) {
+  FlagParser flags;
+  flags.AddDouble("x", 0.0, "value");
+  ArgvBuilder args({"--x=1.2.3"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, MalformedBoolRejected) {
+  FlagParser flags;
+  flags.AddBool("b", false, "flag");
+  ArgvBuilder args({"--b=maybe"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagParser flags;
+  flags.AddInt64("n", 1, "count");
+  ArgvBuilder args({"input.tsv", "--n=2", "output.tsv"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.tsv");
+  EXPECT_EQ(flags.positional()[1], "output.tsv");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagParser flags;
+  flags.AddInt64("n", 0, "count");
+  flags.AddDouble("x", 0.0, "value");
+  ArgvBuilder args({"--n=-5", "--x=-0.25"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.GetInt64("n"), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x"), -0.25);
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser flags;
+  flags.AddInt64("n", 1, "count");
+  ArgvBuilder args({"--help"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagParser flags;
+  flags.AddInt64("entities", 2000, "number of item entities");
+  std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("entities"), std::string::npos);
+  EXPECT_NE(usage.find("2000"), std::string::npos);
+  EXPECT_NE(usage.find("number of item entities"), std::string::npos);
+}
+
+TEST(FlagsTest, MissingValueAtEndRejected) {
+  FlagParser flags;
+  flags.AddInt64("n", 0, "count");
+  ArgvBuilder args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+}  // namespace
+}  // namespace shoal::util

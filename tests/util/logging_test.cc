@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreCheap) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These should be dropped silently (no crash, no assertion).
+  SHOAL_LOG(kDebug) << "dropped " << 1;
+  SHOAL_LOG(kInfo) << "dropped " << 2;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kFatal);  // silence output during the test
+  SHOAL_LOG(kWarning) << "n=" << 42 << " f=" << 1.5 << " s=" << "str";
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(SHOAL_LOG(kFatal) << "fatal path", "fatal path");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SHOAL_CHECK(1 == 2) << "impossible", "Check failed");
+}
+
+TEST(LoggingTest, CheckSuccessDoesNothing) {
+  SHOAL_CHECK(true) << "never evaluated";
+}
+
+}  // namespace
+}  // namespace shoal::util

@@ -1,0 +1,84 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<int> ok = 7;
+  EXPECT_EQ(ok.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1};
+  r.value().push_back(2);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = []() -> Result<int> { return 10; };
+  auto consumer = [&]() -> Status {
+    SHOAL_ASSIGN_OR_RETURN(int x, source());
+    EXPECT_EQ(x, 10);
+    return Status::OK();
+  };
+  EXPECT_TRUE(consumer().ok());
+
+  auto failing = []() -> Result<int> { return Status::IoError("disk"); };
+  auto fail_consumer = [&]() -> Status {
+    SHOAL_ASSIGN_OR_RETURN(int x, failing());
+    (void)x;
+    ADD_FAILURE() << "should not reach here";
+    return Status::OK();
+  };
+  EXPECT_EQ(fail_consumer().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, CopySemantics) {
+  Result<std::string> a = std::string("abc");
+  Result<std::string> b = a;
+  EXPECT_EQ(b.value(), "abc");
+  EXPECT_EQ(a.value(), "abc");
+}
+
+}  // namespace
+}  // namespace shoal::util

@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(50.0), 1e-12);
+}
+
+TEST(HistogramTest, CountsFallInBuckets) {
+  Histogram h(0.0, 1.0, 10);
+  h.Add(0.05);
+  h.Add(0.15);
+  h.Add(0.95);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(17.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyReturnsLo) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.Add(0.25);
+  h.Add(0.75);
+  std::string s = h.ToString(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shoal::util

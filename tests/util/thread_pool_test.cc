@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroElements) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedPartitionIsExact) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool.ParallelForChunked(10, [&](size_t begin, size_t end, size_t worker) {
+    (void)worker;
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  size_t expected_begin = 0;
+  size_t total = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    total += end - begin;
+    expected_begin = end;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ThreadPoolTest, MoreTasksThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(500, [&sum](size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+TEST(ThreadPoolTest, SequentialWavesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.ParallelFor(20, [&counter](size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace shoal::util

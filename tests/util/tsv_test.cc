@@ -1,0 +1,73 @@
+#include "util/tsv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+class TsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "shoal_tsv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsvTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b", "c"}, {"1", "2", "3"}};
+  ASSERT_TRUE(WriteTsv(Path("t.tsv"), rows).ok());
+  auto read = ReadTsv(Path("t.tsv"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+}
+
+TEST_F(TsvTest, SkipsCommentsAndBlankLines) {
+  ASSERT_TRUE(
+      WriteTextFile(Path("c.tsv"), "# header\n\na\tb\n   \n# more\nc\td\n")
+          .ok());
+  auto read = ReadTsv(Path("c.tsv"));
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[0][0], "a");
+  EXPECT_EQ((*read)[1][1], "d");
+}
+
+TEST_F(TsvTest, RejectsFieldWithTab) {
+  EXPECT_FALSE(WriteTsv(Path("bad.tsv"), {{"a\tb"}}).ok());
+}
+
+TEST_F(TsvTest, RejectsFieldWithNewline) {
+  EXPECT_FALSE(WriteTsv(Path("bad.tsv"), {{"a\nb"}}).ok());
+}
+
+TEST_F(TsvTest, MissingFileIsIoError) {
+  auto read = ReadTsv(Path("nope.tsv"));
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(TsvTest, TextFileRoundTrip) {
+  const std::string content = "hello\nworld\n";
+  ASSERT_TRUE(WriteTextFile(Path("x.txt"), content).ok());
+  auto read = ReadTextFile(Path("x.txt"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), content);
+}
+
+TEST_F(TsvTest, EmptyRowsWriteEmptyFile) {
+  ASSERT_TRUE(WriteTsv(Path("empty.tsv"), {}).ok());
+  auto read = ReadTsv(Path("empty.tsv"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+}  // namespace
+}  // namespace shoal::util
