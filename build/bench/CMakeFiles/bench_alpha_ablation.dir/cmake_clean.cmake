@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alpha_ablation.dir/bench_alpha_ablation.cpp.o"
+  "CMakeFiles/bench_alpha_ablation.dir/bench_alpha_ablation.cpp.o.d"
+  "bench_alpha_ablation"
+  "bench_alpha_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alpha_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlation.dir/bench_correlation.cpp.o"
+  "CMakeFiles/bench_correlation.dir/bench_correlation.cpp.o.d"
+  "bench_correlation"
+  "bench_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

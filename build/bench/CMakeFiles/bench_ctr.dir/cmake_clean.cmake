@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctr.dir/bench_ctr.cpp.o"
+  "CMakeFiles/bench_ctr.dir/bench_ctr.cpp.o.d"
+  "bench_ctr"
+  "bench_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_description.dir/bench_description.cpp.o"
+  "CMakeFiles/bench_description.dir/bench_description.cpp.o.d"
+  "bench_description"
+  "bench_description.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

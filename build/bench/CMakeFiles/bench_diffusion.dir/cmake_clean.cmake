@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diffusion.dir/bench_diffusion.cpp.o"
+  "CMakeFiles/bench_diffusion.dir/bench_diffusion.cpp.o.d"
+  "bench_diffusion"
+  "bench_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

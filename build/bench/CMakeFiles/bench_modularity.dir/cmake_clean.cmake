@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modularity.dir/bench_modularity.cpp.o"
+  "CMakeFiles/bench_modularity.dir/bench_modularity.cpp.o.d"
+  "bench_modularity"
+  "bench_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision.dir/bench_precision.cpp.o"
+  "CMakeFiles/bench_precision.dir/bench_precision.cpp.o.d"
+  "bench_precision"
+  "bench_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

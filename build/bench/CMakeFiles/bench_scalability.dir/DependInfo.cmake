@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scalability.cpp" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/shoal_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/shoal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/shoal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/shoal_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shoal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

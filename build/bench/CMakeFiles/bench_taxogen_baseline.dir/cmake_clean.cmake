@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taxogen_baseline.dir/bench_taxogen_baseline.cpp.o"
+  "CMakeFiles/bench_taxogen_baseline.dir/bench_taxogen_baseline.cpp.o.d"
+  "bench_taxogen_baseline"
+  "bench_taxogen_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taxogen_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_test_demo.dir/ab_test_demo.cpp.o"
+  "CMakeFiles/ab_test_demo.dir/ab_test_demo.cpp.o.d"
+  "ab_test_demo"
+  "ab_test_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_test_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_recommender.dir/category_recommender.cpp.o"
+  "CMakeFiles/category_recommender.dir/category_recommender.cpp.o.d"
+  "category_recommender"
+  "category_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

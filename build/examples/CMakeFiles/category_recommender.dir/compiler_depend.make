@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for category_recommender.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_cli.dir/shoal_cli.cpp.o"
+  "CMakeFiles/shoal_cli.dir/shoal_cli.cpp.o.d"
+  "shoal_cli"
+  "shoal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/louvain.cc" "src/baselines/CMakeFiles/shoal_baselines.dir/louvain.cc.o" "gcc" "src/baselines/CMakeFiles/shoal_baselines.dir/louvain.cc.o.d"
+  "/root/repo/src/baselines/ontology_recommender.cc" "src/baselines/CMakeFiles/shoal_baselines.dir/ontology_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/shoal_baselines.dir/ontology_recommender.cc.o.d"
+  "/root/repo/src/baselines/taxogen_lite.cc" "src/baselines/CMakeFiles/shoal_baselines.dir/taxogen_lite.cc.o" "gcc" "src/baselines/CMakeFiles/shoal_baselines.dir/taxogen_lite.cc.o.d"
+  "/root/repo/src/baselines/topic_recommender.cc" "src/baselines/CMakeFiles/shoal_baselines.dir/topic_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/shoal_baselines.dir/topic_recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/shoal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/shoal_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shoal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

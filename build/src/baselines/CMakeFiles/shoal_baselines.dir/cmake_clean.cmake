@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_baselines.dir/louvain.cc.o"
+  "CMakeFiles/shoal_baselines.dir/louvain.cc.o.d"
+  "CMakeFiles/shoal_baselines.dir/ontology_recommender.cc.o"
+  "CMakeFiles/shoal_baselines.dir/ontology_recommender.cc.o.d"
+  "CMakeFiles/shoal_baselines.dir/taxogen_lite.cc.o"
+  "CMakeFiles/shoal_baselines.dir/taxogen_lite.cc.o.d"
+  "CMakeFiles/shoal_baselines.dir/topic_recommender.cc.o"
+  "CMakeFiles/shoal_baselines.dir/topic_recommender.cc.o.d"
+  "libshoal_baselines.a"
+  "libshoal_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

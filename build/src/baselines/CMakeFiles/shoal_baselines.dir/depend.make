@@ -1,0 +1,2 @@
+# Empty dependencies file for shoal_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/category_correlation.cc" "src/core/CMakeFiles/shoal_core.dir/category_correlation.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/category_correlation.cc.o.d"
+  "/root/repo/src/core/dendrogram.cc" "src/core/CMakeFiles/shoal_core.dir/dendrogram.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/dendrogram.cc.o.d"
+  "/root/repo/src/core/entity_graph.cc" "src/core/CMakeFiles/shoal_core.dir/entity_graph.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/entity_graph.cc.o.d"
+  "/root/repo/src/core/hac_common.cc" "src/core/CMakeFiles/shoal_core.dir/hac_common.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/hac_common.cc.o.d"
+  "/root/repo/src/core/parallel_hac.cc" "src/core/CMakeFiles/shoal_core.dir/parallel_hac.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/parallel_hac.cc.o.d"
+  "/root/repo/src/core/query_search.cc" "src/core/CMakeFiles/shoal_core.dir/query_search.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/query_search.cc.o.d"
+  "/root/repo/src/core/sequential_hac.cc" "src/core/CMakeFiles/shoal_core.dir/sequential_hac.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/sequential_hac.cc.o.d"
+  "/root/repo/src/core/shoal.cc" "src/core/CMakeFiles/shoal_core.dir/shoal.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/shoal.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/shoal_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/core/CMakeFiles/shoal_core.dir/taxonomy.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/taxonomy.cc.o.d"
+  "/root/repo/src/core/taxonomy_io.cc" "src/core/CMakeFiles/shoal_core.dir/taxonomy_io.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/taxonomy_io.cc.o.d"
+  "/root/repo/src/core/topic_describer.cc" "src/core/CMakeFiles/shoal_core.dir/topic_describer.cc.o" "gcc" "src/core/CMakeFiles/shoal_core.dir/topic_describer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shoal_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_core.dir/category_correlation.cc.o"
+  "CMakeFiles/shoal_core.dir/category_correlation.cc.o.d"
+  "CMakeFiles/shoal_core.dir/dendrogram.cc.o"
+  "CMakeFiles/shoal_core.dir/dendrogram.cc.o.d"
+  "CMakeFiles/shoal_core.dir/entity_graph.cc.o"
+  "CMakeFiles/shoal_core.dir/entity_graph.cc.o.d"
+  "CMakeFiles/shoal_core.dir/hac_common.cc.o"
+  "CMakeFiles/shoal_core.dir/hac_common.cc.o.d"
+  "CMakeFiles/shoal_core.dir/parallel_hac.cc.o"
+  "CMakeFiles/shoal_core.dir/parallel_hac.cc.o.d"
+  "CMakeFiles/shoal_core.dir/query_search.cc.o"
+  "CMakeFiles/shoal_core.dir/query_search.cc.o.d"
+  "CMakeFiles/shoal_core.dir/sequential_hac.cc.o"
+  "CMakeFiles/shoal_core.dir/sequential_hac.cc.o.d"
+  "CMakeFiles/shoal_core.dir/shoal.cc.o"
+  "CMakeFiles/shoal_core.dir/shoal.cc.o.d"
+  "CMakeFiles/shoal_core.dir/similarity.cc.o"
+  "CMakeFiles/shoal_core.dir/similarity.cc.o.d"
+  "CMakeFiles/shoal_core.dir/taxonomy.cc.o"
+  "CMakeFiles/shoal_core.dir/taxonomy.cc.o.d"
+  "CMakeFiles/shoal_core.dir/taxonomy_io.cc.o"
+  "CMakeFiles/shoal_core.dir/taxonomy_io.cc.o.d"
+  "CMakeFiles/shoal_core.dir/topic_describer.cc.o"
+  "CMakeFiles/shoal_core.dir/topic_describer.cc.o.d"
+  "libshoal_core.a"
+  "libshoal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_adapter.dir/log_io.cc.o"
+  "CMakeFiles/shoal_adapter.dir/log_io.cc.o.d"
+  "CMakeFiles/shoal_adapter.dir/shoal_adapter.cc.o"
+  "CMakeFiles/shoal_adapter.dir/shoal_adapter.cc.o.d"
+  "libshoal_adapter.a"
+  "libshoal_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/click_stream.cc" "src/data/CMakeFiles/shoal_data.dir/click_stream.cc.o" "gcc" "src/data/CMakeFiles/shoal_data.dir/click_stream.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/shoal_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/shoal_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/intent_model.cc" "src/data/CMakeFiles/shoal_data.dir/intent_model.cc.o" "gcc" "src/data/CMakeFiles/shoal_data.dir/intent_model.cc.o.d"
+  "/root/repo/src/data/lexicon.cc" "src/data/CMakeFiles/shoal_data.dir/lexicon.cc.o" "gcc" "src/data/CMakeFiles/shoal_data.dir/lexicon.cc.o.d"
+  "/root/repo/src/data/ontology.cc" "src/data/CMakeFiles/shoal_data.dir/ontology.cc.o" "gcc" "src/data/CMakeFiles/shoal_data.dir/ontology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

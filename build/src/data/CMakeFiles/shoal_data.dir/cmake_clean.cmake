@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_data.dir/click_stream.cc.o"
+  "CMakeFiles/shoal_data.dir/click_stream.cc.o.d"
+  "CMakeFiles/shoal_data.dir/dataset.cc.o"
+  "CMakeFiles/shoal_data.dir/dataset.cc.o.d"
+  "CMakeFiles/shoal_data.dir/intent_model.cc.o"
+  "CMakeFiles/shoal_data.dir/intent_model.cc.o.d"
+  "CMakeFiles/shoal_data.dir/lexicon.cc.o"
+  "CMakeFiles/shoal_data.dir/lexicon.cc.o.d"
+  "CMakeFiles/shoal_data.dir/ontology.cc.o"
+  "CMakeFiles/shoal_data.dir/ontology.cc.o.d"
+  "libshoal_data.a"
+  "libshoal_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

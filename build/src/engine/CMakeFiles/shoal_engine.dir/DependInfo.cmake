@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/algorithms.cc" "src/engine/CMakeFiles/shoal_engine.dir/algorithms.cc.o" "gcc" "src/engine/CMakeFiles/shoal_engine.dir/algorithms.cc.o.d"
+  "/root/repo/src/engine/partitioner.cc" "src/engine/CMakeFiles/shoal_engine.dir/partitioner.cc.o" "gcc" "src/engine/CMakeFiles/shoal_engine.dir/partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

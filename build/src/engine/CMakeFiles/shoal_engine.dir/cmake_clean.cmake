@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_engine.dir/algorithms.cc.o"
+  "CMakeFiles/shoal_engine.dir/algorithms.cc.o.d"
+  "CMakeFiles/shoal_engine.dir/partitioner.cc.o"
+  "CMakeFiles/shoal_engine.dir/partitioner.cc.o.d"
+  "libshoal_engine.a"
+  "libshoal_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

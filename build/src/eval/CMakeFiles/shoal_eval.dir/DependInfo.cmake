@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cluster_metrics.cc" "src/eval/CMakeFiles/shoal_eval.dir/cluster_metrics.cc.o" "gcc" "src/eval/CMakeFiles/shoal_eval.dir/cluster_metrics.cc.o.d"
+  "/root/repo/src/eval/ctr_sim.cc" "src/eval/CMakeFiles/shoal_eval.dir/ctr_sim.cc.o" "gcc" "src/eval/CMakeFiles/shoal_eval.dir/ctr_sim.cc.o.d"
+  "/root/repo/src/eval/precision_eval.cc" "src/eval/CMakeFiles/shoal_eval.dir/precision_eval.cc.o" "gcc" "src/eval/CMakeFiles/shoal_eval.dir/precision_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shoal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

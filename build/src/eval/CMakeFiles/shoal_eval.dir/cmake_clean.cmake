@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_eval.dir/cluster_metrics.cc.o"
+  "CMakeFiles/shoal_eval.dir/cluster_metrics.cc.o.d"
+  "CMakeFiles/shoal_eval.dir/ctr_sim.cc.o"
+  "CMakeFiles/shoal_eval.dir/ctr_sim.cc.o.d"
+  "CMakeFiles/shoal_eval.dir/precision_eval.cc.o"
+  "CMakeFiles/shoal_eval.dir/precision_eval.cc.o.d"
+  "libshoal_eval.a"
+  "libshoal_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cc" "src/graph/CMakeFiles/shoal_graph.dir/bipartite_graph.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/shoal_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/shoal_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/shoal_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/modularity.cc" "src/graph/CMakeFiles/shoal_graph.dir/modularity.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/modularity.cc.o.d"
+  "/root/repo/src/graph/weighted_graph.cc" "src/graph/CMakeFiles/shoal_graph.dir/weighted_graph.cc.o" "gcc" "src/graph/CMakeFiles/shoal_graph.dir/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/shoal_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/shoal_graph.dir/components.cc.o"
+  "CMakeFiles/shoal_graph.dir/components.cc.o.d"
+  "CMakeFiles/shoal_graph.dir/generators.cc.o"
+  "CMakeFiles/shoal_graph.dir/generators.cc.o.d"
+  "CMakeFiles/shoal_graph.dir/graph_io.cc.o"
+  "CMakeFiles/shoal_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/shoal_graph.dir/modularity.cc.o"
+  "CMakeFiles/shoal_graph.dir/modularity.cc.o.d"
+  "CMakeFiles/shoal_graph.dir/weighted_graph.cc.o"
+  "CMakeFiles/shoal_graph.dir/weighted_graph.cc.o.d"
+  "libshoal_graph.a"
+  "libshoal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bm25.cc" "src/text/CMakeFiles/shoal_text.dir/bm25.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/bm25.cc.o.d"
+  "/root/repo/src/text/embedding.cc" "src/text/CMakeFiles/shoal_text.dir/embedding.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/embedding.cc.o.d"
+  "/root/repo/src/text/text_io.cc" "src/text/CMakeFiles/shoal_text.dir/text_io.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/text_io.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/shoal_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/shoal_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/vocabulary.cc.o.d"
+  "/root/repo/src/text/word2vec.cc" "src/text/CMakeFiles/shoal_text.dir/word2vec.cc.o" "gcc" "src/text/CMakeFiles/shoal_text.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_text.dir/bm25.cc.o"
+  "CMakeFiles/shoal_text.dir/bm25.cc.o.d"
+  "CMakeFiles/shoal_text.dir/embedding.cc.o"
+  "CMakeFiles/shoal_text.dir/embedding.cc.o.d"
+  "CMakeFiles/shoal_text.dir/text_io.cc.o"
+  "CMakeFiles/shoal_text.dir/text_io.cc.o.d"
+  "CMakeFiles/shoal_text.dir/tokenizer.cc.o"
+  "CMakeFiles/shoal_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/shoal_text.dir/vocabulary.cc.o"
+  "CMakeFiles/shoal_text.dir/vocabulary.cc.o.d"
+  "CMakeFiles/shoal_text.dir/word2vec.cc.o"
+  "CMakeFiles/shoal_text.dir/word2vec.cc.o.d"
+  "libshoal_text.a"
+  "libshoal_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

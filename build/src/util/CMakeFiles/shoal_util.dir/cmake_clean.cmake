@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shoal_util.dir/flags.cc.o"
+  "CMakeFiles/shoal_util.dir/flags.cc.o.d"
+  "CMakeFiles/shoal_util.dir/logging.cc.o"
+  "CMakeFiles/shoal_util.dir/logging.cc.o.d"
+  "CMakeFiles/shoal_util.dir/random.cc.o"
+  "CMakeFiles/shoal_util.dir/random.cc.o.d"
+  "CMakeFiles/shoal_util.dir/stats.cc.o"
+  "CMakeFiles/shoal_util.dir/stats.cc.o.d"
+  "CMakeFiles/shoal_util.dir/status.cc.o"
+  "CMakeFiles/shoal_util.dir/status.cc.o.d"
+  "CMakeFiles/shoal_util.dir/string_util.cc.o"
+  "CMakeFiles/shoal_util.dir/string_util.cc.o.d"
+  "CMakeFiles/shoal_util.dir/thread_pool.cc.o"
+  "CMakeFiles/shoal_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/shoal_util.dir/tsv.cc.o"
+  "CMakeFiles/shoal_util.dir/tsv.cc.o.d"
+  "libshoal_util.a"
+  "libshoal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shoal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshoal_util.a"
+)

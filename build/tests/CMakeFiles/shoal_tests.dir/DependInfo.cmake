@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/louvain_test.cc" "tests/CMakeFiles/shoal_tests.dir/baselines/louvain_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/baselines/louvain_test.cc.o.d"
+  "/root/repo/tests/baselines/recommenders_test.cc" "tests/CMakeFiles/shoal_tests.dir/baselines/recommenders_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/baselines/recommenders_test.cc.o.d"
+  "/root/repo/tests/baselines/taxogen_lite_test.cc" "tests/CMakeFiles/shoal_tests.dir/baselines/taxogen_lite_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/baselines/taxogen_lite_test.cc.o.d"
+  "/root/repo/tests/core/category_correlation_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/category_correlation_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/category_correlation_test.cc.o.d"
+  "/root/repo/tests/core/dendrogram_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/dendrogram_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/dendrogram_test.cc.o.d"
+  "/root/repo/tests/core/entity_graph_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/entity_graph_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/entity_graph_test.cc.o.d"
+  "/root/repo/tests/core/hac_common_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/hac_common_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/hac_common_test.cc.o.d"
+  "/root/repo/tests/core/parallel_hac_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/parallel_hac_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/parallel_hac_test.cc.o.d"
+  "/root/repo/tests/core/query_search_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/query_search_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/query_search_test.cc.o.d"
+  "/root/repo/tests/core/sequential_hac_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/sequential_hac_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/sequential_hac_test.cc.o.d"
+  "/root/repo/tests/core/similarity_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/similarity_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/similarity_test.cc.o.d"
+  "/root/repo/tests/core/taxonomy_io_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/taxonomy_io_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/taxonomy_io_test.cc.o.d"
+  "/root/repo/tests/core/taxonomy_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/taxonomy_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/taxonomy_test.cc.o.d"
+  "/root/repo/tests/core/topic_describer_test.cc" "tests/CMakeFiles/shoal_tests.dir/core/topic_describer_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/core/topic_describer_test.cc.o.d"
+  "/root/repo/tests/data/click_stream_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/click_stream_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/click_stream_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/intent_model_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/intent_model_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/intent_model_test.cc.o.d"
+  "/root/repo/tests/data/lexicon_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/lexicon_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/lexicon_test.cc.o.d"
+  "/root/repo/tests/data/log_io_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/log_io_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/log_io_test.cc.o.d"
+  "/root/repo/tests/data/ontology_test.cc" "tests/CMakeFiles/shoal_tests.dir/data/ontology_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/data/ontology_test.cc.o.d"
+  "/root/repo/tests/engine/algorithms_test.cc" "tests/CMakeFiles/shoal_tests.dir/engine/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/engine/algorithms_test.cc.o.d"
+  "/root/repo/tests/engine/bsp_engine_test.cc" "tests/CMakeFiles/shoal_tests.dir/engine/bsp_engine_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/engine/bsp_engine_test.cc.o.d"
+  "/root/repo/tests/engine/partitioner_test.cc" "tests/CMakeFiles/shoal_tests.dir/engine/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/engine/partitioner_test.cc.o.d"
+  "/root/repo/tests/eval/cluster_metrics_test.cc" "tests/CMakeFiles/shoal_tests.dir/eval/cluster_metrics_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/eval/cluster_metrics_test.cc.o.d"
+  "/root/repo/tests/eval/ctr_sim_test.cc" "tests/CMakeFiles/shoal_tests.dir/eval/ctr_sim_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/eval/ctr_sim_test.cc.o.d"
+  "/root/repo/tests/eval/precision_eval_test.cc" "tests/CMakeFiles/shoal_tests.dir/eval/precision_eval_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/eval/precision_eval_test.cc.o.d"
+  "/root/repo/tests/graph/bipartite_graph_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/bipartite_graph_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/bipartite_graph_test.cc.o.d"
+  "/root/repo/tests/graph/components_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/components_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/components_test.cc.o.d"
+  "/root/repo/tests/graph/generators_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/generators_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/generators_test.cc.o.d"
+  "/root/repo/tests/graph/graph_io_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph/modularity_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/modularity_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/modularity_test.cc.o.d"
+  "/root/repo/tests/graph/weighted_graph_test.cc" "tests/CMakeFiles/shoal_tests.dir/graph/weighted_graph_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/graph/weighted_graph_test.cc.o.d"
+  "/root/repo/tests/integration/entity_graph_properties_test.cc" "tests/CMakeFiles/shoal_tests.dir/integration/entity_graph_properties_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/integration/entity_graph_properties_test.cc.o.d"
+  "/root/repo/tests/integration/hac_properties_test.cc" "tests/CMakeFiles/shoal_tests.dir/integration/hac_properties_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/integration/hac_properties_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_seeds_test.cc" "tests/CMakeFiles/shoal_tests.dir/integration/pipeline_seeds_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/integration/pipeline_seeds_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/shoal_tests.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/shoal_tests.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/integration/robustness_test.cc.o.d"
+  "/root/repo/tests/text/bm25_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/bm25_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/bm25_test.cc.o.d"
+  "/root/repo/tests/text/embedding_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/embedding_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/embedding_test.cc.o.d"
+  "/root/repo/tests/text/text_io_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/text_io_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/text_io_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/tokenizer_test.cc.o.d"
+  "/root/repo/tests/text/vocabulary_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/vocabulary_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/vocabulary_test.cc.o.d"
+  "/root/repo/tests/text/word2vec_test.cc" "tests/CMakeFiles/shoal_tests.dir/text/word2vec_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/text/word2vec_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/result_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/result_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/result_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/thread_pool_test.cc.o.d"
+  "/root/repo/tests/util/tsv_test.cc" "tests/CMakeFiles/shoal_tests.dir/util/tsv_test.cc.o" "gcc" "tests/CMakeFiles/shoal_tests.dir/util/tsv_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/shoal_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/shoal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/shoal_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/shoal_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/shoal_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shoal_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/shoal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shoal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
