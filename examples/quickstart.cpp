@@ -25,6 +25,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", 2019, "random seed");
   flags.AddDouble("alpha", 0.7, "query/content similarity mix (Eq. 3)");
   flags.AddDouble("threshold", 0.35, "HAC merge threshold");
+  flags.AddInt64("threads", 0,
+                 "pipeline worker threads (0 = per-stage defaults)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -55,6 +57,8 @@ int Run(int argc, char** argv) {
   options.entity_graph.alpha = flags.GetDouble("alpha");
   options.hac.hac.threshold = flags.GetDouble("threshold");
   options.correlation.min_strength = 1;  // small demo; paper uses 10
+  SHOAL_CHECK(flags.GetInt64("threads") >= 0) << "--threads must be >= 0";
+  options.num_threads = static_cast<size_t>(flags.GetInt64("threads"));
   auto model = shoal::core::BuildShoal(bundle.View(), options);
   SHOAL_CHECK(model.ok()) << model.status().ToString();
 

@@ -63,6 +63,11 @@ int Build(util::FlagParser& flags) {
   options.hac.hac.threshold = flags.GetDouble("threshold");
   options.correlation.min_strength =
       static_cast<uint32_t>(flags.GetInt64("min_strength"));
+  if (flags.GetInt64("threads") < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 1;
+  }
+  options.num_threads = static_cast<size_t>(flags.GetInt64("threads"));
   auto model = core::BuildShoal(bundle.View(), options);
   if (!model.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
@@ -135,6 +140,8 @@ int Run(int argc, char** argv) {
   flags.AddDouble("threshold", 0.35, "HAC merge threshold");
   flags.AddDouble("window_days", 7.0, "sliding window length");
   flags.AddInt64("min_strength", 1, "correlation threshold (paper: 10)");
+  flags.AddInt64("threads", 0,
+                 "pipeline worker threads (0 = per-stage defaults)");
   flags.AddInt64("top", 10, "roots to print for 'inspect'");
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {

@@ -1,12 +1,78 @@
 #include "core/entity_graph.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 #include "core/similarity.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace shoal::core {
+namespace {
+
+using graph::BipartiteGraph;
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Item ids a query contributes to candidate generation. Over-cap queries
+// keep the top-`cap` links by click weight (ties toward the smaller item
+// id) instead of the first `cap` in storage order, so a strong co-click
+// link stored late in the adjacency list still generates its pairs.
+std::vector<uint32_t> CappedItems(const std::vector<BipartiteGraph::Link>& links,
+                                  size_t cap, bool* capped) {
+  std::vector<uint32_t> items;
+  if (links.size() <= cap) {
+    *capped = false;
+    items.reserve(links.size());
+    for (const auto& link : links) items.push_back(link.id);
+    return items;
+  }
+  *capped = true;
+  std::vector<BipartiteGraph::Link> by_weight(links);
+  std::partial_sort(by_weight.begin(), by_weight.begin() + cap,
+                    by_weight.end(),
+                    [](const BipartiteGraph::Link& a,
+                       const BipartiteGraph::Link& b) {
+                      if (a.count != b.count) return a.count > b.count;
+                      return a.id < b.id;
+                    });
+  items.reserve(cap);
+  for (size_t i = 0; i < cap; ++i) items.push_back(by_weight[i].id);
+  return items;
+}
+
+// One shard's worth of candidate generation: queries [begin, end).
+void CollectShardCandidates(const BipartiteGraph& query_item_graph,
+                            size_t begin, size_t end, size_t cap,
+                            std::unordered_set<uint64_t>* pairs,
+                            size_t* capped_queries) {
+  for (size_t q = begin; q < end; ++q) {
+    bool capped = false;
+    std::vector<uint32_t> items = CappedItems(
+        query_item_graph.LeftNeighbors(static_cast<uint32_t>(q)), cap,
+        &capped);
+    if (capped) ++*capped_queries;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i] == items[j]) continue;
+        pairs->insert(PairKey(items[i], items[j]));
+      }
+    }
+  }
+}
+
+struct Scored {
+  uint32_t u;
+  uint32_t v;
+  double s;
+};
+
+}  // namespace
 
 util::Result<graph::WeightedGraph> BuildEntityGraph(
     const graph::BipartiteGraph& query_item_graph,
@@ -24,65 +90,122 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   }
 
   EntityGraphStats local_stats;
+  util::Stopwatch stage_timer;
 
-  // Per-entity sorted query sets (Eq. 1 inputs).
-  std::vector<std::vector<uint32_t>> queries_of(num_entities);
-  for (uint32_t e = 0; e < num_entities; ++e) {
-    queries_of[e] = query_item_graph.QueriesOfItem(e);
+  // Workers: num_threads == 1 is the serial reference path (no pool);
+  // 0 means hardware concurrency. All paths reduce shards in a fixed
+  // order, so the result does not depend on the thread count.
+  // Clamp absurd requests (e.g. a -1 cast to size_t) instead of letting
+  // ThreadPool throw trying to spawn them; no-exceptions library code.
+  size_t num_threads = std::min<size_t>(options.num_threads, 256);
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-
-  // Per-entity content profiles (Eq. 2, factorised).
-  std::vector<ContentProfile> profiles(num_entities);
-  for (uint32_t e = 0; e < num_entities; ++e) {
-    profiles[e] = BuildContentProfile(word_vectors, title_words[e]);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(num_threads);
   }
+  // Runs fn(begin, end, shard) over [0, n) — one shard inline when
+  // serial, one shard per worker on the pool otherwise. `shard` is a
+  // dense index < max_shards().
+  const size_t max_shards = pool ? pool->num_threads() : 1;
+  const auto for_shards =
+      [&](size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+        if (pool) {
+          pool->ParallelForChunked(n, fn);
+        } else {
+          fn(0, n, 0);
+        }
+      };
 
-  // Candidate pairs: co-clicked under at least one query.
-  std::unordered_set<uint64_t> candidates;
-  for (uint32_t q = 0; q < query_item_graph.num_left(); ++q) {
-    const auto& links = query_item_graph.LeftNeighbors(q);
-    size_t fanout = links.size();
-    if (fanout > options.max_items_per_query) {
-      ++local_stats.capped_queries;
-      fanout = options.max_items_per_query;
+  // --- Stage 1: candidate pairs (co-clicked under >= 1 query) ----------
+  // Each shard fills a thread-local hash set; the shard sets are then
+  // merged into one sorted, duplicate-free key vector. Sorting makes the
+  // scoring order (and hence the whole build) deterministic.
+  std::vector<std::unordered_set<uint64_t>> shard_pairs(max_shards);
+  std::vector<size_t> shard_capped(max_shards, 0);
+  for_shards(query_item_graph.num_left(),
+             [&](size_t begin, size_t end, size_t shard) {
+               CollectShardCandidates(query_item_graph, begin, end,
+                                      options.max_items_per_query,
+                                      &shard_pairs[shard],
+                                      &shard_capped[shard]);
+             });
+  std::vector<uint64_t> candidates;
+  {
+    size_t total = 0;
+    for (const auto& s : shard_pairs) total += s.size();
+    candidates.reserve(total);
+    for (auto& s : shard_pairs) {
+      candidates.insert(candidates.end(), s.begin(), s.end());
+      s.clear();
     }
-    for (size_t i = 0; i < fanout; ++i) {
-      for (size_t j = i + 1; j < fanout; ++j) {
-        uint32_t a = links[i].id;
-        uint32_t b = links[j].id;
-        if (a == b) continue;
-        if (a > b) std::swap(a, b);
-        candidates.insert((static_cast<uint64_t>(a) << 32) | b);
-      }
-    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (size_t c : shard_capped) local_stats.capped_queries += c;
   }
   local_stats.candidate_pairs = candidates.size();
+  local_stats.candidate_seconds = stage_timer.ElapsedSeconds();
 
-  // Score candidates and collect edges above the threshold.
-  struct Scored {
-    uint32_t u;
-    uint32_t v;
-    double s;
-  };
+  // --- Stage 2: per-entity inputs (Eq. 1 query sets, Eq. 2 profiles) ---
+  stage_timer.Restart();
+  std::vector<std::vector<uint32_t>> queries_of(num_entities);
+  for_shards(num_entities, [&](size_t begin, size_t end, size_t /*shard*/) {
+    for (size_t e = begin; e < end; ++e) {
+      queries_of[e] = query_item_graph.QueriesOfItem(static_cast<uint32_t>(e));
+    }
+  });
+  std::vector<ContentProfile> profiles =
+      BuildContentProfiles(word_vectors, title_words, pool.get());
+  local_stats.profile_seconds = stage_timer.ElapsedSeconds();
+
+  // --- Stage 3: score candidates (Eq. 3), keep those above threshold --
+  // Shards scan disjoint ranges of the sorted key vector and emit local
+  // edge lists; concatenating them in shard order reproduces exactly the
+  // serial scan order over the sorted keys.
+  stage_timer.Restart();
+  std::vector<std::vector<Scored>> shard_edges(max_shards);
+  for_shards(candidates.size(), [&](size_t begin, size_t end, size_t shard) {
+    std::vector<Scored>& out = shard_edges[shard];
+    out.reserve((end - begin) / 4 + 1);
+    for (size_t i = begin; i < end; ++i) {
+      const uint64_t key = candidates[i];
+      const uint32_t u = static_cast<uint32_t>(key >> 32);
+      const uint32_t v = static_cast<uint32_t>(key & 0xffffffffULL);
+      const double sq = QueryJaccard(queries_of[u], queries_of[v]);
+      const double sc = ContentSimilarity(profiles[u], profiles[v]);
+      const double s = CombinedSimilarity(sq, sc, options.alpha);
+      if (s >= options.similarity_threshold) out.push_back({u, v, s});
+    }
+  });
+  local_stats.scored_pairs = candidates.size();
   std::vector<Scored> edges;
-  edges.reserve(candidates.size() / 4 + 1);
-  for (uint64_t key : candidates) {
-    uint32_t u = static_cast<uint32_t>(key >> 32);
-    uint32_t v = static_cast<uint32_t>(key & 0xffffffffULL);
-    double sq = QueryJaccard(queries_of[u], queries_of[v]);
-    double sc = ContentSimilarity(profiles[u], profiles[v]);
-    double s = CombinedSimilarity(sq, sc, options.alpha);
-    ++local_stats.scored_pairs;
-    if (s >= options.similarity_threshold) edges.push_back({u, v, s});
+  {
+    size_t total = 0;
+    for (const auto& s : shard_edges) total += s.size();
+    edges.reserve(total);
+    for (auto& s : shard_edges) {
+      edges.insert(edges.end(), s.begin(), s.end());
+      s.clear();
+      s.shrink_to_fit();
+    }
   }
+  local_stats.scoring_seconds = stage_timer.ElapsedSeconds();
 
-  // Degree cap: keep each entity's strongest edges only ("one item entity
-  // should have only a few neighbor entities", Sec 2.2). An edge survives
-  // if it ranks within the cap for *either* endpoint, so the graph stays
-  // connected along strong paths.
+  // --- Stage 4: degree cap ---------------------------------------------
+  // Keep each entity's strongest edges only ("one item entity should
+  // have only a few neighbor entities", Sec 2.2). An edge survives if it
+  // ranks within the cap for *either* endpoint, so the graph stays
+  // connected along strong paths. The (u, v) tie-break pins the greedy
+  // order for equal similarities.
+  stage_timer.Restart();
+  std::sort(edges.begin(), edges.end(), [](const Scored& a, const Scored& b) {
+    if (a.s != b.s) return a.s > b.s;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
   std::vector<size_t> degree(num_entities, 0);
-  std::sort(edges.begin(), edges.end(),
-            [](const Scored& a, const Scored& b) { return a.s > b.s; });
   graph::WeightedGraph entity_graph(num_entities);
   for (const Scored& e : edges) {
     if (degree[e.u] >= options.max_degree &&
@@ -94,6 +217,7 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
     ++degree[e.v];
   }
   local_stats.kept_edges = entity_graph.num_edges();
+  local_stats.degree_cap_seconds = stage_timer.ElapsedSeconds();
 
   if (stats != nullptr) *stats = local_stats;
   return entity_graph;

@@ -18,12 +18,21 @@ namespace shoal::core {
 // disjoint query sets have Sq = 0, and the paper filters low-S edges
 // anyway). Head queries are capped to `max_items_per_query` to avoid a
 // quadratic blow-up on navigational queries — a standard production
-// guard that only drops pairs whose Jaccard contribution is tiny.
+// guard. Capped queries keep their top-N links by click weight (ties
+// broken toward the smaller item id), so the strongest co-click edges
+// survive the cap regardless of link storage order.
 struct EntityGraphOptions {
   double alpha = 0.7;            // Eq. 3 mix (paper's demo value)
   double similarity_threshold = 0.35;  // sparsification (Challenge 1)
   size_t max_items_per_query = 256;
   size_t max_degree = 64;        // keep only the best edges per entity
+  // Worker threads for candidate generation, profile building, and
+  // scoring. 1 (the default) runs the single-shard serial reference
+  // path; 0 means hardware concurrency. Every setting produces the
+  // same edge set, weights, and stats (timings aside): shards merge
+  // through a sorted deterministic reduction, and the degree cap
+  // orders edges by (similarity desc, u, v).
+  size_t num_threads = 1;
 };
 
 struct EntityGraphStats {
@@ -31,6 +40,11 @@ struct EntityGraphStats {
   size_t scored_pairs = 0;
   size_t kept_edges = 0;
   size_t capped_queries = 0;
+  // Per-stage wall-clock, for scaling curves (bench_scalability).
+  double candidate_seconds = 0.0;   // co-click pair generation + merge
+  double profile_seconds = 0.0;     // query sets + content profiles
+  double scoring_seconds = 0.0;     // Eq. 1-3 over candidate pairs
+  double degree_cap_seconds = 0.0;  // sort + greedy degree cap
 };
 
 // `title_words[i]` are the title token ids of entity i; `word_vectors`

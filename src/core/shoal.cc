@@ -1,5 +1,7 @@
 #include "core/shoal.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -25,6 +27,15 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
         "query metadata does not match bipartite graph");
   }
 
+  ShoalOptions opts = options;
+  if (options.num_threads > 0) {
+    // Clamped so a bogus huge request (e.g. -1 cast to size_t) cannot
+    // make a downstream thread pool attempt to spawn it.
+    const size_t threads = std::min<size_t>(options.num_threads, 256);
+    opts.entity_graph.num_threads = threads;
+    opts.hac.num_threads = threads;
+  }
+
   ShoalModel model;
   util::Stopwatch stopwatch;
 
@@ -35,7 +46,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   for (const auto& title : *input.entity_title_words) corpus.push_back(title);
   for (const auto& words : *input.query_words) corpus.push_back(words);
   auto word2vec = text::Word2Vec::Train(*input.vocab, corpus,
-                                        options.word2vec);
+                                        opts.word2vec);
   if (!word2vec.ok()) return word2vec.status();
   model.stats_.word2vec_seconds = stopwatch.ElapsedSeconds();
 
@@ -43,7 +54,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   stopwatch.Restart();
   auto entity_graph = BuildEntityGraph(qi, *input.entity_title_words,
                                        word2vec.value().vectors(),
-                                       options.entity_graph,
+                                       opts.entity_graph,
                                        &model.stats_.entity_graph);
   if (!entity_graph.ok()) return entity_graph.status();
   model.entity_graph_ = std::move(entity_graph).value();
@@ -52,7 +63,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   // --- Parallel HAC (Sec 2.2) -------------------------------------------
   stopwatch.Restart();
   auto dendrogram =
-      ParallelHac(model.entity_graph_, options.hac, &model.stats_.hac);
+      ParallelHac(model.entity_graph_, opts.hac, &model.stats_.hac);
   if (!dendrogram.ok()) return dendrogram.status();
   model.dendrogram_ =
       std::make_shared<Dendrogram>(std::move(dendrogram).value());
@@ -62,7 +73,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   stopwatch.Restart();
   model.taxonomy_ = Taxonomy::Build(*model.dendrogram_,
                                     *input.entity_categories,
-                                    options.taxonomy);
+                                    opts.taxonomy);
   model.stats_.num_topics = model.taxonomy_.num_topics();
   model.stats_.num_root_topics = model.taxonomy_.roots().size();
   model.stats_.taxonomy_seconds = stopwatch.ElapsedSeconds();
@@ -76,20 +87,20 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   describe_input.query_texts = input.query_texts;
   describe_input.entity_title_words = input.entity_title_words;
   auto rankings = TopicDescriber::Describe(model.taxonomy_, describe_input,
-                                           options.describer);
+                                           opts.describer);
   if (!rankings.ok()) return rankings.status();
   model.stats_.describe_seconds = stopwatch.ElapsedSeconds();
 
   // --- category correlation (Sec 2.4) --------------------------------------
   stopwatch.Restart();
   model.correlations_ =
-      CategoryCorrelation::Mine(model.taxonomy_, options.correlation);
+      CategoryCorrelation::Mine(model.taxonomy_, opts.correlation);
   model.stats_.correlation_seconds = stopwatch.ElapsedSeconds();
 
   // --- query -> topic search index (demo scenarios A/B) --------------------
   auto index = QueryTopicIndex::Build(model.taxonomy_,
                                       *input.entity_title_words,
-                                      input.vocab, options.search);
+                                      input.vocab, opts.search);
   if (!index.ok()) return index.status();
   model.search_index_ =
       std::make_shared<QueryTopicIndex>(std::move(index).value());

@@ -40,6 +40,14 @@ struct ShoalOptions {
   DescriberOptions describer;
   CategoryCorrelationOptions correlation;
   QueryTopicIndex::Options search;
+  // One knob for the pipeline's deterministic parallel stages: when
+  // > 0, overrides the entity-graph and parallel-HAC thread counts
+  // (both produce identical results at any thread count). 0 leaves the
+  // per-stage settings untouched. Deliberately does NOT touch
+  // word2vec.num_threads — Hogwild training races by design, so
+  // raising it sacrifices run-to-run reproducibility; opt in through
+  // the word2vec options directly.
+  size_t num_threads = 0;
 };
 
 // Pipeline timings and sizes, one entry per stage.

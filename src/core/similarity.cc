@@ -55,6 +55,23 @@ ContentProfile BuildContentProfile(const text::EmbeddingTable& vectors,
   return profile;
 }
 
+std::vector<ContentProfile> BuildContentProfiles(
+    const text::EmbeddingTable& vectors,
+    const std::vector<std::vector<uint32_t>>& word_ids,
+    util::ThreadPool* pool) {
+  std::vector<ContentProfile> profiles(word_ids.size());
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(word_ids.size(), [&](size_t e) {
+      profiles[e] = BuildContentProfile(vectors, word_ids[e]);
+    });
+  } else {
+    for (size_t e = 0; e < word_ids.size(); ++e) {
+      profiles[e] = BuildContentProfile(vectors, word_ids[e]);
+    }
+  }
+  return profiles;
+}
+
 double ContentSimilarity(const ContentProfile& u, const ContentProfile& v) {
   if (u.mean_unit_vector.empty() || v.mean_unit_vector.empty()) return 0.5;
   SHOAL_CHECK(u.mean_unit_vector.size() == v.mean_unit_vector.size())

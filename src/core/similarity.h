@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "text/embedding.h"
+#include "util/thread_pool.h"
 
 namespace shoal::core {
 
@@ -30,6 +31,14 @@ struct ContentProfile {
 
 ContentProfile BuildContentProfile(const text::EmbeddingTable& vectors,
                                    const std::vector<uint32_t>& word_ids);
+
+// Batch form: one profile per entry of `word_ids`. Entities are
+// independent, so when `pool` is non-null the work is spread across its
+// workers; the output is identical either way.
+std::vector<ContentProfile> BuildContentProfiles(
+    const text::EmbeddingTable& vectors,
+    const std::vector<std::vector<uint32_t>>& word_ids,
+    util::ThreadPool* pool = nullptr);
 
 // Content-driven similarity (Eq. 2) from two precomputed profiles.
 // Entities without words get the uninformative midpoint 0.5.

@@ -118,6 +118,72 @@ TEST(EntityGraphTest, HeadQueryCapLimitsCandidates) {
   EXPECT_EQ(stats.capped_queries, 1u);
 }
 
+TEST(EntityGraphTest, HeadQueryCapKeepsStrongestLinksByClickWeight) {
+  // Regression: the fanout cap used to keep the *first* N links in
+  // storage order, silently dropping strong co-click edges added late.
+  // One query clicks 6 entities; the two heaviest links (entities 4 and
+  // 5, 10 clicks each) arrive last. With the cap at 2, the only
+  // candidate pair must be (4,5), not the storage-order pair (0,1).
+  graph::BipartiteGraph qi(1, 6);
+  std::vector<std::vector<uint32_t>> titles(6, std::vector<uint32_t>{0});
+  text::EmbeddingTable vectors(1, 2);
+  vectors.Row(0)[0] = 1.0f;
+  for (uint32_t e = 0; e < 4; ++e) {
+    ASSERT_TRUE(qi.AddInteraction(0, e, 1).ok());
+  }
+  ASSERT_TRUE(qi.AddInteraction(0, 4, 10).ok());
+  ASSERT_TRUE(qi.AddInteraction(0, 5, 10).ok());
+
+  EntityGraphOptions options;
+  options.max_items_per_query = 2;
+  options.similarity_threshold = 0.0;
+  EntityGraphStats stats;
+  auto g = BuildEntityGraph(qi, titles, vectors, options, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(stats.candidate_pairs, 1u);
+  EXPECT_EQ(stats.capped_queries, 1u);
+  EXPECT_TRUE(g->HasEdge(4, 5));
+  EXPECT_FALSE(g->HasEdge(0, 1));
+}
+
+TEST(EntityGraphTest, HeadQueryCapBreaksClickTiesTowardSmallerItemId) {
+  // Equal click counts: the cap keeps the smaller item ids, making the
+  // selection independent of link storage order.
+  graph::BipartiteGraph qi(1, 4);
+  std::vector<std::vector<uint32_t>> titles(4, std::vector<uint32_t>{0});
+  text::EmbeddingTable vectors(1, 2);
+  vectors.Row(0)[0] = 1.0f;
+  // Insert in descending id order; all counts equal.
+  for (uint32_t e = 4; e-- > 0;) {
+    ASSERT_TRUE(qi.AddInteraction(0, e, 3).ok());
+  }
+  EntityGraphOptions options;
+  options.max_items_per_query = 2;
+  options.similarity_threshold = 0.0;
+  EntityGraphStats stats;
+  auto g = BuildEntityGraph(qi, titles, vectors, options, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(stats.candidate_pairs, 1u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+}
+
+TEST(EntityGraphTest, StageTimingsArePopulated) {
+  Fixture f;
+  EntityGraphOptions options;
+  options.similarity_threshold = 0.1;
+  EntityGraphStats stats;
+  stats.candidate_seconds = -1.0;
+  stats.profile_seconds = -1.0;
+  stats.scoring_seconds = -1.0;
+  stats.degree_cap_seconds = -1.0;
+  auto g = BuildEntityGraph(f.qi, f.titles, f.vectors, options, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GE(stats.candidate_seconds, 0.0);
+  EXPECT_GE(stats.profile_seconds, 0.0);
+  EXPECT_GE(stats.scoring_seconds, 0.0);
+  EXPECT_GE(stats.degree_cap_seconds, 0.0);
+}
+
 TEST(EntityGraphTest, DegreeCapKeepsStrongestEdges) {
   // Star-ish co-click pattern via one query over 6 entities with varying
   // content similarity; degree cap must retain the strongest edges.
