@@ -28,9 +28,13 @@ int Run(int argc, char** argv) {
   flags.AddString("graph_threads", "1,2,4,8",
                   "thread counts for the entity-graph stage sweep");
   flags.AddInt64("seed", 2019, "random seed");
+  flags.AddBool("json_stats", false,
+                "print each pipeline run's ShoalBuildStats as JSON");
+  bench::AddObsFlags(flags);
   auto status = flags.Parse(argc, argv);
   SHOAL_CHECK(status.ok()) << status.ToString();
   if (flags.help_requested()) return 0;
+  bench::InitObsFromFlags(flags);
 
   bench::PrintHeader(
       "E2 bench_scalability",
@@ -80,6 +84,10 @@ int Run(int argc, char** argv) {
         static_cast<double>(par_stats.rounds) /
             std::max<size_t>(1, par_stats.total_merges),
         nmi_par.value() - nmi_seq.value());
+    if (flags.GetBool("json_stats")) {
+      std::printf("build_stats[%zu] = %s\n", entities,
+                  workload.model.stats().ToJsonString(/*indent=*/-1).c_str());
+    }
   }
 
   std::printf("\nworker-thread scaling at 4000 entities:\n");
@@ -188,6 +196,7 @@ int Run(int argc, char** argv) {
       "      that distribution divides by machine count.\n"
       "On one in-process machine the BSP simulation pays its message\n"
       "overhead without the cluster, so par_time_s > seq_time_s here.\n");
+  bench::FinishObs(flags);
   return 0;
 }
 

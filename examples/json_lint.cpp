@@ -1,0 +1,69 @@
+// json_lint: strict JSON validator used by the observability smoke test
+// (cmake/cli_obs_smoke.cmake) to prove that shoal_cli's --trace-out /
+// --metrics-out artefacts parse. Exits 0 iff every argument is a
+// well-formed JSON document; optionally asserts a substring is present.
+//
+//   json_lint file.json [file2.json ...]
+//   json_lint --expect=shoal.build trace.json
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/tsv.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> expected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--expect=", 9) == 0) {
+      expected.emplace_back(argv[i] + 9);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: json_lint [--expect=substring ...] file.json ...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    auto text = shoal::util::ReadTextFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto parsed = shoal::util::JsonValue::Parse(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    bool missing = false;
+    for (const std::string& needle : expected) {
+      if (text->find(needle) == std::string::npos) {
+        std::fprintf(stderr, "%s: expected substring '%s' not found\n",
+                     path.c_str(), needle.c_str());
+        missing = true;
+      }
+    }
+    if (missing) {
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", path.c_str(), text->size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

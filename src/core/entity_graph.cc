@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "core/similarity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -122,10 +124,12 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   // Each shard fills a thread-local hash set; the shard sets are then
   // merged into one sorted, duplicate-free key vector. Sorting makes the
   // scoring order (and hence the whole build) deterministic.
+  obs::ScopedSpan candidate_span("entity_graph.candidates");
   std::vector<std::unordered_set<uint64_t>> shard_pairs(max_shards);
   std::vector<size_t> shard_capped(max_shards, 0);
   for_shards(query_item_graph.num_left(),
              [&](size_t begin, size_t end, size_t shard) {
+               SHOAL_TRACE_SPAN("entity_graph.candidate_shard");
                CollectShardCandidates(query_item_graph, begin, end,
                                       options.max_items_per_query,
                                       &shard_pairs[shard],
@@ -147,9 +151,13 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   }
   local_stats.candidate_pairs = candidates.size();
   local_stats.candidate_seconds = stage_timer.ElapsedSeconds();
+  candidate_span.AddArg("pairs",
+                        static_cast<double>(local_stats.candidate_pairs));
+  candidate_span.End();
 
   // --- Stage 2: per-entity inputs (Eq. 1 query sets, Eq. 2 profiles) ---
   stage_timer.Restart();
+  obs::ScopedSpan profile_span("entity_graph.profiles");
   std::vector<std::vector<uint32_t>> queries_of(num_entities);
   for_shards(num_entities, [&](size_t begin, size_t end, size_t /*shard*/) {
     for (size_t e = begin; e < end; ++e) {
@@ -159,14 +167,19 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   std::vector<ContentProfile> profiles =
       BuildContentProfiles(word_vectors, title_words, pool.get());
   local_stats.profile_seconds = stage_timer.ElapsedSeconds();
+  profile_span.End();
 
   // --- Stage 3: score candidates (Eq. 3), keep those above threshold --
   // Shards scan disjoint ranges of the sorted key vector and emit local
   // edge lists; concatenating them in shard order reproduces exactly the
   // serial scan order over the sorted keys.
   stage_timer.Restart();
+  obs::ScopedSpan scoring_span("entity_graph.scoring");
   std::vector<std::vector<Scored>> shard_edges(max_shards);
   for_shards(candidates.size(), [&](size_t begin, size_t end, size_t shard) {
+    obs::ScopedSpan shard_span("entity_graph.score_shard");
+    shard_span.AddArg("shard", static_cast<double>(shard));
+    shard_span.AddArg("pairs", static_cast<double>(end - begin));
     std::vector<Scored>& out = shard_edges[shard];
     out.reserve((end - begin) / 4 + 1);
     for (size_t i = begin; i < end; ++i) {
@@ -192,6 +205,8 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
     }
   }
   local_stats.scoring_seconds = stage_timer.ElapsedSeconds();
+  scoring_span.AddArg("kept", static_cast<double>(edges.size()));
+  scoring_span.End();
 
   // --- Stage 4: degree cap ---------------------------------------------
   // Keep each entity's strongest edges only ("one item entity should
@@ -200,6 +215,7 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   // connected along strong paths. The (u, v) tie-break pins the greedy
   // order for equal similarities.
   stage_timer.Restart();
+  SHOAL_TRACE_SPAN("entity_graph.degree_cap");
   std::sort(edges.begin(), edges.end(), [](const Scored& a, const Scored& b) {
     if (a.s != b.s) return a.s > b.s;
     if (a.u != b.u) return a.u < b.u;
@@ -220,6 +236,29 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   local_stats.degree_cap_seconds = stage_timer.ElapsedSeconds();
 
   if (stats != nullptr) *stats = local_stats;
+  if (obs::MetricsRegistry::Global().enabled()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.GetGauge("entity_graph.candidate_pairs")
+        .Set(static_cast<double>(local_stats.candidate_pairs));
+    metrics.GetGauge("entity_graph.kept_edges")
+        .Set(static_cast<double>(local_stats.kept_edges));
+    metrics.GetCounter("entity_graph.capped_queries")
+        .Increment(local_stats.capped_queries);
+    if (pool != nullptr) {
+      const util::ThreadPoolStats pool_stats = pool->GetStats();
+      metrics.GetGauge("entity_graph.pool.queue_depth")
+          .Set(static_cast<double>(pool_stats.queue_depth));
+      metrics.GetGauge("entity_graph.pool.peak_queue_depth")
+          .Set(static_cast<double>(pool_stats.peak_queue_depth));
+      metrics.GetGauge("entity_graph.pool.tasks_executed")
+          .Set(static_cast<double>(pool_stats.tasks_executed));
+      metrics.GetHistogram("entity_graph.pool.task_seconds")
+          .Record(pool_stats.tasks_executed > 0
+                      ? pool_stats.total_task_seconds /
+                            static_cast<double>(pool_stats.tasks_executed)
+                      : 0.0);
+    }
+  }
   return entity_graph;
 }
 

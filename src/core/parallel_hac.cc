@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "engine/bsp_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace shoal::core {
 
@@ -53,8 +55,13 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
   const double threshold = options.hac.threshold;
   ClusterGraph clusters(graph, /*track_threshold=*/threshold);
   ParallelHacStats local_stats;
+  // Observability handles; recording only writes side buffers, so the
+  // dendrogram is byte-identical with instrumentation on or off.
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
 
   for (size_t round = 0; round < options.max_rounds; ++round) {
+    obs::ScopedSpan round_span("hac.round");
+    round_span.AddArg("round", static_cast<double>(round));
     // --- snapshot the *mergeable frontier*: only clusters that still
     // have an edge >= threshold participate in this round's diffusion.
     // Late rounds involve a shrinking fraction of the graph, so the
@@ -62,17 +69,21 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     std::vector<uint32_t> active = clusters.MergeableClusters();
     const size_t n = active.size();
     if (n < 2) break;
+    round_span.AddArg("active_clusters", static_cast<double>(n));
     std::unordered_map<uint32_t, uint32_t> compact;  // cluster id -> [0,n)
     compact.reserve(n);
     for (uint32_t i = 0; i < n; ++i) compact.emplace(active[i], i);
 
     std::vector<std::vector<std::pair<uint32_t, double>>> snapshot(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      for (const auto& [c, s] : clusters.Neighbors(active[i])) {
-        if (s < threshold) continue;
-        // Both endpoints of a mergeable edge are mergeable clusters, so
-        // the lookup always succeeds.
-        snapshot[i].emplace_back(compact.at(c), s);
+    {
+      SHOAL_TRACE_SPAN("hac.snapshot");
+      for (uint32_t i = 0; i < n; ++i) {
+        for (const auto& [c, s] : clusters.Neighbors(active[i])) {
+          if (s < threshold) continue;
+          // Both endpoints of a mergeable edge are mergeable clusters,
+          // so the lookup always succeeds.
+          snapshot[i].emplace_back(compact.at(c), s);
+        }
       }
     }
 
@@ -94,6 +105,7 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
         [](BestEdge& acc, const BestEdge& incoming) { FoldMax(acc, incoming); });
 
     const size_t last_send_superstep = options.diffusion_iterations - 1;
+    obs::ScopedSpan diffusion_span("hac.diffusion");
     auto status = engine.Run([&](Engine::Context& ctx, uint32_t v,
                                  DiffusionState& state,
                                  const std::vector<BestEdge>& messages) {
@@ -125,6 +137,11 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     if (!status.ok()) return status;
     local_stats.total_messages += engine.total_messages();
     local_stats.total_supersteps += engine.superstep();
+    diffusion_span.AddArg("supersteps",
+                          static_cast<double>(engine.superstep()));
+    diffusion_span.AddArg("messages",
+                          static_cast<double>(engine.total_messages()));
+    diffusion_span.End();
 
     // --- collect local maximal edges: both endpoints agree ----------------
     // Each vertex's value is the best edge in its k-hop neighbourhood;
@@ -150,19 +167,41 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     // Locally maximal edges form a matching (each vertex names a unique
     // best edge), so the merges are independent; applying them within one
     // round is the "distributed merging" step.
-    for (size_t m = 0; m < to_merge.size(); ++m) {
-      auto [a, b] = to_merge[m];
-      auto merged = dendrogram.Merge(a, b, merge_similarity[m]);
-      if (!merged.ok()) return merged.status();
-      SHOAL_RETURN_IF_ERROR(
-          clusters.Merge(a, b, merged.value(), options.hac.linkage));
+    {
+      SHOAL_TRACE_SPAN("hac.merge");
+      for (size_t m = 0; m < to_merge.size(); ++m) {
+        auto [a, b] = to_merge[m];
+        auto merged = dendrogram.Merge(a, b, merge_similarity[m]);
+        if (!merged.ok()) return merged.status();
+        SHOAL_RETURN_IF_ERROR(
+            clusters.Merge(a, b, merged.value(), options.hac.linkage));
+      }
     }
     local_stats.total_merges += to_merge.size();
     local_stats.merges_per_round.push_back(to_merge.size());
     ++local_stats.rounds;
+    round_span.AddArg("merges", static_cast<double>(to_merge.size()));
+    if (metrics_on) {
+      auto& metrics = obs::MetricsRegistry::Global();
+      metrics.GetCounter("hac.rounds").Increment();
+      metrics.GetCounter("hac.merges").Increment(to_merge.size());
+      metrics.GetHistogram("hac.round.merges")
+          .Record(static_cast<double>(to_merge.size()));
+      metrics.GetHistogram("hac.round.active_clusters")
+          .Record(static_cast<double>(n));
+      metrics.GetHistogram("hac.round.messages")
+          .Record(static_cast<double>(engine.total_messages()));
+    }
   }
 
   if (stats != nullptr) *stats = local_stats;
+  if (metrics_on) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.GetCounter("hac.runs").Increment();
+    metrics.GetCounter("hac.messages").Increment(local_stats.total_messages);
+    metrics.GetCounter("hac.supersteps")
+        .Increment(local_stats.total_supersteps);
+  }
   return dendrogram;
 }
 

@@ -2,10 +2,67 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace shoal::core {
+
+util::JsonValue ShoalBuildStats::ToJson() const {
+  using util::JsonValue;
+  JsonValue out = JsonValue::Object();
+  JsonValue seconds = JsonValue::Object();
+  seconds.Set("word2vec", JsonValue::Number(word2vec_seconds));
+  seconds.Set("entity_graph", JsonValue::Number(entity_graph_seconds));
+  seconds.Set("hac", JsonValue::Number(hac_seconds));
+  seconds.Set("taxonomy", JsonValue::Number(taxonomy_seconds));
+  seconds.Set("describe", JsonValue::Number(describe_seconds));
+  seconds.Set("correlation", JsonValue::Number(correlation_seconds));
+  out.Set("stage_seconds", std::move(seconds));
+
+  JsonValue eg = JsonValue::Object();
+  eg.Set("candidate_pairs", JsonValue::Number(static_cast<double>(
+                                entity_graph.candidate_pairs)));
+  eg.Set("scored_pairs", JsonValue::Number(static_cast<double>(
+                             entity_graph.scored_pairs)));
+  eg.Set("kept_edges", JsonValue::Number(static_cast<double>(
+                           entity_graph.kept_edges)));
+  eg.Set("capped_queries", JsonValue::Number(static_cast<double>(
+                               entity_graph.capped_queries)));
+  eg.Set("candidate_seconds",
+         JsonValue::Number(entity_graph.candidate_seconds));
+  eg.Set("profile_seconds", JsonValue::Number(entity_graph.profile_seconds));
+  eg.Set("scoring_seconds", JsonValue::Number(entity_graph.scoring_seconds));
+  eg.Set("degree_cap_seconds",
+         JsonValue::Number(entity_graph.degree_cap_seconds));
+  out.Set("entity_graph", std::move(eg));
+
+  JsonValue hac_json = JsonValue::Object();
+  hac_json.Set("rounds", JsonValue::Number(static_cast<double>(hac.rounds)));
+  hac_json.Set("total_merges",
+               JsonValue::Number(static_cast<double>(hac.total_merges)));
+  hac_json.Set("total_messages",
+               JsonValue::Number(static_cast<double>(hac.total_messages)));
+  hac_json.Set("total_supersteps",
+               JsonValue::Number(static_cast<double>(hac.total_supersteps)));
+  JsonValue merges = JsonValue::Array();
+  for (size_t m : hac.merges_per_round) {
+    merges.Append(JsonValue::Number(static_cast<double>(m)));
+  }
+  hac_json.Set("merges_per_round", std::move(merges));
+  out.Set("hac", std::move(hac_json));
+
+  out.Set("num_topics",
+          JsonValue::Number(static_cast<double>(num_topics)));
+  out.Set("num_root_topics",
+          JsonValue::Number(static_cast<double>(num_root_topics)));
+  return out;
+}
+
+std::string ShoalBuildStats::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
 
 util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
                                     const ShoalOptions& options) {
@@ -38,8 +95,10 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
 
   ShoalModel model;
   util::Stopwatch stopwatch;
+  obs::ScopedSpan build_span("shoal.build");
 
   // --- word2vec over titles + queries (Sec 2.1, content similarity) ----
+  obs::ScopedSpan word2vec_span("shoal.word2vec");
   std::vector<std::vector<uint32_t>> corpus;
   corpus.reserve(input.entity_title_words->size() +
                  input.query_words->size());
@@ -49,9 +108,11 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
                                         opts.word2vec);
   if (!word2vec.ok()) return word2vec.status();
   model.stats_.word2vec_seconds = stopwatch.ElapsedSeconds();
+  word2vec_span.End();
 
   // --- item entity graph (Sec 2.1) --------------------------------------
   stopwatch.Restart();
+  obs::ScopedSpan entity_graph_span("shoal.entity_graph");
   auto entity_graph = BuildEntityGraph(qi, *input.entity_title_words,
                                        word2vec.value().vectors(),
                                        opts.entity_graph,
@@ -59,27 +120,40 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   if (!entity_graph.ok()) return entity_graph.status();
   model.entity_graph_ = std::move(entity_graph).value();
   model.stats_.entity_graph_seconds = stopwatch.ElapsedSeconds();
+  entity_graph_span.AddArg(
+      "edges", static_cast<double>(model.entity_graph_.num_edges()));
+  entity_graph_span.End();
 
   // --- Parallel HAC (Sec 2.2) -------------------------------------------
   stopwatch.Restart();
+  obs::ScopedSpan hac_span("shoal.hac");
   auto dendrogram =
       ParallelHac(model.entity_graph_, opts.hac, &model.stats_.hac);
   if (!dendrogram.ok()) return dendrogram.status();
   model.dendrogram_ =
       std::make_shared<Dendrogram>(std::move(dendrogram).value());
   model.stats_.hac_seconds = stopwatch.ElapsedSeconds();
+  hac_span.AddArg("rounds", static_cast<double>(model.stats_.hac.rounds));
+  hac_span.AddArg("merges",
+                  static_cast<double>(model.stats_.hac.total_merges));
+  hac_span.End();
 
   // --- taxonomy extraction ------------------------------------------------
   stopwatch.Restart();
+  obs::ScopedSpan taxonomy_span("shoal.taxonomy");
   model.taxonomy_ = Taxonomy::Build(*model.dendrogram_,
                                     *input.entity_categories,
                                     opts.taxonomy);
   model.stats_.num_topics = model.taxonomy_.num_topics();
   model.stats_.num_root_topics = model.taxonomy_.roots().size();
   model.stats_.taxonomy_seconds = stopwatch.ElapsedSeconds();
+  taxonomy_span.AddArg("topics",
+                       static_cast<double>(model.stats_.num_topics));
+  taxonomy_span.End();
 
   // --- topic descriptions (Sec 2.3) ---------------------------------------
   stopwatch.Restart();
+  obs::ScopedSpan describe_span("shoal.describe");
   DescriberInput describe_input;
   describe_input.taxonomy = &model.taxonomy_;
   describe_input.query_item_graph = &qi;
@@ -90,20 +164,34 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
                                            opts.describer);
   if (!rankings.ok()) return rankings.status();
   model.stats_.describe_seconds = stopwatch.ElapsedSeconds();
+  describe_span.End();
 
   // --- category correlation (Sec 2.4) --------------------------------------
   stopwatch.Restart();
+  obs::ScopedSpan correlation_span("shoal.correlation");
   model.correlations_ =
       CategoryCorrelation::Mine(model.taxonomy_, opts.correlation);
   model.stats_.correlation_seconds = stopwatch.ElapsedSeconds();
+  correlation_span.End();
 
   // --- query -> topic search index (demo scenarios A/B) --------------------
+  obs::ScopedSpan search_span("shoal.search_index");
   auto index = QueryTopicIndex::Build(model.taxonomy_,
                                       *input.entity_title_words,
                                       input.vocab, opts.search);
   if (!index.ok()) return index.status();
   model.search_index_ =
       std::make_shared<QueryTopicIndex>(std::move(index).value());
+  search_span.End();
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetCounter("shoal.builds").Increment();
+    metrics.GetGauge("shoal.num_topics")
+        .Set(static_cast<double>(model.stats_.num_topics));
+    metrics.GetGauge("shoal.num_root_topics")
+        .Set(static_cast<double>(model.stats_.num_root_topics));
+  }
   return model;
 }
 

@@ -15,6 +15,7 @@
 #include "graph/bipartite_graph.h"
 #include "text/vocabulary.h"
 #include "text/word2vec.h"
+#include "util/json.h"
 #include "util/result.h"
 
 namespace shoal::core {
@@ -62,6 +63,13 @@ struct ShoalBuildStats {
   ParallelHacStats hac;
   size_t num_topics = 0;
   size_t num_root_topics = 0;
+
+  // Machine-readable snapshot (nested objects for entity_graph / hac,
+  // including the per-round merge trace) so perf trajectories can be
+  // diffed across PRs; see bench_scalability and `shoal_cli build
+  // --metrics-out`.
+  util::JsonValue ToJson() const;
+  std::string ToJsonString(int indent = 2) const;
 };
 
 // The built SHOAL artefact: the hierarchical topic taxonomy with

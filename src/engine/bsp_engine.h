@@ -1,6 +1,7 @@
 #ifndef SHOAL_ENGINE_BSP_ENGINE_H_
 #define SHOAL_ENGINE_BSP_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -9,6 +10,8 @@
 #include <vector>
 
 #include "engine/partitioner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -119,15 +122,24 @@ class BspEngine {
     const size_t num_parts = partitioner_.num_partitions();
     superstep_ = 0;
     total_messages_ = 0;
+    // Observability: spans/metrics only read clocks and write side
+    // buffers, so enabling them cannot change the computation.
+    const bool metrics_on = obs::MetricsRegistry::Global().enabled();
 
     while (superstep_ < options_.max_supersteps) {
+      obs::ScopedSpan superstep_span("bsp.superstep");
+      superstep_span.AddArg("superstep",
+                            static_cast<double>(superstep_));
       std::vector<Context> contexts;
       contexts.reserve(num_parts);
       for (uint32_t p = 0; p < num_parts; ++p) contexts.emplace_back(this, p);
 
       // --- compute phase (parallel over partitions) ---
+      std::atomic<uint64_t> active_vertices{0};
       pool_.ParallelForChunked(
           num_parts, [&](size_t begin, size_t end, size_t /*worker*/) {
+            SHOAL_TRACE_SPAN("bsp.compute_chunk");
+            uint64_t chunk_active = 0;
             for (size_t p = begin; p < end; ++p) {
               Context& ctx = contexts[p];
               for (uint32_t v : partition_vertices_[p]) {
@@ -137,8 +149,11 @@ class BspEngine {
                 ctx.halt_current_ = false;
                 compute(ctx, v, values_[v], inbox_[v]);
                 if (ctx.halt_current_) halted_[v] = 1;
+                ++chunk_active;
               }
             }
+            active_vertices.fetch_add(chunk_active,
+                                      std::memory_order_relaxed);
           });
 
       // --- barrier: clear old inboxes, deliver outboxes in partition
@@ -167,6 +182,18 @@ class BspEngine {
       total_messages_ += delivered;
       ++superstep_;
 
+      superstep_span.AddArg("active_vertices",
+                            static_cast<double>(active_vertices.load()));
+      superstep_span.AddArg("delivered_messages",
+                            static_cast<double>(delivered));
+      if (metrics_on) {
+        auto& metrics = obs::MetricsRegistry::Global();
+        metrics.GetHistogram("bsp.superstep.messages")
+            .Record(static_cast<double>(delivered));
+        metrics.GetHistogram("bsp.superstep.active_vertices")
+            .Record(static_cast<double>(active_vertices.load()));
+      }
+
       if (delivered == 0) {
         bool all_halted = true;
         for (uint8_t h : halted_) {
@@ -175,9 +202,13 @@ class BspEngine {
             break;
           }
         }
-        if (all_halted) return util::Status::OK();
+        if (all_halted) {
+          RecordRunMetrics();
+          return util::Status::OK();
+        }
       }
     }
+    RecordRunMetrics();
     return util::Status::OK();  // hit max_supersteps; callers may inspect
   }
 
@@ -187,6 +218,27 @@ class BspEngine {
   uint64_t total_messages() const { return total_messages_; }
 
  private:
+  // Pushes run totals and the worker pool's queue-depth / task-latency
+  // counters into the global registry after a completed run.
+  void RecordRunMetrics() {
+    auto& metrics = obs::MetricsRegistry::Global();
+    if (!metrics.enabled()) return;
+    metrics.GetCounter("bsp.runs").Increment();
+    metrics.GetCounter("bsp.supersteps").Increment(superstep_);
+    metrics.GetCounter("bsp.messages").Increment(total_messages_);
+    const util::ThreadPoolStats pool = pool_.GetStats();
+    metrics.GetGauge("bsp.pool.queue_depth")
+        .Set(static_cast<double>(pool.queue_depth));
+    metrics.GetGauge("bsp.pool.peak_queue_depth")
+        .Set(static_cast<double>(pool.peak_queue_depth));
+    metrics.GetGauge("bsp.pool.tasks_executed")
+        .Set(static_cast<double>(pool.tasks_executed));
+    metrics.GetHistogram("bsp.pool.task_seconds")
+        .Record(pool.tasks_executed > 0
+                    ? pool.total_task_seconds /
+                          static_cast<double>(pool.tasks_executed)
+                    : 0.0);
+  }
   Options options_;
   Partitioner partitioner_;
   std::vector<std::vector<uint32_t>> partition_vertices_;

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include "util/logging.h"
+
+namespace shoal::obs {
+
+void Gauge::Set(double v) {
+  value_.store(v, std::memory_order_relaxed);
+  double current = max_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !max_.compare_exchange_weak(current, v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, size_t buckets)
+    : buckets_(std::in_place, lo, hi, buckets),
+      lo_(lo),
+      hi_(hi),
+      num_buckets_(buckets) {}
+
+void HistogramMetric::Record(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(sample);
+  if (buckets_.has_value()) buckets_->Add(sample);
+}
+
+util::RunningStats HistogramMetric::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void HistogramMetric::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = util::RunningStats();
+  if (buckets_.has_value()) {
+    buckets_.emplace(lo_, hi_, num_buckets_);
+  }
+}
+
+util::JsonValue HistogramMetric::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonValue out = util::JsonValue::Object();
+  out.Set("count", util::JsonValue::Number(
+                       static_cast<double>(stats_.count())));
+  out.Set("mean", util::JsonValue::Number(stats_.mean()));
+  out.Set("stddev", util::JsonValue::Number(stats_.stddev()));
+  out.Set("min", util::JsonValue::Number(
+                     stats_.count() > 0 ? stats_.min() : 0.0));
+  out.Set("max", util::JsonValue::Number(
+                     stats_.count() > 0 ? stats_.max() : 0.0));
+  out.Set("sum", util::JsonValue::Number(stats_.sum()));
+  if (stats_.non_finite_count() > 0) {
+    out.Set("non_finite", util::JsonValue::Number(static_cast<double>(
+                              stats_.non_finite_count())));
+  }
+  if (buckets_.has_value()) {
+    util::JsonValue edges = util::JsonValue::Array();
+    util::JsonValue counts = util::JsonValue::Array();
+    const double width = (hi_ - lo_) / static_cast<double>(num_buckets_);
+    for (size_t i = 0; i < buckets_->buckets().size(); ++i) {
+      edges.Append(util::JsonValue::Number(
+          lo_ + static_cast<double>(i) * width));
+      counts.Append(util::JsonValue::Number(
+          static_cast<double>(buckets_->buckets()[i])));
+    }
+    out.Set("bucket_lo", std::move(edges));
+    out.Set("bucket_counts", std::move(counts));
+    out.Set("p50", util::JsonValue::Number(buckets_->Quantile(0.5)));
+    out.Set("p99", util::JsonValue::Number(buckets_->Quantile(0.99)));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SHOAL_CHECK(!gauges_.contains(name) && !histograms_.contains(name))
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SHOAL_CHECK(!counters_.contains(name) && !histograms_.contains(name))
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SHOAL_CHECK(!counters_.contains(name) && !gauges_.contains(name))
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(const std::string& name,
+                                               double lo, double hi,
+                                               size_t buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SHOAL_CHECK(!counters_.contains(name) && !gauges_.contains(name))
+      << "metric '" << name << "' already registered with another kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+util::JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::JsonValue out = util::JsonValue::Object();
+  util::JsonValue counters = util::JsonValue::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, util::JsonValue::Number(
+                           static_cast<double>(counter->value())));
+  }
+  out.Set("counters", std::move(counters));
+  util::JsonValue gauges = util::JsonValue::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    util::JsonValue g = util::JsonValue::Object();
+    g.Set("value", util::JsonValue::Number(gauge->value()));
+    g.Set("max", util::JsonValue::Number(gauge->max()));
+    gauges.Set(name, std::move(g));
+  }
+  out.Set("gauges", std::move(gauges));
+  util::JsonValue histograms = util::JsonValue::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.Set(name, histogram->ToJson());
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string MetricsRegistry::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
+
+}  // namespace shoal::obs

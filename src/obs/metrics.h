@@ -1,0 +1,120 @@
+#ifndef SHOAL_OBS_METRICS_H_
+#define SHOAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace shoal::obs {
+
+// Monotonic event count. Thread-safe; one relaxed atomic add per
+// increment.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written level plus the high-water mark since the last reset
+// (e.g. thread-pool queue depth). Thread-safe.
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Sample distribution: `util::RunningStats` moments plus optional fixed
+// buckets, under a per-metric mutex (samples are recorded at span/stage
+// granularity, not per-element, so contention is negligible).
+class HistogramMetric {
+ public:
+  // Moments only.
+  HistogramMetric() = default;
+  // Moments plus `util::Histogram` buckets over [lo, hi).
+  HistogramMetric(double lo, double hi, size_t buckets);
+
+  void Record(double sample);
+
+  // Snapshot of the moments (copy; safe against concurrent Record).
+  util::RunningStats Snapshot() const;
+  void Reset();
+
+  util::JsonValue ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  util::RunningStats stats_;
+  std::optional<util::Histogram> buckets_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  size_t num_buckets_ = 0;
+};
+
+// Process-wide registry of named metrics. Handles returned by the
+// Get* functions are stable for the registry's lifetime, so call sites
+// look a metric up once and keep the reference. Disabled by default;
+// instrumentation sites check `enabled()` (one relaxed atomic load)
+// before recording, keeping the compiled-in-but-off cost near zero.
+//
+// Naming convention (see DESIGN.md "Observability"): dotted lowercase
+// paths, `<stage>.<object>.<measure>`, e.g. `hac.round.merges`,
+// `bsp.pool.peak_queue_depth`.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Returns the named metric, creating it on first use. A name is bound
+  // to its first-seen kind; asking for the same name as a different
+  // kind is a programmer error (SHOAL_CHECK).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  HistogramMetric& GetHistogram(const std::string& name);
+  HistogramMetric& GetHistogram(const std::string& name, double lo,
+                                double hi, size_t buckets);
+
+  // Zeroes every registered metric. Handles stay valid.
+  void Reset();
+
+  // Snapshot as {"counters": {...}, "gauges": {...}, "histograms":
+  // {...}} with names sorted (map order).
+  util::JsonValue ToJson() const;
+  std::string ToJsonString(int indent = 2) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace shoal::obs
+
+#endif  // SHOAL_OBS_METRICS_H_

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace shoal::obs {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Bumped by Clear() so threads that cached a buffer re-register instead
+// of writing into a detached one.
+std::atomic<uint64_t> g_generation{0};
+std::atomic<uint64_t> g_epoch_ns{0};
+
+}  // namespace
+
+Tracer::Tracer() { g_epoch_ns.store(SteadyNowNanos()); }
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowMicros() const {
+  const uint64_t now = SteadyNowNanos();
+  const uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  return now > epoch ? (now - epoch) / 1000 : 0;
+}
+
+Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> cached;
+  thread_local uint64_t cached_generation = ~uint64_t{0};
+  const uint64_t generation = g_generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_generation != generation) {
+    cached = std::make_shared<ThreadBuffer>();
+    cached_generation = generation;
+    std::lock_guard<std::mutex> lock(mu_);
+    cached->thread_id = next_thread_id_++;
+    buffers_.push_back(cached);
+  }
+  return cached.get();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.clear();
+  next_thread_id_ = 0;
+  g_generation.fetch_add(1, std::memory_order_release);
+  g_epoch_ns.store(SteadyNowNanos(), std::memory_order_relaxed);
+}
+
+uint32_t Tracer::CurrentDepth() {
+  // Registers the thread if needed; depth is only mutated by the owner.
+  return GetThreadBuffer()->open_depth;
+}
+
+std::vector<TraceEvent> Tracer::CollectEvents() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.thread_id != b.thread_id) {
+                return a.thread_id < b.thread_id;
+              }
+              return a.start_us < b.start_us;
+            });
+  return events;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = CollectEvents();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    util::JsonEscape(e.name, out);
+    out += "\",\"cat\":\"shoal\",\"ph\":\"X\",\"ts\":";
+    out += util::JsonNumberToString(static_cast<double>(e.start_us));
+    out += ",\"dur\":";
+    out += util::JsonNumberToString(static_cast<double>(e.duration_us));
+    out += ",\"pid\":0,\"tid\":";
+    out += util::JsonNumberToString(static_cast<double>(e.thread_id));
+    out += ",\"args\":{\"depth\":";
+    out += util::JsonNumberToString(static_cast<double>(e.depth));
+    for (const auto& [key, value] : e.args) {
+      out += ",\"";
+      util::JsonEscape(key, out);
+      out += "\":";
+      out += util::JsonNumberToString(value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+util::Status Tracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError(
+        util::StringPrintf("cannot open %s for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return util::Status::IoError(
+        util::StringPrintf("short write to %s", path.c_str()));
+  }
+  return util::Status::OK();
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  buffer_ = tracer.GetThreadBuffer();
+  event_.name = std::move(name);
+  event_.thread_id = buffer_->thread_id;
+  event_.depth = buffer_->open_depth++;
+  event_.start_us = tracer.NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+void ScopedSpan::End() {
+  if (buffer_ == nullptr) return;
+  Tracer& tracer = Tracer::Global();
+  const uint64_t end_us = tracer.NowMicros();
+  event_.duration_us = end_us > event_.start_us ? end_us - event_.start_us : 0;
+  --buffer_->open_depth;
+  {
+    std::lock_guard<std::mutex> lock(buffer_->mu);
+    buffer_->events.push_back(std::move(event_));
+  }
+  buffer_ = nullptr;
+}
+
+void ScopedSpan::AddArg(std::string key, double value) {
+  if (buffer_ == nullptr) return;
+  event_.args.emplace_back(std::move(key), value);
+}
+
+}  // namespace shoal::obs

@@ -1,0 +1,122 @@
+#ifndef SHOAL_OBS_TRACE_H_
+#define SHOAL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace shoal::obs {
+
+// One completed span: a named interval on one thread, with its nesting
+// depth at open time and optional numeric args. Timestamps are
+// microseconds on the steady clock since the tracer epoch.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  // stable logical id, by registration order
+  uint32_t depth = 0;      // 0 = top-level span on its thread
+  std::vector<std::pair<std::string, double>> args;
+};
+
+// Span-based tracer for the pipeline. Compiled in everywhere but off by
+// default: a disabled `ScopedSpan` costs one relaxed atomic load and
+// never touches the clock or any buffer, so instrumentation can stay in
+// hot-ish paths permanently. Recording never influences the algorithms
+// (it only reads the clock and appends to side buffers), so taxonomy
+// output is byte-identical with tracing on or off.
+//
+// Each thread appends completed spans to its own buffer; buffers are
+// owned by shared_ptr so they outlive pool workers that have already
+// exited by collection time.
+class Tracer {
+ public:
+  // Process-wide tracer used by `ScopedSpan` / SHOAL_TRACE_SPAN.
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded events (open spans still close onto the fresh
+  // buffers) and resets the epoch.
+  void Clear();
+
+  // All completed events, sorted by (thread_id, start_us). Safe to call
+  // while spans are still being recorded on other threads; in-flight
+  // spans are simply absent.
+  std::vector<TraceEvent> CollectEvents() const;
+
+  // Chrome trace-event JSON ("X" complete events), loadable in
+  // chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+  util::Status WriteChromeJson(const std::string& path) const;
+
+  // Nesting depth of the calling thread's innermost open span (0 when
+  // none are open). Exposed for tests.
+  uint32_t CurrentDepth();
+
+ private:
+  friend class ScopedSpan;
+
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t thread_id = 0;
+    uint32_t open_depth = 0;  // touched only by the owning thread
+  };
+
+  Tracer();
+
+  // The calling thread's buffer, registering it on first use.
+  ThreadBuffer* GetThreadBuffer();
+  uint64_t NowMicros() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ and next_thread_id_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_thread_id_ = 0;
+};
+
+// RAII span. Construction samples the clock and nesting depth when the
+// global tracer is enabled; destruction appends the completed event.
+// A span latched active at construction records even if the tracer is
+// disabled mid-span, keeping depth bookkeeping balanced.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a numeric arg shown under the span in trace viewers.
+  // No-op when the span is inactive.
+  void AddArg(std::string key, double value);
+
+  // Closes the span now instead of at scope exit (idempotent). For call
+  // sites where the interesting interval ends mid-scope.
+  void End();
+
+  bool active() const { return buffer_ != nullptr; }
+
+ private:
+  Tracer::ThreadBuffer* buffer_ = nullptr;  // null when inactive
+  TraceEvent event_;
+};
+
+}  // namespace shoal::obs
+
+// Opens a span covering the rest of the enclosing scope.
+#define SHOAL_OBS_CONCAT_(a, b) a##b
+#define SHOAL_OBS_CONCAT(a, b) SHOAL_OBS_CONCAT_(a, b)
+#define SHOAL_TRACE_SPAN(name) \
+  ::shoal::obs::ScopedSpan SHOAL_OBS_CONCAT(shoal_span_, __LINE__)(name)
+
+#endif  // SHOAL_OBS_TRACE_H_

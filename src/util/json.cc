@@ -1,0 +1,477 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace shoal::util {
+
+namespace {
+
+constexpr int kMaxDepth = 200;
+
+void AppendUtf8(uint32_t codepoint, std::string& out) {
+  if (codepoint < 0x80) {
+    out.push_back(static_cast<char>(codepoint));
+  } else if (codepoint < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (codepoint >> 6)));
+    out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (codepoint >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (codepoint & 0x3F)));
+  }
+}
+
+// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    JsonValue value;
+    SHOAL_RETURN_IF_ERROR(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("JSON parse error at offset %zu: %s", pos_,
+                     what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        *out = JsonValue::Null();
+        return Status::OK();
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(depth, out);
+      case '{':
+        return ParseObject(depth, out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string value;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.push_back('"'); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'u': {
+          uint32_t codepoint = 0;
+          SHOAL_RETURN_IF_ERROR(ParseHex4(&codepoint));
+          // Surrogate pairs are not needed by our own emitters; accept
+          // a lone surrogate as the replacement character rather than
+          // failing on third-party files.
+          if (codepoint >= 0xD800 && codepoint <= 0xDFFF) codepoint = 0xFFFD;
+          AppendUtf8(codepoint, value);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    *out = JsonValue::Str(std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size() || !std::isdigit(
+            static_cast<unsigned char>(text_[pos_]))) {
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Error("invalid number: digits required after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(
+              static_cast<unsigned char>(text_[pos_]))) {
+        return Error("invalid number: digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = JsonValue::Number(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    Consume('[');
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = std::move(array);
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue element;
+      SHOAL_RETURN_IF_ERROR(ParseValue(depth + 1, &element));
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+    *out = std::move(array);
+    return Status::OK();
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    Consume('{');
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = std::move(object);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      SHOAL_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      SHOAL_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      object.Set(key.string_value(), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+    *out = std::move(object);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonEscape(std::string_view text, std::string& out) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+std::string JsonNumberToString(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 9.0e15) {
+    return StringPrintf("%lld",
+                        static_cast<long long>(static_cast<int64_t>(value)));
+  }
+  // %.17g round-trips doubles exactly; shorter forms stay short.
+  std::string text = StringPrintf("%.17g", value);
+  // Prefer a shorter representation when it parses back identically.
+  std::string shorter = StringPrintf("%.12g", value);
+  if (std::strtod(shorter.c_str(), nullptr) == value) return shorter;
+  return text;
+}
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::bool_value() const {
+  SHOAL_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::number() const {
+  SHOAL_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  SHOAL_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  SHOAL_CHECK(type_ == Type::kArray);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  SHOAL_CHECK(type_ == Type::kObject);
+  return members_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  SHOAL_CHECK(type_ == Type::kArray);
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  SHOAL_CHECK(type_ == Type::kObject);
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  SHOAL_CHECK(type_ == Type::kObject);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ')
+             : std::string();
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += JsonNumberToString(number_);
+      break;
+    case Type::kString:
+      out.push_back('"');
+      JsonEscape(string_, out);
+      out.push_back('"');
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) {
+          out.push_back('\n');
+          out += pad;
+        }
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        out += close_pad;
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) {
+          out.push_back('\n');
+          out += pad;
+        }
+        out.push_back('"');
+        JsonEscape(members_[i].first, out);
+        out += pretty ? "\": " : "\":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out.push_back('\n');
+        out += close_pad;
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value,
+                     int indent) {
+  std::string text = value.Dump(indent);
+  text.push_back('\n');
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError(
+        StringPrintf("cannot open %s for writing", path.c_str()));
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IoError(StringPrintf("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace shoal::util

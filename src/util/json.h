@@ -1,0 +1,94 @@
+#ifndef SHOAL_UTIL_JSON_H_
+#define SHOAL_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace shoal::util {
+
+// Minimal JSON document model: enough to emit the observability
+// artefacts (metrics snapshots, Chrome trace files, stats dumps) and to
+// parse them back in tests and the `json_lint` smoke validator. Object
+// member order is preserved, numbers are doubles (integral values are
+// rendered without a decimal point), and the parser rejects anything
+// RFC 8259 would.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; SHOAL_CHECK on type mismatch.
+  bool bool_value() const;
+  double number() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<Member>& members() const;
+
+  // Array building.
+  void Append(JsonValue value);
+
+  // Object building; `Set` appends (callers do not repeat keys).
+  void Set(std::string key, JsonValue value);
+
+  // First member with `key`, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+
+  // Serializes the value. indent < 0 renders compact single-line JSON;
+  // indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  // Strict parse of a complete JSON document (trailing garbage is an
+  // error). Nesting deeper than ~200 levels is rejected.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+// Appends the RFC 8259 escaped form of `text` (without surrounding
+// quotes) to `out`. Exposed for streaming writers that bypass JsonValue.
+void JsonEscape(std::string_view text, std::string& out);
+
+// Renders a double as a JSON number token: integral values without a
+// decimal point, non-finite values as null (JSON has no NaN/Inf).
+std::string JsonNumberToString(double value);
+
+// Writes `value` to `path`, pretty-printed with `indent` spaces per
+// level, followed by a trailing newline.
+Status WriteJsonFile(const std::string& path, const JsonValue& value,
+                     int indent = 2);
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_JSON_H_

@@ -48,6 +48,29 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line

@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace shoal::util {
 
@@ -17,6 +18,11 @@ enum class LogLevel : int {
 // Process-wide minimum level; messages below it are dropped. Thread-safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses "debug" / "info" / "warning" (or "warn") / "error" / "fatal",
+// case-insensitively, for --log-level flags. Returns false (leaving
+// `level` untouched) on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
 
 // Internal: streams one log record to stderr on destruction. Use the
 // SHOAL_LOG macro rather than this class directly.

@@ -9,6 +9,10 @@
 namespace shoal::util {
 
 void RunningStats::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++non_finite_count_;
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -35,6 +39,10 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
 }
 
 void Histogram::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
   double idx = (x - lo_) / bucket_width_;
   long i = static_cast<long>(idx);
   i = std::clamp<long>(i, 0, static_cast<long>(counts_.size()) - 1);

@@ -8,11 +8,17 @@
 namespace shoal::util {
 
 // Streaming summary statistics (Welford's online algorithm).
+// NaN/Inf samples are counted separately in `non_finite_count()` and do
+// not touch the moments — a single poisoned sample must not turn every
+// downstream mean/variance into NaN.
 class RunningStats {
  public:
   void Add(double x);
 
+  // Finite samples only.
   size_t count() const { return count_; }
+  // NaN / +-Inf samples rejected by Add.
+  size_t non_finite_count() const { return non_finite_count_; }
   double mean() const { return mean_; }
   double min() const { return min_; }
   double max() const { return max_; }
@@ -23,20 +29,26 @@ class RunningStats {
 
  private:
   size_t count_ = 0;
+  size_t non_finite_count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };
 
-// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
-// first/last bucket. Used for degree and similarity distributions.
+// Fixed-bucket histogram over [lo, hi); out-of-range *finite* samples
+// clamp to the first/last bucket, while NaN/Inf samples are counted in
+// `non_finite()` instead of being clamped silently. Used for degree and
+// similarity distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t buckets);
 
   void Add(double x);
+  // Finite samples only.
   size_t total() const { return total_; }
+  // NaN / +-Inf samples rejected by Add.
+  size_t non_finite() const { return non_finite_; }
   const std::vector<size_t>& buckets() const { return counts_; }
 
   // Approximate quantile (linear within the bucket).
@@ -51,6 +63,7 @@ class Histogram {
   double bucket_width_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t non_finite_ = 0;
 };
 
 }  // namespace shoal::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace shoal::util {
 
@@ -28,6 +29,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   }
   task_available_.notify_one();
 }
@@ -73,12 +75,31 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++tasks_executed_;
+      total_task_seconds_ += seconds;
+      max_task_seconds_ = std::max(max_task_seconds_, seconds);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+ThreadPoolStats ThreadPool::GetStats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  ThreadPoolStats stats;
+  stats.tasks_executed = tasks_executed_;
+  stats.queue_depth = queue_.size();
+  stats.peak_queue_depth = peak_queue_depth_;
+  stats.total_task_seconds = total_task_seconds_;
+  stats.max_task_seconds = max_task_seconds_;
+  return stats;
 }
 
 }  // namespace shoal::util

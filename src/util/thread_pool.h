@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -10,6 +11,22 @@
 #include <vector>
 
 namespace shoal::util {
+
+// Execution statistics a pool accumulates over its lifetime. Queue depth
+// is the number of tasks waiting (excluding running ones); task seconds
+// are wall-clock per task body. The counters cost two clock reads and a
+// few arithmetic ops per task — tasks are chunk-sized (one per worker
+// per ParallelFor), so this is noise next to the queue mutex itself.
+// Consumers (BSP engine, entity-graph builder) bridge a snapshot into
+// `obs::MetricsRegistry` gauges after each run; util deliberately does
+// not depend on obs.
+struct ThreadPoolStats {
+  uint64_t tasks_executed = 0;
+  size_t queue_depth = 0;       // at snapshot time
+  size_t peak_queue_depth = 0;  // high-water mark since construction
+  double total_task_seconds = 0.0;
+  double max_task_seconds = 0.0;
+};
 
 // Fixed-size worker pool with a simple FIFO queue. Used by the BSP engine
 // and by Hogwild word2vec training. Tasks must not throw.
@@ -39,16 +56,24 @@ class ThreadPool {
       size_t n,
       const std::function<void(size_t, size_t, size_t)>& fn);
 
+  // Consistent snapshot of the pool's execution statistics.
+  ThreadPoolStats GetStats() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  // Guarded by mu_ (updated where the queue lock is already held).
+  uint64_t tasks_executed_ = 0;
+  size_t peak_queue_depth_ = 0;
+  double total_task_seconds_ = 0.0;
+  double max_task_seconds_ = 0.0;
 };
 
 }  // namespace shoal::util

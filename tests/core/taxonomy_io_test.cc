@@ -12,7 +12,11 @@ namespace {
 class TaxonomyIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "shoal_taxonomy_io")
+    // Unique per test case: parallel ctest processes must not share a
+    // directory that TearDown deletes.
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("shoal_taxonomy_io_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
                .string();
     std::filesystem::remove_all(dir_);
   }

@@ -13,8 +13,12 @@ namespace {
 class LogIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ =
-        (std::filesystem::temp_directory_path() / "shoal_log_io").string();
+    // Unique per test case: parallel ctest processes must not share a
+    // directory that TearDown deletes.
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("shoal_log_io_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

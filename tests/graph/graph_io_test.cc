@@ -13,7 +13,11 @@ namespace {
 class GraphIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "shoal_graph_io_test";
+    // Unique per test case: parallel ctest processes must not share a
+    // directory that TearDown deletes.
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_graph_io_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

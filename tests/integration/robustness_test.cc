@@ -33,7 +33,12 @@ std::string RandomBytes(util::Rng& rng, size_t max_len) {
 class RobustnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "shoal_robustness";
+    // Unique per test case: ctest runs each case as its own process in
+    // parallel, so a shared directory would let one case's TearDown
+    // delete another's files mid-write.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_robustness_") + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

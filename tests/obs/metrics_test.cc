@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace shoal::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, TracksLastValueAndHighWaterMark) {
+  Gauge g;
+  g.Set(3.0);
+  g.Set(9.0);
+  g.Set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+}
+
+TEST(HistogramMetricTest, RecordsMoments) {
+  HistogramMetric h;
+  h.Record(1.0);
+  h.Record(3.0);
+  auto snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 2.0);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  Gauge& g1 = registry.GetGauge("x.depth");
+  Gauge& g2 = registry.GetGauge("x.depth");
+  EXPECT_EQ(&g1, &g2);
+  HistogramMetric& h1 = registry.GetHistogram("x.latency");
+  HistogramMetric& h2 = registry.GetHistogram("x.latency");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromEightThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread looks the metrics up itself, racing the map
+      // creation path on top of the increments.
+      Counter& counter = registry.GetCounter("race.count");
+      Gauge& gauge = registry.GetGauge("race.depth");
+      HistogramMetric& hist = registry.GetHistogram("race.latency");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.Increment();
+        gauge.Set(static_cast<double>(i));
+        hist.Record(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("race.count").value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("race.latency").Snapshot().count(),
+            static_cast<size_t>(kThreads) * kIncrements);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("race.depth").max(), kIncrements - 1);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("a.count");
+  counter.Increment(7);
+  registry.GetGauge("a.depth").Set(4.0);
+  registry.GetHistogram("a.latency").Record(2.0);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("a.depth").value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("a.latency").Snapshot().count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonParsesBackWithAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("stage.events").Increment(5);
+  registry.GetGauge("stage.depth").Set(2.0);
+  registry.GetHistogram("stage.latency", 0.0, 1.0, 10).Record(0.25);
+  auto parsed = util::JsonValue::Parse(registry.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const util::JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("stage.events"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("stage.events")->number(), 5.0);
+  const util::JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const util::JsonValue* depth = gauges->Find("stage.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->Find("value")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(depth->Find("max")->number(), 2.0);
+  const util::JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const util::JsonValue* latency = histograms->Find("stage.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(latency->Find("mean")->number(), 0.25);
+}
+
+TEST(MetricsRegistryTest, EnableDisableFlag) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.enabled());
+  registry.Enable();
+  EXPECT_TRUE(registry.enabled());
+  registry.Disable();
+  EXPECT_FALSE(registry.enabled());
+}
+
+}  // namespace
+}  // namespace shoal::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace shoal::obs {
+namespace {
+
+// The tracer is a process-wide singleton; every test starts from a
+// clean, disabled state and restores it on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    ScopedSpan span("quiet");
+    EXPECT_FALSE(span.active());
+    span.AddArg("ignored", 1.0);
+  }
+  EXPECT_TRUE(Tracer::Global().CollectEvents().empty());
+}
+
+TEST_F(TraceTest, EnabledSpansRecordNameAndArgs) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan span("stage");
+    EXPECT_TRUE(span.active());
+    span.AddArg("edges", 42.0);
+  }
+  auto events = Tracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "stage");
+  EXPECT_EQ(events[0].depth, 0u);
+  auto it = std::find_if(events[0].args.begin(), events[0].args.end(),
+                         [](const auto& kv) { return kv.first == "edges"; });
+  ASSERT_NE(it, events[0].args.end());
+  EXPECT_DOUBLE_EQ(it->second, 42.0);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepth) {
+  Tracer::Global().Enable();
+  EXPECT_EQ(Tracer::Global().CurrentDepth(), 0u);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(Tracer::Global().CurrentDepth(), 1u);
+    {
+      ScopedSpan middle("middle");
+      ScopedSpan inner("inner");
+      EXPECT_EQ(Tracer::Global().CurrentDepth(), 3u);
+    }
+    EXPECT_EQ(Tracer::Global().CurrentDepth(), 1u);
+  }
+  auto events = Tracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 3u);
+  uint32_t outer_depth = 0, middle_depth = 0, inner_depth = 0;
+  for (const auto& e : events) {
+    if (e.name == "outer") outer_depth = e.depth;
+    if (e.name == "middle") middle_depth = e.depth;
+    if (e.name == "inner") inner_depth = e.depth;
+  }
+  EXPECT_EQ(outer_depth, 0u);
+  EXPECT_EQ(middle_depth, 1u);
+  EXPECT_EQ(inner_depth, 2u);
+}
+
+TEST_F(TraceTest, EarlyEndClosesSpanMidScope) {
+  Tracer::Global().Enable();
+  ScopedSpan span("early");
+  span.End();
+  EXPECT_FALSE(span.active());
+  span.End();  // idempotent
+  EXPECT_EQ(Tracer::Global().CurrentDepth(), 0u);
+  EXPECT_EQ(Tracer::Global().CollectEvents().size(), 1u);
+}
+
+TEST_F(TraceTest, SpansFromWorkerThreadsGetDistinctThreadIds) {
+  Tracer::Global().Enable();
+  {
+    SHOAL_TRACE_SPAN("main_thread");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([] { SHOAL_TRACE_SPAN("worker"); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  auto events = Tracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 4u);
+  std::set<uint32_t> thread_ids;
+  for (const auto& e : events) thread_ids.insert(e.thread_id);
+  EXPECT_EQ(thread_ids.size(), 4u);
+  // Sorted by (thread_id, start_us).
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.thread_id != b.thread_id
+                                          ? a.thread_id < b.thread_id
+                                          : a.start_us < b.start_us;
+                             }));
+}
+
+TEST_F(TraceTest, ChromeJsonParsesBackWithRequiredKeys) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan span("json_span");
+    span.AddArg("k", 1.5);
+  }
+  auto parsed = util::JsonValue::Parse(Tracer::Global().ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const util::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items().size(), 1u);
+  const util::JsonValue& event = events->items()[0];
+  ASSERT_NE(event.Find("name"), nullptr);
+  EXPECT_EQ(event.Find("name")->string_value(), "json_span");
+  ASSERT_NE(event.Find("ph"), nullptr);
+  EXPECT_EQ(event.Find("ph")->string_value(), "X");
+  EXPECT_NE(event.Find("ts"), nullptr);
+  EXPECT_NE(event.Find("dur"), nullptr);
+  EXPECT_NE(event.Find("pid"), nullptr);
+  EXPECT_NE(event.Find("tid"), nullptr);
+  const util::JsonValue* args = event.Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->Find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("k")->number(), 1.5);
+}
+
+TEST_F(TraceTest, ClearDropsRecordedEvents) {
+  Tracer::Global().Enable();
+  { SHOAL_TRACE_SPAN("before_clear"); }
+  EXPECT_EQ(Tracer::Global().CollectEvents().size(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_TRUE(Tracer::Global().CollectEvents().empty());
+  // The thread re-registers transparently after a clear.
+  { SHOAL_TRACE_SPAN("after_clear"); }
+  auto events = Tracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after_clear");
+}
+
+TEST_F(TraceTest, SpanLatchedAtConstructionSurvivesMidSpanDisable) {
+  Tracer::Global().Enable();
+  {
+    ScopedSpan span("latched");
+    Tracer::Global().Disable();
+  }
+  EXPECT_EQ(Tracer::Global().CollectEvents().size(), 1u);
+}
+
+}  // namespace
+}  // namespace shoal::obs

@@ -1,0 +1,111 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(JsonValueTest, BuildAndDumpCompact) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::Str("shoal"));
+  obj.Set("count", JsonValue::Number(3));
+  obj.Set("ratio", JsonValue::Number(0.5));
+  obj.Set("ok", JsonValue::Bool(true));
+  obj.Set("none", JsonValue::Null());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(1));
+  arr.Append(JsonValue::Number(2));
+  obj.Set("items", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            "{\"name\":\"shoal\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"none\":null,\"items\":[1,2]}");
+}
+
+TEST(JsonValueTest, IntegralNumbersRenderWithoutDecimalPoint) {
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Number(-7).Dump(), "-7");
+  EXPECT_EQ(JsonValue::Number(1e15).Dump(), "1000000000000000");
+}
+
+TEST(JsonValueTest, NonFiniteNumbersRenderAsNull) {
+  EXPECT_EQ(JsonValue::Number(std::nan("")).Dump(), "null");
+  EXPECT_EQ(
+      JsonValue::Number(std::numeric_limits<double>::infinity()).Dump(),
+      "null");
+}
+
+TEST(JsonValueTest, EscapesControlAndQuoteCharacters) {
+  std::string text = "a\"b\\c\n\t";
+  text.push_back('\x01');
+  JsonValue v = JsonValue::Str(text);
+  EXPECT_EQ(v.Dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonValueTest, RoundTripThroughParse) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("pi", JsonValue::Number(3.14159));
+  obj.Set("list", JsonValue::Array());
+  obj.Set("nested", JsonValue::Object());
+  const std::string dumped = obj.Dump(2);
+  auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* pi = parsed->Find("pi");
+  ASSERT_NE(pi, nullptr);
+  EXPECT_DOUBLE_EQ(pi->number(), 3.14159);
+  EXPECT_EQ(parsed->Dump(2), dumped);
+}
+
+TEST(JsonValueTest, ParseScalarsAndStrings) {
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value());
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-2.5e2")->number(), -250.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\\u0041\"")->string_value(), "hiA");
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("01").ok());
+  EXPECT_FALSE(JsonValue::Parse("+1").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing garbage
+}
+
+TEST(JsonValueTest, ParseRejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonValueTest, FindReturnsNullForMissingKey) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Number(1));
+  EXPECT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("b"), nullptr);
+}
+
+TEST(JsonValueTest, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", JsonValue::Number(1));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonNumberToStringTest, PreservesPrecision) {
+  const double v = 0.1234567890123456;
+  auto parsed = JsonValue::Parse(JsonNumberToString(v));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->number(), v);
+}
+
+}  // namespace
+}  // namespace shoal::util

@@ -30,6 +30,29 @@ TEST(LoggingTest, StreamAcceptsMixedTypes) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("fatal", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownNamesUntouched) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
 TEST(LoggingDeathTest, FatalAborts) {
   EXPECT_DEATH(SHOAL_LOG(kFatal) << "fatal path", "fatal path");
 }

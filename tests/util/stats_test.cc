@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -73,6 +74,44 @@ TEST(HistogramTest, QuantileApproximation) {
 TEST(HistogramTest, QuantileOnEmptyReturnsLo) {
   Histogram h(2.0, 4.0, 4);
   EXPECT_EQ(h.Quantile(0.5), 2.0);
+}
+
+TEST(RunningStatsTest, NonFiniteSamplesDoNotPoisonMoments) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(std::nan(""));
+  s.Add(std::numeric_limits<double>::infinity());
+  s.Add(-std::numeric_limits<double>::infinity());
+  s.Add(3.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.non_finite_count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 3.0);
+  EXPECT_TRUE(std::isfinite(s.variance()));
+  EXPECT_TRUE(std::isfinite(s.sum()));
+}
+
+TEST(RunningStatsTest, OnlyNonFiniteSamplesLeaveStatsEmpty) {
+  RunningStats s;
+  s.Add(std::nan(""));
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.non_finite_count(), 1u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, NonFiniteSamplesCountedNotClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::nan(""));
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(0.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.non_finite(), 3u);
+  // Neither edge bucket absorbed the infinities.
+  EXPECT_EQ(h.buckets()[0], 0u);
+  EXPECT_EQ(h.buckets()[3], 0u);
+  EXPECT_EQ(h.buckets()[2], 1u);
 }
 
 TEST(HistogramTest, ToStringRendersBars) {
