@@ -15,6 +15,7 @@
 #include "eval/cluster_metrics.h"
 #include "text/word2vec.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 namespace {
 
@@ -30,6 +31,9 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", 2019, "random seed");
   flags.AddBool("json_stats", false,
                 "print each pipeline run's ShoalBuildStats as JSON");
+  flags.AddString("json_out", "",
+                  "write HAC perf metrics (sizes table + thread sweep) to "
+                  "this JSON file, e.g. BENCH_hac.json");
   bench::AddObsFlags(flags);
   auto status = flags.Parse(argc, argv);
   SHOAL_CHECK(status.ok()) << status.ToString();
@@ -40,6 +44,10 @@ int Run(int argc, char** argv) {
       "E2 bench_scalability",
       "Parallel HAC generates the taxonomy for 200M entities within 4h on "
       "ODPS; naive HAC does not scale (one merge per scan)");
+
+  util::JsonValue json = util::JsonValue::Object();
+  util::JsonValue json_sizes = util::JsonValue::Array();
+  util::JsonValue json_threads = util::JsonValue::Array();
 
   std::printf(
       "%-10s %-10s %-12s %-12s %-12s %-14s %-12s %-8s\n", "entities",
@@ -84,6 +92,28 @@ int Run(int argc, char** argv) {
         static_cast<double>(par_stats.rounds) /
             std::max<size_t>(1, par_stats.total_merges),
         nmi_par.value() - nmi_seq.value());
+    {
+      util::JsonValue row = util::JsonValue::Object();
+      row.Set("entities", util::JsonValue::Number(
+                              static_cast<double>(entities)));
+      row.Set("edges", util::JsonValue::Number(
+                           static_cast<double>(graph.num_edges())));
+      row.Set("par_seconds", util::JsonValue::Number(par_seconds));
+      row.Set("seq_seconds", util::JsonValue::Number(seq_seconds));
+      row.Set("rounds", util::JsonValue::Number(
+                            static_cast<double>(par_stats.rounds)));
+      row.Set("merges", util::JsonValue::Number(
+                            static_cast<double>(par_stats.total_merges)));
+      row.Set("messages",
+              util::JsonValue::Number(
+                  static_cast<double>(par_stats.total_messages)));
+      row.Set("supersteps",
+              util::JsonValue::Number(
+                  static_cast<double>(par_stats.total_supersteps)));
+      row.Set("nmi_gap",
+              util::JsonValue::Number(nmi_par.value() - nmi_seq.value()));
+      json_sizes.Append(std::move(row));
+    }
     if (flags.GetBool("json_stats")) {
       std::printf("build_stats[%zu] = %s\n", entities,
                   workload.model.stats().ToJsonString(/*indent=*/-1).c_str());
@@ -109,9 +139,19 @@ int Run(int argc, char** argv) {
       auto d = core::ParallelHac(workload.model.entity_graph(), options,
                                  &stats);
       SHOAL_CHECK(d.ok()) << d.status().ToString();
-      std::printf("%-10zu %-12.3f %-12zu %-14llu\n", threads,
-                  timer.ElapsedSeconds(), stats.rounds,
+      double seconds = timer.ElapsedSeconds();
+      std::printf("%-10zu %-12.3f %-12zu %-14llu\n", threads, seconds,
+                  stats.rounds,
                   static_cast<unsigned long long>(stats.total_messages));
+      util::JsonValue row = util::JsonValue::Object();
+      row.Set("threads",
+              util::JsonValue::Number(static_cast<double>(threads)));
+      row.Set("seconds", util::JsonValue::Number(seconds));
+      row.Set("rounds", util::JsonValue::Number(
+                            static_cast<double>(stats.rounds)));
+      row.Set("messages", util::JsonValue::Number(
+                              static_cast<double>(stats.total_messages)));
+      json_threads.Append(std::move(row));
     }
   }
   // Entity-graph construction is the most expensive offline stage before
@@ -184,6 +224,21 @@ int Run(int argc, char** argv) {
     }
     std::printf("(speedup = serial total / total; score_x = serial scoring "
                 "/ scoring; edge sets verified byte-identical)\n");
+  }
+
+  if (!flags.GetString("json_out").empty()) {
+    json.Set("bench", util::JsonValue::Str("bench_scalability"));
+    json.Set("seed", util::JsonValue::Number(
+                         static_cast<double>(flags.GetInt64("seed"))));
+    json.Set("hardware_threads",
+             util::JsonValue::Number(static_cast<double>(
+                 std::thread::hardware_concurrency())));
+    json.Set("sizes", std::move(json_sizes));
+    json.Set("thread_sweep", std::move(json_threads));
+    auto write_status =
+        util::WriteJsonFile(flags.GetString("json_out"), json);
+    SHOAL_CHECK(write_status.ok()) << write_status.ToString();
+    std::printf("\nwrote %s\n", flags.GetString("json_out").c_str());
   }
 
   std::printf(

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two benchmark metrics JSON files (e.g. BENCH_hac.json runs).
+
+Walks both documents, aligns numeric leaves by their JSON path, and
+prints old -> new with absolute and relative deltas. Array elements that
+carry an identifying key (entities, threads) are aligned by that key
+rather than by index, so a run with an extra size row still lines up.
+
+Usage: perf_diff.py OLD.json NEW.json [--threshold PCT]
+
+Exit code is always 0 unless --fail_above is given: the diff is
+informational by default so CI can surface regressions without being
+flaky about machine noise.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys that identify an array element (checked in order).
+_ID_KEYS = ("entities", "threads", "name", "bench")
+
+# Leaves where a change is identity-relevant, not perf-relevant: a
+# changed merge count means the run is not comparable, which the diff
+# flags separately from slow/fast.
+_INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges"}
+
+
+def _element_key(value, index):
+    if isinstance(value, dict):
+        for key in _ID_KEYS:
+            if key in value:
+                return f"{key}={value[key]}"
+    return f"[{index}]"
+
+
+def flatten(value, prefix=""):
+    """Yields (path, number) for every numeric leaf."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from flatten(value[key], f"{prefix}/{key}")
+    elif isinstance(value, list):
+        for index, element in enumerate(value):
+            yield from flatten(element,
+                               f"{prefix}/{_element_key(element, index)}")
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        yield prefix, float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline metrics JSON")
+    parser.add_argument("new", help="candidate metrics JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="suppress rows whose |delta| is below this "
+                             "percent (default 2)")
+    parser.add_argument("--fail_above", type=float, default=None,
+                        help="exit 1 if any *_seconds leaf regresses by "
+                             "more than this percent")
+    args = parser.parse_args()
+
+    with open(args.old) as f:
+        old = dict(flatten(json.load(f)))
+    with open(args.new) as f:
+        new = dict(flatten(json.load(f)))
+
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    invariant_broken = []
+    worst_regression = 0.0
+    rows = []
+    for path in shared:
+        before, after = old[path], new[path]
+        delta = after - before
+        pct = (delta / before * 100.0) if before else float("inf")
+        leaf = path.rsplit("/", 1)[-1]
+        if leaf in _INVARIANT_KEYS and before != after:
+            invariant_broken.append((path, before, after))
+            continue
+        if "seconds" in leaf:
+            worst_regression = max(worst_regression, pct)
+        if abs(pct) < args.threshold and delta != 0:
+            continue
+        if delta == 0:
+            continue
+        rows.append((path, before, after, delta, pct))
+
+    print(f"{len(shared)} aligned leaves; "
+          f"{len(rows)} changed beyond {args.threshold:.1f}%")
+    for path, before, after, delta, pct in rows:
+        print(f"  {path}: {before:g} -> {after:g}  "
+              f"({delta:+g}, {pct:+.1f}%)")
+    if invariant_broken:
+        print("NOT COMPARABLE — run-identity leaves differ:")
+        for path, before, after in invariant_broken:
+            print(f"  {path}: {before:g} -> {after:g}")
+    for path in only_old:
+        print(f"  removed: {path} (was {old[path]:g})")
+    for path in only_new:
+        print(f"  added: {path} = {new[path]:g}")
+
+    if args.fail_above is not None and worst_regression > args.fail_above:
+        print(f"FAIL: worst seconds regression {worst_regression:+.1f}% "
+              f"exceeds {args.fail_above:.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

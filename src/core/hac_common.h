@@ -2,12 +2,16 @@
 #define SHOAL_CORE_HAC_COMMON_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/dendrogram.h"
 #include "graph/weighted_graph.h"
 #include "util/result.h"
+
+namespace shoal::util {
+class ThreadPool;
+}  // namespace shoal::util
 
 namespace shoal::core {
 
@@ -38,9 +42,24 @@ struct HacOptions {
   LinkageRule linkage = LinkageRule::kSqrtNormalized;
 };
 
+// One entry of a cluster's adjacency row.
+struct ClusterEdge {
+  uint32_t id = kNoNode;
+  double similarity = 0.0;
+
+  bool operator==(const ClusterEdge&) const = default;
+};
+
 // Mutable cluster-level overlay over the (static) entity graph used
 // while HAC runs. Cluster ids are dendrogram node ids: the original
 // entities are leaves [0, n) and every merge appends a node.
+//
+// Adjacency is stored as flat, id-sorted rows (one contiguous
+// vector<ClusterEdge> per cluster) rather than hash maps, so the Eq. 4
+// linkage update is a two-pointer sorted merge and row scans are
+// sequential reads. Merged clusters always receive the next node id —
+// larger than every existing id — so rewiring a neighbour appends at the
+// row tail and sortedness is preserved without re-sorting.
 class ClusterGraph {
  public:
   // When `track_threshold` > 0 the graph additionally maintains, per
@@ -51,22 +70,42 @@ class ClusterGraph {
                         double track_threshold = 0.0);
 
   size_t num_active() const { return num_active_; }
+  size_t num_nodes() const { return rows_.size(); }
   bool IsActive(uint32_t c) const { return active_[c]; }
   uint32_t ClusterSize(uint32_t c) const { return sizes_[c]; }
 
   // Active cluster ids, ascending.
   std::vector<uint32_t> ActiveClusters() const;
 
-  // Active clusters with at least one edge >= track_threshold.
-  // Requires track_threshold > 0 at construction.
-  std::vector<uint32_t> MergeableClusters() const;
+  // Active clusters with at least one edge >= track_threshold, ascending.
+  // Requires track_threshold > 0 at construction. Maintained as an
+  // incrementally-compacted frontier: the linkage rules never push a
+  // similarity above the max of their inputs, so a cluster whose strong
+  // edges are gone can never re-enter — each call costs O(frontier), not
+  // O(nodes).
+  std::vector<uint32_t> MergeableClusters();
   size_t MergeableEdgeCount(uint32_t c) const {
     return mergeable_count_[c];
   }
 
-  // Similarity map of an active cluster (neighbors are active clusters).
-  const std::unordered_map<uint32_t, double>& Neighbors(uint32_t c) const {
-    return adjacency_[c];
+  // Adjacency row of an active cluster, sorted ascending by neighbour
+  // id (neighbours are active clusters).
+  const std::vector<ClusterEdge>& Neighbors(uint32_t c) const {
+    return rows_[c];
+  }
+
+  // Pointer to the (a, b) entry in a's row, or nullptr when the
+  // clusters are not adjacent. Binary search over the sorted row.
+  const ClusterEdge* FindEdge(uint32_t a, uint32_t b) const;
+
+  // Similarity of (a, b), or 0.0 when not adjacent (the paper's
+  // "S(A,C) = 0 if unavailable" convention).
+  double SimilarityOrZero(uint32_t a, uint32_t b) const {
+    const ClusterEdge* e = FindEdge(a, b);
+    return e == nullptr ? 0.0 : e->similarity;
+  }
+  bool HasNeighbor(uint32_t a, uint32_t b) const {
+    return FindEdge(a, b) != nullptr;
   }
 
   // Merges active clusters a and b into a new cluster with id `new_id`
@@ -74,6 +113,28 @@ class ClusterGraph {
   // linkage rule to every neighbor.
   util::Status Merge(uint32_t a, uint32_t b, uint32_t new_id,
                      LinkageRule rule);
+
+  // Checks that `pairs` is a valid matching over active clusters and
+  // that `first_new_id` is the next node id. Never mutates state; the
+  // error identifies the offending pair.
+  util::Status ValidateMatching(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      uint32_t first_new_id);
+
+  // Applies a whole round's matching at once: pair m receives id
+  // `first_new_id + m`. Produces state bit-identical to calling Merge()
+  // on each pair in order, but computes the merged rows in parallel on
+  // `pool` (matched pairs are vertex-disjoint, so each merged row
+  // depends only on the pre-round rows plus a deterministic cross-pair
+  // combination) and applies neighbour patches in a deterministic
+  // cluster-id-ordered reduction. The full matching is validated before
+  // any mutation: on error the graph is untouched, so a failed round
+  // cannot leave this graph and the dendrogram divergent. `pool` may be
+  // nullptr for a serial batch.
+  util::Status MergeBatch(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      uint32_t first_new_id, LinkageRule rule,
+      util::ThreadPool* pool = nullptr);
 
   // Highest-similarity edge among active clusters, or similarity < 0 if
   // the graph has no remaining edges. Ties break toward the
@@ -87,10 +148,22 @@ class ClusterGraph {
   BestEdge GlobalBestEdge() const;
 
  private:
-  std::vector<std::unordered_map<uint32_t, double>> adjacency_;
+  static constexpr uint32_t kUnmatched = static_cast<uint32_t>(-1);
+
+  // Row-tail append plus bookkeeping shared by Merge and MergeBatch.
+  void RetireCluster(uint32_t c);
+
+  std::vector<std::vector<ClusterEdge>> rows_;  // id-sorted adjacency
   std::vector<uint32_t> sizes_;
   std::vector<uint8_t> active_;
   std::vector<uint32_t> mergeable_count_;
+  // Candidate mergeable clusters (ascending); compacted lazily in
+  // MergeableClusters(). Superset property: every cluster with
+  // mergeable_count_ > 0 is present.
+  std::vector<uint32_t> frontier_;
+  // Scratch for MergeBatch: cluster id -> pair index (kUnmatched when
+  // not an endpoint). Entries are reset after every batch.
+  std::vector<uint32_t> match_slot_;
   double track_threshold_ = 0.0;
   size_t num_active_ = 0;
 };

@@ -1,11 +1,12 @@
 #include "core/parallel_hac.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "engine/bsp_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace shoal::core {
 
@@ -38,6 +39,21 @@ void FoldMax(BestEdge& acc, const BestEdge& other) {
   }
 }
 
+// Flat CSR snapshot of the mergeable frontier's adjacency, rebuilt into
+// the same buffers every round: snapshot targets are compact indices
+// [0, n) into the round's frontier, so the diffusion kernel runs on
+// dense, cache-friendly spans instead of per-cluster hash maps.
+struct FrontierSnapshot {
+  std::vector<size_t> offsets;                         // n + 1
+  std::vector<std::pair<uint32_t, double>> entries;    // (compact id, sim)
+
+  std::pair<const std::pair<uint32_t, double>*,
+            const std::pair<uint32_t, double>*>
+  Row(uint32_t i) const {
+    return {entries.data() + offsets[i], entries.data() + offsets[i + 1]};
+  }
+};
+
 }  // namespace
 
 util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
@@ -59,6 +75,20 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
   // dendrogram is byte-identical with instrumentation on or off.
   const bool metrics_on = obs::MetricsRegistry::Global().enabled();
 
+  // One worker pool for the whole run, shared by the snapshot build,
+  // every round's BSP engine, and the batch merge — without it each
+  // round would spawn and join a fresh set of threads.
+  util::ThreadPool pool(std::max<size_t>(1, options.num_threads));
+
+  // Dense cluster-id -> compact-frontier-index map, sized once for every
+  // id HAC can ever create (leaves + one internal node per merge); only
+  // slots named by the current frontier are ever read.
+  std::vector<uint32_t> compact(
+      graph.num_vertices() > 0 ? 2 * graph.num_vertices() - 1 : 0, 0);
+  FrontierSnapshot snapshot;
+  std::vector<std::pair<uint32_t, uint32_t>> to_merge;
+  std::vector<double> merge_similarity;
+
   for (size_t round = 0; round < options.max_rounds; ++round) {
     obs::ScopedSpan round_span("hac.round");
     round_span.AddArg("round", static_cast<double>(round));
@@ -70,21 +100,37 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     const size_t n = active.size();
     if (n < 2) break;
     round_span.AddArg("active_clusters", static_cast<double>(n));
-    std::unordered_map<uint32_t, uint32_t> compact;  // cluster id -> [0,n)
-    compact.reserve(n);
-    for (uint32_t i = 0; i < n; ++i) compact.emplace(active[i], i);
+    for (uint32_t i = 0; i < n; ++i) compact[active[i]] = i;
 
-    std::vector<std::vector<std::pair<uint32_t, double>>> snapshot(n);
     {
       SHOAL_TRACE_SPAN("hac.snapshot");
-      for (uint32_t i = 0; i < n; ++i) {
-        for (const auto& [c, s] : clusters.Neighbors(active[i])) {
-          if (s < threshold) continue;
-          // Both endpoints of a mergeable edge are mergeable clusters,
-          // so the lookup always succeeds.
-          snapshot[i].emplace_back(compact.at(c), s);
+      // Count, prefix-sum, then fill — each frontier cluster's span is
+      // independent, so both passes parallelize without contention.
+      snapshot.offsets.assign(n + 1, 0);
+      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t /*w*/) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t count = 0;
+          for (const ClusterEdge& e : clusters.Neighbors(active[i])) {
+            if (e.similarity >= threshold) ++count;
+          }
+          snapshot.offsets[i + 1] = count;
         }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        snapshot.offsets[i + 1] += snapshot.offsets[i];
       }
+      snapshot.entries.resize(snapshot.offsets[n]);
+      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t /*w*/) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t at = snapshot.offsets[i];
+          for (const ClusterEdge& e : clusters.Neighbors(active[i])) {
+            if (e.similarity < threshold) continue;
+            // Both endpoints of a mergeable edge are mergeable clusters,
+            // so the compact slot is always valid.
+            snapshot.entries[at++] = {compact[e.id], e.similarity};
+          }
+        }
+      });
     }
 
     // --- diffusion on the BSP engine -------------------------------------
@@ -97,6 +143,7 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     Engine::Options engine_options;
     engine_options.num_partitions = options.num_partitions;
     engine_options.num_threads = options.num_threads;
+    engine_options.pool = &pool;
     // k message exchanges need k+1 supersteps (send on 0..k-1, final fold
     // on superstep k).
     engine_options.max_supersteps = options.diffusion_iterations + 1;
@@ -109,26 +156,26 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     auto status = engine.Run([&](Engine::Context& ctx, uint32_t v,
                                  DiffusionState& state,
                                  const std::vector<BestEdge>& messages) {
+      auto [row, row_end] = snapshot.Row(v);
       if (ctx.superstep() == 0) {
         // Best incident edge, expressed in original cluster ids and
         // normalised to u < v so both endpoints describe it identically.
-        for (const auto& [to, s] : snapshot[v]) {
-          uint32_t a = std::min(active[v], active[to]);
-          uint32_t b = std::max(active[v], active[to]);
-          FoldMax(state.best, BestEdge{a, b, s});
+        for (auto* e = row; e != row_end; ++e) {
+          uint32_t a = std::min(active[v], active[e->first]);
+          uint32_t b = std::max(active[v], active[e->first]);
+          FoldMax(state.best, BestEdge{a, b, e->second});
         }
       }
       for (const BestEdge& m : messages) FoldMax(state.best, m);
-      if (ctx.superstep() > last_send_superstep || snapshot[v].empty()) {
+      if (ctx.superstep() > last_send_superstep || row == row_end) {
         ctx.VoteToHalt();
         return;
       }
       // Broadcast only improvements; neighbours already hold anything
       // sent before, so unchanged values would be wasted messages.
       if (state.best.valid() && !(state.best == state.sent)) {
-        for (const auto& [to, s] : snapshot[v]) {
-          (void)s;
-          ctx.SendMessage(to, state.best);
+        for (auto* e = row; e != row_end; ++e) {
+          ctx.SendMessage(e->first, state.best);
         }
         state.sent = state.best;
       }
@@ -146,16 +193,15 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     // --- collect local maximal edges: both endpoints agree ----------------
     // Each vertex's value is the best edge in its k-hop neighbourhood;
     // edge (a,b) is locally maximal iff it is the best for both a and b.
-    std::vector<std::pair<uint32_t, uint32_t>> to_merge;
-    std::vector<double> merge_similarity;
+    to_merge.clear();
+    merge_similarity.clear();
     for (uint32_t i = 0; i < n; ++i) {
       const BestEdge& mine = engine.VertexValue(i).best;
       if (!mine.valid()) continue;
       // Edges are normalised (u < v); the smaller endpoint reports, which
       // also deduplicates each agreeing pair.
       if (mine.u != active[i]) continue;
-      uint32_t j = compact.at(mine.v);
-      const BestEdge& theirs = engine.VertexValue(j).best;
+      const BestEdge& theirs = engine.VertexValue(compact[mine.v]).best;
       if (theirs.valid() && theirs.u == mine.u && theirs.v == mine.v) {
         to_merge.emplace_back(mine.u, mine.v);
         merge_similarity.push_back(mine.similarity);
@@ -165,16 +211,22 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
 
     // --- parallel merge phase ---------------------------------------------
     // Locally maximal edges form a matching (each vertex names a unique
-    // best edge), so the merges are independent; applying them within one
-    // round is the "distributed merging" step.
+    // best edge), so the merged rows are computed concurrently and the
+    // neighbour patches applied in a deterministic id-ordered reduction;
+    // MergeBatch validates the whole matching before mutating anything,
+    // so a corrupt round can never leave the dendrogram and the cluster
+    // graph divergent.
     {
       SHOAL_TRACE_SPAN("hac.merge");
+      const uint32_t first_new_id =
+          static_cast<uint32_t>(dendrogram.num_nodes());
+      SHOAL_RETURN_IF_ERROR(
+          clusters.MergeBatch(to_merge, first_new_id, options.hac.linkage,
+                              &pool));
       for (size_t m = 0; m < to_merge.size(); ++m) {
-        auto [a, b] = to_merge[m];
-        auto merged = dendrogram.Merge(a, b, merge_similarity[m]);
+        auto merged = dendrogram.Merge(to_merge[m].first, to_merge[m].second,
+                                       merge_similarity[m]);
         if (!merged.ok()) return merged.status();
-        SHOAL_RETURN_IF_ERROR(
-            clusters.Merge(a, b, merged.value(), options.hac.linkage));
       }
     }
     local_stats.total_merges += to_merge.size();

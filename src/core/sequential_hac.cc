@@ -46,11 +46,8 @@ util::Result<Dendrogram> SequentialHac(const graph::WeightedGraph& graph,
     // Lazy deletion: skip entries whose endpoints are gone or whose
     // similarity no longer matches the live cluster graph.
     if (!clusters.IsActive(top.u) || !clusters.IsActive(top.v)) continue;
-    auto it = clusters.Neighbors(top.u).find(top.v);
-    if (it == clusters.Neighbors(top.u).end() ||
-        it->second != top.similarity) {
-      continue;
-    }
+    const ClusterEdge* edge = clusters.FindEdge(top.u, top.v);
+    if (edge == nullptr || edge->similarity != top.similarity) continue;
     if (top.similarity < options.threshold) continue;
 
     auto merged = dendrogram.Merge(top.u, top.v, top.similarity);
@@ -60,8 +57,10 @@ util::Result<Dendrogram> SequentialHac(const graph::WeightedGraph& graph,
         clusters.Merge(top.u, top.v, new_id, options.linkage));
     ++local_stats.merges;
 
-    for (const auto& [c, s] : clusters.Neighbors(new_id)) {
-      if (s >= options.threshold) heap.push(HeapEdge{s, new_id, c});
+    for (const ClusterEdge& e : clusters.Neighbors(new_id)) {
+      if (e.similarity >= options.threshold) {
+        heap.push(HeapEdge{e.similarity, new_id, e.id});
+      }
     }
   }
 

@@ -12,6 +12,7 @@ util::Result<std::vector<uint32_t>> BspConnectedComponents(
   Engine::Options engine_options;
   engine_options.num_partitions = options.num_partitions;
   engine_options.num_threads = options.num_threads;
+  engine_options.pool = options.pool;
   engine_options.max_supersteps = graph.num_vertices() + 2;
   Engine engine(graph.num_vertices(), engine_options);
   engine.SetCombiner([](uint32_t& acc, const uint32_t& incoming) {
@@ -60,6 +61,7 @@ util::Result<std::vector<double>> BspPageRank(
   Engine::Options engine_options;
   engine_options.num_partitions = options.run.num_partitions;
   engine_options.num_threads = options.run.num_threads;
+  engine_options.pool = options.run.pool;
   engine_options.max_supersteps = options.iterations + 1;
   Engine engine(n, engine_options);
   engine.SetCombiner(

@@ -7,6 +7,10 @@
 #include "graph/weighted_graph.h"
 #include "util/result.h"
 
+namespace shoal::util {
+class ThreadPool;
+}  // namespace shoal::util
+
 namespace shoal::engine {
 
 // Classic vertex-centric algorithms implemented on the BSP engine —
@@ -17,6 +21,9 @@ namespace shoal::engine {
 struct BspRunOptions {
   size_t num_partitions = 8;
   size_t num_threads = 2;
+  // Borrowed worker pool shared with the caller; when set the engine
+  // spawns no threads of its own and `num_threads` is ignored.
+  util::ThreadPool* pool = nullptr;
 };
 
 // Connected components via min-label propagation. Returns a label per

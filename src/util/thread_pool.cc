@@ -5,6 +5,10 @@
 
 namespace shoal::util {
 
+namespace {
+std::atomic<uint64_t> g_total_threads_created{0};
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -13,6 +17,11 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  g_total_threads_created.fetch_add(num_threads, std::memory_order_relaxed);
+}
+
+uint64_t ThreadPool::TotalThreadsCreated() {
+  return g_total_threads_created.load(std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {

@@ -1,6 +1,7 @@
 #ifndef SHOAL_UTIL_THREAD_POOL_H_
 #define SHOAL_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +59,11 @@ class ThreadPool {
 
   // Consistent snapshot of the pool's execution statistics.
   ThreadPoolStats GetStats() const;
+
+  // Total worker threads spawned by all pools in this process since
+  // startup. Lets tests assert that a component given a borrowed pool
+  // did not quietly construct its own.
+  static uint64_t TotalThreadsCreated();
 
  private:
   void WorkerLoop();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.h"
+
 namespace shoal::engine {
 namespace {
 
@@ -180,6 +182,52 @@ TEST(BspEngineTest, HaltedVertexReactivatedByMessage) {
   });
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(engine.VertexValue(1), 7);
+}
+
+TEST(BspEngineTest, InjectedPoolSpawnsNoThreads) {
+  util::ThreadPool pool(2);
+  const uint64_t threads_before = util::ThreadPool::TotalThreadsCreated();
+  IntEngine::Options options = SmallOptions();
+  options.pool = &pool;
+  // Constructing and running several engines on a borrowed pool must not
+  // create a single thread.
+  for (int run = 0; run < 3; ++run) {
+    IntEngine engine(16, options);
+    auto status = engine.Run([](IntEngine::Context& ctx, uint32_t v,
+                                int& value, const std::vector<int>& messages) {
+      if (ctx.superstep() == 0) ctx.SendMessage((v + 1) % 16, 1);
+      for (int m : messages) value += m;
+      ctx.VoteToHalt();
+    });
+    ASSERT_TRUE(status.ok());
+    for (uint32_t v = 0; v < 16; ++v) EXPECT_EQ(engine.VertexValue(v), 1);
+  }
+  EXPECT_EQ(util::ThreadPool::TotalThreadsCreated(), threads_before);
+}
+
+TEST(BspEngineTest, InjectedPoolMatchesOwnedPoolResults) {
+  auto program = [](IntEngine::Context& ctx, uint32_t v, int& value,
+                    const std::vector<int>& messages) {
+    if (ctx.superstep() == 0) {
+      ctx.SendMessage((v + 3) % 32, static_cast<int>(v));
+    }
+    for (int m : messages) value += m;
+    ctx.VoteToHalt();
+  };
+  IntEngine owned(32, SmallOptions(5, 3));
+  ASSERT_TRUE(owned.Run(program).ok());
+
+  util::ThreadPool pool(3);
+  IntEngine::Options options = SmallOptions(5, 3);
+  options.pool = &pool;
+  IntEngine borrowed(32, options);
+  ASSERT_TRUE(borrowed.Run(program).ok());
+
+  for (uint32_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(borrowed.VertexValue(v), owned.VertexValue(v)) << v;
+  }
+  EXPECT_EQ(borrowed.total_messages(), owned.total_messages());
+  EXPECT_EQ(borrowed.superstep(), owned.superstep());
 }
 
 TEST(BspEngineTest, ActivateAllRestartsHaltedVertices) {

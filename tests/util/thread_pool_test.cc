@@ -82,6 +82,16 @@ TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, TotalThreadsCreatedCountsSpawns) {
+  const uint64_t before = ThreadPool::TotalThreadsCreated();
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(ThreadPool::TotalThreadsCreated(), before + 3);
+  }
+  // Destruction joins but never un-counts; the counter is monotone.
+  EXPECT_EQ(ThreadPool::TotalThreadsCreated(), before + 3);
+}
+
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {
