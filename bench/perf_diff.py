@@ -6,11 +6,20 @@ prints old -> new with absolute and relative deltas. Array elements that
 carry an identifying key (entities, threads) are aligned by that key
 rather than by index, so a run with an extra size row still lines up.
 
-Usage: perf_diff.py OLD.json NEW.json [--threshold PCT]
+Leaves split into two classes with different CI semantics:
 
-Exit code is always 0 unless --fail_above is given: the diff is
-informational by default so CI can surface regressions without being
-flaky about machine noise.
+  * identity leaves (rounds, merges, messages, supersteps, edges) —
+    counters that are a pure function of the input and the algorithm.
+    Any change means the candidate run is computing something different
+    from the baseline, which is a hard failure, never machine noise.
+  * timing leaves (everything else, *_seconds in particular) — vary
+    with runner hardware, so the diff is informational unless an
+    explicit --fail_above bound is requested.
+
+Usage: perf_diff.py OLD.json NEW.json [--mode all|identity|timing]
+
+Exit codes: 0 clean; 1 identity mismatch (modes all/identity) or a
+timing regression beyond --fail_above; 2 usage/IO errors (argparse).
 """
 
 import argparse
@@ -21,8 +30,7 @@ import sys
 _ID_KEYS = ("entities", "threads", "name", "bench")
 
 # Leaves where a change is identity-relevant, not perf-relevant: a
-# changed merge count means the run is not comparable, which the diff
-# flags separately from slow/fast.
+# changed merge count means the run is not comparable at all.
 _INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges"}
 
 
@@ -49,16 +57,62 @@ def flatten(value, prefix=""):
         yield prefix, float(value)
 
 
+def _is_identity(path):
+    return path.rsplit("/", 1)[-1] in _INVARIANT_KEYS
+
+
+def check_identity(old, new):
+    """Returns a list of human-readable identity violations."""
+    problems = []
+    identity_paths = sorted(p for p in set(old) | set(new) if _is_identity(p))
+    for path in identity_paths:
+        if path not in new:
+            problems.append(f"{path}: missing from candidate "
+                            f"(baseline {old[path]:g})")
+        elif path not in old:
+            problems.append(f"{path}: missing from baseline "
+                            f"(candidate {new[path]:g})")
+        elif old[path] != new[path]:
+            problems.append(f"{path}: {old[path]:g} -> {new[path]:g}")
+    return problems
+
+
+def diff_timing(old, new, threshold):
+    """Returns (rows, only_old, only_new, worst_seconds_regression_pct)."""
+    shared = sorted(set(old) & set(new))
+    worst_regression = 0.0
+    rows = []
+    for path in shared:
+        if _is_identity(path):
+            continue
+        before, after = old[path], new[path]
+        delta = after - before
+        pct = (delta / before * 100.0) if before else float("inf")
+        if "seconds" in path.rsplit("/", 1)[-1]:
+            worst_regression = max(worst_regression, pct)
+        if delta == 0 or abs(pct) < threshold:
+            continue
+        rows.append((path, before, after, delta, pct))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    return rows, only_old, only_new, worst_regression
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline metrics JSON")
     parser.add_argument("new", help="candidate metrics JSON")
+    parser.add_argument("--mode", choices=("all", "identity", "timing"),
+                        default="all",
+                        help="identity: hard-fail determinism check only; "
+                             "timing: informational perf diff only; "
+                             "all: both (default)")
     parser.add_argument("--threshold", type=float, default=2.0,
-                        help="suppress rows whose |delta| is below this "
-                             "percent (default 2)")
+                        help="suppress timing rows whose |delta| is below "
+                             "this percent (default 2)")
     parser.add_argument("--fail_above", type=float, default=None,
                         help="exit 1 if any *_seconds leaf regresses by "
-                             "more than this percent")
+                             "more than this percent (timing/all modes)")
     args = parser.parse_args()
 
     with open(args.old) as f:
@@ -66,48 +120,38 @@ def main():
     with open(args.new) as f:
         new = dict(flatten(json.load(f)))
 
-    shared = sorted(set(old) & set(new))
-    only_old = sorted(set(old) - set(new))
-    only_new = sorted(set(new) - set(old))
+    failed = False
 
-    invariant_broken = []
-    worst_regression = 0.0
-    rows = []
-    for path in shared:
-        before, after = old[path], new[path]
-        delta = after - before
-        pct = (delta / before * 100.0) if before else float("inf")
-        leaf = path.rsplit("/", 1)[-1]
-        if leaf in _INVARIANT_KEYS and before != after:
-            invariant_broken.append((path, before, after))
-            continue
-        if "seconds" in leaf:
-            worst_regression = max(worst_regression, pct)
-        if abs(pct) < args.threshold and delta != 0:
-            continue
-        if delta == 0:
-            continue
-        rows.append((path, before, after, delta, pct))
+    if args.mode in ("all", "identity"):
+        problems = check_identity(old, new)
+        if problems:
+            print("IDENTITY MISMATCH — run-identity leaves differ:")
+            for problem in problems:
+                print(f"  {problem}")
+            failed = True
+        else:
+            identity_count = sum(1 for p in old if _is_identity(p))
+            print(f"identity: {identity_count} leaves match")
 
-    print(f"{len(shared)} aligned leaves; "
-          f"{len(rows)} changed beyond {args.threshold:.1f}%")
-    for path, before, after, delta, pct in rows:
-        print(f"  {path}: {before:g} -> {after:g}  "
-              f"({delta:+g}, {pct:+.1f}%)")
-    if invariant_broken:
-        print("NOT COMPARABLE — run-identity leaves differ:")
-        for path, before, after in invariant_broken:
-            print(f"  {path}: {before:g} -> {after:g}")
-    for path in only_old:
-        print(f"  removed: {path} (was {old[path]:g})")
-    for path in only_new:
-        print(f"  added: {path} = {new[path]:g}")
+    if args.mode in ("all", "timing"):
+        rows, only_old, only_new, worst = diff_timing(
+            old, new, args.threshold)
+        shared = len(set(old) & set(new))
+        print(f"{shared} aligned leaves; "
+              f"{len(rows)} changed beyond {args.threshold:.1f}%")
+        for path, before, after, delta, pct in rows:
+            print(f"  {path}: {before:g} -> {after:g}  "
+                  f"({delta:+g}, {pct:+.1f}%)")
+        for path in only_old:
+            print(f"  removed: {path} (was {old[path]:g})")
+        for path in only_new:
+            print(f"  added: {path} = {new[path]:g}")
+        if args.fail_above is not None and worst > args.fail_above:
+            print(f"FAIL: worst seconds regression {worst:+.1f}% "
+                  f"exceeds {args.fail_above:.1f}%")
+            failed = True
 
-    if args.fail_above is not None and worst_regression > args.fail_above:
-        print(f"FAIL: worst seconds regression {worst_regression:+.1f}% "
-              f"exceeds {args.fail_above:.1f}%")
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for perf_diff.py, run via ctest.
+
+The CI perf job depends on the split semantics: `--mode identity` is a
+hard gate (exit 1 on any run-identity drift), `--mode timing` is
+informational (exit 0 regardless of deltas, unless --fail_above).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "perf_diff.py")
+
+_BASELINE = {
+    "hac": {"rounds": 12, "merges": 340, "hac_seconds": 1.0},
+    "sweep": [
+        {"entities": 500, "build_seconds": 0.5, "edges": 9000},
+        {"entities": 1000, "build_seconds": 1.5, "edges": 21000},
+    ],
+}
+
+
+def _with(base, **updates):
+    doc = json.loads(json.dumps(base))
+    for dotted, value in updates.items():
+        node = doc
+        *parents, leaf = dotted.split(".")
+        for key in parents:
+            node = node[int(key)] if key.isdigit() else node[key]
+        node[leaf] = value
+    return doc
+
+
+class PerfDiffExitCodes(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory(prefix="shoal_perf_diff_")
+        self.addCleanup(self._dir.cleanup)
+
+    def _write(self, name, doc):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def _run(self, old, new, *flags):
+        return subprocess.run(
+            [sys.executable, _SCRIPT, self._write("old.json", old),
+             self._write("new.json", new), *flags],
+            capture_output=True, text=True)
+
+    def test_identical_runs_pass_every_mode(self):
+        for mode in ("all", "identity", "timing"):
+            result = self._run(_BASELINE, _BASELINE, "--mode", mode)
+            self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_timing_drift_is_informational(self):
+        slower = _with(_BASELINE, **{"hac.hac_seconds": 97.0,
+                                     "sweep.0.build_seconds": 42.0})
+        for mode in ("all", "identity", "timing"):
+            result = self._run(_BASELINE, slower, "--mode", mode)
+            self.assertEqual(result.returncode, 0, result.stdout)
+        result = self._run(_BASELINE, slower, "--mode", "timing")
+        self.assertIn("hac_seconds", result.stdout)
+
+    def test_identity_drift_fails_identity_and_all(self):
+        drifted = _with(_BASELINE, **{"hac.merges": 341})
+        for mode, expected in (("identity", 1), ("all", 1), ("timing", 0)):
+            result = self._run(_BASELINE, drifted, "--mode", mode)
+            self.assertEqual(result.returncode, expected,
+                             f"mode={mode}: {result.stdout}")
+        result = self._run(_BASELINE, drifted, "--mode", "identity")
+        self.assertIn("IDENTITY MISMATCH", result.stdout)
+        self.assertIn("merges", result.stdout)
+
+    def test_missing_identity_leaf_fails(self):
+        pruned = json.loads(json.dumps(_BASELINE))
+        del pruned["hac"]["rounds"]
+        result = self._run(_BASELINE, pruned, "--mode", "identity")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("missing from candidate", result.stdout)
+
+    def test_keyed_array_rows_align_despite_reordering(self):
+        reordered = json.loads(json.dumps(_BASELINE))
+        reordered["sweep"].reverse()
+        result = self._run(_BASELINE, reordered, "--mode", "identity")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_fail_above_gates_timing_regressions(self):
+        slower = _with(_BASELINE, **{"hac.hac_seconds": 2.0})
+        ok = self._run(_BASELINE, slower, "--mode", "timing",
+                       "--fail_above", "150")
+        self.assertEqual(ok.returncode, 0, ok.stdout)
+        bad = self._run(_BASELINE, slower, "--mode", "timing",
+                        "--fail_above", "50")
+        self.assertEqual(bad.returncode, 1, bad.stdout)
+        self.assertIn("FAIL", bad.stdout)
+
+    def test_speedups_never_fail(self):
+        faster = _with(_BASELINE, **{"hac.hac_seconds": 0.1})
+        result = self._run(_BASELINE, faster, "--mode", "all",
+                           "--fail_above", "5")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,85 @@
+# Crash-recovery smoke test, run via `cmake -P` from ctest (see
+# examples/CMakeLists.txt) and mirrored by the CI crash-recovery job:
+#
+#   1. build a reference taxonomy with no interference,
+#   2. rebuild with SHOAL_FAULT=crash_at_round:3 and checkpointing on —
+#      the process hard-exits (std::_Exit(42)) mid-HAC, leaving only
+#      the checkpoint directory behind,
+#   3. `shoal_cli resume` from the checkpoint at a different thread
+#      count,
+#   4. byte-compare every taxonomy artefact against the reference.
+#
+# Required -D variables: SHOAL_CLI, WORK_DIR.
+
+foreach(var SHOAL_CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_crash_resume_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "cli_crash_resume_smoke: '${ARGN}' exited with ${rv}")
+  endif()
+endfunction()
+
+run_checked("${SHOAL_CLI}" generate
+  "--out=${WORK_DIR}/log" --entities=600 --seed=2027)
+
+# Reference: uninterrupted build at 2 threads.
+run_checked("${SHOAL_CLI}" build
+  "--in=${WORK_DIR}/log" "--out=${WORK_DIR}/tax_ref" --threads=2)
+
+# Interrupted build: the injected fault crashes the process at HAC round
+# 3 with exit code 42 (a real process death, not a clean error return).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SHOAL_FAULT=crash_at_round:3
+    "${SHOAL_CLI}" build
+    "--in=${WORK_DIR}/log" "--out=${WORK_DIR}/tax_crash"
+    "--checkpoint-dir=${WORK_DIR}/ckpt" --checkpoint-every=1 --threads=2
+  RESULT_VARIABLE crash_rv)
+if(NOT crash_rv EQUAL 42)
+  message(FATAL_ERROR
+    "cli_crash_resume_smoke: expected injected crash (exit 42), got "
+    "'${crash_rv}'")
+endif()
+if(EXISTS "${WORK_DIR}/tax_crash/topics.tsv")
+  message(FATAL_ERROR
+    "cli_crash_resume_smoke: crashed build must not have written taxonomy "
+    "artefacts")
+endif()
+if(NOT EXISTS "${WORK_DIR}/ckpt/MANIFEST.json")
+  message(FATAL_ERROR
+    "cli_crash_resume_smoke: crashed build left no checkpoint manifest")
+endif()
+
+# Resume from the checkpoint at a different thread count; determinism
+# means the thread count cannot matter.
+run_checked("${SHOAL_CLI}" resume
+  "--in=${WORK_DIR}/log" "--out=${WORK_DIR}/tax_resumed"
+  "--checkpoint-dir=${WORK_DIR}/ckpt" --checkpoint-every=1 --threads=8)
+
+# Every artefact must be byte-for-byte identical to the reference.
+foreach(artefact
+    categories.tsv correlations.tsv descriptions.tsv members.tsv topics.tsv)
+  if(NOT EXISTS "${WORK_DIR}/tax_resumed/${artefact}")
+    message(FATAL_ERROR
+      "cli_crash_resume_smoke: resumed build is missing ${artefact}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/tax_ref/${artefact}" "${WORK_DIR}/tax_resumed/${artefact}"
+    RESULT_VARIABLE diff_rv)
+  if(NOT diff_rv EQUAL 0)
+    message(FATAL_ERROR
+      "cli_crash_resume_smoke: ${artefact} differs between the reference "
+      "and the resumed build")
+  endif()
+endforeach()
+
+message(STATUS
+  "cli_crash_resume_smoke: resumed taxonomy byte-identical to reference")

@@ -7,20 +7,29 @@
 //       import the log, build the taxonomy, persist it as TSVs
 //   shoal_cli inspect --taxonomy taxonomy_dir [--top K]
 //       summarise a persisted taxonomy
+//   shoal_cli resume --in log_dir --out taxonomy_dir
+//       --checkpoint-dir ckpt_dir
+//       continue an interrupted build from its checkpoints; the
+//       resulting taxonomy is byte-identical to an uninterrupted build
 //
 // generate -> build -> inspect round-trips entirely through files, so
-// each step can run on a different machine or schedule.
+// each step can run on a different machine or schedule. `build
+// --checkpoint-dir` snapshots the entity graph once and the HAC state
+// every --checkpoint-every rounds; after a crash (or kill -9), `resume`
+// with the same flags picks up from the newest readable snapshot.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "ckpt/pipeline.h"
 #include "core/shoal.h"
 #include "core/taxonomy_io.h"
 #include "data/dataset.h"
 #include "data/log_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -112,7 +121,46 @@ int Generate(util::FlagParser& flags) {
   return 0;
 }
 
-int Build(util::FlagParser& flags) {
+// Reads the clustering flags shared by `build` and `resume` into a
+// ShoalOptions. Returns false (after printing) on an invalid value.
+bool OptionsFromFlags(const util::FlagParser& flags,
+                      core::ShoalOptions& options) {
+  options.entity_graph.alpha = flags.GetDouble("alpha");
+  options.hac.hac.threshold = flags.GetDouble("threshold");
+  options.correlation.min_strength =
+      static_cast<uint32_t>(flags.GetInt64("min_strength"));
+  if (flags.GetInt64("threads") < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return false;
+  }
+  if (flags.GetInt64("checkpoint-every") < 1) {
+    std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
+    return false;
+  }
+  options.num_threads = static_cast<size_t>(flags.GetInt64("threads"));
+  return true;
+}
+
+// Prints the model summary and persists the taxonomy + observability
+// artefacts; the shared tail of `build` and `resume`.
+int FinishBuild(const util::FlagParser& flags,
+                const core::ShoalModel& model) {
+  std::printf("built %zu topics under %zu roots "
+              "(%zu entity-graph edges, %zu merges)\n",
+              model.taxonomy().num_topics(),
+              model.taxonomy().roots().size(),
+              model.entity_graph().num_edges(),
+              model.stats().hac.total_merges);
+
+  const std::string& out_dir = flags.GetString("out");
+  auto status =
+      core::SaveTaxonomy(model.taxonomy(), model.correlations(), out_dir);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  std::printf("persisted taxonomy to %s\n", out_dir.c_str());
+  return WriteObservability(flags, &model.stats());
+}
+
+int Build(util::FlagParser& flags, bool resume) {
   const std::string& in_dir = flags.GetString("in");
   auto log = data::ImportSearchLog(in_dir);
   if (!log.ok()) {
@@ -127,34 +175,35 @@ int Build(util::FlagParser& flags) {
   auto bundle =
       data::MakeShoalInputFromLog(*log, flags.GetDouble("window_days"));
   core::ShoalOptions options;
-  options.entity_graph.alpha = flags.GetDouble("alpha");
-  options.hac.hac.threshold = flags.GetDouble("threshold");
-  options.correlation.min_strength =
-      static_cast<uint32_t>(flags.GetInt64("min_strength"));
-  if (flags.GetInt64("threads") < 0) {
-    std::fprintf(stderr, "--threads must be >= 0\n");
-    return 1;
-  }
-  options.num_threads = static_cast<size_t>(flags.GetInt64("threads"));
-  auto model = core::BuildShoal(bundle.View(), options);
+  if (!OptionsFromFlags(flags, options)) return 1;
+  const std::string& ckpt_dir = flags.GetString("checkpoint-dir");
+  const size_t ckpt_every =
+      static_cast<size_t>(flags.GetInt64("checkpoint-every"));
+
+  util::Result<core::ShoalModel> model = [&] {
+    if (resume) {
+      // ResumeShoal loads the newest readable snapshots, re-attaches
+      // checkpointing, and continues the pipeline.
+      return ckpt::ResumeShoal(bundle.View(), options, ckpt_dir,
+                               ckpt_every);
+    }
+    if (!ckpt_dir.empty()) {
+      auto attached = ckpt::AttachCheckpointing(ckpt_dir, ckpt_every,
+                                                /*resume=*/false, options);
+      if (!attached.ok()) {
+        return util::Result<core::ShoalModel>(attached);
+      }
+      std::printf("checkpointing to %s every %zu HAC rounds\n",
+                  ckpt_dir.c_str(), ckpt_every);
+    }
+    return core::BuildShoal(bundle.View(), options);
+  }();
   if (!model.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
                  model.status().ToString().c_str());
     return 1;
   }
-  std::printf("built %zu topics under %zu roots "
-              "(%zu entity-graph edges, %zu merges)\n",
-              model->taxonomy().num_topics(),
-              model->taxonomy().roots().size(),
-              model->entity_graph().num_edges(),
-              model->stats().hac.total_merges);
-
-  const std::string& out_dir = flags.GetString("out");
-  auto status =
-      core::SaveTaxonomy(model->taxonomy(), model->correlations(), out_dir);
-  SHOAL_CHECK(status.ok()) << status.ToString();
-  std::printf("persisted taxonomy to %s\n", out_dir.c_str());
-  return WriteObservability(flags, &model->stats());
+  return FinishBuild(flags, *model);
 }
 
 int Inspect(util::FlagParser& flags) {
@@ -191,7 +240,7 @@ int Inspect(util::FlagParser& flags) {
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <generate|build|inspect> [flags]\n"
+                 "usage: %s <generate|build|resume|inspect> [flags]\n"
                  "       %s <command> --help\n",
                  argv[0], argv[0]);
     return 1;
@@ -211,6 +260,11 @@ int Run(int argc, char** argv) {
   flags.AddInt64("threads", 0,
                  "pipeline worker threads (0 = per-stage defaults)");
   flags.AddInt64("top", 10, "roots to print for 'inspect'");
+  flags.AddString("checkpoint-dir", "",
+                  "snapshot directory for crash-safe builds (empty = off; "
+                  "required by 'resume')");
+  flags.AddInt64("checkpoint-every", 5,
+                 "HAC rounds between checkpoints");
   AddObservabilityFlags(flags);
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
@@ -219,9 +273,24 @@ int Run(int argc, char** argv) {
   }
   if (flags.help_requested()) return 0;
   if (!EnableObservability(flags)) return 1;
+  // Arm fault injection from SHOAL_FAULT (CI crash-recovery smoke and
+  // local kill-and-resume testing); unset means zero overhead.
+  auto fault = util::FaultInjector::Global().ConfigureFromEnv();
+  if (!fault.ok()) {
+    std::fprintf(stderr, "bad SHOAL_FAULT: %s\n",
+                 fault.ToString().c_str());
+    return 1;
+  }
 
   if (command == "generate") return Generate(flags);
-  if (command == "build") return Build(flags);
+  if (command == "build") return Build(flags, /*resume=*/false);
+  if (command == "resume") {
+    if (flags.GetString("checkpoint-dir").empty()) {
+      std::fprintf(stderr, "resume requires --checkpoint-dir\n");
+      return 1;
+    }
+    return Build(flags, /*resume=*/true);
+  }
   if (command == "inspect") return Inspect(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;

@@ -1,0 +1,64 @@
+#ifndef SHOAL_CKPT_BINARY_IO_H_
+#define SHOAL_CKPT_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::ckpt {
+
+// Append-only encoder for the snapshot wire format. All integers are
+// written little-endian regardless of host order, and doubles are
+// written as their raw IEEE-754 bit pattern — snapshots must restore
+// similarities bit-exactly or a resumed HAC run could tie-break a merge
+// differently and diverge from the uninterrupted dendrogram.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF64(double v);
+  // u64 byte length followed by the raw bytes.
+  void WriteString(std::string_view s);
+
+  const std::string& data() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+// Bounds-checked decoder over a byte span. Every read returns OutOfRange
+// instead of walking past the end, so a truncated snapshot surfaces as a
+// clean Status, never as undefined behaviour.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  util::Result<uint8_t> ReadU8();
+  util::Result<uint32_t> ReadU32();
+  util::Result<uint64_t> ReadU64();
+  util::Result<double> ReadF64();
+  util::Result<std::string> ReadString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  // Guard before resizing a container to a length read from the stream:
+  // OK only when `count` elements of at least `min_element_bytes` each
+  // could still follow, which bounds allocations by the file size and
+  // turns a corrupted length field into a clean error instead of an OOM.
+  util::Status CheckCount(uint64_t count, size_t min_element_bytes) const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace shoal::ckpt
+
+#endif  // SHOAL_CKPT_BINARY_IO_H_

@@ -1,0 +1,318 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "util/tsv.h"
+
+namespace shoal::ckpt {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST.json";
+constexpr char kEntityGraphFile[] = "entity_graph.snap";
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string HacSnapshotName(uint64_t rounds_done) {
+  return util::StringPrintf("hac-%06llu.snap",
+                            static_cast<unsigned long long>(rounds_done));
+}
+
+void RecordWriteMetrics(uint64_t bytes, double seconds,
+                        uint64_t rounds_done) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  if (!metrics.enabled()) return;
+  metrics.GetCounter("ckpt.writes").Increment();
+  metrics.GetCounter("ckpt.bytes").Increment(bytes);
+  metrics.GetHistogram("ckpt.write_seconds").Record(seconds);
+  metrics.GetGauge("ckpt.last_round")
+      .Set(static_cast<double>(rounds_done));
+}
+
+}  // namespace
+
+util::Result<CheckpointWriter> CheckpointWriter::Open(
+    const std::string& dir, bool resume, const CheckpointOptions& options) {
+  if (dir.empty()) {
+    return util::Status::InvalidArgument(
+        "checkpoint directory must not be empty");
+  }
+  if (options.keep_last == 0) {
+    return util::Status::InvalidArgument(
+        "CheckpointOptions::keep_last must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create checkpoint directory " +
+                                 dir + ": " + ec.message());
+  }
+  CheckpointWriter writer(dir, options);
+  const std::string manifest_path = JoinPath(dir, kManifestName);
+  if (resume && std::filesystem::exists(manifest_path)) {
+    SHOAL_ASSIGN_OR_RETURN(std::string text,
+                           util::ReadTextFile(manifest_path));
+    SHOAL_ASSIGN_OR_RETURN(writer.entries_, ParseManifest(text));
+  } else {
+    // A fresh run owns the directory: start from an empty manifest so a
+    // stale one can never mix snapshots of two different runs. Old
+    // snapshot files are left behind and get overwritten round by round.
+    SHOAL_RETURN_IF_ERROR(writer.WriteManifest());
+  }
+  return writer;
+}
+
+util::Status CheckpointWriter::WriteEntityGraph(
+    const graph::WeightedGraph& graph) {
+  util::Stopwatch stopwatch;
+  const std::string payload = EncodeEntityGraph(graph);
+  ManifestEntry entry;
+  entry.file = kEntityGraphFile;
+  entry.kind = SnapshotKind::kEntityGraph;
+  entry.bytes = payload.size();
+  entry.crc32 = util::Crc32(payload.data(), payload.size());
+  SHOAL_RETURN_IF_ERROR(WriteSnapshotFile(
+      JoinPath(dir_, entry.file), SnapshotKind::kEntityGraph, payload));
+  SHOAL_RETURN_IF_ERROR(Commit(std::move(entry)));
+  RecordWriteMetrics(payload.size(), stopwatch.ElapsedSeconds(), 0);
+  return util::Status::OK();
+}
+
+util::Status CheckpointWriter::WriteHacSnapshot(const HacSnapshotData& data) {
+  util::Stopwatch stopwatch;
+  const std::string payload = EncodeHacSnapshot(data);
+  ManifestEntry entry;
+  entry.file = HacSnapshotName(data.rounds_done);
+  entry.kind = SnapshotKind::kHacState;
+  entry.rounds_done = data.rounds_done;
+  entry.finished = data.finished;
+  entry.bytes = payload.size();
+  entry.crc32 = util::Crc32(payload.data(), payload.size());
+  SHOAL_RETURN_IF_ERROR(WriteSnapshotFile(
+      JoinPath(dir_, entry.file), SnapshotKind::kHacState, payload));
+  SHOAL_RETURN_IF_ERROR(Commit(std::move(entry)));
+  RecordWriteMetrics(payload.size(), stopwatch.ElapsedSeconds(),
+                     data.rounds_done);
+  return util::Status::OK();
+}
+
+util::Status CheckpointWriter::Commit(ManifestEntry entry) {
+  // Same file name (e.g. the finished snapshot re-written at the final
+  // round count) replaces its entry instead of duplicating it.
+  auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const ManifestEntry& e) { return e.file == entry.file; });
+  if (it != entries_.end()) {
+    *it = std::move(entry);
+  } else {
+    entries_.push_back(std::move(entry));
+  }
+  PruneHacSnapshots();
+  return WriteManifest();
+}
+
+void CheckpointWriter::PruneHacSnapshots() {
+  std::vector<size_t> hac_indices;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].kind == SnapshotKind::kHacState) hac_indices.push_back(i);
+  }
+  if (hac_indices.size() <= options_.keep_last) return;
+  // Oldest first (lowest round); keep the newest keep_last.
+  std::sort(hac_indices.begin(), hac_indices.end(),
+            [&](size_t a, size_t b) {
+              return entries_[a].rounds_done < entries_[b].rounds_done;
+            });
+  const size_t drop = hac_indices.size() - options_.keep_last;
+  std::vector<bool> dead(entries_.size(), false);
+  for (size_t i = 0; i < drop; ++i) {
+    const ManifestEntry& entry = entries_[hac_indices[i]];
+    std::error_code ec;
+    std::filesystem::remove(JoinPath(dir_, entry.file), ec);
+    // A file that cannot be removed is only wasted disk, not an error;
+    // it is no longer named by the manifest either way.
+    dead[hac_indices[i]] = true;
+  }
+  std::vector<ManifestEntry> kept;
+  kept.reserve(entries_.size() - drop);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(entries_[i]));
+  }
+  entries_ = std::move(kept);
+}
+
+util::Status CheckpointWriter::WriteManifest() const {
+  util::JsonValue doc = util::JsonValue::Object();
+  doc.Set("version", util::JsonValue::Number(1));
+  util::JsonValue list = util::JsonValue::Array();
+  for (const ManifestEntry& entry : entries_) {
+    util::JsonValue e = util::JsonValue::Object();
+    e.Set("file", util::JsonValue::Str(entry.file));
+    e.Set("kind", util::JsonValue::Str(SnapshotKindName(entry.kind)));
+    e.Set("rounds_done",
+          util::JsonValue::Number(static_cast<double>(entry.rounds_done)));
+    e.Set("finished", util::JsonValue::Bool(entry.finished));
+    e.Set("bytes",
+          util::JsonValue::Number(static_cast<double>(entry.bytes)));
+    e.Set("crc32",
+          util::JsonValue::Number(static_cast<double>(entry.crc32)));
+    list.Append(std::move(e));
+  }
+  doc.Set("entries", std::move(list));
+  return util::WriteJsonFile(JoinPath(dir_, kManifestName), doc);
+}
+
+util::Result<std::vector<ManifestEntry>> ParseManifest(
+    std::string_view text) {
+  SHOAL_ASSIGN_OR_RETURN(util::JsonValue doc, util::JsonValue::Parse(text));
+  if (!doc.is_object()) {
+    return util::Status::InvalidArgument("manifest is not a JSON object");
+  }
+  const util::JsonValue* version = doc.Find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->number() != 1.0) {
+    return util::Status::InvalidArgument(
+        "manifest version missing or unsupported");
+  }
+  const util::JsonValue* list = doc.Find("entries");
+  if (list == nullptr || !list->is_array()) {
+    return util::Status::InvalidArgument("manifest has no entries array");
+  }
+  std::vector<ManifestEntry> entries;
+  entries.reserve(list->items().size());
+  for (const util::JsonValue& item : list->items()) {
+    if (!item.is_object()) {
+      return util::Status::InvalidArgument(
+          "manifest entry is not an object");
+    }
+    ManifestEntry entry;
+    const util::JsonValue* file = item.Find("file");
+    const util::JsonValue* kind = item.Find("kind");
+    const util::JsonValue* rounds = item.Find("rounds_done");
+    const util::JsonValue* finished = item.Find("finished");
+    const util::JsonValue* bytes = item.Find("bytes");
+    const util::JsonValue* crc = item.Find("crc32");
+    if (file == nullptr || !file->is_string() || kind == nullptr ||
+        !kind->is_string() || rounds == nullptr || !rounds->is_number() ||
+        finished == nullptr || !finished->is_bool() || bytes == nullptr ||
+        !bytes->is_number() || crc == nullptr || !crc->is_number()) {
+      return util::Status::InvalidArgument(
+          "manifest entry has missing or mistyped fields");
+    }
+    entry.file = file->string_value();
+    if (entry.file.empty() ||
+        entry.file.find('/') != std::string::npos ||
+        entry.file.find("..") != std::string::npos) {
+      return util::Status::InvalidArgument(
+          "manifest entry file name must be a plain name: " + entry.file);
+    }
+    if (kind->string_value() == "entity_graph") {
+      entry.kind = SnapshotKind::kEntityGraph;
+    } else if (kind->string_value() == "hac_state") {
+      entry.kind = SnapshotKind::kHacState;
+    } else {
+      return util::Status::InvalidArgument("manifest entry has unknown kind " +
+                                           kind->string_value());
+    }
+    entry.rounds_done = static_cast<uint64_t>(rounds->number());
+    entry.finished = finished->bool_value();
+    entry.bytes = static_cast<uint64_t>(bytes->number());
+    entry.crc32 = static_cast<uint32_t>(crc->number());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+util::Result<LoadedCheckpoint> LoadCheckpoint(const std::string& dir) {
+  const std::string manifest_path = JoinPath(dir, kManifestName);
+  if (!std::filesystem::exists(manifest_path)) {
+    return util::Status::NotFound("no checkpoint manifest at " +
+                                  manifest_path);
+  }
+  SHOAL_ASSIGN_OR_RETURN(std::string text,
+                         util::ReadTextFile(manifest_path));
+  SHOAL_ASSIGN_OR_RETURN(std::vector<ManifestEntry> entries,
+                         ParseManifest(text));
+
+  LoadedCheckpoint loaded;
+  util::Stopwatch stopwatch;
+
+  for (const ManifestEntry& entry : entries) {
+    if (entry.kind != SnapshotKind::kEntityGraph) continue;
+    auto file = ReadSnapshotFile(JoinPath(dir, entry.file));
+    if (!file.ok()) {
+      loaded.corrupt_files.push_back(entry.file);
+      SHOAL_LOG(kWarning) << "checkpoint " << entry.file
+                          << " unreadable: " << file.status().ToString();
+      continue;
+    }
+    if (file.value().kind != SnapshotKind::kEntityGraph) {
+      loaded.corrupt_files.push_back(entry.file);
+      continue;
+    }
+    auto graph = DecodeEntityGraph(file.value().payload);
+    if (!graph.ok()) {
+      loaded.corrupt_files.push_back(entry.file);
+      SHOAL_LOG(kWarning) << "checkpoint " << entry.file
+                          << " corrupt: " << graph.status().ToString();
+      continue;
+    }
+    loaded.entity_graph = std::move(graph).value();
+    loaded.has_entity_graph = true;
+    break;
+  }
+
+  // Newest HAC snapshot that reads back clean; descending fallback so a
+  // corrupt latest file costs rounds, not the whole run.
+  std::vector<const ManifestEntry*> hac_entries;
+  for (const ManifestEntry& entry : entries) {
+    if (entry.kind == SnapshotKind::kHacState) hac_entries.push_back(&entry);
+  }
+  std::sort(hac_entries.begin(), hac_entries.end(),
+            [](const ManifestEntry* a, const ManifestEntry* b) {
+              if (a->finished != b->finished) return a->finished > b->finished;
+              return a->rounds_done > b->rounds_done;
+            });
+  for (const ManifestEntry* entry : hac_entries) {
+    auto file = ReadSnapshotFile(JoinPath(dir, entry->file));
+    if (!file.ok() || file.value().kind != SnapshotKind::kHacState) {
+      loaded.corrupt_files.push_back(entry->file);
+      SHOAL_LOG(kWarning) << "checkpoint " << entry->file
+                          << " unreadable, falling back to an older one: "
+                          << file.status().ToString();
+      continue;
+    }
+    auto data = DecodeHacSnapshot(file.value().payload);
+    if (!data.ok()) {
+      loaded.corrupt_files.push_back(entry->file);
+      SHOAL_LOG(kWarning) << "checkpoint " << entry->file
+                          << " corrupt, falling back to an older one: "
+                          << data.status().ToString();
+      continue;
+    }
+    loaded.hac = std::move(data).value();
+    break;
+  }
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetCounter("ckpt.restores").Increment();
+    metrics.GetHistogram("ckpt.restore_seconds")
+        .Record(stopwatch.ElapsedSeconds());
+  }
+  return loaded;
+}
+
+}  // namespace shoal::ckpt

@@ -1,0 +1,91 @@
+#ifndef SHOAL_CKPT_CHECKPOINT_H_
+#define SHOAL_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.h"
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::ckpt {
+
+struct CheckpointOptions {
+  // HAC snapshots retained on disk; older ones are pruned after each
+  // successful write. The entity-graph snapshot is never pruned. Must
+  // be >= 1.
+  size_t keep_last = 3;
+};
+
+// One committed snapshot, as recorded in MANIFEST.json.
+struct ManifestEntry {
+  std::string file;  // name relative to the checkpoint directory
+  SnapshotKind kind = SnapshotKind::kEntityGraph;
+  uint64_t rounds_done = 0;  // 0 for entity-graph snapshots
+  bool finished = false;     // true for the post-HAC snapshot
+  uint64_t bytes = 0;
+  uint32_t crc32 = 0;  // payload CRC, duplicated for quick audits
+};
+
+// Owns a checkpoint directory: writes snapshot files atomically, then
+// commits each one by rewriting MANIFEST.json (also atomically). A crash
+// between the two leaves an uncommitted-but-valid snapshot file that the
+// next run simply overwrites — readers only trust the manifest, so the
+// directory is never observed in a torn state.
+class CheckpointWriter {
+ public:
+  // Creates `dir` (and parents) when missing. With `resume` false any
+  // existing manifest is superseded by an empty one (a fresh run owns
+  // the directory); with `resume` true existing entries are loaded so
+  // the continued run appends and prunes as if never interrupted.
+  static util::Result<CheckpointWriter> Open(
+      const std::string& dir, bool resume,
+      const CheckpointOptions& options = {});
+
+  util::Status WriteEntityGraph(const graph::WeightedGraph& graph);
+  util::Status WriteHacSnapshot(const HacSnapshotData& data);
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<ManifestEntry>& entries() const { return entries_; }
+
+ private:
+  CheckpointWriter(std::string dir, CheckpointOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  util::Status Commit(ManifestEntry entry);
+  util::Status WriteManifest() const;
+  void PruneHacSnapshots();
+
+  std::string dir_;
+  CheckpointOptions options_;
+  std::vector<ManifestEntry> entries_;
+};
+
+// Best valid state recoverable from a checkpoint directory. `hac` is the
+// highest-round HAC snapshot that reads back clean; corrupt files are
+// skipped in favour of the next-newest (losing at most the rounds since
+// that snapshot, never the run).
+struct LoadedCheckpoint {
+  bool has_entity_graph = false;
+  graph::WeightedGraph entity_graph;
+  std::optional<HacSnapshotData> hac;
+  // Files named by the manifest that failed to read back; informational.
+  std::vector<std::string> corrupt_files;
+};
+
+// Reads MANIFEST.json and the snapshots it names. NotFound when the
+// directory or manifest is missing; a syntactically broken manifest is
+// InvalidArgument. Individual corrupt snapshots degrade gracefully as
+// described on LoadedCheckpoint.
+util::Result<LoadedCheckpoint> LoadCheckpoint(const std::string& dir);
+
+// Parses a manifest document (exposed for tests).
+util::Result<std::vector<ManifestEntry>> ParseManifest(
+    std::string_view text);
+
+}  // namespace shoal::ckpt
+
+#endif  // SHOAL_CKPT_CHECKPOINT_H_

@@ -1,0 +1,78 @@
+#include "ckpt/pipeline.h"
+
+#include <memory>
+#include <utility>
+
+#include "ckpt/snapshot.h"
+#include "util/logging.h"
+
+namespace shoal::ckpt {
+
+util::Status AttachCheckpointing(const std::string& dir,
+                                 size_t checkpoint_every, bool resume,
+                                 core::ShoalOptions& options,
+                                 const CheckpointOptions& checkpoint) {
+  if (checkpoint_every == 0) {
+    return util::Status::InvalidArgument(
+        "checkpoint_every must be >= 1 when checkpointing is attached");
+  }
+  auto opened = CheckpointWriter::Open(dir, resume, checkpoint);
+  if (!opened.ok()) return opened.status();
+  auto writer =
+      std::make_shared<CheckpointWriter>(std::move(opened).value());
+
+  options.entity_graph_checkpoint_hook =
+      [writer](const graph::WeightedGraph& graph) {
+        return writer->WriteEntityGraph(graph);
+      };
+  // Fingerprint captured by value now; BuildShoal may later override
+  // thread counts, but those are deliberately not part of the
+  // fingerprint (results are thread-count invariant).
+  const core::ParallelHacOptions hac_options = options.hac;
+  options.hac.checkpoint_every = checkpoint_every;
+  options.hac.checkpoint_hook = [writer, hac_options](
+                                    const core::HacProgress& progress) {
+    return writer->WriteHacSnapshot(
+        CaptureHacSnapshot(progress, hac_options));
+  };
+  return util::Status::OK();
+}
+
+util::Result<core::ShoalModel> ResumeShoal(
+    const core::ShoalInput& input, core::ShoalOptions options,
+    const std::string& dir, size_t checkpoint_every,
+    const CheckpointOptions& checkpoint) {
+  SHOAL_ASSIGN_OR_RETURN(LoadedCheckpoint loaded, LoadCheckpoint(dir));
+  if (!loaded.has_entity_graph) {
+    // Nothing usable was persisted before the interruption: the resumed
+    // run is simply a fresh build (still checkpointed).
+    SHOAL_LOG(kWarning)
+        << "checkpoint directory " << dir
+        << " has no readable entity-graph snapshot; rebuilding from scratch";
+  }
+
+  core::ShoalResumeState resume;
+  resume.has_entity_graph = loaded.has_entity_graph;
+  resume.entity_graph = std::move(loaded.entity_graph);
+  if (loaded.hac.has_value()) {
+    if (!resume.has_entity_graph) {
+      return util::Status::InvalidArgument(
+          "checkpoint has a HAC snapshot but no entity graph; the "
+          "directory is incomplete and cannot be resumed");
+    }
+    auto state = RestoreHacState(*loaded.hac, options.hac);
+    if (!state.ok()) return state.status();
+    resume.hac = std::move(state).value();
+    SHOAL_LOG(kInfo) << "resuming HAC from round "
+                     << resume.hac->rounds_done << " ("
+                     << resume.hac->dendrogram.num_merges()
+                     << " merges replayed)";
+  }
+
+  SHOAL_RETURN_IF_ERROR(AttachCheckpointing(dir, checkpoint_every,
+                                            /*resume=*/true, options,
+                                            checkpoint));
+  return core::BuildShoal(input, options, &resume);
+}
+
+}  // namespace shoal::ckpt

@@ -1,0 +1,41 @@
+#ifndef SHOAL_CKPT_PIPELINE_H_
+#define SHOAL_CKPT_PIPELINE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "ckpt/checkpoint.h"
+#include "core/shoal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::ckpt {
+
+// Installs checkpointing hooks into a ShoalOptions: the entity graph is
+// snapshotted once when built, and HAC state every `checkpoint_every`
+// rounds plus once when HAC finishes. Call AFTER every other option
+// field is final — the hooks capture the HAC options fingerprint
+// (threshold, linkage, diffusion iterations) at attach time, and a
+// later change would make resumed runs reject the snapshots.
+//
+// The underlying CheckpointWriter is shared by the installed hooks and
+// kept alive by them; the options struct stays copyable.
+util::Status AttachCheckpointing(const std::string& dir,
+                                 size_t checkpoint_every, bool resume,
+                                 core::ShoalOptions& options,
+                                 const CheckpointOptions& checkpoint = {});
+
+// Resumes an interrupted `shoal_cli build`-style run: loads the best
+// state from `dir` (entity graph plus the newest readable HAC
+// snapshot), re-attaches checkpointing so the continued run keeps
+// writing snapshots, and runs BuildShoal from there. Stages never
+// started are simply run; the result is byte-identical to the
+// uninterrupted build. NotFound when `dir` has no manifest.
+util::Result<core::ShoalModel> ResumeShoal(
+    const core::ShoalInput& input, core::ShoalOptions options,
+    const std::string& dir, size_t checkpoint_every = 5,
+    const CheckpointOptions& checkpoint = {});
+
+}  // namespace shoal::ckpt
+
+#endif  // SHOAL_CKPT_PIPELINE_H_

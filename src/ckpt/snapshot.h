@@ -1,0 +1,98 @@
+#ifndef SHOAL_CKPT_SNAPSHOT_H_
+#define SHOAL_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/parallel_hac.h"
+#include "graph/weighted_graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::ckpt {
+
+// What a snapshot file contains. Values are part of the wire format.
+enum class SnapshotKind : uint32_t {
+  kEntityGraph = 1,  // the Sec 2.1 item entity graph, written once
+  kHacState = 2,     // mid- (or post-) HAC state, written every K rounds
+};
+
+const char* SnapshotKindName(SnapshotKind kind);
+
+// Format version stamped into every snapshot header. Readers reject any
+// other value — resuming across format changes silently would risk a
+// wrong-but-plausible restore.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Everything ResumeParallelHac needs, in serializable form, plus a
+// fingerprint of the options the run was started with so a resume under
+// different clustering parameters is rejected instead of producing a
+// taxonomy that matches neither configuration.
+struct HacSnapshotData {
+  uint64_t rounds_done = 0;
+  bool finished = false;
+  core::ParallelHacStats stats;
+
+  // Options fingerprint.
+  double threshold = 0.0;
+  uint32_t linkage = 0;
+  uint64_t diffusion_iterations = 0;
+
+  // Dendrogram as leaf count + ordered merge list; replaying the list
+  // through Dendrogram::Merge reproduces it exactly.
+  uint64_t num_leaves = 0;
+  struct MergeRecord {
+    uint32_t left = 0;
+    uint32_t right = 0;
+    double similarity = 0.0;
+  };
+  std::vector<MergeRecord> merges;
+
+  core::ClusterGraphState clusters;
+};
+
+// --- payload codecs ------------------------------------------------------
+
+std::string EncodeEntityGraph(const graph::WeightedGraph& graph);
+util::Result<graph::WeightedGraph> DecodeEntityGraph(
+    std::string_view payload);
+
+std::string EncodeHacSnapshot(const HacSnapshotData& data);
+util::Result<HacSnapshotData> DecodeHacSnapshot(std::string_view payload);
+
+// Deep-copies a live HAC run's progress view into serializable form,
+// stamping the options fingerprint from `options`.
+HacSnapshotData CaptureHacSnapshot(const core::HacProgress& progress,
+                                   const core::ParallelHacOptions& options);
+
+// Rebuilds the in-memory resume state: replays the merge list into a
+// fresh Dendrogram and revalidates the ClusterGraph invariants. Fails
+// with InvalidArgument when the snapshot's options fingerprint does not
+// match `options` or the snapshot is internally inconsistent.
+util::Result<core::HacResumeState> RestoreHacState(
+    const HacSnapshotData& data, const core::ParallelHacOptions& options);
+
+// --- framed snapshot files ----------------------------------------------
+// Layout: 8-byte magic "SHOALSNP", u32 version, u32 kind, u64 payload
+// size, u32 CRC-32 of the payload, payload bytes. The file is written
+// through AtomicWriteFile, so on disk it is either complete or absent;
+// the CRC catches bit rot and torn copies made outside that protocol.
+
+util::Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                               std::string_view payload);
+
+struct SnapshotFile {
+  SnapshotKind kind = SnapshotKind::kEntityGraph;
+  std::string payload;
+};
+
+// Reads and verifies a snapshot file: magic, version, kind validity,
+// payload size vs file size, and CRC. Any mismatch is a clean
+// InvalidArgument/OutOfRange Status — never undefined behaviour.
+util::Result<SnapshotFile> ReadSnapshotFile(const std::string& path);
+
+}  // namespace shoal::ckpt
+
+#endif  // SHOAL_CKPT_SNAPSHOT_H_

@@ -27,6 +27,8 @@ class Dendrogram {
   };
 
   explicit Dendrogram(size_t num_leaves);
+  // Empty dendrogram; placeholder for resume/checkpoint plumbing.
+  Dendrogram() : Dendrogram(0) {}
 
   size_t num_leaves() const { return num_leaves_; }
   size_t num_nodes() const { return nodes_.size(); }

@@ -6,6 +6,8 @@
 #include "engine/bsp_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace shoal::core {
@@ -54,11 +56,8 @@ struct FrontierSnapshot {
   }
 };
 
-}  // namespace
-
-util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
-                                     const ParallelHacOptions& options,
-                                     ParallelHacStats* stats) {
+// Validates the option fields shared by fresh and resumed runs.
+util::Status ValidateOptions(const ParallelHacOptions& options) {
   if (options.hac.threshold <= 0.0) {
     return util::Status::InvalidArgument("threshold must be positive");
   }
@@ -66,11 +65,22 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     return util::Status::InvalidArgument(
         "diffusion_iterations must be >= 1");
   }
+  if (options.checkpoint_every > 0 && !options.checkpoint_hook) {
+    return util::Status::InvalidArgument(
+        "checkpoint_every set without a checkpoint_hook");
+  }
+  return util::Status::OK();
+}
 
-  Dendrogram dendrogram(graph.num_vertices());
+// The round loop shared by ParallelHac and ResumeParallelHac. Mutates
+// `clusters`/`dendrogram` in place and accumulates into `local_stats`
+// (non-zero on resume); the loop itself reads no state outside those
+// three, which is what makes a restored run bit-identical to an
+// uninterrupted one.
+util::Status RunRounds(const ParallelHacOptions& options,
+                       ClusterGraph& clusters, Dendrogram& dendrogram,
+                       ParallelHacStats& local_stats) {
   const double threshold = options.hac.threshold;
-  ClusterGraph clusters(graph, /*track_threshold=*/threshold);
-  ParallelHacStats local_stats;
   // Observability handles; recording only writes side buffers, so the
   // dendrogram is byte-identical with instrumentation on or off.
   const bool metrics_on = obs::MetricsRegistry::Global().enabled();
@@ -83,13 +93,19 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
   // Dense cluster-id -> compact-frontier-index map, sized once for every
   // id HAC can ever create (leaves + one internal node per merge); only
   // slots named by the current frontier are ever read.
-  std::vector<uint32_t> compact(
-      graph.num_vertices() > 0 ? 2 * graph.num_vertices() - 1 : 0, 0);
+  const size_t num_leaves = dendrogram.num_leaves();
+  std::vector<uint32_t> compact(num_leaves > 0 ? 2 * num_leaves - 1 : 0, 0);
   FrontierSnapshot snapshot;
   std::vector<std::pair<uint32_t, uint32_t>> to_merge;
   std::vector<double> merge_similarity;
 
-  for (size_t round = 0; round < options.max_rounds; ++round) {
+  // A completed round increments local_stats.rounds, so the loop index
+  // always equals the number of rounds finished so far — including on
+  // resume, where the restored stats make the counter pick up exactly
+  // where the interrupted run stopped.
+  for (size_t round = local_stats.rounds; round < options.max_rounds;
+       ++round) {
+    SHOAL_RETURN_IF_ERROR(util::FaultInjector::Global().OnHacRound(round));
     obs::ScopedSpan round_span("hac.round");
     round_span.AddArg("round", static_cast<double>(round));
     // --- snapshot the *mergeable frontier*: only clusters that still
@@ -244,9 +260,21 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
       metrics.GetHistogram("hac.round.messages")
           .Record(static_cast<double>(engine.total_messages()));
     }
+    if (options.checkpoint_every > 0 &&
+        local_stats.rounds % options.checkpoint_every == 0) {
+      SHOAL_TRACE_SPAN("hac.checkpoint");
+      SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
+          HacProgress{&clusters, &dendrogram, local_stats.rounds,
+                      /*finished=*/false, &local_stats}));
+    }
   }
 
-  if (stats != nullptr) *stats = local_stats;
+  if (options.checkpoint_hook) {
+    SHOAL_TRACE_SPAN("hac.checkpoint");
+    SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
+        HacProgress{&clusters, &dendrogram, local_stats.rounds,
+                    /*finished=*/true, &local_stats}));
+  }
   if (metrics_on) {
     auto& metrics = obs::MetricsRegistry::Global();
     metrics.GetCounter("hac.runs").Increment();
@@ -254,7 +282,51 @@ util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
     metrics.GetCounter("hac.supersteps")
         .Increment(local_stats.total_supersteps);
   }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<Dendrogram> ParallelHac(const graph::WeightedGraph& graph,
+                                     const ParallelHacOptions& options,
+                                     ParallelHacStats* stats) {
+  SHOAL_RETURN_IF_ERROR(ValidateOptions(options));
+  Dendrogram dendrogram(graph.num_vertices());
+  ClusterGraph clusters(graph, /*track_threshold=*/options.hac.threshold);
+  ParallelHacStats local_stats;
+  SHOAL_RETURN_IF_ERROR(
+      RunRounds(options, clusters, dendrogram, local_stats));
+  if (stats != nullptr) *stats = local_stats;
   return dendrogram;
+}
+
+util::Result<Dendrogram> ResumeParallelHac(const ParallelHacOptions& options,
+                                           HacResumeState state,
+                                           ParallelHacStats* stats) {
+  SHOAL_RETURN_IF_ERROR(ValidateOptions(options));
+  if (state.clusters.track_threshold() != options.hac.threshold) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "resume state was captured with threshold %g but the run is "
+        "configured with %g; resuming would not reproduce the "
+        "uninterrupted dendrogram",
+        state.clusters.track_threshold(), options.hac.threshold));
+  }
+  if (state.clusters.num_nodes() != state.dendrogram.num_nodes()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "resume state is inconsistent: cluster graph has %zu nodes, "
+        "dendrogram has %zu",
+        state.clusters.num_nodes(), state.dendrogram.num_nodes()));
+  }
+  if (state.rounds_done != state.stats.rounds) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "resume state is inconsistent: rounds_done=%zu but stats record "
+        "%zu rounds",
+        state.rounds_done, state.stats.rounds));
+  }
+  SHOAL_RETURN_IF_ERROR(RunRounds(options, state.clusters, state.dendrogram,
+                                  state.stats));
+  if (stats != nullptr) *stats = state.stats;
+  return std::move(state.dendrogram);
 }
 
 }  // namespace shoal::core

@@ -4,7 +4,9 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace shoal::core {
@@ -65,7 +67,8 @@ std::string ShoalBuildStats::ToJsonString(int indent) const {
 }
 
 util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
-                                    const ShoalOptions& options) {
+                                    const ShoalOptions& options,
+                                    ShoalResumeState* resume) {
   if (input.query_item_graph == nullptr ||
       input.entity_title_words == nullptr ||
       input.entity_categories == nullptr || input.query_words == nullptr ||
@@ -97,38 +100,65 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   util::Stopwatch stopwatch;
   obs::ScopedSpan build_span("shoal.build");
 
-  // --- word2vec over titles + queries (Sec 2.1, content similarity) ----
-  obs::ScopedSpan word2vec_span("shoal.word2vec");
-  std::vector<std::vector<uint32_t>> corpus;
-  corpus.reserve(input.entity_title_words->size() +
-                 input.query_words->size());
-  for (const auto& title : *input.entity_title_words) corpus.push_back(title);
-  for (const auto& words : *input.query_words) corpus.push_back(words);
-  auto word2vec = text::Word2Vec::Train(*input.vocab, corpus,
-                                        opts.word2vec);
-  if (!word2vec.ok()) return word2vec.status();
-  model.stats_.word2vec_seconds = stopwatch.ElapsedSeconds();
-  word2vec_span.End();
+  const bool restore_entity_graph =
+      resume != nullptr && resume->has_entity_graph;
+  if (restore_entity_graph) {
+    // Word2vec vectors feed only the entity-graph stage, so a restored
+    // entity graph lets the resume skip both.
+    if (resume->entity_graph.num_vertices() != qi.num_right()) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "restored entity graph has %zu vertices but the input has %zu "
+          "entities; the checkpoint belongs to a different dataset",
+          resume->entity_graph.num_vertices(), qi.num_right()));
+    }
+    model.entity_graph_ = std::move(resume->entity_graph);
+  } else {
+    // --- word2vec over titles + queries (Sec 2.1, content similarity) --
+    obs::ScopedSpan word2vec_span("shoal.word2vec");
+    std::vector<std::vector<uint32_t>> corpus;
+    corpus.reserve(input.entity_title_words->size() +
+                   input.query_words->size());
+    for (const auto& title : *input.entity_title_words) {
+      corpus.push_back(title);
+    }
+    for (const auto& words : *input.query_words) corpus.push_back(words);
+    auto word2vec = text::Word2Vec::Train(*input.vocab, corpus,
+                                          opts.word2vec);
+    if (!word2vec.ok()) return word2vec.status();
+    model.stats_.word2vec_seconds = stopwatch.ElapsedSeconds();
+    word2vec_span.End();
+    SHOAL_RETURN_IF_ERROR(
+        util::FaultInjector::Global().OnStage("word2vec"));
 
-  // --- item entity graph (Sec 2.1) --------------------------------------
-  stopwatch.Restart();
-  obs::ScopedSpan entity_graph_span("shoal.entity_graph");
-  auto entity_graph = BuildEntityGraph(qi, *input.entity_title_words,
-                                       word2vec.value().vectors(),
-                                       opts.entity_graph,
-                                       &model.stats_.entity_graph);
-  if (!entity_graph.ok()) return entity_graph.status();
-  model.entity_graph_ = std::move(entity_graph).value();
-  model.stats_.entity_graph_seconds = stopwatch.ElapsedSeconds();
-  entity_graph_span.AddArg(
-      "edges", static_cast<double>(model.entity_graph_.num_edges()));
-  entity_graph_span.End();
+    // --- item entity graph (Sec 2.1) ------------------------------------
+    stopwatch.Restart();
+    obs::ScopedSpan entity_graph_span("shoal.entity_graph");
+    auto entity_graph = BuildEntityGraph(qi, *input.entity_title_words,
+                                         word2vec.value().vectors(),
+                                         opts.entity_graph,
+                                         &model.stats_.entity_graph);
+    if (!entity_graph.ok()) return entity_graph.status();
+    model.entity_graph_ = std::move(entity_graph).value();
+    model.stats_.entity_graph_seconds = stopwatch.ElapsedSeconds();
+    entity_graph_span.AddArg(
+        "edges", static_cast<double>(model.entity_graph_.num_edges()));
+    entity_graph_span.End();
+    if (opts.entity_graph_checkpoint_hook) {
+      SHOAL_RETURN_IF_ERROR(
+          opts.entity_graph_checkpoint_hook(model.entity_graph_));
+    }
+  }
+  SHOAL_RETURN_IF_ERROR(
+      util::FaultInjector::Global().OnStage("entity_graph"));
 
   // --- Parallel HAC (Sec 2.2) -------------------------------------------
   stopwatch.Restart();
   obs::ScopedSpan hac_span("shoal.hac");
   auto dendrogram =
-      ParallelHac(model.entity_graph_, opts.hac, &model.stats_.hac);
+      (resume != nullptr && resume->hac.has_value())
+          ? ResumeParallelHac(opts.hac, std::move(*resume->hac),
+                              &model.stats_.hac)
+          : ParallelHac(model.entity_graph_, opts.hac, &model.stats_.hac);
   if (!dendrogram.ok()) return dendrogram.status();
   model.dendrogram_ =
       std::make_shared<Dendrogram>(std::move(dendrogram).value());
@@ -137,6 +167,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   hac_span.AddArg("merges",
                   static_cast<double>(model.stats_.hac.total_merges));
   hac_span.End();
+  SHOAL_RETURN_IF_ERROR(util::FaultInjector::Global().OnStage("hac"));
 
   // --- taxonomy extraction ------------------------------------------------
   stopwatch.Restart();
@@ -150,6 +181,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   taxonomy_span.AddArg("topics",
                        static_cast<double>(model.stats_.num_topics));
   taxonomy_span.End();
+  SHOAL_RETURN_IF_ERROR(util::FaultInjector::Global().OnStage("taxonomy"));
 
   // --- topic descriptions (Sec 2.3) ---------------------------------------
   stopwatch.Restart();
@@ -165,6 +197,7 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
   if (!rankings.ok()) return rankings.status();
   model.stats_.describe_seconds = stopwatch.ElapsedSeconds();
   describe_span.End();
+  SHOAL_RETURN_IF_ERROR(util::FaultInjector::Global().OnStage("describe"));
 
   // --- category correlation (Sec 2.4) --------------------------------------
   stopwatch.Restart();
@@ -173,6 +206,8 @@ util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
       CategoryCorrelation::Mine(model.taxonomy_, opts.correlation);
   model.stats_.correlation_seconds = stopwatch.ElapsedSeconds();
   correlation_span.End();
+  SHOAL_RETURN_IF_ERROR(
+      util::FaultInjector::Global().OnStage("correlation"));
 
   // --- query -> topic search index (demo scenarios A/B) --------------------
   obs::ScopedSpan search_span("shoal.search_index");

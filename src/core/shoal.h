@@ -2,7 +2,9 @@
 #define SHOAL_CORE_SHOAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,23 @@ struct ShoalOptions {
   // raising it sacrifices run-to-run reproducibility; opt in through
   // the word2vec options directly.
   size_t num_threads = 0;
+  // Called once with the freshly built entity graph, before HAC starts.
+  // The checkpoint subsystem (src/ckpt) installs a snapshot writer here;
+  // a failing hook aborts the build. HAC-round checkpointing is
+  // configured separately through hac.checkpoint_hook /
+  // hac.checkpoint_every.
+  std::function<util::Status(const graph::WeightedGraph&)>
+      entity_graph_checkpoint_hook;
+};
+
+// Restored pipeline state handed to BuildShoal to skip already-completed
+// stages. `entity_graph` (when present) replaces the word2vec +
+// entity-graph stages; `hac` (when present) continues or skips HAC.
+// Assembled from on-disk snapshots by ckpt::ResumeShoal.
+struct ShoalResumeState {
+  bool has_entity_graph = false;
+  graph::WeightedGraph entity_graph;
+  std::optional<HacResumeState> hac;
 };
 
 // Pipeline timings and sizes, one entry per stage.
@@ -92,7 +111,8 @@ class ShoalModel {
 
  private:
   friend util::Result<ShoalModel> BuildShoal(const ShoalInput&,
-                                             const ShoalOptions&);
+                                             const ShoalOptions&,
+                                             ShoalResumeState*);
   Taxonomy taxonomy_;
   CategoryCorrelation correlations_;
   std::shared_ptr<QueryTopicIndex> search_index_;
@@ -104,8 +124,15 @@ class ShoalModel {
 // Runs the full pipeline of Sec 2: word2vec training -> item entity
 // graph -> Parallel HAC -> taxonomy extraction -> topic description ->
 // category correlation -> search index.
+//
+// When `resume` is non-null, completed stages recorded in it are skipped
+// and HAC continues from the restored round; the restored state is
+// consumed (moved from). The downstream stages are deterministic
+// functions of the dendrogram, so a resumed build's taxonomy is
+// byte-identical to an uninterrupted one's.
 util::Result<ShoalModel> BuildShoal(const ShoalInput& input,
-                                    const ShoalOptions& options);
+                                    const ShoalOptions& options,
+                                    ShoalResumeState* resume = nullptr);
 
 }  // namespace shoal::core
 

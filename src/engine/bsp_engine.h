@@ -14,6 +14,7 @@
 #include "engine/partitioner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -187,6 +188,8 @@ class BspEngine {
     const bool metrics_on = obs::MetricsRegistry::Global().enabled();
 
     while (superstep_ < options_.max_supersteps) {
+      SHOAL_RETURN_IF_ERROR(
+          util::FaultInjector::Global().OnBspSuperstep(superstep_));
       obs::ScopedSpan superstep_span("bsp.superstep");
       superstep_span.AddArg("superstep",
                             static_cast<double>(superstep_));

@@ -3,21 +3,19 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 
 namespace shoal::graph {
 
 util::Status SaveGraphTsv(const WeightedGraph& graph,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
-  out << "# shoal-graph v1 vertices=" << graph.num_vertices() << "\n";
+  std::string out = "# shoal-graph v1 vertices=" +
+                    std::to_string(graph.num_vertices()) + "\n";
   for (const auto& e : graph.AllEdges()) {
-    out << e.u << '\t' << e.v << '\t'
-        << util::StringPrintf("%.9g", e.weight) << '\n';
+    out += util::StringPrintf("%u\t%u\t%.9g\n", e.u, e.v, e.weight);
   }
-  if (!out) return util::Status::IoError("write failed: " + path);
-  return util::Status::OK();
+  return util::AtomicWriteFile(path, out);
 }
 
 util::Result<WeightedGraph> LoadGraphTsv(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -117,19 +118,7 @@ std::string Tracer::ToChromeJson() const {
 }
 
 util::Status Tracer::WriteChromeJson(const std::string& path) const {
-  const std::string json = ToChromeJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return util::Status::IoError(
-        util::StringPrintf("cannot open %s for writing", path.c_str()));
-  }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != json.size() || !closed) {
-    return util::Status::IoError(
-        util::StringPrintf("short write to %s", path.c_str()));
-  }
-  return util::Status::OK();
+  return util::AtomicWriteFile(path, ToChromeJson());
 }
 
 ScopedSpan::ScopedSpan(std::string name) {

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 #include "util/tsv.h"
 
@@ -44,20 +45,17 @@ util::Result<Vocabulary> LoadVocabulary(const std::string& path) {
 
 util::Status SaveEmbeddings(const EmbeddingTable& table,
                             const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
-  out << "# shoal-vectors rows=" << table.rows() << " dim=" << table.dim()
-      << "\n";
+  std::string out = "# shoal-vectors rows=" + std::to_string(table.rows()) +
+                    " dim=" + std::to_string(table.dim()) + "\n";
   for (size_t r = 0; r < table.rows(); ++r) {
     const float* row = table.Row(r);
     for (size_t d = 0; d < table.dim(); ++d) {
-      if (d > 0) out << ' ';
-      out << util::StringPrintf("%.8g", row[d]);
+      if (d > 0) out.push_back(' ');
+      out += util::StringPrintf("%.8g", row[d]);
     }
-    out << '\n';
+    out.push_back('\n');
   }
-  if (!out) return util::Status::IoError("write failed: " + path);
-  return util::Status::OK();
+  return util::AtomicWriteFile(path, out);
 }
 
 util::Result<EmbeddingTable> LoadEmbeddings(const std::string& path) {

@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace shoal::util {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace shoal::util

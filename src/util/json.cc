@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -461,17 +462,7 @@ Status WriteJsonFile(const std::string& path, const JsonValue& value,
                      int indent) {
   std::string text = value.Dump(indent);
   text.push_back('\n');
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError(
-        StringPrintf("cannot open %s for writing", path.c_str()));
-  }
-  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != text.size() || !closed) {
-    return Status::IoError(StringPrintf("short write to %s", path.c_str()));
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, text);
 }
 
 }  // namespace shoal::util

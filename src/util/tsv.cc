@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 
 namespace shoal::util {
@@ -23,8 +24,9 @@ Result<std::vector<std::vector<std::string>>> ReadTsv(
 
 Status WriteTsv(const std::string& path,
                 const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Rendered to memory first so the file write is all-or-nothing: a
+  // validation error or crash leaves any previous file intact.
+  std::string out;
   for (const auto& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (row[i].find('\t') != std::string::npos ||
@@ -32,21 +34,16 @@ Status WriteTsv(const std::string& path,
         return Status::InvalidArgument("TSV field contains tab or newline: " +
                                        row[i]);
       }
-      if (i > 0) out << '\t';
-      out << row[i];
+      if (i > 0) out.push_back('\t');
+      out.append(row[i]);
     }
-    out << '\n';
+    out.push_back('\n');
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out);
 }
 
 Status WriteTextFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << contents;
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, contents);
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {

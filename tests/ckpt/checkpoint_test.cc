@@ -1,0 +1,235 @@
+#include "ckpt/checkpoint.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/snapshot.h"
+#include "graph/weighted_graph.h"
+#include "util/tsv.h"
+
+namespace shoal::ckpt {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_checkpoint_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Dir() { return dir_.string(); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+graph::WeightedGraph SampleGraph() {
+  graph::WeightedGraph graph(4);
+  EXPECT_TRUE(graph.AddEdge(0, 1, 0.8).ok());
+  EXPECT_TRUE(graph.AddEdge(2, 3, 0.6).ok());
+  return graph;
+}
+
+// Small synthetic HAC snapshot; rounds_done distinguishes instances.
+// (Cluster state is deliberately trivial — manifest logic only needs
+// encode/decode to succeed, not a live clustering.)
+HacSnapshotData FakeHacSnapshot(uint64_t rounds_done, bool finished = false) {
+  HacSnapshotData data;
+  data.rounds_done = rounds_done;
+  data.finished = finished;
+  data.stats.rounds = rounds_done;
+  data.threshold = 0.35;
+  data.num_leaves = 2;
+  data.clusters.rows.resize(2);
+  data.clusters.sizes = {1, 1};
+  data.clusters.active = {1, 1};
+  data.clusters.mergeable_count = {0, 0};
+  data.clusters.track_threshold = 0.35;
+  return data;
+}
+
+TEST_F(CheckpointTest, OpenCreatesDirectoryAndEmptyManifest) {
+  auto writer = CheckpointWriter::Open(Dir(), /*resume=*/false);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(Path("MANIFEST.json")));
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->has_entity_graph);
+  EXPECT_FALSE(loaded->hac.has_value());
+}
+
+TEST_F(CheckpointTest, MissingManifestIsNotFound) {
+  EXPECT_EQ(LoadCheckpoint(Dir()).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, RoundTripThroughManifest) {
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteEntityGraph(SampleGraph()).ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(2)).ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(4)).ok());
+  }
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->has_entity_graph);
+  EXPECT_EQ(loaded->entity_graph.num_edges(), 2u);
+  ASSERT_TRUE(loaded->hac.has_value());
+  EXPECT_EQ(loaded->hac->rounds_done, 4u);
+  EXPECT_TRUE(loaded->corrupt_files.empty());
+}
+
+TEST_F(CheckpointTest, PrunesOldHacSnapshotsKeepingNewest) {
+  CheckpointOptions options;
+  options.keep_last = 2;
+  auto writer = CheckpointWriter::Open(Dir(), false, options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t round = 1; round <= 5; ++round) {
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(round)).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(Path("hac-000001.snap")));
+  EXPECT_FALSE(std::filesystem::exists(Path("hac-000003.snap")));
+  EXPECT_TRUE(std::filesystem::exists(Path("hac-000004.snap")));
+  EXPECT_TRUE(std::filesystem::exists(Path("hac-000005.snap")));
+  size_t hac_entries = 0;
+  for (const auto& entry : writer->entries()) {
+    if (entry.kind == SnapshotKind::kHacState) ++hac_entries;
+  }
+  EXPECT_EQ(hac_entries, 2u);
+}
+
+TEST_F(CheckpointTest, EntityGraphSurvivesPruning) {
+  CheckpointOptions options;
+  options.keep_last = 1;
+  auto writer = CheckpointWriter::Open(Dir(), false, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteEntityGraph(SampleGraph()).ok());
+  for (uint64_t round = 1; round <= 4; ++round) {
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(round)).ok());
+  }
+  EXPECT_TRUE(std::filesystem::exists(Path("entity_graph.snap")));
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->has_entity_graph);
+  ASSERT_TRUE(loaded->hac.has_value());
+  EXPECT_EQ(loaded->hac->rounds_done, 4u);
+}
+
+TEST_F(CheckpointTest, CorruptNewestFallsBackToOlderSnapshot) {
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(2)).ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(4)).ok());
+  }
+  // Corrupt the newest snapshot on disk (flip a payload byte).
+  auto bytes = util::ReadTextFile(Path("hac-000004.snap"));
+  ASSERT_TRUE(bytes.ok());
+  std::string tampered = bytes.value();
+  tampered[tampered.size() - 1] ^= 0x01;
+  ASSERT_TRUE(util::WriteTextFile(Path("hac-000004.snap"), tampered).ok());
+
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->hac.has_value());
+  EXPECT_EQ(loaded->hac->rounds_done, 2u);
+  ASSERT_EQ(loaded->corrupt_files.size(), 1u);
+  EXPECT_EQ(loaded->corrupt_files[0], "hac-000004.snap");
+}
+
+TEST_F(CheckpointTest, AllSnapshotsCorruptDegradesToEmpty) {
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(1)).ok());
+  }
+  ASSERT_TRUE(util::WriteTextFile(Path("hac-000001.snap"), "garbage").ok());
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->hac.has_value());
+  EXPECT_EQ(loaded->corrupt_files.size(), 1u);
+}
+
+TEST_F(CheckpointTest, ResumeOpenKeepsEntries) {
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteEntityGraph(SampleGraph()).ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(3)).ok());
+  }
+  auto writer = CheckpointWriter::Open(Dir(), /*resume=*/true);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->entries().size(), 2u);
+  ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(6)).ok());
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->has_entity_graph);
+  EXPECT_EQ(loaded->hac->rounds_done, 6u);
+}
+
+TEST_F(CheckpointTest, FreshOpenSupersedesOldManifest) {
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(9)).ok());
+  }
+  auto writer = CheckpointWriter::Open(Dir(), /*resume=*/false);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(writer->entries().empty());
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->hac.has_value());
+}
+
+TEST_F(CheckpointTest, FinishedSnapshotPreferredOverHigherRoundCount) {
+  // Defensive: the finished snapshot is the authoritative end state
+  // even if a stale periodic entry claims more rounds.
+  {
+    auto writer = CheckpointWriter::Open(Dir(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteHacSnapshot(FakeHacSnapshot(7)).ok());
+    ASSERT_TRUE(
+        writer->WriteHacSnapshot(FakeHacSnapshot(5, /*finished=*/true)).ok());
+  }
+  auto loaded = LoadCheckpoint(Dir());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->hac.has_value());
+  EXPECT_TRUE(loaded->hac->finished);
+  EXPECT_EQ(loaded->hac->rounds_done, 5u);
+}
+
+TEST_F(CheckpointTest, ParseManifestRejectsBadDocuments) {
+  EXPECT_FALSE(ParseManifest("not json").ok());
+  EXPECT_FALSE(ParseManifest("[]").ok());
+  EXPECT_FALSE(ParseManifest("{\"version\": 2, \"entries\": []}").ok());
+  EXPECT_FALSE(ParseManifest("{\"version\": 1}").ok());
+  EXPECT_FALSE(
+      ParseManifest(
+          "{\"version\": 1, \"entries\": [{\"file\": \"../evil\", \"kind\": "
+          "\"hac_state\", \"rounds_done\": 1, \"finished\": false, "
+          "\"bytes\": 0, \"crc32\": 0}]}")
+          .ok());
+  auto ok = ParseManifest(
+      "{\"version\": 1, \"entries\": [{\"file\": \"x.snap\", \"kind\": "
+      "\"hac_state\", \"rounds_done\": 3, \"finished\": true, \"bytes\": "
+      "12, \"crc32\": 99}]}");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].rounds_done, 3u);
+  EXPECT_TRUE((*ok)[0].finished);
+}
+
+TEST_F(CheckpointTest, RejectsBadOptions) {
+  EXPECT_FALSE(CheckpointWriter::Open("", false).ok());
+  CheckpointOptions zero;
+  zero.keep_last = 0;
+  EXPECT_FALSE(CheckpointWriter::Open(Dir(), false, zero).ok());
+}
+
+}  // namespace
+}  // namespace shoal::ckpt

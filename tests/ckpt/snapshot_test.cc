@@ -1,0 +1,241 @@
+#include "ckpt/snapshot.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/binary_io.h"
+#include "core/parallel_hac.h"
+#include "graph/weighted_graph.h"
+#include "util/tsv.h"
+
+namespace shoal::ckpt {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_snapshot_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+graph::WeightedGraph SampleGraph() {
+  graph::WeightedGraph graph(5);
+  EXPECT_TRUE(graph.AddEdge(0, 1, 0.9).ok());
+  EXPECT_TRUE(graph.AddEdge(1, 2, 0.50000001).ok());
+  EXPECT_TRUE(graph.AddEdge(2, 3, 0.1).ok());
+  EXPECT_TRUE(graph.AddEdge(0, 4, 1.0 / 3.0).ok());
+  return graph;
+}
+
+// Captures a real mid-HAC snapshot by running ParallelHac with a
+// checkpoint hook that grabs the first invocation.
+HacSnapshotData SampleHacSnapshot() {
+  graph::WeightedGraph graph(8);
+  for (uint32_t u = 0; u < 8; ++u) {
+    for (uint32_t v = u + 1; v < 8; ++v) {
+      EXPECT_TRUE(graph.AddEdge(u, v, 1.0 / (1.0 + u + v)).ok());
+    }
+  }
+  core::ParallelHacOptions options;
+  options.hac.threshold = 0.05;
+  options.checkpoint_every = 1;
+  HacSnapshotData captured;
+  bool have = false;
+  options.checkpoint_hook = [&](const core::HacProgress& progress) {
+    if (!have) {
+      captured = CaptureHacSnapshot(progress, options);
+      have = true;
+    }
+    return util::Status::OK();
+  };
+  auto result = core::ParallelHac(graph, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(have);
+  return captured;
+}
+
+TEST_F(SnapshotTest, BinaryIoRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU8(7);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefull);
+  writer.WriteF64(-0.1);
+  writer.WriteString("snapshot");
+  BinaryReader reader(writer.data());
+  EXPECT_EQ(reader.ReadU8().value(), 7);
+  EXPECT_EQ(reader.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.ReadF64().value(), -0.1);
+  EXPECT_EQ(reader.ReadString().value(), "snapshot");
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.ReadU8().status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST_F(SnapshotTest, EntityGraphRoundTrip) {
+  graph::WeightedGraph graph = SampleGraph();
+  const std::string payload = EncodeEntityGraph(graph);
+  auto restored = DecodeEntityGraph(payload);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_vertices(), graph.num_vertices());
+  EXPECT_EQ(restored->num_edges(), graph.num_edges());
+  for (const auto& e : graph.AllEdges()) {
+    EXPECT_EQ(restored->EdgeWeight(e.u, e.v), e.weight);
+  }
+  // Bit-exact re-encode: restoring and re-serializing is a fixpoint.
+  EXPECT_EQ(EncodeEntityGraph(*restored), payload);
+}
+
+TEST_F(SnapshotTest, HacSnapshotRoundTrip) {
+  const HacSnapshotData data = SampleHacSnapshot();
+  const std::string payload = EncodeHacSnapshot(data);
+  auto restored = DecodeHacSnapshot(payload);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->rounds_done, data.rounds_done);
+  EXPECT_EQ(restored->finished, data.finished);
+  EXPECT_EQ(restored->num_leaves, data.num_leaves);
+  EXPECT_EQ(restored->merges.size(), data.merges.size());
+  EXPECT_EQ(restored->stats.merges_per_round, data.stats.merges_per_round);
+  EXPECT_EQ(restored->clusters.rows, data.clusters.rows);
+  EXPECT_EQ(restored->clusters.frontier, data.clusters.frontier);
+  EXPECT_EQ(EncodeHacSnapshot(*restored), payload);
+}
+
+TEST_F(SnapshotTest, RestoreHacStateRejectsOptionSkew) {
+  const HacSnapshotData data = SampleHacSnapshot();
+  core::ParallelHacOptions options;
+  options.hac.threshold = 0.05;
+  ASSERT_TRUE(RestoreHacState(data, options).ok());
+  core::ParallelHacOptions wrong = options;
+  wrong.hac.threshold = 0.06;
+  EXPECT_EQ(RestoreHacState(data, wrong).status().code(),
+            util::StatusCode::kInvalidArgument);
+  wrong = options;
+  wrong.diffusion_iterations = 3;
+  EXPECT_EQ(RestoreHacState(data, wrong).status().code(),
+            util::StatusCode::kInvalidArgument);
+  wrong = options;
+  wrong.hac.linkage = core::LinkageRule::kMax;
+  EXPECT_EQ(RestoreHacState(data, wrong).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, FileRoundTrip) {
+  const std::string payload = EncodeEntityGraph(SampleGraph());
+  const std::string path = Path("eg.snap");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kEntityGraph, payload).ok());
+  auto file = ReadSnapshotFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->kind, SnapshotKind::kEntityGraph);
+  EXPECT_EQ(file->payload, payload);
+}
+
+TEST_F(SnapshotTest, MissingFileIsCleanError) {
+  auto file = ReadSnapshotFile(Path("nope.snap"));
+  EXPECT_FALSE(file.ok());
+}
+
+TEST_F(SnapshotTest, RejectsWrongMagic) {
+  const std::string path = Path("bad.snap");
+  ASSERT_TRUE(util::WriteTextFile(path, "NOTASNAPxxxxxxxxxxxx").ok());
+  auto file = ReadSnapshotFile(path);
+  EXPECT_EQ(file.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, RejectsVersionSkew) {
+  const std::string payload = EncodeEntityGraph(SampleGraph());
+  const std::string path = Path("v.snap");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kEntityGraph, payload).ok());
+  auto bytes = util::ReadTextFile(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string tampered = bytes.value();
+  tampered[8] = static_cast<char>(kSnapshotVersion + 1);  // version field
+  ASSERT_TRUE(util::WriteTextFile(path, tampered).ok());
+  auto file = ReadSnapshotFile(path);
+  ASSERT_FALSE(file.ok());
+  EXPECT_NE(file.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, EveryTruncationFailsCleanly) {
+  const std::string payload = EncodeEntityGraph(SampleGraph());
+  const std::string path = Path("t.snap");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kEntityGraph, payload).ok());
+  auto bytes = util::ReadTextFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = bytes.value();
+  for (size_t len = 0; len < full.size(); ++len) {
+    const std::string trunc_path = Path("trunc.snap");
+    ASSERT_TRUE(util::WriteTextFile(trunc_path, full.substr(0, len)).ok());
+    auto file = ReadSnapshotFile(trunc_path);
+    ASSERT_FALSE(file.ok()) << "truncated to " << len << " bytes";
+  }
+}
+
+TEST_F(SnapshotTest, EveryBitFlipInHacSnapshotIsDetectedOrRejected) {
+  HacSnapshotData data = SampleHacSnapshot();
+  const std::string payload = EncodeHacSnapshot(data);
+  const std::string path = Path("flip.snap");
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kHacState, payload).ok());
+  auto bytes = util::ReadTextFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string& full = bytes.value();
+  // Flip one bit per byte position (stride to keep the test fast on
+  // larger snapshots); the CRC must catch every payload flip and the
+  // header checks every header flip.
+  const size_t stride = full.size() > 512 ? full.size() / 512 : 1;
+  core::ParallelHacOptions options;
+  options.hac.threshold = 0.05;
+  for (size_t i = 0; i < full.size(); i += stride) {
+    std::string tampered = full;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x10);
+    ASSERT_TRUE(util::WriteTextFile(path, tampered).ok());
+    auto file = ReadSnapshotFile(path);
+    if (!file.ok()) continue;  // caught by header/CRC validation
+    // A flip that survives framing (e.g. in the stored CRC itself is
+    // impossible — it would mismatch; but keep this branch defensive):
+    // decoding plus invariant validation must still reject or produce a
+    // state that fails the restore checks without crashing.
+    auto decoded = DecodeHacSnapshot(file->payload);
+    if (!decoded.ok()) continue;
+    (void)RestoreHacState(*decoded, options);
+  }
+}
+
+TEST_F(SnapshotTest, RejectsKindMismatch) {
+  const std::string payload = EncodeEntityGraph(SampleGraph());
+  const std::string path = Path("k.snap");
+  // Written under the wrong kind tag: the frame reads fine but decoding
+  // as the claimed kind must fail.
+  ASSERT_TRUE(
+      WriteSnapshotFile(path, SnapshotKind::kHacState, payload).ok());
+  auto file = ReadSnapshotFile(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->kind, SnapshotKind::kHacState);
+  EXPECT_FALSE(DecodeHacSnapshot(file->payload).ok());
+}
+
+TEST_F(SnapshotTest, DecodeRejectsOversizedCounts) {
+  // A length field larger than the remaining bytes must error before
+  // allocating.
+  BinaryWriter writer;
+  writer.WriteU64(5);                      // num_vertices
+  writer.WriteU64(0xffffffffffffull);      // absurd edge count
+  EXPECT_EQ(DecodeEntityGraph(writer.data()).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace shoal::ckpt
