@@ -1,0 +1,235 @@
+// bench_serving: in-process load generator for the online serving tier.
+//
+// Builds a synthetic taxonomy, compiles it into a ServingIndex, and
+// drives ServingService::Handle directly (no kernel, no sockets) so the
+// numbers isolate the service layer: dictionary lookup, JSON rendering,
+// and the response cache. Reports QPS and p50/p95/p99 latency per
+// endpoint, plus an identity block (endpoint set, error counts, index
+// version) that bench/perf_diff.py gates on in CI.
+//
+//   bench_serving [--entities N --threads T --requests R]
+//                 [--json_out BENCH_serving.json]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/service.h"
+#include "serve/serving_index.h"
+
+namespace {
+
+using namespace shoal;
+
+struct EndpointResult {
+  std::string name;
+  size_t requests = 0;
+  size_t errors = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_latencies, double p) {
+  if (sorted_latencies.empty()) return 0.0;
+  const size_t n = sorted_latencies.size();
+  size_t rank = static_cast<size_t>(p * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted_latencies[rank];
+}
+
+// Runs `requests` requests round-robin over `targets` across `threads`
+// workers against one shared service (mirroring concurrent HTTP
+// traffic), then aggregates QPS and latency percentiles.
+EndpointResult DriveEndpoint(serve::ServingService& service,
+                             const std::string& name,
+                             const std::vector<serve::HttpRequest>& targets,
+                             size_t requests, size_t threads) {
+  EndpointResult result;
+  result.name = name;
+  result.requests = requests;
+
+  // Warm pass: touches every distinct target once (fills the cache the
+  // way steady-state production traffic would have).
+  size_t warm_errors = 0;
+  for (const auto& request : targets) {
+    if (service.Handle(request).status >= 400) ++warm_errors;
+  }
+  result.errors += warm_errors;
+
+  std::vector<std::vector<double>> latencies(threads);
+  std::atomic<size_t> errors{0};
+  util::Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      auto& local = latencies[w];
+      local.reserve(requests / threads + 1);
+      // Deterministic per-worker slice of the request stream.
+      for (size_t i = w; i < requests; i += threads) {
+        const auto& request = targets[i % targets.size()];
+        util::Stopwatch timer;
+        const int status = service.Handle(request).status;
+        local.push_back(timer.ElapsedSeconds() * 1e6);
+        if (status >= 400) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (auto& local : latencies) {
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.errors += errors.load();
+  result.qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  result.p50_us = Percentile(all, 0.50);
+  result.p95_us = Percentile(all, 0.95);
+  result.p99_us = Percentile(all, 0.99);
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.AddInt64("entities", 1500, "synthetic dataset size");
+  flags.AddInt64("seed", 2019, "dataset seed");
+  flags.AddInt64("threads", 1, "concurrent request workers");
+  flags.AddInt64("requests", 50000, "timed requests per endpoint");
+  flags.AddInt64("cache-entries", 4096, "response cache entries (0 = off)");
+  flags.AddString("json_out", "",
+                  "append machine-readable results to this JSON file, "
+                  "e.g. BENCH_serving.json");
+  bench::AddObsFlags(flags);
+  auto status = flags.Parse(argc, argv);
+  SHOAL_CHECK(status.ok()) << status.ToString();
+  if (flags.help_requested()) return 0;
+  bench::InitObsFromFlags(flags);
+
+  const size_t entities = static_cast<size_t>(flags.GetInt64("entities"));
+  const size_t threads =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt64("threads")));
+  const size_t requests = static_cast<size_t>(flags.GetInt64("requests"));
+
+  bench::PrintHeader(
+      "Serving throughput (in-process, cache warm)",
+      "online tier sustains >= 10k QPS on /v1/query on one core");
+
+  auto workload = bench::BuildWorkload(
+      bench::ScaledDataset(entities, flags.GetInt64("seed")),
+      core::ShoalOptions());
+  const core::ShoalInput input = workload.bundle.View();
+  core::DescriberInput describe_input;
+  describe_input.taxonomy = &workload.model.taxonomy();
+  describe_input.query_item_graph = input.query_item_graph;
+  describe_input.query_words = input.query_words;
+  describe_input.query_texts = input.query_texts;
+  describe_input.entity_title_words = input.entity_title_words;
+  util::Stopwatch compile_timer;
+  auto compiled = serve::CompileServingIndex(
+      workload.model.taxonomy(), describe_input, core::DescriberOptions(),
+      input.entity_categories, serve::CompileOptions());
+  SHOAL_CHECK(compiled.ok()) << compiled.status().ToString();
+  const double compile_seconds = compile_timer.ElapsedSeconds();
+  auto index =
+      std::make_shared<const serve::ServingIndex>(std::move(compiled).value());
+  std::printf("index: %zu topics, %zu entities, %zu queries "
+              "(build %.2fs, compile %.3fs)\n",
+              index->num_topics(), index->num_entities(),
+              index->num_queries(), workload.build_seconds, compile_seconds);
+
+  serve::ServiceOptions service_options;
+  service_options.cache_entries =
+      static_cast<size_t>(flags.GetInt64("cache-entries"));
+  serve::ServingService service(index, service_options);
+
+  // Deterministic target mixes. Queries cycle through the dictionary's
+  // raw texts — every one resolves, as production cache-warm traffic
+  // would.
+  std::vector<serve::HttpRequest> query_targets;
+  for (size_t q = 0; q < index->num_queries(); ++q) {
+    query_targets.push_back(serve::ParseRequestTarget(
+        "GET", "/v1/query?q=" + index->query_text[q] + "&k=5"));
+  }
+  if (query_targets.empty()) {
+    query_targets.push_back(
+        serve::ParseRequestTarget("GET", "/v1/query?q=empty"));
+  }
+  std::vector<serve::HttpRequest> topic_targets;
+  for (size_t t = 0; t < index->num_topics(); ++t) {
+    topic_targets.push_back(serve::ParseRequestTarget(
+        "GET", "/v1/topic/" + std::to_string(t)));
+  }
+  std::vector<serve::HttpRequest> item_targets;
+  for (size_t e = 0; e < index->num_entities(); ++e) {
+    item_targets.push_back(serve::ParseRequestTarget(
+        "GET", "/v1/item/" + std::to_string(e)));
+  }
+  std::vector<serve::HttpRequest> health_targets;
+  health_targets.push_back(serve::ParseRequestTarget("GET", "/healthz"));
+
+  std::vector<EndpointResult> results;
+  results.push_back(DriveEndpoint(service, "/v1/query", query_targets,
+                                  requests, threads));
+  results.push_back(DriveEndpoint(service, "/v1/topic", topic_targets,
+                                  requests, threads));
+  results.push_back(
+      DriveEndpoint(service, "/v1/item", item_targets, requests, threads));
+  results.push_back(DriveEndpoint(service, "/healthz", health_targets,
+                                  requests, threads));
+
+  std::printf("%-10s %9s %7s %12s %9s %9s %9s\n", "endpoint", "requests",
+              "errors", "qps", "p50_us", "p95_us", "p99_us");
+  for (const auto& r : results) {
+    std::printf("%-10s %9zu %7zu %12.0f %9.2f %9.2f %9.2f\n",
+                r.name.c_str(), r.requests, r.errors, r.qps, r.p50_us,
+                r.p95_us, r.p99_us);
+  }
+
+  const std::string& json_path = flags.GetString("json_out");
+  if (!json_path.empty()) {
+    util::JsonValue json = util::JsonValue::Object();
+    json.Set("bench", util::JsonValue::Str("bench_serving"));
+    json.Set("seed", util::JsonValue::Number(
+                         static_cast<double>(flags.GetInt64("seed"))));
+    json.Set("entities",
+             util::JsonValue::Number(static_cast<double>(entities)));
+    json.Set("threads",
+             util::JsonValue::Number(static_cast<double>(threads)));
+    json.Set("index_version", util::JsonValue::Number(
+                                  static_cast<double>(index->version)));
+    json.Set("index_queries", util::JsonValue::Number(
+                                  static_cast<double>(index->num_queries())));
+    util::JsonValue endpoints = util::JsonValue::Array();
+    for (const auto& r : results) {
+      util::JsonValue row = util::JsonValue::Object();
+      row.Set("name", util::JsonValue::Str(r.name));
+      row.Set("requests",
+              util::JsonValue::Number(static_cast<double>(r.requests)));
+      row.Set("errors",
+              util::JsonValue::Number(static_cast<double>(r.errors)));
+      row.Set("qps", util::JsonValue::Number(r.qps));
+      row.Set("p50_us", util::JsonValue::Number(r.p50_us));
+      row.Set("p95_us", util::JsonValue::Number(r.p95_us));
+      row.Set("p99_us", util::JsonValue::Number(r.p99_us));
+      endpoints.Append(std::move(row));
+    }
+    json.Set("endpoints", std::move(endpoints));
+    auto written = util::WriteJsonFile(json_path, json);
+    SHOAL_CHECK(written.ok()) << written.ToString();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  bench::FinishObs(flags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

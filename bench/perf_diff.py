@@ -30,8 +30,14 @@ import sys
 _ID_KEYS = ("entities", "threads", "name", "bench")
 
 # Leaves where a change is identity-relevant, not perf-relevant: a
-# changed merge count means the run is not comparable at all.
-_INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges"}
+# changed merge count means the run is not comparable at all. For
+# serving runs (BENCH_serving.json) the same applies to error counts
+# and the served artefact version — a candidate that errors or serves a
+# different index version is not a timing data point; and because
+# endpoint rows are keyed by "name", a missing endpoint surfaces as a
+# missing identity leaf rather than silently shrinking the diff.
+_INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges",
+                   "errors", "index_version"}
 
 
 def _element_key(value, index):

@@ -24,6 +24,17 @@ _BASELINE = {
     ],
 }
 
+# A BENCH_serving.json-shaped document: endpoint rows aligned by "name",
+# with identity leaves (errors, index_version) next to timing leaves.
+_SERVING = {
+    "bench": "bench_serving",
+    "index_version": 1,
+    "endpoints": [
+        {"name": "/v1/query", "errors": 0, "qps": 50000.0, "p99_us": 40.0},
+        {"name": "/healthz", "errors": 0, "qps": 90000.0, "p99_us": 15.0},
+    ],
+}
+
 
 def _with(base, **updates):
     doc = json.loads(json.dumps(base))
@@ -99,6 +110,30 @@ class PerfDiffExitCodes(unittest.TestCase):
                         "--fail_above", "50")
         self.assertEqual(bad.returncode, 1, bad.stdout)
         self.assertIn("FAIL", bad.stdout)
+
+    def test_serving_timing_drift_is_informational(self):
+        slower = _with(_SERVING, **{"endpoints.0.qps": 20000.0,
+                                    "endpoints.1.p99_us": 80.0})
+        result = self._run(_SERVING, slower, "--mode", "identity")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_serving_errors_and_version_are_identity(self):
+        erroring = _with(_SERVING, **{"endpoints.0.errors": 3})
+        result = self._run(_SERVING, erroring, "--mode", "identity")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("errors", result.stdout)
+
+        reversioned = _with(_SERVING, **{"index_version": 2})
+        result = self._run(_SERVING, reversioned, "--mode", "identity")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("index_version", result.stdout)
+
+    def test_serving_missing_endpoint_is_identity_failure(self):
+        pruned = json.loads(json.dumps(_SERVING))
+        del pruned["endpoints"][1]
+        result = self._run(_SERVING, pruned, "--mode", "identity")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("healthz", result.stdout)
 
     def test_speedups_never_fail(self):
         faster = _with(_BASELINE, **{"hac.hac_seconds": 0.1})

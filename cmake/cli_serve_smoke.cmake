@@ -1,0 +1,66 @@
+# Serving smoke test, run via `cmake -P` from ctest (see
+# examples/CMakeLists.txt): shoal_cli generate -> build with
+# --serving-index-out compiles an online index, then shoal_serve
+# --selftest-out boots the HTTP server on an ephemeral port, hits every
+# endpoint (including a hot reload and the error paths) and writes each
+# response body to disk; json_lint then proves every JSON body is
+# well-formed and carries the expected fields.
+#
+# Required -D variables: SHOAL_CLI, SHOAL_SERVE, JSON_LINT, WORK_DIR.
+
+foreach(var SHOAL_CLI SHOAL_SERVE JSON_LINT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_serve_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "cli_serve_smoke: '${ARGN}' exited with ${rv}")
+  endif()
+endfunction()
+
+run_checked("${SHOAL_CLI}" generate
+  "--out=${WORK_DIR}/log" --entities=600 --seed=2019)
+
+run_checked("${SHOAL_CLI}" build
+  "--in=${WORK_DIR}/log" "--out=${WORK_DIR}/taxonomy"
+  "--serving-index-out=${WORK_DIR}/taxonomy.idx")
+
+# The selftest covers /v1/query (twice: the repeat must hit the response
+# cache), /v1/topic, /v1/item, /healthz, /metrics, /admin/reload, and
+# the 400/404 error paths, failing on any unexpected status code.
+run_checked("${SHOAL_SERVE}"
+  "--index=${WORK_DIR}/taxonomy.idx"
+  "--selftest-out=${WORK_DIR}/bodies")
+
+# Every captured body must be strict JSON; spot-check the load-bearing
+# fields so a handler that regresses to an empty object still fails.
+run_checked("${JSON_LINT}"
+  --expect=results --expect=index_version "${WORK_DIR}/bodies/query.json")
+run_checked("${JSON_LINT}"
+  --expect=children --expect=path "${WORK_DIR}/bodies/topic.json")
+run_checked("${JSON_LINT}"
+  --expect=topic --expect=category "${WORK_DIR}/bodies/item.json")
+run_checked("${JSON_LINT}"
+  --expect=ok --expect=queries "${WORK_DIR}/bodies/healthz.json")
+run_checked("${JSON_LINT}"
+  --expect=reloaded "${WORK_DIR}/bodies/reload.json")
+run_checked("${JSON_LINT}"
+  --expect=serve.cache.hits --expect=serve.index.version
+  "${WORK_DIR}/bodies/metrics.json")
+# An empty q is a valid request that matches nothing (200, no results);
+# the remaining bodies are the 400/404 error envelope.
+run_checked("${JSON_LINT}"
+  --expect=results --expect=none "${WORK_DIR}/bodies/query_empty.json")
+run_checked("${JSON_LINT}"
+  --expect=error
+  "${WORK_DIR}/bodies/topic_bad.json"
+  "${WORK_DIR}/bodies/item_miss.json"
+  "${WORK_DIR}/bodies/not_found.json")
+
+message(STATUS "cli_serve_smoke: all endpoint bodies validated")

@@ -29,6 +29,7 @@
 #include "data/log_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/serving_index.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -141,9 +142,50 @@ bool OptionsFromFlags(const util::FlagParser& flags,
   return true;
 }
 
+// Compiles and writes the online serving artefact when
+// --serving-index-out is set. Reuses the build's input tensors so the
+// serve-time dictionary is interned from exactly the queries the
+// pipeline saw.
+int MaybeWriteServingIndex(const util::FlagParser& flags,
+                           const core::ShoalInput& input,
+                           const core::ShoalModel& model) {
+  const std::string& index_out = flags.GetString("serving-index-out");
+  if (index_out.empty()) return 0;
+  core::DescriberInput describe_input;
+  describe_input.taxonomy = &model.taxonomy();
+  describe_input.query_item_graph = input.query_item_graph;
+  describe_input.query_words = input.query_words;
+  describe_input.query_texts = input.query_texts;
+  describe_input.entity_title_words = input.entity_title_words;
+  serve::CompileOptions compile_options;
+  compile_options.version =
+      static_cast<uint64_t>(flags.GetInt64("serving-index-version"));
+  auto index = serve::CompileServingIndex(
+      model.taxonomy(), describe_input, core::DescriberOptions(),
+      input.entity_categories, compile_options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "cannot compile serving index: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  auto status = serve::WriteServingIndexFile(index_out, *index);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write serving index: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled serving index v%llu (%zu topics, %zu entities, "
+              "%zu queries) to %s\n",
+              static_cast<unsigned long long>(index->version),
+              index->num_topics(), index->num_entities(),
+              index->num_queries(), index_out.c_str());
+  return 0;
+}
+
 // Prints the model summary and persists the taxonomy + observability
 // artefacts; the shared tail of `build` and `resume`.
 int FinishBuild(const util::FlagParser& flags,
+                const core::ShoalInput& input,
                 const core::ShoalModel& model) {
   std::printf("built %zu topics under %zu roots "
               "(%zu entity-graph edges, %zu merges)\n",
@@ -157,6 +199,9 @@ int FinishBuild(const util::FlagParser& flags,
       core::SaveTaxonomy(model.taxonomy(), model.correlations(), out_dir);
   SHOAL_CHECK(status.ok()) << status.ToString();
   std::printf("persisted taxonomy to %s\n", out_dir.c_str());
+  if (int rc = MaybeWriteServingIndex(flags, input, model); rc != 0) {
+    return rc;
+  }
   return WriteObservability(flags, &model.stats());
 }
 
@@ -203,7 +248,7 @@ int Build(util::FlagParser& flags, bool resume) {
                  model.status().ToString().c_str());
     return 1;
   }
-  return FinishBuild(flags, *model);
+  return FinishBuild(flags, bundle.View(), *model);
 }
 
 int Inspect(util::FlagParser& flags) {
@@ -265,6 +310,11 @@ int Run(int argc, char** argv) {
                   "required by 'resume')");
   flags.AddInt64("checkpoint-every", 5,
                  "HAC rounds between checkpoints");
+  flags.AddString("serving-index-out", "",
+                  "also compile the online serving index (empty = off); "
+                  "serve it with shoal_serve --index");
+  flags.AddInt64("serving-index-version", 1,
+                 "version stamped into --serving-index-out");
   AddObservabilityFlags(flags);
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "text/normalize.h"
 #include "text/tokenizer.h"
 
 namespace shoal::core {
@@ -51,8 +52,11 @@ util::Result<QueryTopicIndex> QueryTopicIndex::Build(
 
 std::vector<QueryTopicIndex::Hit> QueryTopicIndex::Search(
     const std::string& query_text, size_t k) const {
+  // Serve-time queries go through the same NormalizeQuery entry point as
+  // offline index compilation (see text/normalize.h) so both sides agree
+  // on token boundaries and casing.
   std::vector<uint32_t> words;
-  for (const std::string& token : text::Tokenize(query_text)) {
+  for (const std::string& token : text::NormalizeQueryTokens(query_text)) {
     uint32_t id = vocab_->Lookup(token);
     if (id != text::kUnknownWord) words.push_back(id);
   }

@@ -1,0 +1,81 @@
+#include "serve/http_message.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace shoal::serve {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexDigit(text[i + 1]) >= 0 && HexDigit(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexDigit(text[i + 1]) * 16 +
+                                      HexDigit(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+HttpRequest ParseRequestTarget(std::string method, std::string target) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  std::string_view rest = request.target;
+  const size_t question = rest.find('?');
+  request.path = UrlDecode(rest.substr(0, question));
+  if (question != std::string_view::npos) {
+    for (std::string_view pair_text :
+         util::Split(rest.substr(question + 1), '&')) {
+      if (pair_text.empty()) continue;
+      const size_t eq = pair_text.find('=');
+      if (eq == std::string_view::npos) {
+        request.params.emplace_back(UrlDecode(pair_text), "");
+      } else {
+        request.params.emplace_back(UrlDecode(pair_text.substr(0, eq)),
+                                    UrlDecode(pair_text.substr(eq + 1)));
+      }
+    }
+  }
+  return request;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+}  // namespace shoal::serve

@@ -1,0 +1,45 @@
+#ifndef SHOAL_SERVE_HTTP_MESSAGE_H_
+#define SHOAL_SERVE_HTTP_MESSAGE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shoal::serve {
+
+// The transport-independent request/response model the endpoint layer
+// works on. The socket server (http_server.h) parses wire bytes into an
+// HttpRequest and renders an HttpResponse back out; the in-process bench
+// and unit tests construct HttpRequests directly and skip the kernel.
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (upper case)
+  std::string target;  // raw request target, e.g. "/v1/query?q=red+dress"
+  std::string path;    // decoded path component
+  // Decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  // First value of `name`, or nullptr.
+  const std::string* Param(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// Percent-decoding plus '+' -> space (application/x-www-form-urlencoded
+// query conventions). Malformed %-escapes are kept verbatim.
+std::string UrlDecode(std::string_view text);
+
+// Splits a raw request target into decoded path + parameters.
+HttpRequest ParseRequestTarget(std::string method, std::string target);
+
+// Canonical reason phrase for the status codes the service emits.
+std::string_view HttpReasonPhrase(int status);
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_HTTP_MESSAGE_H_

@@ -1,0 +1,392 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace shoal::serve {
+
+namespace {
+
+// Reads until `fd` delivers a blank line terminating the header block,
+// appending into `*buffer`. Returns false on EOF/error/overflow before
+// the terminator; `*header_end` points just past "\r\n\r\n".
+bool ReadHeaderBlock(int fd, size_t max_bytes, std::string* buffer,
+                     size_t* header_end, bool* overflow) {
+  *overflow = false;
+  size_t scan_from = 0;
+  while (true) {
+    const size_t found = buffer->find("\r\n\r\n", scan_from);
+    if (found != std::string::npos) {
+      *header_end = found + 4;
+      return true;
+    }
+    scan_from = buffer->size() < 3 ? 0 : buffer->size() - 3;
+    if (buffer->size() > max_bytes) {
+      *overflow = true;
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // EOF, timeout, or peer reset
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = util::StringPrintf(
+      "HTTP/1.1 %d %.*s\r\n", response.status,
+      static_cast<int>(HttpReasonPhrase(response.status).size()),
+      HttpReasonPhrase(response.status).data());
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += util::StringPrintf("Content-Length: %zu\r\n", response.body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+// Case-insensitive ASCII compare for header names / token values.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct ParsedHead {
+  std::string method;
+  std::string target;
+  bool http11 = false;
+  bool keep_alive = true;
+  uint64_t content_length = 0;
+  bool ok = false;
+};
+
+ParsedHead ParseHead(std::string_view head) {
+  ParsedHead parsed;
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return parsed;
+  std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) return parsed;
+  const size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return parsed;
+  parsed.method = std::string(request_line.substr(0, sp1));
+  parsed.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  parsed.http11 = version == "HTTP/1.1";
+  if (!parsed.http11 && version != "HTTP/1.0") return parsed;
+  parsed.keep_alive = parsed.http11;  // HTTP/1.0 defaults to close
+
+  std::string_view rest = head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const size_t eol = rest.find("\r\n");
+    if (eol == std::string_view::npos) break;
+    std::string_view line = rest.substr(0, eol);
+    rest.remove_prefix(eol + 2);
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = Trim(line.substr(0, colon));
+    std::string_view value = Trim(line.substr(colon + 1));
+    if (EqualsIgnoreCase(name, "connection")) {
+      if (EqualsIgnoreCase(value, "close")) parsed.keep_alive = false;
+      if (EqualsIgnoreCase(value, "keep-alive")) parsed.keep_alive = true;
+    } else if (EqualsIgnoreCase(name, "content-length")) {
+      uint64_t length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return parsed;  // ok stays false
+        length = length * 10 + static_cast<uint64_t>(c - '0');
+        if (length > (1ull << 40)) return parsed;
+      }
+      parsed.content_length = length;
+    }
+  }
+  parsed.ok = !parsed.method.empty() && !parsed.target.empty();
+  return parsed;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(ServingService* service, HttpServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  SHOAL_CHECK(service_ != nullptr) << "HttpServer needs a service";
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+util::Status HttpServer::Start() {
+  SHOAL_CHECK(listen_fd_ < 0) << "HttpServer::Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(util::StringPrintf(
+        "socket() failed: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::InvalidArgument("cannot parse host " +
+                                         options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = util::StringPrintf(
+        "cannot bind %s:%u: %s", options_.host.c_str(),
+        static_cast<unsigned>(options_.port), std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(message);
+  }
+  if (::listen(listen_fd_, static_cast<int>(options_.listen_backlog)) != 0) {
+    const std::string message = util::StringPrintf(
+        "listen() failed: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IoError(message);
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  SHOAL_LOG(kInfo) << "serving on http://" << options_.host << ":" << port_
+                   << " with " << pool_->num_threads() << " threads";
+  return util::Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // Unblocks accept(); AcceptLoop sees stopping_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Wake connections blocked in recv(); their in-flight responses
+    // still flush because only the read half is shut down.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_.reset();  // joins workers after the queue drains
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener is gone; nothing sensible left to do
+    }
+    if (options_.idle_timeout_sec > 0) {
+      timeval timeout;
+      timeout.tv_sec = options_.idle_timeout_sec;
+      timeout.tv_usec = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        continue;
+      }
+      active_fds_.insert(fd);
+    }
+    pool_->Submit([this, fd] {
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        active_fds_.erase(fd);
+      }
+      ::close(fd);
+    });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    size_t header_end = 0;
+    bool overflow = false;
+    if (!ReadHeaderBlock(fd, options_.max_header_bytes, &buffer,
+                         &header_end, &overflow)) {
+      if (overflow) {
+        HttpResponse response;
+        response.status = 431;
+        response.body = "{\"error\": \"headers too large\"}\n";
+        SendAll(fd, RenderResponse(response, /*keep_alive=*/false));
+      }
+      return;
+    }
+    ParsedHead head = ParseHead(std::string_view(buffer).substr(0, header_end));
+    buffer.erase(0, header_end);
+    if (!head.ok) {
+      HttpResponse response;
+      response.status = 400;
+      response.body = "{\"error\": \"malformed request\"}\n";
+      SendAll(fd, RenderResponse(response, /*keep_alive=*/false));
+      return;
+    }
+
+    // Drain (and ignore) any request body so the next keep-alive request
+    // starts at a message boundary.
+    bool body_too_large = head.content_length > options_.max_body_bytes;
+    uint64_t remaining = head.content_length;
+    if (remaining <= static_cast<uint64_t>(buffer.size())) {
+      buffer.erase(0, static_cast<size_t>(remaining));
+      remaining = 0;
+    } else {
+      remaining -= buffer.size();
+      buffer.clear();
+      char chunk[4096];
+      while (remaining > 0) {
+        const size_t want = remaining < sizeof(chunk)
+                                ? static_cast<size_t>(remaining)
+                                : sizeof(chunk);
+        const ssize_t n = ::recv(fd, chunk, want, 0);
+        if (n <= 0) return;
+        remaining -= static_cast<uint64_t>(n);
+      }
+    }
+
+    HttpResponse response;
+    if (body_too_large) {
+      response.status = 400;
+      response.body = "{\"error\": \"request body too large\"}\n";
+      head.keep_alive = false;
+    } else {
+      response =
+          service_->Handle(ParseRequestTarget(head.method, head.target));
+    }
+    const bool keep_alive =
+        head.keep_alive && !stopping_.load(std::memory_order_relaxed);
+    if (head.method == "HEAD") response.body.clear();
+    if (!SendAll(fd, RenderResponse(response, keep_alive))) return;
+    if (!keep_alive) return;
+  }
+}
+
+util::Result<HttpFetchResult> HttpFetch(const std::string& host,
+                                        uint16_t port,
+                                        const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(util::StringPrintf(
+        "socket() failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("cannot parse host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = util::StringPrintf(
+        "cannot connect to %s:%u: %s", host.c_str(),
+        static_cast<unsigned>(port), std::strerror(errno));
+    ::close(fd);
+    return util::Status::IoError(message);
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return util::Status::IoError("short write sending request");
+  }
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return util::Status::IoError(util::StringPrintf(
+          "recv() failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.size() < 12 ||
+      raw.compare(0, 5, "HTTP/") != 0) {
+    return util::Status::IoError("malformed HTTP response");
+  }
+  HttpFetchResult result;
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return util::Status::IoError("malformed HTTP status line");
+  }
+  result.status = 0;
+  for (size_t i = sp + 1; i < raw.size() && raw[i] >= '0' && raw[i] <= '9';
+       ++i) {
+    result.status = result.status * 10 + (raw[i] - '0');
+  }
+  if (result.status < 100 || result.status > 599) {
+    return util::Status::IoError("malformed HTTP status code");
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+}  // namespace shoal::serve

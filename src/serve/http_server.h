@@ -1,0 +1,93 @@
+#ifndef SHOAL_SERVE_HTTP_SERVER_H_
+#define SHOAL_SERVE_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "serve/service.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace shoal::serve {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 asks the kernel for an ephemeral port; read it back via port().
+  uint16_t port = 0;
+  // Request worker threads (0 = hardware concurrency). Each live
+  // connection occupies one worker for its keep-alive lifetime, so this
+  // also bounds concurrent connections; excess accepts queue.
+  size_t threads = 4;
+  size_t listen_backlog = 128;
+  // Request line + headers larger than this earn a 431.
+  size_t max_header_bytes = 16 * 1024;
+  // Request bodies larger than this earn a 400 (bodies are read and
+  // discarded; every endpoint takes its input from the target).
+  size_t max_body_bytes = 1 << 20;
+  // Keep-alive connections idle longer than this are closed so they do
+  // not pin worker threads forever.
+  int idle_timeout_sec = 30;
+};
+
+// Minimal dependency-free HTTP/1.1 server: POSIX sockets + the repo's
+// util::ThreadPool. One dedicated accept thread hands each connection to
+// a pool worker, which serves keep-alive requests serially through
+// ServingService::Handle (the service is thread-safe; all parallelism
+// lives here). Stop() is graceful: the listener closes first, live
+// sockets get shutdown(SHUT_RD) so in-flight responses still flush, and
+// workers drain before Stop returns.
+class HttpServer {
+ public:
+  // `service` must outlive the server.
+  HttpServer(ServingService* service, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds + listens + starts the accept loop. Fails cleanly if the port
+  // is taken.
+  util::Status Start();
+
+  // Graceful shutdown; idempotent. Safe to call from signal-driven code
+  // paths (the actual work happens on the calling thread).
+  void Stop();
+
+  // The bound port (resolves option port 0 after Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServingService* service_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::mutex conn_mu_;
+  std::set<int> active_fds_;
+};
+
+struct HttpFetchResult {
+  int status = 0;
+  std::string body;
+};
+
+// Tiny blocking HTTP/1.1 GET client for tests, the selftest harness and
+// the load generator. Sends `Connection: close` and reads to EOF.
+util::Result<HttpFetchResult> HttpFetch(const std::string& host,
+                                        uint16_t port,
+                                        const std::string& target);
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_HTTP_SERVER_H_

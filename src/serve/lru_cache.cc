@@ -1,0 +1,65 @@
+#include "serve/lru_cache.h"
+
+#include <functional>
+
+namespace shoal::serve {
+
+ShardedLruCache::ShardedLruCache(size_t capacity, size_t shards)
+    : per_shard_capacity_((capacity + shards - 1) / (shards == 0 ? 1 : shards)),
+      shards_(shards == 0 ? 1 : shards) {
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ShardedLruCache::Get(const std::string& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedLruCache::Put(const std::string& key, std::string value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.entries.emplace(key, shard.order.begin());
+  if (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.order.back().first);
+    shard.order.pop_back();
+  }
+}
+
+void ShardedLruCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.order.clear();
+  }
+}
+
+size_t ShardedLruCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace shoal::serve

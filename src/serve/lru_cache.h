@@ -1,0 +1,69 @@
+#ifndef SHOAL_SERVE_LRU_CACHE_H_
+#define SHOAL_SERVE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shoal::serve {
+
+// Sharded LRU map from request target to rendered response body. The
+// shard is picked by key hash, so concurrent request threads only
+// contend when they hit the same shard; each shard is a classic
+// list+map LRU under its own mutex. Hit/miss counters are process-local
+// atomics (bridged into serve.cache.* metrics by the service) so the
+// cache itself stays usable without the obs registry.
+class ShardedLruCache {
+ public:
+  // `capacity` is the total entry budget across all shards (rounded up
+  // to a multiple of the shard count; at least one entry per shard).
+  // `shards` must be >= 1.
+  ShardedLruCache(size_t capacity, size_t shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  // Copies the cached value into `*value` and promotes the entry to
+  // most-recently-used. Returns false (and counts a miss) when absent.
+  bool Get(const std::string& key, std::string* value);
+
+  // Inserts or refreshes `key`, evicting the shard's least-recently-used
+  // entry when the shard is at capacity.
+  void Put(const std::string& key, std::string value);
+
+  // Drops every entry (hot reload invalidation). Counters are kept.
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<std::string, std::string>> order;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        entries;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_LRU_CACHE_H_

@@ -1,0 +1,388 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "text/normalize.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace shoal::serve {
+
+namespace {
+
+// Dense endpoint ids for metric bookkeeping.
+enum Endpoint : int {
+  kQuery = 0,
+  kTopic,
+  kItem,
+  kHealthz,
+  kMetrics,
+  kReload,
+  kOther,
+  kNumEndpoints,
+};
+
+const char* EndpointName(int endpoint) {
+  switch (endpoint) {
+    case kQuery: return "query";
+    case kTopic: return "topic";
+    case kItem: return "item";
+    case kHealthz: return "healthz";
+    case kMetrics: return "metrics";
+    case kReload: return "reload";
+  }
+  return "other";
+}
+
+int EndpointOf(const std::string& path) {
+  if (path == "/v1/query") return kQuery;
+  if (util::StartsWith(path, "/v1/topic/")) return kTopic;
+  if (util::StartsWith(path, "/v1/item/")) return kItem;
+  if (path == "/healthz") return kHealthz;
+  if (path == "/metrics") return kMetrics;
+  if (path == "/admin/reload") return kReload;
+  return kOther;
+}
+
+// Records one request against the serve.* namespace; a no-op while the
+// registry is disabled (one relaxed atomic load).
+void RecordMetrics(int endpoint, int status, double micros) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (!registry.enabled()) return;
+  const std::string prefix = std::string("serve.") + EndpointName(endpoint);
+  registry.GetCounter(prefix + ".requests").Increment();
+  registry.GetCounter("serve.requests.total").Increment();
+  if (status >= 400) {
+    registry.GetCounter(prefix + ".errors").Increment();
+    registry.GetCounter("serve.requests.errors").Increment();
+  }
+  registry.GetHistogram(prefix + ".latency_us", 0.0, 20000.0, 40)
+      .Record(micros);
+}
+
+void CountServeEvent(const char* name) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) registry.GetCounter(name).Increment();
+}
+
+HttpResponse JsonResponse(int status, const util::JsonValue& value) {
+  HttpResponse response;
+  response.status = status;
+  response.body = value.Dump(2);
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("error", util::JsonValue::Str(message));
+  return JsonResponse(status, body);
+}
+
+util::JsonValue TopicIdOrNull(uint32_t topic) {
+  if (topic == core::kNoTopic) return util::JsonValue::Null();
+  return util::JsonValue::Number(static_cast<double>(topic));
+}
+
+util::JsonValue DescriptionJson(const ServingIndex& index, uint32_t t) {
+  util::JsonValue description = util::JsonValue::Array();
+  for (const std::string& query : index.descriptions[t]) {
+    description.Append(util::JsonValue::Str(query));
+  }
+  return description;
+}
+
+util::JsonValue PathJson(const ServingIndex& index, uint32_t t) {
+  util::JsonValue path = util::JsonValue::Array();
+  for (uint32_t node : index.PathToRoot(t)) {
+    path.Append(util::JsonValue::Number(static_cast<double>(node)));
+  }
+  return path;
+}
+
+util::JsonValue TopicSummaryJson(const ServingIndex& index, uint32_t t) {
+  util::JsonValue summary = util::JsonValue::Object();
+  summary.Set("topic", util::JsonValue::Number(static_cast<double>(t)));
+  summary.Set("level",
+              util::JsonValue::Number(static_cast<double>(index.level[t])));
+  summary.Set("size", util::JsonValue::Number(
+                          static_cast<double>(index.topic_size[t])));
+  summary.Set("description", DescriptionJson(index, t));
+  return summary;
+}
+
+// Parses a non-negative decimal id (the <id> path suffix). Rejects
+// empty, non-digit, and overflowing text.
+std::optional<uint32_t> ParseId(const std::string& text) {
+  if (text.empty() || text.size() > 9) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+ServingService::ServingService(std::shared_ptr<const ServingIndex> index,
+                               ServiceOptions options)
+    : options_(std::move(options)), index_(std::move(index)) {
+  SHOAL_CHECK(index_ != nullptr) << "ServingService needs an index";
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ShardedLruCache>(options_.cache_entries,
+                                               options_.cache_shards);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry.GetGauge("serve.index.version")
+        .Set(static_cast<double>(index_->version));
+  }
+}
+
+std::shared_ptr<const ServingIndex> ServingService::Acquire() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_;
+}
+
+void ServingService::SwapIndex(std::shared_ptr<const ServingIndex> index) {
+  SHOAL_CHECK(index != nullptr) << "cannot swap in a null index";
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    index_ = std::move(index);
+  }
+  // Cached bodies describe the old version; drop them after the swap so
+  // a request never mixes versions (it either hit the old cache before
+  // the swap or recomputes against the new index).
+  if (cache_ != nullptr) cache_->Clear();
+  auto& registry = obs::MetricsRegistry::Global();
+  if (registry.enabled()) {
+    registry.GetGauge("serve.index.version")
+        .Set(static_cast<double>(Acquire()->version));
+    registry.GetCounter("serve.index.swaps").Increment();
+  }
+}
+
+util::Status ServingService::Reload() {
+  // One reload at a time; request traffic is never blocked by this lock.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  if (options_.index_path.empty()) {
+    CountServeEvent("serve.reload.failures");
+    return util::Status::FailedPrecondition(
+        "no index path configured for reload");
+  }
+  auto loaded = ReadServingIndexFile(options_.index_path);
+  if (!loaded.ok()) {
+    // The old index keeps serving; the caller sees exactly why the new
+    // one was rejected.
+    CountServeEvent("serve.reload.failures");
+    return loaded.status();
+  }
+  SwapIndex(std::make_shared<const ServingIndex>(std::move(loaded).value()));
+  CountServeEvent("serve.reload.successes");
+  return util::Status::OK();
+}
+
+HttpResponse ServingService::Handle(const HttpRequest& request) {
+  util::Stopwatch stopwatch;
+  const std::shared_ptr<const ServingIndex> index = Acquire();
+  const int endpoint = EndpointOf(request.path);
+
+  const bool cacheable = cache_ != nullptr && request.method == "GET" &&
+                         util::StartsWith(request.path, "/v1/");
+  HttpResponse response;
+  std::string cached_body;
+  if (cacheable && cache_->Get(request.target, &cached_body)) {
+    CountServeEvent("serve.cache.hits");
+    response.body = std::move(cached_body);
+  } else {
+    if (cacheable) CountServeEvent("serve.cache.misses");
+    const char* unused = nullptr;
+    response = Dispatch(request, *index, &unused);
+    if (cacheable && response.status == 200) {
+      cache_->Put(request.target, response.body);
+    }
+  }
+  RecordMetrics(endpoint, response.status, stopwatch.ElapsedSeconds() * 1e6);
+  return response;
+}
+
+HttpResponse ServingService::Dispatch(const HttpRequest& request,
+                                      const ServingIndex& index,
+                                      const char** endpoint) {
+  (void)endpoint;
+  const int which = EndpointOf(request.path);
+  if (which == kReload) {
+    if (request.method != "GET" && request.method != "POST") {
+      return ErrorResponse(405, "use GET or POST for /admin/reload");
+    }
+    return HandleReload();
+  }
+  if (request.method != "GET") {
+    return ErrorResponse(405, "only GET is supported");
+  }
+  switch (which) {
+    case kQuery:
+      return HandleQuery(request, index);
+    case kTopic:
+      return HandleTopic(request.path.substr(10), index);  // "/v1/topic/"
+    case kItem:
+      return HandleItem(request.path.substr(9), index);  // "/v1/item/"
+    case kHealthz:
+      return HandleHealthz(index);
+    case kMetrics:
+      return HandleMetrics();
+  }
+  return ErrorResponse(404, "no such endpoint: " + request.path);
+}
+
+HttpResponse ServingService::HandleQuery(const HttpRequest& request,
+                                         const ServingIndex& index) {
+  const std::string* q = request.Param("q");
+  if (q == nullptr) {
+    return ErrorResponse(400, "missing required parameter q");
+  }
+  size_t k = options_.default_k;
+  if (const std::string* k_text = request.Param("k")) {
+    auto parsed = ParseId(*k_text);
+    if (!parsed.has_value() || *parsed == 0) {
+      return ErrorResponse(400, "k must be a positive integer");
+    }
+    k = std::min<size_t>(*parsed, options_.max_k);
+  }
+
+  const ServingIndex::Lookup lookup = index.Find(*q);
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("query", util::JsonValue::Str(*q));
+  body.Set("normalized", util::JsonValue::Str(text::NormalizeQuery(*q)));
+  const char* match = "none";
+  if (lookup.match == ServingIndex::Lookup::Match::kExact) match = "exact";
+  if (lookup.match == ServingIndex::Lookup::Match::kNormalized) {
+    match = "normalized";
+  }
+  body.Set("match", util::JsonValue::Str(match));
+  body.Set("k", util::JsonValue::Number(static_cast<double>(k)));
+  body.Set("index_version",
+           util::JsonValue::Number(static_cast<double>(index.version)));
+
+  util::JsonValue results = util::JsonValue::Array();
+  if (lookup.query != kNoQuery) {
+    const auto& postings = index.posting_list[lookup.query];
+    for (size_t i = 0; i < postings.size() && i < k; ++i) {
+      util::JsonValue hit = TopicSummaryJson(index, postings[i].topic);
+      hit.Set("score", util::JsonValue::Number(postings[i].score));
+      hit.Set("path", PathJson(index, postings[i].topic));
+      results.Append(std::move(hit));
+    }
+  }
+  body.Set("results", std::move(results));
+  return JsonResponse(200, body);
+}
+
+HttpResponse ServingService::HandleTopic(const std::string& suffix,
+                                         const ServingIndex& index) {
+  auto id = ParseId(suffix);
+  if (!id.has_value()) {
+    return ErrorResponse(400, "topic id must be a non-negative integer");
+  }
+  if (*id >= index.num_topics()) {
+    return ErrorResponse(404, util::StringPrintf(
+                                  "topic %u does not exist (index has %zu)",
+                                  *id, index.num_topics()));
+  }
+  util::JsonValue body = TopicSummaryJson(index, *id);
+  body.Set("parent", TopicIdOrNull(index.parent[*id]));
+  body.Set("path", PathJson(index, *id));
+  util::JsonValue children = util::JsonValue::Array();
+  auto [first, last] = index.children(*id);
+  for (const uint32_t* child = first; child != last; ++child) {
+    children.Append(TopicSummaryJson(index, *child));
+  }
+  body.Set("children", std::move(children));
+  body.Set("index_version",
+           util::JsonValue::Number(static_cast<double>(index.version)));
+  return JsonResponse(200, body);
+}
+
+HttpResponse ServingService::HandleItem(const std::string& suffix,
+                                        const ServingIndex& index) {
+  auto id = ParseId(suffix);
+  if (!id.has_value()) {
+    return ErrorResponse(400, "item id must be a non-negative integer");
+  }
+  if (*id >= index.num_entities()) {
+    return ErrorResponse(404, util::StringPrintf(
+                                  "item %u does not exist (index has %zu)",
+                                  *id, index.num_entities()));
+  }
+  const uint32_t topic = index.entity_topic[*id];
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("item", util::JsonValue::Number(static_cast<double>(*id)));
+  const uint32_t category = index.entity_category[*id];
+  body.Set("category", category == kNoCategoryId
+                           ? util::JsonValue::Null()
+                           : util::JsonValue::Number(
+                                 static_cast<double>(category)));
+  body.Set("topic", TopicIdOrNull(topic));
+  if (topic != core::kNoTopic) {
+    const std::vector<uint32_t> path = index.PathToRoot(topic);
+    body.Set("root_topic", util::JsonValue::Number(
+                               static_cast<double>(path.front())));
+    util::JsonValue path_json = util::JsonValue::Array();
+    for (uint32_t node : path) {
+      path_json.Append(util::JsonValue::Number(static_cast<double>(node)));
+    }
+    body.Set("path", std::move(path_json));
+    body.Set("description", DescriptionJson(index, topic));
+  } else {
+    body.Set("root_topic", util::JsonValue::Null());
+    body.Set("path", util::JsonValue::Array());
+    body.Set("description", util::JsonValue::Array());
+  }
+  body.Set("index_version",
+           util::JsonValue::Number(static_cast<double>(index.version)));
+  return JsonResponse(200, body);
+}
+
+HttpResponse ServingService::HandleHealthz(const ServingIndex& index) {
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("status", util::JsonValue::Str("ok"));
+  body.Set("index_version",
+           util::JsonValue::Number(static_cast<double>(index.version)));
+  body.Set("topics", util::JsonValue::Number(
+                         static_cast<double>(index.num_topics())));
+  body.Set("entities", util::JsonValue::Number(
+                           static_cast<double>(index.num_entities())));
+  body.Set("queries", util::JsonValue::Number(
+                          static_cast<double>(index.num_queries())));
+  return JsonResponse(200, body);
+}
+
+HttpResponse ServingService::HandleMetrics() {
+  HttpResponse response;
+  response.body = obs::MetricsRegistry::Global().ToJsonString(2);
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse ServingService::HandleReload() {
+  util::Status status = Reload();
+  if (!status.ok()) {
+    SHOAL_LOG(kWarning) << "reload failed, keeping current index: "
+                        << status.ToString();
+    return ErrorResponse(500, status.ToString());
+  }
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("status", util::JsonValue::Str("reloaded"));
+  body.Set("index_version", util::JsonValue::Number(
+                                static_cast<double>(Acquire()->version)));
+  return JsonResponse(200, body);
+}
+
+}  // namespace shoal::serve

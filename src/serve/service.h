@@ -1,0 +1,94 @@
+#ifndef SHOAL_SERVE_SERVICE_H_
+#define SHOAL_SERVE_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/http_message.h"
+#include "serve/lru_cache.h"
+#include "serve/serving_index.h"
+#include "util/status.h"
+
+namespace shoal::serve {
+
+struct ServiceOptions {
+  // Path /admin/reload (and the manifest poller) loads new versions
+  // from. Empty disables reloading.
+  std::string index_path;
+  // Response cache budget in entries; 0 disables the cache.
+  size_t cache_entries = 4096;
+  size_t cache_shards = 8;
+  // /v1/query result count when no k parameter is given, and the cap a
+  // requested k is clamped to.
+  size_t default_k = 5;
+  size_t max_k = 100;
+};
+
+// The endpoint layer: pure request -> response over an immutable
+// ServingIndex. Thread-safe; any number of threads may call Handle
+// concurrently. The live index sits behind a shared_ptr that each
+// request acquires once — a hot reload swaps the pointer, so in-flight
+// requests keep the version they started with and finish normally while
+// new requests see the new index.
+//
+// Endpoints (all JSON):
+//   GET /v1/query?q=<text>[&k=N]   top-k topics for a query
+//   GET /v1/topic/<id>             description, children, path-to-root
+//   GET /v1/item/<id>              entity -> topic / category mapping
+//   GET /healthz                   liveness + live index version
+//   GET /metrics                   obs::MetricsRegistry JSON snapshot
+//   GET|POST /admin/reload         load + validate + swap options.index_path
+//
+// Metrics (namespace serve.*, recorded when the global registry is
+// enabled): serve.<endpoint>.requests / .errors / .latency_us,
+// serve.requests.total, serve.requests.errors, serve.cache.hits /
+// .misses, serve.reload.successes / .failures, serve.index.version,
+// serve.index.swaps.
+class ServingService {
+ public:
+  ServingService(std::shared_ptr<const ServingIndex> index,
+                 ServiceOptions options);
+
+  ServingService(const ServingService&) = delete;
+  ServingService& operator=(const ServingService&) = delete;
+
+  HttpResponse Handle(const HttpRequest& request);
+
+  // Loads options.index_path, validates it, and swaps it live. On any
+  // failure the previous index keeps serving and the Status reports why
+  // (serve.reload.failures is incremented).
+  util::Status Reload();
+
+  // Swaps a pre-validated index in directly (startup, tests, pollers).
+  void SwapIndex(std::shared_ptr<const ServingIndex> index);
+
+  // The live index (never null). In-flight holders keep old versions
+  // alive after a swap until their requests finish.
+  std::shared_ptr<const ServingIndex> Acquire() const;
+
+  const ShardedLruCache* cache() const { return cache_.get(); }
+
+ private:
+  HttpResponse Dispatch(const HttpRequest& request,
+                        const ServingIndex& index, const char** endpoint);
+  HttpResponse HandleQuery(const HttpRequest& request,
+                           const ServingIndex& index);
+  HttpResponse HandleTopic(const std::string& suffix,
+                           const ServingIndex& index);
+  HttpResponse HandleItem(const std::string& suffix,
+                          const ServingIndex& index);
+  HttpResponse HandleHealthz(const ServingIndex& index);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleReload();
+
+  ServiceOptions options_;
+  mutable std::mutex index_mu_;  // guards index_ pointer swaps
+  std::shared_ptr<const ServingIndex> index_;
+  std::mutex reload_mu_;  // serializes reloads, not request traffic
+  std::unique_ptr<ShardedLruCache> cache_;  // null when disabled
+};
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_SERVICE_H_

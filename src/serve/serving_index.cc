@@ -1,0 +1,410 @@
+#include "serve/serving_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ckpt/binary_io.h"
+#include "text/normalize.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'O', 'A', 'L', 'I', 'D', 'X'};
+
+// Sorts query ids by their text, ties towards the smaller id, so
+// duplicate texts resolve deterministically to the first intern.
+std::vector<uint32_t> OrderByText(const std::vector<std::string>& texts) {
+  std::vector<uint32_t> order(texts.size());
+  for (uint32_t i = 0; i < texts.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (texts[a] != texts[b]) return texts[a] < texts[b];
+    return a < b;
+  });
+  return order;
+}
+
+// Binary search for `needle` in `texts` through the `order` permutation;
+// returns the smallest matching query id or kNoQuery.
+uint32_t FindOrdered(const std::vector<std::string>& texts,
+                     const std::vector<uint32_t>& order,
+                     const std::string& needle) {
+  auto it = std::lower_bound(
+      order.begin(), order.end(), needle,
+      [&](uint32_t q, const std::string& text) { return texts[q] < text; });
+  if (it == order.end() || texts[*it] != needle) return kNoQuery;
+  return *it;
+}
+
+}  // namespace
+
+util::Status ServingIndex::Finalize() {
+  const size_t num_topics = parent.size();
+  if (level.size() != num_topics || topic_size.size() != num_topics ||
+      descriptions.size() != num_topics) {
+    return util::Status::InvalidArgument(
+        "serving index topic arrays disagree on the topic count");
+  }
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    if (parent[t] == core::kNoTopic) {
+      if (level[t] != 0) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "serving index root topic %u has level %u", t, level[t]));
+      }
+    } else {
+      if (parent[t] >= t) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "serving index topic %u does not follow its parent %u", t,
+            parent[t]));
+      }
+      if (level[t] != level[parent[t]] + 1) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "serving index topic %u level %u is not parent level %u + 1", t,
+            level[t], level[parent[t]]));
+      }
+    }
+  }
+  if (entity_category.size() != entity_topic.size()) {
+    return util::Status::InvalidArgument(
+        "serving index entity arrays disagree on the entity count");
+  }
+  for (size_t e = 0; e < entity_topic.size(); ++e) {
+    if (entity_topic[e] != core::kNoTopic && entity_topic[e] >= num_topics) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "serving index entity %zu names topic %u of %zu", e,
+          entity_topic[e], num_topics));
+    }
+  }
+  if (query_norm.size() != query_text.size() ||
+      posting_list.size() != query_text.size()) {
+    return util::Status::InvalidArgument(
+        "serving index query arrays disagree on the query count");
+  }
+  for (size_t q = 0; q < query_text.size(); ++q) {
+    // The stored normalized form must match what the serve-time
+    // normalizer produces NOW — a compiler/server normalization skew
+    // would otherwise turn into silent lookup misses.
+    if (query_norm[q] != text::NormalizeQuery(query_text[q])) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "serving index query %zu: stored normalized form '%s' does not "
+          "match NormalizeQuery('%s') — index was compiled with a "
+          "different normalizer",
+          q, query_norm[q].c_str(), query_text[q].c_str()));
+    }
+    const auto& postings = posting_list[q];
+    for (size_t i = 0; i < postings.size(); ++i) {
+      if (postings[i].topic >= num_topics) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "serving index query %zu posting %zu names topic %u of %zu", q,
+            i, postings[i].topic, num_topics));
+      }
+      if (!std::isfinite(postings[i].score) || postings[i].score < 0.0) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "serving index query %zu posting %zu has a non-finite or "
+            "negative score",
+            q, i));
+      }
+      if (i > 0) {
+        const Posting& prev = postings[i - 1];
+        const bool ordered =
+            prev.score > postings[i].score ||
+            (prev.score == postings[i].score &&
+             prev.topic < postings[i].topic);
+        if (!ordered) {
+          return util::Status::InvalidArgument(util::StringPrintf(
+              "serving index query %zu posting list is not sorted by "
+              "(score desc, topic asc) at entry %zu",
+              q, i));
+        }
+      }
+    }
+  }
+
+  // Children CSR + root list from the validated parent array.
+  child_offsets_.assign(num_topics + 1, 0);
+  roots_.clear();
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    if (parent[t] == core::kNoTopic) {
+      roots_.push_back(t);
+    } else {
+      ++child_offsets_[parent[t] + 1];
+    }
+  }
+  for (size_t t = 1; t <= num_topics; ++t) {
+    child_offsets_[t] += child_offsets_[t - 1];
+  }
+  child_ids_.assign(child_offsets_[num_topics], 0);
+  std::vector<uint64_t> cursor(child_offsets_.begin(),
+                               child_offsets_.begin() + num_topics);
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    if (parent[t] != core::kNoTopic) {
+      child_ids_[cursor[parent[t]]++] = t;  // ascending t => ascending ids
+    }
+  }
+
+  exact_order_ = OrderByText(query_text);
+  norm_order_ = OrderByText(query_norm);
+  return util::Status::OK();
+}
+
+std::vector<uint32_t> ServingIndex::PathToRoot(uint32_t t) const {
+  std::vector<uint32_t> path;
+  for (uint32_t cur = t; cur != core::kNoTopic; cur = parent[cur]) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ServingIndex::Lookup ServingIndex::Find(const std::string& raw_query) const {
+  Lookup result;
+  result.query = FindOrdered(query_text, exact_order_, raw_query);
+  if (result.query != kNoQuery) {
+    result.match = Lookup::Match::kExact;
+    return result;
+  }
+  const std::string normalized = text::NormalizeQuery(raw_query);
+  if (!normalized.empty()) {
+    result.query = FindOrdered(query_norm, norm_order_, normalized);
+    if (result.query != kNoQuery) {
+      result.match = Lookup::Match::kNormalized;
+      return result;
+    }
+  }
+  result.match = Lookup::Match::kNone;
+  return result;
+}
+
+util::Result<ServingIndex> CompileServingIndex(
+    const core::Taxonomy& taxonomy, const core::DescriberInput& input,
+    const core::DescriberOptions& describer_options,
+    const std::vector<uint32_t>* entity_categories,
+    const CompileOptions& options) {
+  if (input.query_texts == nullptr) {
+    return util::Status::InvalidArgument(
+        "CompileServingIndex needs query_texts to intern the dictionary");
+  }
+  if (entity_categories != nullptr &&
+      entity_categories->size() != taxonomy.num_entities()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "entity_categories has %zu entries for %zu entities",
+        entity_categories->size(), taxonomy.num_entities()));
+  }
+
+  // Describe mutates topic descriptions, so score a private copy; the
+  // scoring is a deterministic function of the taxonomy, so the copy's
+  // descriptions equal the original's when it was already described.
+  core::Taxonomy scored = taxonomy;
+  core::DescriberInput scored_input = input;
+  scored_input.taxonomy = &scored;
+  auto rankings =
+      core::TopicDescriber::Describe(scored, scored_input, describer_options);
+  if (!rankings.ok()) return rankings.status();
+
+  ServingIndex index;
+  index.version = options.version;
+
+  const size_t num_topics = scored.num_topics();
+  index.parent.resize(num_topics);
+  index.level.resize(num_topics);
+  index.topic_size.resize(num_topics);
+  index.descriptions.resize(num_topics);
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    const core::Topic& topic = scored.topic(t);
+    index.parent[t] = topic.parent;
+    index.level[t] = topic.level;
+    index.topic_size[t] = static_cast<uint32_t>(topic.entities.size());
+    index.descriptions[t] = topic.description;
+  }
+
+  index.entity_topic.resize(scored.num_entities());
+  index.entity_category.assign(scored.num_entities(), kNoCategoryId);
+  for (uint32_t e = 0; e < scored.num_entities(); ++e) {
+    index.entity_topic[e] = scored.TopicOfEntity(e);
+    if (entity_categories != nullptr) {
+      index.entity_category[e] = (*entity_categories)[e];
+    }
+  }
+
+  // Invert the per-topic rankings into per-query posting lists.
+  const auto& query_texts = *input.query_texts;
+  std::vector<std::vector<Posting>> by_query(query_texts.size());
+  for (uint32_t t = 0; t < rankings->size(); ++t) {
+    for (const core::ScoredQuery& sq : (*rankings)[t]) {
+      if (sq.query >= by_query.size()) {
+        return util::Status::OutOfRange(util::StringPrintf(
+            "describer ranked query %u but only %zu query texts exist",
+            sq.query, by_query.size()));
+      }
+      by_query[sq.query].push_back(Posting{t, sq.representativeness});
+    }
+  }
+  for (uint32_t q = 0; q < by_query.size(); ++q) {
+    auto& postings = by_query[q];
+    if (postings.empty()) continue;
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.topic < b.topic;
+              });
+    if (options.max_postings_per_query > 0 &&
+        postings.size() > options.max_postings_per_query) {
+      postings.resize(options.max_postings_per_query);
+    }
+    index.query_text.push_back(query_texts[q]);
+    index.query_norm.push_back(text::NormalizeQuery(query_texts[q]));
+    index.posting_list.push_back(std::move(postings));
+  }
+
+  SHOAL_RETURN_IF_ERROR(index.Finalize());
+  return index;
+}
+
+std::string EncodeServingIndex(const ServingIndex& index) {
+  ckpt::BinaryWriter writer;
+  writer.WriteU64(index.version);
+
+  writer.WriteU64(index.parent.size());
+  for (size_t t = 0; t < index.parent.size(); ++t) {
+    writer.WriteU32(index.parent[t]);
+    writer.WriteU32(index.level[t]);
+    writer.WriteU32(index.topic_size[t]);
+    writer.WriteU64(index.descriptions[t].size());
+    for (const std::string& d : index.descriptions[t]) writer.WriteString(d);
+  }
+
+  writer.WriteU64(index.entity_topic.size());
+  for (size_t e = 0; e < index.entity_topic.size(); ++e) {
+    writer.WriteU32(index.entity_topic[e]);
+    writer.WriteU32(index.entity_category[e]);
+  }
+
+  writer.WriteU64(index.query_text.size());
+  for (size_t q = 0; q < index.query_text.size(); ++q) {
+    writer.WriteString(index.query_text[q]);
+    writer.WriteString(index.query_norm[q]);
+    writer.WriteU64(index.posting_list[q].size());
+    for (const Posting& p : index.posting_list[q]) {
+      writer.WriteU32(p.topic);
+      writer.WriteF64(p.score);
+    }
+  }
+  return writer.Take();
+}
+
+util::Result<ServingIndex> DecodeServingIndex(std::string_view payload) {
+  ckpt::BinaryReader reader(payload);
+  ServingIndex index;
+  SHOAL_ASSIGN_OR_RETURN(index.version, reader.ReadU64());
+
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_topics, reader.ReadU64());
+  // u32 parent + u32 level + u32 size + u64 description count.
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_topics, 20));
+  index.parent.resize(num_topics);
+  index.level.resize(num_topics);
+  index.topic_size.resize(num_topics);
+  index.descriptions.resize(num_topics);
+  for (uint64_t t = 0; t < num_topics; ++t) {
+    SHOAL_ASSIGN_OR_RETURN(index.parent[t], reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(index.level[t], reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(index.topic_size[t], reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(uint64_t num_desc, reader.ReadU64());
+    SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_desc, 8));
+    index.descriptions[t].resize(num_desc);
+    for (uint64_t d = 0; d < num_desc; ++d) {
+      SHOAL_ASSIGN_OR_RETURN(index.descriptions[t][d], reader.ReadString());
+    }
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_entities, reader.ReadU64());
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_entities, 8));
+  index.entity_topic.resize(num_entities);
+  index.entity_category.resize(num_entities);
+  for (uint64_t e = 0; e < num_entities; ++e) {
+    SHOAL_ASSIGN_OR_RETURN(index.entity_topic[e], reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(index.entity_category[e], reader.ReadU32());
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_queries, reader.ReadU64());
+  // Two length-prefixed strings plus the posting count.
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_queries, 24));
+  index.query_text.resize(num_queries);
+  index.query_norm.resize(num_queries);
+  index.posting_list.resize(num_queries);
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    SHOAL_ASSIGN_OR_RETURN(index.query_text[q], reader.ReadString());
+    SHOAL_ASSIGN_OR_RETURN(index.query_norm[q], reader.ReadString());
+    SHOAL_ASSIGN_OR_RETURN(uint64_t num_postings, reader.ReadU64());
+    SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_postings, 12));
+    index.posting_list[q].resize(num_postings);
+    for (uint64_t p = 0; p < num_postings; ++p) {
+      SHOAL_ASSIGN_OR_RETURN(index.posting_list[q][p].topic,
+                             reader.ReadU32());
+      SHOAL_ASSIGN_OR_RETURN(index.posting_list[q][p].score,
+                             reader.ReadF64());
+    }
+  }
+
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "serving index payload has trailing bytes");
+  }
+  SHOAL_RETURN_IF_ERROR(index.Finalize());
+  return index;
+}
+
+util::Status WriteServingIndexFile(const std::string& path,
+                                   const ServingIndex& index) {
+  const std::string payload = EncodeServingIndex(index);
+  ckpt::BinaryWriter header;
+  std::string framed;
+  framed.reserve(sizeof(kMagic) + 16 + payload.size());
+  framed.append(kMagic, sizeof(kMagic));
+  header.WriteU32(kServingIndexFormatVersion);
+  header.WriteU64(payload.size());
+  header.WriteU32(util::Crc32(payload.data(), payload.size()));
+  framed += header.data();
+  framed.append(payload);
+  return util::AtomicWriteFile(path, framed);
+}
+
+util::Result<ServingIndex> ReadServingIndexFile(const std::string& path) {
+  SHOAL_ASSIGN_OR_RETURN(std::string bytes, util::ReadTextFile(path));
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument(path +
+                                         ": not a SHOAL serving index file");
+  }
+  ckpt::BinaryReader reader(std::string_view(bytes).substr(sizeof(kMagic)));
+  SHOAL_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kServingIndexFormatVersion) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "%s: serving index format version %u, this build reads version %u",
+        path.c_str(), version, kServingIndexFormatVersion));
+  }
+  SHOAL_ASSIGN_OR_RETURN(uint64_t payload_size, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(uint32_t expected_crc, reader.ReadU32());
+  if (payload_size != reader.remaining()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "%s: header claims %llu payload bytes but %zu are present",
+        path.c_str(), static_cast<unsigned long long>(payload_size),
+        reader.remaining()));
+  }
+  const std::string_view payload =
+      std::string_view(bytes).substr(bytes.size() - payload_size);
+  const uint32_t actual_crc = util::Crc32(payload.data(), payload.size());
+  if (actual_crc != expected_crc) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "%s: payload CRC mismatch (stored %08x, computed %08x) — the "
+        "serving index is corrupt",
+        path.c_str(), expected_crc, actual_crc));
+  }
+  return DecodeServingIndex(payload);
+}
+
+}  // namespace shoal::serve

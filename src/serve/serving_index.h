@@ -1,0 +1,157 @@
+#ifndef SHOAL_SERVE_SERVING_INDEX_H_
+#define SHOAL_SERVE_SERVING_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "core/topic_describer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::serve {
+
+inline constexpr uint32_t kNoQuery = static_cast<uint32_t>(-1);
+inline constexpr uint32_t kNoCategoryId = static_cast<uint32_t>(-1);
+
+// One entry of a query's posting list: a topic and the topic-description
+// matching score r(q, t) = sqrt(pop * con) of Sec 2.3. Lists are stored
+// descending by score (ties broken towards the smaller topic id), so the
+// serving top-k is a prefix read, and the top-1 topic is by construction
+// the topic whose description ranking scores this query highest.
+struct Posting {
+  uint32_t topic = core::kNoTopic;
+  double score = 0.0;
+
+  bool operator==(const Posting& other) const {
+    return topic == other.topic && score == other.score;
+  }
+};
+
+// The compact immutable artefact the online tier serves from: everything
+// a request needs, precomputed offline and loaded in one pass. A loaded
+// index is never mutated — request threads share one instance through a
+// shared_ptr<const ServingIndex> and hot reload swaps the pointer, so no
+// per-request locking is needed anywhere in the read path.
+//
+// Contents:
+//   * topic tree in CSR form: per-topic parent / level / member count,
+//     a children adjacency (offsets + ids, ascending), and descriptions
+//     (the topic's representative queries, best first);
+//   * item->entity->topic maps: the deepest topic and ontology category
+//     of every entity (items and entities coincide in this system);
+//   * an interned query dictionary with exact and normalized lookup,
+//     each entry carrying its posting list.
+//
+// Build with CompileServingIndex (offline) or ReadServingIndexFile
+// (online). Direct field access is for the codec and tests; after any
+// mutation Finalize() must be re-run.
+class ServingIndex {
+ public:
+  struct Lookup {
+    enum class Match { kNone, kExact, kNormalized };
+    uint32_t query = kNoQuery;
+    Match match = Match::kNone;
+  };
+
+  ServingIndex() = default;
+
+  // --- stored fields ------------------------------------------------------
+  uint64_t version = 0;  // compiler-stamped artefact version
+
+  // Topics, indexed by taxonomy topic id. Parents precede children.
+  std::vector<uint32_t> parent;                         // kNoTopic = root
+  std::vector<uint32_t> level;                          // 0 for roots
+  std::vector<uint32_t> topic_size;                     // member entities
+  std::vector<std::vector<std::string>> descriptions;   // best query first
+
+  // Entities (== items).
+  std::vector<uint32_t> entity_topic;     // deepest topic or kNoTopic
+  std::vector<uint32_t> entity_category;  // ontology leaf or kNoCategoryId
+
+  // Interned queries, ascending original query id (deterministic).
+  std::vector<std::string> query_text;            // raw form
+  std::vector<std::string> query_norm;            // NormalizeQuery(raw)
+  std::vector<std::vector<Posting>> posting_list; // per query, score desc
+
+  // Validates every structural invariant (parent ordering, level
+  // consistency, range checks, posting sortedness) and rebuilds the
+  // derived structures below. Any violation is a clean InvalidArgument —
+  // this is the last line of defence behind the file CRC.
+  util::Status Finalize();
+
+  // --- derived accessors (valid after a successful Finalize) --------------
+  size_t num_topics() const { return parent.size(); }
+  size_t num_entities() const { return entity_topic.size(); }
+  size_t num_queries() const { return query_text.size(); }
+
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  // Children of `t`, ascending, as a [first, last) range into the CSR.
+  std::pair<const uint32_t*, const uint32_t*> children(uint32_t t) const {
+    const uint32_t* base = child_ids_.data();
+    return {base + child_offsets_[t], base + child_offsets_[t + 1]};
+  }
+
+  // Topic ids from the root down to `t` (root first, `t` last).
+  std::vector<uint32_t> PathToRoot(uint32_t t) const;
+
+  // Exact raw-text match first, then the normalized form; kNone when the
+  // query is not in the dictionary.
+  Lookup Find(const std::string& raw_query) const;
+
+ private:
+  // Children CSR and root list, derived from `parent`.
+  std::vector<uint64_t> child_offsets_;
+  std::vector<uint32_t> child_ids_;
+  std::vector<uint32_t> roots_;
+  // Query ids ordered by raw / normalized text (ties: smaller id first,
+  // so duplicate texts resolve deterministically to the first intern).
+  std::vector<uint32_t> exact_order_;
+  std::vector<uint32_t> norm_order_;
+};
+
+struct CompileOptions {
+  // Artefact version stamped into the file and echoed by /healthz; bump
+  // it per publish so hot reloads are observable end to end.
+  uint64_t version = 1;
+  // Postings kept per query, best first; 0 keeps every scored pair. Any
+  // cap >= 1 preserves the top-1 = argmax r(q, t) guarantee.
+  size_t max_postings_per_query = 64;
+};
+
+// Compiles a built taxonomy into a ServingIndex. Re-runs the Sec 2.3
+// topic-description scoring (TopicDescriber) on a copy of the taxonomy
+// to obtain the full per-topic query rankings, then inverts them into
+// per-query posting lists. `entity_categories` may be null (categories
+// become kNoCategoryId); when present it must have one entry per entity.
+util::Result<ServingIndex> CompileServingIndex(
+    const core::Taxonomy& taxonomy, const core::DescriberInput& input,
+    const core::DescriberOptions& describer_options,
+    const std::vector<uint32_t>* entity_categories,
+    const CompileOptions& options);
+
+// --- binary format --------------------------------------------------------
+// Payload codec plus a CRC-32 framed file wrapper, mirroring the
+// checkpoint snapshot format: 8-byte magic "SHOALIDX", u32 format
+// version, u64 payload size, u32 CRC-32 of the payload, payload bytes.
+// Files are written through AtomicWriteFile (never torn on disk) and
+// every count read back is bounds-checked against the remaining bytes,
+// so truncated / bit-flipped / oversized-count files fail with a clean
+// Status, never undefined behaviour.
+
+inline constexpr uint32_t kServingIndexFormatVersion = 1;
+
+std::string EncodeServingIndex(const ServingIndex& index);
+util::Result<ServingIndex> DecodeServingIndex(std::string_view payload);
+
+util::Status WriteServingIndexFile(const std::string& path,
+                                   const ServingIndex& index);
+util::Result<ServingIndex> ReadServingIndexFile(const std::string& path);
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_SERVING_INDEX_H_

@@ -1,0 +1,21 @@
+#include "text/normalize.h"
+
+#include "text/tokenizer.h"
+
+namespace shoal::text {
+
+std::vector<std::string> NormalizeQueryTokens(std::string_view query) {
+  return Tokenize(query);
+}
+
+std::string NormalizeQuery(std::string_view query) {
+  std::string normalized;
+  normalized.reserve(query.size());
+  for (const std::string& token : Tokenize(query)) {
+    if (!normalized.empty()) normalized.push_back(' ');
+    normalized += token;
+  }
+  return normalized;
+}
+
+}  // namespace shoal::text

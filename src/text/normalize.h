@@ -1,0 +1,29 @@
+#ifndef SHOAL_TEXT_NORMALIZE_H_
+#define SHOAL_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shoal::text {
+
+// The single query-normalization entry point shared by offline index
+// compilation and online serve-time lookup. Both sides MUST agree on
+// this function byte for byte: a query normalized one way at build time
+// and another way at request time silently misses its posting list and
+// surfaces as a 404 with no error anywhere.
+//
+// Normalization = Tokenize (lower-cased alphanumeric runs; everything
+// else, including repeated whitespace and non-ASCII bytes, separates
+// tokens) re-joined with single spaces. Empty input, or input with no
+// alphanumeric bytes, normalizes to the empty string.
+std::string NormalizeQuery(std::string_view query);
+
+// Token form of the same normalization, for callers that feed a word
+// pipeline (BM25 scoring, vocabulary lookup) instead of a dictionary
+// key. `NormalizeQuery(q)` == `Join(NormalizeQueryTokens(q), " ")`.
+std::vector<std::string> NormalizeQueryTokens(std::string_view query);
+
+}  // namespace shoal::text
+
+#endif  // SHOAL_TEXT_NORMALIZE_H_

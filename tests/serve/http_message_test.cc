@@ -1,0 +1,60 @@
+#include "serve/http_message.h"
+
+#include <gtest/gtest.h>
+
+namespace shoal::serve {
+namespace {
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("red+dress"), "red dress");
+  EXPECT_EQ(UrlDecode("caf%C3%A9"), "caf\xc3\xa9");
+  EXPECT_EQ(UrlDecode("a%2Fb%3Fc%3Dd"), "a/b?c=d");
+  EXPECT_EQ(UrlDecode(""), "");
+}
+
+TEST(UrlDecodeTest, MalformedEscapesKeptVerbatim) {
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+  EXPECT_EQ(UrlDecode("%4"), "%4");
+}
+
+TEST(ParseRequestTargetTest, SplitsPathAndParams) {
+  auto request =
+      ParseRequestTarget("GET", "/v1/query?q=red+dress&k=5&flag");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/v1/query");
+  EXPECT_EQ(request.target, "/v1/query?q=red+dress&k=5&flag");
+  ASSERT_EQ(request.params.size(), 3u);
+  ASSERT_NE(request.Param("q"), nullptr);
+  EXPECT_EQ(*request.Param("q"), "red dress");
+  EXPECT_EQ(*request.Param("k"), "5");
+  EXPECT_EQ(*request.Param("flag"), "");
+  EXPECT_EQ(request.Param("missing"), nullptr);
+}
+
+TEST(ParseRequestTargetTest, FirstValueWinsForRepeatedParams) {
+  auto request = ParseRequestTarget("GET", "/x?a=1&a=2");
+  ASSERT_NE(request.Param("a"), nullptr);
+  EXPECT_EQ(*request.Param("a"), "1");
+}
+
+TEST(ParseRequestTargetTest, NoQueryString) {
+  auto request = ParseRequestTarget("GET", "/healthz");
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_TRUE(request.params.empty());
+}
+
+TEST(ParseRequestTargetTest, EncodedPathDecodes) {
+  auto request = ParseRequestTarget("GET", "/v1/topic/%30");
+  EXPECT_EQ(request.path, "/v1/topic/0");
+}
+
+TEST(HttpReasonPhraseTest, KnownAndUnknownCodes) {
+  EXPECT_EQ(HttpReasonPhrase(200), "OK");
+  EXPECT_EQ(HttpReasonPhrase(404), "Not Found");
+  EXPECT_EQ(HttpReasonPhrase(500), "Internal Server Error");
+  EXPECT_EQ(HttpReasonPhrase(418), "Unknown");
+}
+
+}  // namespace
+}  // namespace shoal::serve

@@ -1,0 +1,252 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve_test_util.h"
+#include "util/json.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+namespace {
+
+double JsonNumber(const std::string& body, const char* key) {
+  auto parsed = util::JsonValue::Parse(body);
+  EXPECT_TRUE(parsed.ok()) << body;
+  if (!parsed.ok()) return -1.0;
+  const util::JsonValue* value = parsed->Find(key);
+  EXPECT_NE(value, nullptr) << key << " missing in " << body;
+  return value == nullptr ? -1.0 : value->number();
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_http_server_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    live_path_ = (dir_ / "live.idx").string();
+
+    auto v1 = fixture_.Compile(CompileOptions{.version = 1});
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(WriteServingIndexFile(live_path_, *v1).ok());
+
+    ServiceOptions service_options;
+    service_options.index_path = live_path_;
+    service_ = std::make_unique<ServingService>(
+        std::make_shared<const ServingIndex>(std::move(v1).value()),
+        service_options);
+
+    HttpServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.threads = 8;
+    server_ = std::make_unique<HttpServer>(service_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  // Publishes version `v` of the index to the live path (atomic rename,
+  // like a production publisher would).
+  void PublishVersion(uint64_t v) {
+    auto index = fixture_.Compile(CompileOptions{.version = v});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(WriteServingIndexFile(live_path_, *index).ok());
+  }
+
+  HttpFetchResult Fetch(const std::string& target) {
+    auto fetched = HttpFetch(server_->host(), server_->port(), target);
+    EXPECT_TRUE(fetched.ok()) << fetched.status().ToString();
+    return fetched.ok() ? *fetched : HttpFetchResult{};
+  }
+
+  std::filesystem::path dir_;
+  std::string live_path_;
+  ServeFixture fixture_;
+  std::unique_ptr<ServingService> service_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesEveryEndpointOverSockets) {
+  EXPECT_EQ(Fetch("/healthz").status, 200);
+  EXPECT_EQ(JsonNumber(Fetch("/healthz").body, "index_version"), 1.0);
+  auto query = Fetch("/v1/query?q=router&k=2");
+  EXPECT_EQ(query.status, 200);
+  auto parsed = util::JsonValue::Parse(query.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("match")->string_value(), "exact");
+  EXPECT_EQ(Fetch("/v1/topic/0").status, 200);
+  EXPECT_EQ(Fetch("/v1/item/0").status, 200);
+  EXPECT_EQ(Fetch("/metrics").status, 200);
+  EXPECT_EQ(Fetch("/no/such").status, 404);
+  EXPECT_EQ(Fetch("/v1/topic/zzz").status, 400);
+}
+
+TEST_F(HttpServerTest, PercentEncodedQueriesDecode) {
+  auto response = Fetch("/v1/query?q=BEACH%20chair");
+  EXPECT_EQ(response.status, 200);
+  auto parsed = util::JsonValue::Parse(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("query")->string_value(), "BEACH chair");
+  EXPECT_EQ(parsed->Find("match")->string_value(), "normalized");
+}
+
+TEST_F(HttpServerTest, KeepAliveServesSequentialRequests) {
+  // Two requests over one connection; both responses must arrive.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  auto send_request = [&](const std::string& target, bool close) {
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: x\r\n" +
+                          (close ? "Connection: close\r\n" : "") + "\r\n";
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+  };
+  send_request("/healthz", false);
+  send_request("/healthz", true);
+
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // Both responses present: two status lines, one keep-alive then close.
+  size_t status_lines = 0;
+  for (size_t at = raw.find("HTTP/1.1 200 OK\r\n");
+       at != std::string::npos; at = raw.find("HTTP/1.1 200 OK\r\n", at + 1)) {
+    ++status_lines;
+  }
+  EXPECT_EQ(status_lines, 2u);
+  EXPECT_NE(raw.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIsBadRequest) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string junk = "NOT-HTTP\r\n\r\n";
+  ASSERT_EQ(::send(fd, junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+  std::string raw;
+  char chunk[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 400"), std::string::npos);
+}
+
+// The hot-reload acceptance criterion: under concurrent request load,
+// every response is well-formed, reports either the old or the new
+// version (never a mix or a drop), and a corrupt publish is rejected
+// while the old index keeps serving.
+TEST_F(HttpServerTest, HotReloadUnderConcurrentLoad) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> bad_responses{0};
+  std::atomic<int> served{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load()) {
+        auto fetched =
+            HttpFetch(server_->host(), server_->port(), "/healthz");
+        if (!fetched.ok()) {
+          ++transport_errors;
+          continue;
+        }
+        const double version = JsonNumber(fetched->body, "index_version");
+        if (fetched->status != 200 || (version != 1.0 && version != 2.0)) {
+          ++bad_responses;
+        }
+        ++served;
+      }
+    });
+  }
+
+  // Let traffic build up, then swap versions live several times.
+  while (served.load() < 20) std::this_thread::yield();
+  for (uint64_t v : {2u, 1u, 2u}) {
+    PublishVersion(v);
+    auto reload = Fetch("/admin/reload");
+    EXPECT_EQ(reload.status, 200);
+    EXPECT_EQ(JsonNumber(reload.body, "index_version"),
+              static_cast<double>(v));
+    int target = served.load() + 20;
+    while (served.load() < target) std::this_thread::yield();
+  }
+
+  // A corrupt publish must be rejected; the last good version survives.
+  ASSERT_TRUE(util::WriteTextFile(live_path_, "corrupt bytes").ok());
+  auto failed = Fetch("/admin/reload");
+  EXPECT_EQ(failed.status, 500);
+  EXPECT_EQ(JsonNumber(Fetch("/healthz").body, "index_version"), 2.0);
+
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_EQ(bad_responses.load(), 0);
+  EXPECT_GT(served.load(), 80);
+}
+
+TEST_F(HttpServerTest, StopIsGracefulAndIdempotent) {
+  EXPECT_EQ(Fetch("/healthz").status, 200);
+  server_->Stop();
+  server_->Stop();  // idempotent
+  auto after = HttpFetch(server_->host(), server_->port(), "/healthz");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(HttpServerStartTest, PortCollisionFailsCleanly) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  auto shared =
+      std::make_shared<const ServingIndex>(std::move(index).value());
+  ServingService service(shared, ServiceOptions());
+  HttpServerOptions options;
+  options.port = 0;
+  HttpServer first(&service, options);
+  ASSERT_TRUE(first.Start().ok());
+  options.port = first.port();
+  HttpServer second(&service, options);
+  EXPECT_FALSE(second.Start().ok());
+}
+
+}  // namespace
+}  // namespace shoal::serve

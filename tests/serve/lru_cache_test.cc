@@ -1,0 +1,86 @@
+#include "serve/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shoal::serve {
+namespace {
+
+TEST(ShardedLruCacheTest, GetPutRoundtrip) {
+  ShardedLruCache cache(16, 4);
+  std::string value;
+  EXPECT_FALSE(cache.Get("a", &value));
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Put("a", "alpha");
+  ASSERT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "alpha");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCacheTest, PutRefreshesExistingKey) {
+  ShardedLruCache cache(16, 1);
+  cache.Put("a", "one");
+  cache.Put("a", "two");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "two");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  // Single shard, capacity 2: touching "a" makes "b" the LRU victim.
+  ShardedLruCache cache(2, 1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));
+  cache.Put("c", "3");  // evicts b
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("c", &value));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCacheTest, CapacityRoundsUpToShardMultiple) {
+  ShardedLruCache cache(3, 8);  // at least one entry per shard
+  EXPECT_GE(cache.capacity(), 8u);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedLruCache cache(8, 2);
+  cache.Put("a", "1");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a", &value));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedTrafficIsSafe) {
+  ShardedLruCache cache(64, 8);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&cache, w] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "k" + std::to_string((w * 31 + i) % 100);
+        std::string value;
+        if (!cache.Get(key, &value)) {
+          cache.Put(key, "v" + std::to_string(i));
+        }
+        if (i % 500 == 0 && w == 0) cache.Clear();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace shoal::serve

@@ -1,0 +1,288 @@
+#include "serve/service.h"
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve_test_util.h"
+#include "util/json.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+namespace {
+
+std::shared_ptr<const ServingIndex> CompileShared(ServeFixture& f,
+                                                  uint64_t version = 1) {
+  CompileOptions options;
+  options.version = version;
+  auto index = f.Compile(options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::make_shared<const ServingIndex>(std::move(index).value());
+}
+
+HttpRequest Get(const std::string& target) {
+  return ParseRequestTarget("GET", target);
+}
+
+util::JsonValue MustParse(const std::string& body) {
+  auto parsed = util::JsonValue::Parse(body);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << body;
+  return parsed.ok() ? std::move(parsed).value() : util::JsonValue::Null();
+}
+
+TEST(ServiceQueryTest, KnownQueryReturnsRankedTopics) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  auto response = service.Handle(Get("/v1/query?q=router&k=3"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("query")->string_value(), "router");
+  EXPECT_EQ(body.Find("match")->string_value(), "exact");
+  EXPECT_EQ(body.Find("index_version")->number(), 1.0);
+  const auto& results = body.Find("results")->items();
+  ASSERT_FALSE(results.empty());
+  EXPECT_LE(results.size(), 3u);
+  // Scores arrive best-first.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].Find("score")->number(),
+              results[i].Find("score")->number());
+  }
+  // Each hit names a real topic with its root-first path.
+  for (const auto& hit : results) {
+    const auto& path = hit.Find("path")->items();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back().number(), hit.Find("topic")->number());
+  }
+}
+
+TEST(ServiceQueryTest, NormalizedFallbackMatches) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  auto response = service.Handle(Get("/v1/query?q=BEACH+chair"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("match")->string_value(), "normalized");
+  EXPECT_EQ(body.Find("normalized")->string_value(), "beach chair");
+  EXPECT_FALSE(body.Find("results")->items().empty());
+}
+
+TEST(ServiceQueryTest, UnknownQueryIsEmptyNotError) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  auto response = service.Handle(Get("/v1/query?q=zzz+unknown"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("match")->string_value(), "none");
+  EXPECT_TRUE(body.Find("results")->items().empty());
+}
+
+TEST(ServiceQueryTest, ParameterValidation) {
+  ServeFixture f;
+  ServiceOptions options;
+  options.max_k = 7;
+  ServingService service(CompileShared(f), options);
+  EXPECT_EQ(service.Handle(Get("/v1/query")).status, 400);        // no q
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router&k=0")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router&k=abc")).status, 400);
+  auto clamped = service.Handle(Get("/v1/query?q=router&k=999"));
+  EXPECT_EQ(clamped.status, 200);
+  EXPECT_EQ(MustParse(clamped.body).Find("k")->number(), 7.0);
+}
+
+TEST(ServiceTopicTest, TopicAndErrors) {
+  ServeFixture f;
+  auto index = CompileShared(f);
+  ServingService service(index, ServiceOptions());
+  auto response = service.Handle(Get("/v1/topic/0"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("topic")->number(), 0.0);
+  EXPECT_EQ(body.Find("level")->number(),
+            static_cast<double>(index->level[0]));
+  ASSERT_NE(body.Find("children"), nullptr);
+
+  EXPECT_EQ(service.Handle(Get("/v1/topic/99999")).status, 404);
+  EXPECT_EQ(service.Handle(Get("/v1/topic/xyz")).status, 400);
+  EXPECT_EQ(service.Handle(Get("/v1/topic/")).status, 400);
+}
+
+TEST(ServiceItemTest, ItemAndErrors) {
+  ServeFixture f;
+  auto index = CompileShared(f);
+  ServingService service(index, ServiceOptions());
+  auto response = service.Handle(Get("/v1/item/0"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("item")->number(), 0.0);
+  EXPECT_EQ(body.Find("topic")->number(),
+            static_cast<double>(index->entity_topic[0]));
+  EXPECT_EQ(body.Find("category")->number(), 1.0);
+  const auto& path = body.Find("path")->items();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(body.Find("root_topic")->number(), path.front().number());
+
+  EXPECT_EQ(service.Handle(Get("/v1/item/99999")).status, 404);
+  EXPECT_EQ(service.Handle(Get("/v1/item/nan")).status, 400);
+}
+
+TEST(ServiceMiscTest, HealthzMetricsAndNotFound) {
+  ServeFixture f;
+  ServingService service(CompileShared(f, /*version=*/7), ServiceOptions());
+  auto health = service.Handle(Get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  auto body = MustParse(health.body);
+  EXPECT_EQ(body.Find("status")->string_value(), "ok");
+  EXPECT_EQ(body.Find("index_version")->number(), 7.0);
+
+  auto metrics = service.Handle(Get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(util::JsonValue::Parse(metrics.body).ok());
+
+  EXPECT_EQ(service.Handle(Get("/nope")).status, 404);
+  EXPECT_EQ(service.Handle(ParseRequestTarget("PUT", "/v1/query?q=a")).status,
+            405);
+}
+
+TEST(ServiceCacheTest, RepeatHitsCacheAndStaysByteIdentical) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  ASSERT_NE(service.cache(), nullptr);
+  auto first = service.Handle(Get("/v1/query?q=router"));
+  auto second = service.Handle(Get("/v1/query?q=router"));
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(service.cache()->hits(), 1u);
+
+  // Errors are not cached.
+  (void)service.Handle(Get("/v1/topic/xyz"));
+  (void)service.Handle(Get("/v1/topic/xyz"));
+  EXPECT_EQ(service.cache()->hits(), 1u);
+}
+
+TEST(ServiceCacheTest, CacheDisabledWithZeroEntries) {
+  ServeFixture f;
+  ServiceOptions options;
+  options.cache_entries = 0;
+  ServingService service(CompileShared(f), options);
+  EXPECT_EQ(service.cache(), nullptr);
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router")).status, 200);
+}
+
+// The determinism acceptance criterion: the same request set produces
+// byte-identical bodies no matter how many threads serve it.
+TEST(ServiceDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  ServeFixture f;
+  auto index = CompileShared(f);
+  std::vector<std::string> targets;
+  targets.push_back("/v1/query?q=router&k=5");
+  targets.push_back("/v1/query?q=BEACH+chair");
+  targets.push_back("/v1/query?q=misc");
+  for (uint32_t t = 0; t < index->num_topics(); ++t) {
+    targets.push_back("/v1/topic/" + std::to_string(t));
+  }
+  for (uint32_t e = 0; e < index->num_entities(); ++e) {
+    targets.push_back("/v1/item/" + std::to_string(e));
+  }
+
+  // Reference: single-threaded, cache off.
+  ServiceOptions no_cache;
+  no_cache.cache_entries = 0;
+  ServingService reference(index, no_cache);
+  std::vector<std::string> expected;
+  for (const auto& target : targets) {
+    expected.push_back(reference.Handle(Get(target)).body);
+  }
+
+  for (size_t threads : {2, 8}) {
+    ServingService service(index, ServiceOptions());  // cache on
+    std::vector<std::string> got(targets.size());
+    std::vector<std::thread> workers;
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < targets.size();
+             i = next.fetch_add(1)) {
+          got[i] = service.Handle(Get(targets[i])).body;
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    EXPECT_EQ(got, expected) << threads << " threads";
+  }
+}
+
+class ServiceReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_service_reload_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServiceReloadTest, ReloadSwapsVersionWithoutDroppingOld) {
+  ServeFixture f;
+  auto v1 = CompileShared(f, 1);
+  const std::string path = Path("live.idx");
+  {
+    auto v2 = f.Compile(CompileOptions{.version = 2});
+    ASSERT_TRUE(v2.ok());
+    ASSERT_TRUE(WriteServingIndexFile(path, *v2).ok());
+  }
+  ServiceOptions options;
+  options.index_path = path;
+  ServingService service(v1, options);
+  auto held = service.Acquire();  // an in-flight request's view
+
+  auto response = service.Handle(Get("/admin/reload"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(MustParse(response.body).Find("index_version")->number(), 2.0);
+  EXPECT_EQ(service.Acquire()->version, 2u);
+  EXPECT_EQ(held->version, 1u);  // the old index outlives the swap
+  EXPECT_EQ(
+      MustParse(service.Handle(Get("/healthz")).body)
+          .Find("index_version")
+          ->number(),
+      2.0);
+}
+
+TEST_F(ServiceReloadTest, CorruptFileKeepsOldIndexAndCountsFailure) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Enable();
+  registry.Reset();
+  ServeFixture f;
+  const std::string path = Path("live.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, "garbage, not an index").ok());
+  ServiceOptions options;
+  options.index_path = path;
+  ServingService service(CompileShared(f, 1), options);
+
+  auto response = service.Handle(Get("/admin/reload"));
+  EXPECT_EQ(response.status, 500);
+  EXPECT_NE(MustParse(response.body).Find("error"), nullptr);
+  EXPECT_EQ(service.Acquire()->version, 1u);  // old index still live
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router")).status, 200);
+  EXPECT_EQ(registry.GetCounter("serve.reload.failures").value(), 1u);
+  registry.Reset();
+  registry.Disable();
+}
+
+TEST_F(ServiceReloadTest, ReloadWithoutPathFailsCleanly) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  EXPECT_EQ(service.Handle(Get("/admin/reload")).status, 500);
+  EXPECT_EQ(service.Acquire()->version, 1u);
+}
+
+}  // namespace
+}  // namespace shoal::serve

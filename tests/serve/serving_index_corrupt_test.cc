@@ -1,0 +1,120 @@
+// Malformed-index robustness, mirroring tests/ckpt/snapshot_test.cc:
+// every truncation and a bit-flip sweep over a real index file must
+// produce a clean Status — never a crash, hang, or huge allocation
+// (ASan/UBSan runs of this test are part of the CI matrix).
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/binary_io.h"
+#include "serve/serving_index.h"
+#include "serve_test_util.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+namespace {
+
+class ServingIndexCorruptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_serving_corrupt_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  // A real index file's bytes.
+  std::string WriteSample() {
+    ServeFixture f;
+    auto index = f.Compile();
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    const std::string path = Path("sample.idx");
+    EXPECT_TRUE(WriteServingIndexFile(path, *index).ok());
+    auto bytes = util::ReadTextFile(path);
+    EXPECT_TRUE(bytes.ok());
+    return bytes.value();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServingIndexCorruptTest, MissingFileIsCleanError) {
+  EXPECT_FALSE(ReadServingIndexFile(Path("nope.idx")).ok());
+}
+
+TEST_F(ServingIndexCorruptTest, RejectsWrongMagic) {
+  const std::string path = Path("bad.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, "NOTANIDXxxxxxxxxxxxxxxxx").ok());
+  auto loaded = ReadServingIndexFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServingIndexCorruptTest, RejectsVersionSkew) {
+  std::string full = WriteSample();
+  ASSERT_GT(full.size(), 12u);
+  full[8] = static_cast<char>(kServingIndexFormatVersion + 1);
+  const std::string path = Path("skew.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, full).ok());
+  auto loaded = ReadServingIndexFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(ServingIndexCorruptTest, EveryTruncationFailsCleanly) {
+  const std::string full = WriteSample();
+  const std::string path = Path("trunc.idx");
+  for (size_t len = 0; len < full.size(); ++len) {
+    ASSERT_TRUE(util::WriteTextFile(path, full.substr(0, len)).ok());
+    auto loaded = ReadServingIndexFile(path);
+    ASSERT_FALSE(loaded.ok()) << "truncated to " << len << " bytes";
+  }
+}
+
+TEST_F(ServingIndexCorruptTest, EveryBitFlipIsDetectedOrValidated) {
+  const std::string full = WriteSample();
+  const std::string path = Path("flip.idx");
+  // One flipped bit per sampled byte: the CRC must catch payload flips,
+  // the header checks catch header flips; anything that slips through
+  // (flips inside the stored CRC cannot, but stay defensive) must still
+  // decode into a state that passes or cleanly fails Finalize().
+  const size_t stride = full.size() > 512 ? full.size() / 512 : 1;
+  for (size_t i = 0; i < full.size(); i += stride) {
+    std::string tampered = full;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x10);
+    ASSERT_TRUE(util::WriteTextFile(path, tampered).ok());
+    auto loaded = ReadServingIndexFile(path);
+    if (!loaded.ok()) continue;
+    // Survivors must be fully valid: Find and tree walks must work.
+    EXPECT_TRUE(loaded->Finalize().ok());
+    (void)loaded->Find("router");
+  }
+}
+
+TEST_F(ServingIndexCorruptTest, DecodeRejectsOversizedCounts) {
+  // A count larger than the remaining payload must error before
+  // allocating.
+  ckpt::BinaryWriter writer;
+  writer.WriteU64(1);                  // artefact version
+  writer.WriteU64(0xffffffffffull);    // absurd topic count
+  auto decoded = DecodeServingIndex(writer.data());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST_F(ServingIndexCorruptTest, DecodeRejectsTrailingBytes) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  std::string payload = EncodeServingIndex(*index);
+  payload += "extra";
+  EXPECT_FALSE(DecodeServingIndex(payload).ok());
+}
+
+}  // namespace
+}  // namespace shoal::serve

@@ -1,0 +1,245 @@
+#include "serve/serving_index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/topic_describer.h"
+#include "serve_test_util.h"
+#include "text/normalize.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+namespace {
+
+TEST(ServingIndexCompileTest, CompilesFixture) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->num_topics(), f.taxonomy.num_topics());
+  EXPECT_EQ(index->num_entities(), 4u);
+  EXPECT_GT(index->num_queries(), 0u);
+  EXPECT_EQ(index->roots().size(), 2u);
+  for (uint32_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(index->entity_topic[e], f.taxonomy.TopicOfEntity(e));
+    EXPECT_EQ(index->entity_category[e], f.categories[e]);
+  }
+}
+
+TEST(ServingIndexCompileTest, NullCategoriesBecomeNoCategory) {
+  ServeFixture f;
+  auto index = CompileServingIndex(f.taxonomy, f.Input(),
+                                   core::DescriberOptions(), nullptr,
+                                   CompileOptions());
+  ASSERT_TRUE(index.ok());
+  for (uint32_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(index->entity_category[e], kNoCategoryId);
+  }
+}
+
+// The acceptance criterion of the serving tier: for every interned
+// query, the first posting is the argmax over topics of the offline
+// r(q, t) produced by TopicDescriber.
+TEST(ServingIndexCompileTest, TopPostingIsOfflineArgmax) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+
+  core::Taxonomy scored = f.taxonomy;
+  auto input = f.Input();
+  input.taxonomy = &scored;
+  auto rankings = core::TopicDescriber::Describe(scored, input,
+                                                 core::DescriberOptions());
+  ASSERT_TRUE(rankings.ok());
+
+  for (size_t q = 0; q < index->num_queries(); ++q) {
+    ASSERT_FALSE(index->posting_list[q].empty());
+    // Recover the original query id through the raw text (interning
+    // preserves the text verbatim).
+    const std::string& raw = index->query_text[q];
+    auto it = std::find(f.query_texts.begin(), f.query_texts.end(), raw);
+    ASSERT_NE(it, f.query_texts.end());
+    const uint32_t original =
+        static_cast<uint32_t>(it - f.query_texts.begin());
+    double best_score = -1.0;
+    uint32_t best_topic = core::kNoTopic;
+    for (uint32_t t = 0; t < scored.num_topics(); ++t) {
+      for (const auto& entry : (*rankings)[t]) {
+        if (entry.query != original) continue;
+        if (entry.representativeness > best_score ||
+            (entry.representativeness == best_score && t < best_topic)) {
+          best_score = entry.representativeness;
+          best_topic = t;
+        }
+      }
+    }
+    EXPECT_EQ(index->posting_list[q].front().topic, best_topic)
+        << "query \"" << raw << "\"";
+    EXPECT_DOUBLE_EQ(index->posting_list[q].front().score, best_score);
+  }
+}
+
+TEST(ServingIndexCompileTest, PostingCapKeepsBestFirst) {
+  ServeFixture f;
+  CompileOptions options;
+  options.max_postings_per_query = 1;
+  auto capped = f.Compile(options);
+  auto full = f.Compile();
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(capped->num_queries(), full->num_queries());
+  for (size_t q = 0; q < capped->num_queries(); ++q) {
+    ASSERT_EQ(capped->posting_list[q].size(), 1u);
+    EXPECT_EQ(capped->posting_list[q][0], full->posting_list[q][0]);
+  }
+}
+
+TEST(ServingIndexFindTest, ExactThenNormalizedThenMiss) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+
+  const auto exact = index->Find("Beach  Chair");
+  EXPECT_EQ(exact.match, ServingIndex::Lookup::Match::kExact);
+  ASSERT_NE(exact.query, kNoQuery);
+  EXPECT_EQ(index->query_text[exact.query], "Beach  Chair");
+
+  // Any text normalizing to "beach chair" resolves through the
+  // normalized dictionary.
+  for (const char* variant : {"beach chair", "BEACH   CHAIR", " beach\tchair "}) {
+    const auto normalized = index->Find(variant);
+    EXPECT_EQ(normalized.match, ServingIndex::Lookup::Match::kNormalized)
+        << variant;
+    EXPECT_EQ(normalized.query, exact.query) << variant;
+  }
+
+  const auto miss = index->Find("no such query");
+  EXPECT_EQ(miss.match, ServingIndex::Lookup::Match::kNone);
+  EXPECT_EQ(miss.query, kNoQuery);
+}
+
+TEST(ServingIndexTreeTest, ChildrenAndPathAgreeWithTaxonomy) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  for (uint32_t t = 0; t < index->num_topics(); ++t) {
+    auto [first, last] = index->children(t);
+    std::vector<uint32_t> children(first, last);
+    std::vector<uint32_t> expected = f.taxonomy.topic(t).children;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(children, expected) << "topic " << t;
+
+    const auto path = index->PathToRoot(t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), t);
+    EXPECT_EQ(index->parent[path.front()], core::kNoTopic);
+    for (size_t i = 1; i < path.size(); ++i) {
+      EXPECT_EQ(index->parent[path[i]], path[i - 1]);
+    }
+  }
+}
+
+TEST(ServingIndexCodecTest, EncodeDecodeRoundtrips) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  auto decoded = DecodeServingIndex(EncodeServingIndex(*index));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, index->version);
+  EXPECT_EQ(decoded->parent, index->parent);
+  EXPECT_EQ(decoded->level, index->level);
+  EXPECT_EQ(decoded->topic_size, index->topic_size);
+  EXPECT_EQ(decoded->descriptions, index->descriptions);
+  EXPECT_EQ(decoded->entity_topic, index->entity_topic);
+  EXPECT_EQ(decoded->entity_category, index->entity_category);
+  EXPECT_EQ(decoded->query_text, index->query_text);
+  EXPECT_EQ(decoded->query_norm, index->query_norm);
+  EXPECT_EQ(decoded->posting_list, index->posting_list);
+}
+
+TEST(ServingIndexCodecTest, FileRoundtripsThroughDisk) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serving_index_rt.idx")
+          .string();
+  ASSERT_TRUE(WriteServingIndexFile(path, *index).ok());
+  auto loaded = ReadServingIndexFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->query_text, index->query_text);
+  EXPECT_EQ(loaded->posting_list, index->posting_list);
+  std::filesystem::remove(path);
+}
+
+TEST(ServingIndexFinalizeTest, RejectsChildBeforeParent) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  ASSERT_GE(index->num_topics(), 2u);
+  index->parent[0] = 1;  // parent id >= topic id
+  EXPECT_FALSE(index->Finalize().ok());
+}
+
+TEST(ServingIndexFinalizeTest, RejectsUnsortedPostings) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  ASSERT_FALSE(index->posting_list.empty());
+  auto& postings = index->posting_list[0];
+  if (postings.size() < 2) {
+    postings.push_back(postings[0]);  // duplicate topic also invalid
+  } else {
+    std::swap(postings.front(), postings.back());
+  }
+  EXPECT_FALSE(index->Finalize().ok());
+}
+
+TEST(ServingIndexFinalizeTest, RejectsNormalizerSkew) {
+  // A stored normalized form that today's NormalizeQuery would not
+  // produce means the artefact was built by a different normalizer —
+  // serving it would silently miss lookups, so loading must fail.
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  ASSERT_GT(index->num_queries(), 0u);
+  index->query_norm[0] = index->query_norm[0] + " skewed";
+  EXPECT_FALSE(index->Finalize().ok());
+}
+
+TEST(ServingIndexFinalizeTest, RejectsOutOfRangePostingTopic) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  ASSERT_FALSE(index->posting_list.empty());
+  ASSERT_FALSE(index->posting_list[0].empty());
+  index->posting_list[0][0].topic =
+      static_cast<uint32_t>(index->num_topics());
+  EXPECT_FALSE(index->Finalize().ok());
+}
+
+TEST(ServingIndexFinalizeTest, RejectsNonFiniteScore) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  ASSERT_FALSE(index->posting_list.empty());
+  ASSERT_FALSE(index->posting_list[0].empty());
+  index->posting_list[0][0].score =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(index->Finalize().ok());
+}
+
+TEST(ServingIndexFinalizeTest, NormStoredMatchesSharedNormalizer) {
+  ServeFixture f;
+  auto index = f.Compile();
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < index->num_queries(); ++q) {
+    EXPECT_EQ(index->query_norm[q],
+              text::NormalizeQuery(index->query_text[q]));
+  }
+}
+
+}  // namespace
+}  // namespace shoal::serve

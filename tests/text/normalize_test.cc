@@ -1,0 +1,61 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace shoal::text {
+namespace {
+
+TEST(NormalizeQueryTest, EmptyInput) {
+  EXPECT_EQ(NormalizeQuery(""), "");
+  EXPECT_TRUE(NormalizeQueryTokens("").empty());
+}
+
+TEST(NormalizeQueryTest, SeparatorOnlyInputNormalizesToEmpty) {
+  EXPECT_EQ(NormalizeQuery("   \t\r\n"), "");
+  EXPECT_EQ(NormalizeQuery("--- !!! ..."), "");
+  EXPECT_TRUE(NormalizeQueryTokens(" \t ").empty());
+}
+
+TEST(NormalizeQueryTest, LowercasesAndJoinsWithSingleSpaces) {
+  EXPECT_EQ(NormalizeQuery("Red DRESS"), "red dress");
+  EXPECT_EQ(NormalizeQuery("beach-tent 4p"), "beach tent 4p");
+}
+
+TEST(NormalizeQueryTest, RepeatedWhitespaceCollapses) {
+  EXPECT_EQ(NormalizeQuery("red   dress"), "red dress");
+  EXPECT_EQ(NormalizeQuery("  red \t dress \n"), "red dress");
+  // A build-time vs serve-time mismatch on any of these would make the
+  // normalized dictionary key differ and the lookup silently miss.
+  EXPECT_EQ(NormalizeQuery("red dress"), NormalizeQuery("red\tdress"));
+}
+
+TEST(NormalizeQueryTest, UnicodeIshBytesActAsSeparators) {
+  // Bytes >= 0x80 (UTF-8 continuation/lead bytes) are not ASCII
+  // alphanumerics; they must separate tokens, never crash, and never
+  // depend on locale. "caf\xc3\xa9" is UTF-8 "café".
+  EXPECT_EQ(NormalizeQuery("caf\xc3\xa9 latte"), "caf latte");
+  EXPECT_EQ(NormalizeQuery("\xe8\xa3\x99\xe5\xad\x90"), "");  // CJK only
+  EXPECT_EQ(NormalizeQuery("a\x80z"), "a z");
+  EXPECT_EQ(NormalizeQuery("\xffred\xfe"), "red");
+}
+
+TEST(NormalizeQueryTest, TokensMatchTokenizer) {
+  // NormalizeQueryTokens is the tokenizer; the string form is the same
+  // tokens joined by single spaces. Both invariants are relied on by the
+  // serving index (dictionary keys) and BM25 search (word ids).
+  const std::string input = "  Mixed-CASE  42\xc2\xb0 query ";
+  EXPECT_EQ(NormalizeQueryTokens(input), Tokenize(input));
+  EXPECT_EQ(NormalizeQuery(input),
+            util::Join(Tokenize(input), " "));
+}
+
+TEST(NormalizeQueryTest, Idempotent) {
+  const std::string once = NormalizeQuery("  Red   DRESS \xc3\xa9 42 ");
+  EXPECT_EQ(NormalizeQuery(once), once);
+}
+
+}  // namespace
+}  // namespace shoal::text
