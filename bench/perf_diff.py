@@ -16,10 +16,18 @@ Leaves split into two classes with different CI semantics:
     with runner hardware, so the diff is informational unless an
     explicit --fail_above bound is requested.
 
-Usage: perf_diff.py OLD.json NEW.json [--mode all|identity|timing]
+A third mode, `--mode messages`, gates the delta-diffusion message
+economy across *intentional* protocol changes, where the exact-match
+identity gate cannot be used because message counts legitimately moved:
+it fails only when a messages_per_merge leaf regresses (grows) by more
+than --messages_tolerance percent. Message counts are deterministic, so
+any regression is algorithmic, never machine noise.
+
+Usage: perf_diff.py OLD.json NEW.json [--mode all|identity|timing|messages]
 
 Exit codes: 0 clean; 1 identity mismatch (modes all/identity) or a
-timing regression beyond --fail_above; 2 usage/IO errors (argparse).
+timing regression beyond --fail_above; 2 usage/IO errors (argparse);
+3 messages_per_merge regression (mode messages).
 """
 
 import argparse
@@ -36,8 +44,16 @@ _ID_KEYS = ("entities", "threads", "name", "bench")
 # different index version is not a timing data point; and because
 # endpoint rows are keyed by "name", a missing endpoint surfaces as a
 # missing identity leaf rather than silently shrinking the diff.
+# messages_per_merge is a pure ratio of two identity counters, and
+# crossover_entities reports which baseline-table size (if any) first
+# has parallel at or below sequential — both are part of the committed
+# run identity, so drift is a gate failure, not a perf footnote.
 _INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges",
-                   "errors", "index_version"}
+                   "errors", "index_version", "messages_per_merge",
+                   "crossover_entities"}
+
+# Leaves the `messages` mode gates (see module docstring).
+_MESSAGE_GATE_KEYS = {"messages_per_merge"}
 
 
 def _element_key(value, index):
@@ -83,6 +99,29 @@ def check_identity(old, new):
     return problems
 
 
+def check_messages(old, new, tolerance):
+    """Returns a list of messages-per-merge regressions beyond tolerance%."""
+    problems = []
+    gate_paths = sorted(
+        p for p in set(old) | set(new)
+        if p.rsplit("/", 1)[-1] in _MESSAGE_GATE_KEYS)
+    for path in gate_paths:
+        if path not in new:
+            problems.append(f"{path}: missing from candidate "
+                            f"(baseline {old[path]:g})")
+        elif path not in old:
+            # New coverage cannot regress anything; report nothing.
+            continue
+        elif old[path] > 0:
+            pct = (new[path] - old[path]) / old[path] * 100.0
+            if pct > tolerance:
+                problems.append(f"{path}: {old[path]:g} -> {new[path]:g} "
+                                f"({pct:+.1f}% > {tolerance:.1f}%)")
+        elif new[path] > old[path]:
+            problems.append(f"{path}: {old[path]:g} -> {new[path]:g}")
+    return problems
+
+
 def diff_timing(old, new, threshold):
     """Returns (rows, only_old, only_new, worst_seconds_regression_pct)."""
     shared = sorted(set(old) & set(new))
@@ -108,17 +147,23 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline metrics JSON")
     parser.add_argument("new", help="candidate metrics JSON")
-    parser.add_argument("--mode", choices=("all", "identity", "timing"),
+    parser.add_argument("--mode",
+                        choices=("all", "identity", "timing", "messages"),
                         default="all",
                         help="identity: hard-fail determinism check only; "
                              "timing: informational perf diff only; "
-                             "all: both (default)")
+                             "all: both (default); messages: gate "
+                             "messages_per_merge regressions only "
+                             "(exit 3 on regression)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="suppress timing rows whose |delta| is below "
                              "this percent (default 2)")
     parser.add_argument("--fail_above", type=float, default=None,
                         help="exit 1 if any *_seconds leaf regresses by "
                              "more than this percent (timing/all modes)")
+    parser.add_argument("--messages_tolerance", type=float, default=0.0,
+                        help="messages mode: allowed messages_per_merge "
+                             "growth in percent before exit 3 (default 0)")
     args = parser.parse_args()
 
     with open(args.old) as f:
@@ -127,6 +172,20 @@ def main():
         new = dict(flatten(json.load(f)))
 
     failed = False
+
+    if args.mode == "messages":
+        problems = check_messages(old, new, args.messages_tolerance)
+        if problems:
+            print("MESSAGE ECONOMY REGRESSION — "
+                  "messages_per_merge leaves grew:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 3
+        gated = sum(1 for p in old
+                    if p.rsplit("/", 1)[-1] in _MESSAGE_GATE_KEYS)
+        print(f"messages: {gated} leaves within "
+              f"{args.messages_tolerance:.1f}% tolerance")
+        return 0
 
     if args.mode in ("all", "identity"):
         problems = check_identity(old, new)

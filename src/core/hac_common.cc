@@ -103,6 +103,7 @@ ClusterGraph::ClusterGraph(const graph::WeightedGraph& base,
   sizes_.assign(n, 1);
   active_.assign(n, 1);
   mergeable_count_.assign(n, 0);
+  strong_.resize(n);
   num_active_ = n;
   for (graph::VertexId u = 0; u < n; ++u) {
     const auto& neighbors = base.Neighbors(u);
@@ -118,8 +119,13 @@ ClusterGraph::ClusterGraph(const graph::WeightedGraph& base,
               [](const ClusterEdge& x, const ClusterEdge& y) {
                 return x.id < y.id;
               });
-    if (track_threshold_ > 0.0 && mergeable_count_[u] > 0) {
-      frontier_.push_back(u);
+    if (track_threshold_ > 0.0) {
+      auto& strong = strong_[u];
+      strong.reserve(mergeable_count_[u]);
+      for (const ClusterEdge& e : row) {
+        if (e.similarity >= track_threshold_) strong.push_back(e.id);
+      }
+      if (mergeable_count_[u] > 0) frontier_.push_back(u);
     }
   }
 }
@@ -213,6 +219,19 @@ util::Result<ClusterGraph> ClusterGraph::FromState(ClusterGraphState state) {
   graph.frontier_ = std::move(state.frontier);
   graph.track_threshold_ = state.track_threshold;
   graph.num_active_ = num_active;
+  // The strong-neighbour lists are derived state: rebuild rather than
+  // serialize, so the snapshot format stays unchanged.
+  graph.strong_.resize(graph.rows_.size());
+  if (graph.track_threshold_ > 0.0) {
+    for (uint32_t c = 0; c < graph.rows_.size(); ++c) {
+      if (!graph.active_[c]) continue;
+      auto& strong = graph.strong_[c];
+      strong.reserve(graph.mergeable_count_[c]);
+      for (const ClusterEdge& e : graph.rows_[c]) {
+        if (e.similarity >= graph.track_threshold_) strong.push_back(e.id);
+      }
+    }
+  }
   return graph;
 }
 
@@ -246,6 +265,7 @@ const ClusterEdge* ClusterGraph::FindEdge(uint32_t a, uint32_t b) const {
 
 void ClusterGraph::RetireCluster(uint32_t c) {
   std::vector<ClusterEdge>().swap(rows_[c]);
+  std::vector<uint32_t>().swap(strong_[c]);
   active_[c] = 0;
   mergeable_count_[c] = 0;
 }
@@ -292,12 +312,31 @@ util::Status ClusterGraph::Merge(uint32_t a, uint32_t b, uint32_t new_id,
         });
     row.erase(dead, row.end());
     row.push_back(ClusterEdge{new_id, e.similarity});
+    if (track) {
+      auto& strong = strong_[e.id];
+      strong.erase(std::remove_if(strong.begin(), strong.end(),
+                                  [&](uint32_t id) {
+                                    return id == a || id == b;
+                                  }),
+                   strong.end());
+    }
     if (track && e.similarity >= track_threshold_) {
+      strong_[e.id].push_back(new_id);
       ++mergeable_count_[e.id];
       ++new_count;
     }
   }
 
+  if (track) {
+    std::vector<uint32_t> strong;
+    strong.reserve(new_count);
+    for (const ClusterEdge& e : merged) {
+      if (e.similarity >= track_threshold_) strong.push_back(e.id);
+    }
+    strong_.push_back(std::move(strong));
+  } else {
+    strong_.emplace_back();
+  }
   rows_.push_back(std::move(merged));
   sizes_.push_back(n_a + n_b);
   active_.push_back(1);
@@ -473,19 +512,81 @@ util::Status ClusterGraph::MergeBatch(
     const size_t end = group_starts[g + 1];
     const uint32_t c = patches[begin].c;
     auto& row = rows_[c];
-    auto dead = std::remove_if(
-        row.begin(), row.end(), [&](const ClusterEdge& re) {
-          if (match_slot_[re.id] == kUnmatched) return false;
-          if (track && re.similarity >= track_threshold_) {
+    // The only entries the batch can retire in a surviving row are
+    // endpoints of the pairs that patch it (every merged row emits a
+    // patch for each surviving union neighbour, so a row adjacent to a
+    // pair is always in that pair's group). Rows are id-sorted: locate
+    // the few dead entries by binary search and compact once from the
+    // first hit, instead of running a predicate over the whole row.
+    constexpr size_t kMaxGroupSearch = 32;  // beyond this, a scan is cheaper
+    uint32_t dead_pos[2 * kMaxGroupSearch];
+    uint32_t dead_strong[2 * kMaxGroupSearch];
+    size_t num_dead = 0;
+    size_t num_dead_strong = 0;
+    const bool overflow = end - begin > kMaxGroupSearch;
+    if (!overflow) {
+      for (size_t i = begin; i < end; ++i) {
+        for (const uint32_t id : {pairs[patches[i].pair].first,
+                                  pairs[patches[i].pair].second}) {
+          const auto it = std::lower_bound(
+              row.begin(), row.end(), id,
+              [](const ClusterEdge& e, uint32_t key) { return e.id < key; });
+          if (it != row.end() && it->id == id) {
+            dead_pos[num_dead++] = static_cast<uint32_t>(it - row.begin());
+            if (track && it->similarity >= track_threshold_) {
+              dead_strong[num_dead_strong++] = id;
+            }
+          }
+        }
+      }
+    }
+    if (overflow) {
+      auto dead = std::remove_if(
+          row.begin(), row.end(), [&](const ClusterEdge& re) {
+            if (match_slot_[re.id] == kUnmatched) return false;
+            if (track && re.similarity >= track_threshold_) {
+              --mergeable_count_[c];
+            }
+            return true;
+          });
+      row.erase(dead, row.end());
+      if (track) {
+        auto& strong = strong_[c];
+        strong.erase(std::remove_if(strong.begin(), strong.end(),
+                                    [&](uint32_t id) {
+                                      return match_slot_[id] != kUnmatched;
+                                    }),
+                     strong.end());
+      }
+    } else if (num_dead > 0) {
+      std::sort(dead_pos, dead_pos + num_dead);
+      size_t w = dead_pos[0];
+      size_t d = 0;
+      for (size_t r = dead_pos[0]; r < row.size(); ++r) {
+        if (d < num_dead && r == dead_pos[d]) {
+          if (track && row[r].similarity >= track_threshold_) {
             --mergeable_count_[c];
           }
-          return true;
-        });
-    row.erase(dead, row.end());
+          ++d;
+          continue;
+        }
+        row[w++] = row[r];
+      }
+      row.resize(w);
+      if (num_dead_strong > 0) {
+        auto& strong = strong_[c];
+        for (size_t d2 = 0; d2 < num_dead_strong; ++d2) {
+          const auto it = std::lower_bound(strong.begin(), strong.end(),
+                                           dead_strong[d2]);
+          strong.erase(it);  // guaranteed present: the row entry was strong
+        }
+      }
+    }
     for (size_t i = begin; i < end; ++i) {
       row.push_back(
           ClusterEdge{first_new_id + patches[i].pair, patches[i].similarity});
       if (track && patches[i].similarity >= track_threshold_) {
+        strong_[c].push_back(first_new_id + patches[i].pair);
         ++mergeable_count_[c];
       }
     }
@@ -510,6 +611,14 @@ util::Status ClusterGraph::MergeBatch(
       for (const ClusterEdge& e : merged_rows[m]) {
         if (e.similarity >= track_threshold_) ++new_count;
       }
+      std::vector<uint32_t> strong;
+      strong.reserve(new_count);
+      for (const ClusterEdge& e : merged_rows[m]) {
+        if (e.similarity >= track_threshold_) strong.push_back(e.id);
+      }
+      strong_.push_back(std::move(strong));
+    } else {
+      strong_.emplace_back();
     }
     rows_.push_back(std::move(merged_rows[m]));
     sizes_.push_back(sizes_[a] + sizes_[b]);

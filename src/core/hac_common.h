@@ -120,6 +120,14 @@ class ClusterGraph {
     return mergeable_count_[c];
   }
 
+  // Ids of c's neighbours with similarity >= track_threshold, ascending.
+  // Requires track_threshold > 0 at construction. Kept exact by every
+  // mutation: scans that only need the mergeable neighbourhood iterate
+  // this short dense list instead of filtering the full adjacency row.
+  const std::vector<uint32_t>& StrongNeighbors(uint32_t c) const {
+    return strong_[c];
+  }
+
   // Adjacency row of an active cluster, sorted ascending by neighbour
   // id (neighbours are active clusters).
   const std::vector<ClusterEdge>& Neighbors(uint32_t c) const {
@@ -189,6 +197,10 @@ class ClusterGraph {
   std::vector<uint32_t> sizes_;
   std::vector<uint8_t> active_;
   std::vector<uint32_t> mergeable_count_;
+  // See StrongNeighbors: per-cluster id-sorted mergeable neighbour ids,
+  // maintained only when track_threshold_ > 0 (empty otherwise). Not
+  // serialized — FromState rebuilds it from the rows.
+  std::vector<std::vector<uint32_t>> strong_;
   // Candidate mergeable clusters (ascending); compacted lazily in
   // MergeableClusters(). Superset property: every cluster with
   // mergeable_count_ > 0 is present.

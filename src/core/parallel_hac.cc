@@ -24,22 +24,116 @@ struct BestEdge {
   bool operator==(const BestEdge&) const = default;
 };
 
+// True when `x` beats `y` under the deterministic edge order (an invalid
+// edge never beats, a valid edge always beats an invalid one).
+bool Beats(const BestEdge& x, const BestEdge& y) {
+  if (!x.valid()) return false;
+  if (!y.valid()) return true;
+  return EdgeBeats(x.u, x.v, x.similarity, y.u, y.v, y.similarity);
+}
+
+// Keeps `acc` as the winner under the deterministic edge order.
+void FoldMax(BestEdge& acc, const BestEdge& other) {
+  if (Beats(other, acc)) acc = other;
+}
+
+// Validates the option fields shared by fresh and resumed runs.
+util::Status ValidateOptions(const ParallelHacOptions& options) {
+  if (options.hac.threshold <= 0.0) {
+    return util::Status::InvalidArgument("threshold must be positive");
+  }
+  if (options.diffusion_iterations == 0) {
+    // Guards the k - 1 "last send superstep" arithmetic below from
+    // size_t underflow, and k = 0 diffusion is meaningless anyway: a
+    // vertex that exchanges no proposals can never agree with a partner.
+    return util::Status::InvalidArgument(
+        "diffusion_iterations must be >= 1");
+  }
+  if (options.checkpoint_every > 0 && !options.checkpoint_hook) {
+    return util::Status::InvalidArgument(
+        "checkpoint_every set without a checkpoint_hook");
+  }
+  return util::Status::OK();
+}
+
+// Per-round bookkeeping shared by both diffusion modes: apply the round's
+// matching to the cluster graph and dendrogram, accumulate stats, and
+// fire the periodic checkpoint hook.
+util::Status CommitRound(
+    const ParallelHacOptions& options, ClusterGraph& clusters,
+    Dendrogram& dendrogram, ParallelHacStats& local_stats,
+    const std::vector<std::pair<uint32_t, uint32_t>>& to_merge,
+    const std::vector<double>& merge_similarity, util::ThreadPool& pool,
+    uint64_t round_messages, size_t active_clusters,
+    obs::ScopedSpan& round_span) {
+  {
+    SHOAL_TRACE_SPAN("hac.merge");
+    const uint32_t first_new_id =
+        static_cast<uint32_t>(dendrogram.num_nodes());
+    SHOAL_RETURN_IF_ERROR(clusters.MergeBatch(to_merge, first_new_id,
+                                              options.hac.linkage, &pool));
+    for (size_t m = 0; m < to_merge.size(); ++m) {
+      auto merged = dendrogram.Merge(to_merge[m].first, to_merge[m].second,
+                                     merge_similarity[m]);
+      if (!merged.ok()) return merged.status();
+    }
+  }
+  local_stats.total_merges += to_merge.size();
+  local_stats.merges_per_round.push_back(to_merge.size());
+  ++local_stats.rounds;
+  round_span.AddArg("merges", static_cast<double>(to_merge.size()));
+  if (obs::MetricsRegistry::Global().enabled()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.GetCounter("hac.rounds").Increment();
+    metrics.GetCounter("hac.merges").Increment(to_merge.size());
+    metrics.GetHistogram("hac.round.merges")
+        .Record(static_cast<double>(to_merge.size()));
+    metrics.GetHistogram("hac.round.active_clusters")
+        .Record(static_cast<double>(active_clusters));
+    metrics.GetHistogram("hac.round.messages")
+        .Record(static_cast<double>(round_messages));
+  }
+  if (options.checkpoint_every > 0 &&
+      local_stats.rounds % options.checkpoint_every == 0) {
+    SHOAL_TRACE_SPAN("hac.checkpoint");
+    SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
+        HacProgress{&clusters, &dendrogram, local_stats.rounds,
+                    /*finished=*/false, &local_stats}));
+  }
+  return util::Status::OK();
+}
+
+// Final checkpoint-hook invocation and run-level metrics, shared by both
+// diffusion modes.
+util::Status FinishRun(const ParallelHacOptions& options,
+                       ClusterGraph& clusters, Dendrogram& dendrogram,
+                       ParallelHacStats& local_stats) {
+  if (options.checkpoint_hook) {
+    SHOAL_TRACE_SPAN("hac.checkpoint");
+    SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
+        HacProgress{&clusters, &dendrogram, local_stats.rounds,
+                    /*finished=*/true, &local_stats}));
+  }
+  if (obs::MetricsRegistry::Global().enabled()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.GetCounter("hac.runs").Increment();
+    metrics.GetCounter("hac.messages").Increment(local_stats.total_messages);
+    metrics.GetCounter("hac.supersteps")
+        .Increment(local_stats.total_supersteps);
+  }
+  return util::Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy full-broadcast diffusion (DiffusionMode::kFullBroadcast)
+// ---------------------------------------------------------------------------
+
 // Per-vertex diffusion state: the best edge seen so far, plus the last
 // value broadcast to neighbours (so unchanged values are not re-sent).
 struct DiffusionState {
   BestEdge best;
   BestEdge sent;
 };
-
-// Keeps `acc` as the winner under the deterministic edge order.
-void FoldMax(BestEdge& acc, const BestEdge& other) {
-  if (!other.valid()) return;
-  if (!acc.valid() ||
-      EdgeBeats(other.u, other.v, other.similarity, acc.u, acc.v,
-                acc.similarity)) {
-    acc = other;
-  }
-}
 
 // Flat CSR snapshot of the mergeable frontier's adjacency, rebuilt into
 // the same buffers every round: snapshot targets are compact indices
@@ -56,34 +150,15 @@ struct FrontierSnapshot {
   }
 };
 
-// Validates the option fields shared by fresh and resumed runs.
-util::Status ValidateOptions(const ParallelHacOptions& options) {
-  if (options.hac.threshold <= 0.0) {
-    return util::Status::InvalidArgument("threshold must be positive");
-  }
-  if (options.diffusion_iterations == 0) {
-    return util::Status::InvalidArgument(
-        "diffusion_iterations must be >= 1");
-  }
-  if (options.checkpoint_every > 0 && !options.checkpoint_hook) {
-    return util::Status::InvalidArgument(
-        "checkpoint_every set without a checkpoint_hook");
-  }
-  return util::Status::OK();
-}
-
-// The round loop shared by ParallelHac and ResumeParallelHac. Mutates
-// `clusters`/`dendrogram` in place and accumulates into `local_stats`
-// (non-zero on resume); the loop itself reads no state outside those
-// three, which is what makes a restored run bit-identical to an
-// uninterrupted one.
-util::Status RunRounds(const ParallelHacOptions& options,
-                       ClusterGraph& clusters, Dendrogram& dendrogram,
-                       ParallelHacStats& local_stats) {
+// The reference round loop: per-round frontier snapshot, fresh engine,
+// full re-broadcast of every vertex's best edge. Kept as the oracle the
+// delta path is tested against (the two must produce byte-identical
+// dendrograms) and as the simplest statement of the algorithm.
+util::Status RunRoundsFullBroadcast(const ParallelHacOptions& options,
+                                    ClusterGraph& clusters,
+                                    Dendrogram& dendrogram,
+                                    ParallelHacStats& local_stats) {
   const double threshold = options.hac.threshold;
-  // Observability handles; recording only writes side buffers, so the
-  // dendrogram is byte-identical with instrumentation on or off.
-  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
 
   // One worker pool for the whole run, shared by the snapshot build,
   // every round's BSP engine, and the batch merge — without it each
@@ -96,6 +171,7 @@ util::Status RunRounds(const ParallelHacOptions& options,
   const size_t num_leaves = dendrogram.num_leaves();
   std::vector<uint32_t> compact(num_leaves > 0 ? 2 * num_leaves - 1 : 0, 0);
   FrontierSnapshot snapshot;
+  std::vector<size_t> chunk_sums;
   std::vector<std::pair<uint32_t, uint32_t>> to_merge;
   std::vector<double> merge_similarity;
 
@@ -121,22 +197,40 @@ util::Status RunRounds(const ParallelHacOptions& options,
     {
       SHOAL_TRACE_SPAN("hac.snapshot");
       // Count, prefix-sum, then fill — each frontier cluster's span is
-      // independent, so both passes parallelize without contention.
+      // independent, so all three passes parallelize without contention.
+      // The prefix sum is folded into the counting pass: each chunk
+      // records its total, a serial scan over the O(threads) chunk
+      // totals assigns chunk bases, and the fill-offset pass turns the
+      // per-row counts into absolute offsets. Chunk boundaries are a
+      // pure function of (n, pool size), so offsets are identical to a
+      // serial scan's.
+      const size_t num_chunks = std::min(n, pool.num_threads());
       snapshot.offsets.assign(n + 1, 0);
-      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t /*w*/) {
+      chunk_sums.assign(num_chunks + 1, 0);
+      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t c) {
+        size_t sum = 0;
         for (size_t i = begin; i < end; ++i) {
           size_t count = 0;
           for (const ClusterEdge& e : clusters.Neighbors(active[i])) {
             if (e.similarity >= threshold) ++count;
           }
           snapshot.offsets[i + 1] = count;
+          sum += count;
+        }
+        chunk_sums[c + 1] = sum;
+      });
+      for (size_t c = 0; c < num_chunks; ++c) {
+        chunk_sums[c + 1] += chunk_sums[c];
+      }
+      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t c) {
+        size_t running = chunk_sums[c];
+        for (size_t i = begin; i < end; ++i) {
+          running += snapshot.offsets[i + 1];
+          snapshot.offsets[i + 1] = running;
         }
       });
-      for (size_t i = 0; i < n; ++i) {
-        snapshot.offsets[i + 1] += snapshot.offsets[i];
-      }
       snapshot.entries.resize(snapshot.offsets[n]);
-      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t /*w*/) {
+      pool.ParallelForChunked(n, [&](size_t begin, size_t end, size_t /*c*/) {
         for (size_t i = begin; i < end; ++i) {
           size_t at = snapshot.offsets[i];
           for (const ClusterEdge& e : clusters.Neighbors(active[i])) {
@@ -225,64 +319,941 @@ util::Status RunRounds(const ParallelHacOptions& options,
     }
     if (to_merge.empty()) break;
 
-    // --- parallel merge phase ---------------------------------------------
-    // Locally maximal edges form a matching (each vertex names a unique
-    // best edge), so the merged rows are computed concurrently and the
-    // neighbour patches applied in a deterministic id-ordered reduction;
-    // MergeBatch validates the whole matching before mutating anything,
-    // so a corrupt round can never leave the dendrogram and the cluster
-    // graph divergent.
-    {
-      SHOAL_TRACE_SPAN("hac.merge");
-      const uint32_t first_new_id =
-          static_cast<uint32_t>(dendrogram.num_nodes());
-      SHOAL_RETURN_IF_ERROR(
-          clusters.MergeBatch(to_merge, first_new_id, options.hac.linkage,
-                              &pool));
-      for (size_t m = 0; m < to_merge.size(); ++m) {
-        auto merged = dendrogram.Merge(to_merge[m].first, to_merge[m].second,
-                                       merge_similarity[m]);
-        if (!merged.ok()) return merged.status();
+    SHOAL_RETURN_IF_ERROR(CommitRound(options, clusters, dendrogram,
+                                      local_stats, to_merge, merge_similarity,
+                                      pool, engine.total_messages(), n,
+                                      round_span));
+  }
+
+  return FinishRun(options, clusters, dendrogram, local_stats);
+}
+
+// ---------------------------------------------------------------------------
+// Delta diffusion (DiffusionMode::kDelta)
+// ---------------------------------------------------------------------------
+//
+// The message-economy rework (DESIGN.md §8). One engine lives across all
+// rounds, addressed by cluster id over the full id space [0, 2V-1), and
+// per-vertex adjacency state persists between rounds with only the rows
+// dirtied by a merge batch rebuilt. Three suppression levers cut the
+// full-broadcast flood:
+//
+//   1. *Delta sends.* Each fanout slot remembers the strongest proposal
+//      ever pushed along that edge direction. A vertex re-sends only
+//      when its current best strictly beats what the recipient already
+//      knows, so a quiescent neighbourhood exchanges zero messages.
+//   2. *Source-side pruning.* Proposals are built exclusively from
+//      edges at or above the merge threshold (sub-threshold edges never
+//      enter lb/fanout state), and the known-value check doubles as a
+//      combiner-aware send filter against the receiver's best.
+//   3. *Top-k fanout.* Slots cover only the `fanout_cap` strongest
+//      mergeable neighbours.
+//
+// All three under-propagate: a vertex's diffused value B(v) can fall
+// short of the true best edge in its k-hop neighbourhood. The design
+// invariant that keeps the matching exact is the sandwich
+//
+//     lb(v)  <=  B(v)  <=  max { lb(u) : u within k mergeable hops }
+//
+// (lower bound because every round reseeds B(v) = lb(v); upper bound
+// because messages only ever carry some vertex's lb along mergeable
+// edges within one round's k supersteps). For a true locally-maximal
+// edge (a,b) both sides of the sandwich collapse to (a,b), so the
+// mutual-agreement scan can only *over*-report: candidates are a
+// superset of the true matching. The serial verification pass then
+// applies the exact ball-k condition to every candidate, which removes
+// exactly the spurious ones — hence byte-identical dendrograms at any
+// fanout cap, including 0-message quiescent rounds.
+
+// A capped outgoing-adjacency slot: the neighbour, the edge similarity
+// (kept so rebuilds can re-rank), and the strongest proposal this vertex
+// has pushed to — or received from — that neighbour. `known` is the
+// per-edge-direction suppression state: sends along this direction are
+// skipped while `known` is alive and at least as good as the sender's
+// current best.
+struct FanoutSlot {
+  uint32_t nbr = kNoNode;
+  double similarity = 0.0;
+  BestEdge known;
+};
+
+struct DeltaMessage {
+  BestEdge edge;
+  uint32_t src = kNoNode;
+};
+
+// Engine vertex value: the round-local diffused best edge, stamped with
+// the round that wrote it. The stamp is what makes sparse seeding sound:
+// a vertex woken mid-round by a message finds a stale stamp and resets
+// itself to its current local best before folding anything, so values
+// from earlier rounds — possibly dead, possibly no longer within k
+// mergeable hops — can never propagate or veto a merge.
+struct DeltaValue {
+  BestEdge edge;
+  size_t stamp = 0;
+};
+
+// Cached refutation of a candidate pair: `blocker` is an edge that beats
+// `pair` and was reachable through the live `witness` chain (anchor
+// endpoint -> ... -> vertex whose lb the blocker was). Mergeable edges
+// between live clusters are immutable and a linkage update never raises
+// a similarity above the max of its inputs, so while every witness
+// vertex and both blocker endpoints stay alive the refutation remains
+// valid — re-rejecting a persistent spurious candidate is O(|witness|)
+// instead of a fresh neighbourhood scan.
+struct RejectionCache {
+  BestEdge pair;
+  BestEdge blocker;
+  std::vector<uint32_t> witness;
+};
+
+// All cross-round diffusion state for the delta path, indexed by cluster
+// id (dendrogram node id). Allocated once per run.
+class DeltaFrontier {
+ public:
+  // Trust states of the cached closed-neighbourhood top-2 (see M1()).
+  enum : uint8_t { kM1Full = 0, kM1Stale = 1, kM1Top = 2 };
+
+  DeltaFrontier(size_t num_ids, ClusterGraph& clusters, double threshold,
+                size_t fanout_cap)
+      : clusters_(clusters),
+        threshold_(threshold),
+        fanout_cap_(fanout_cap),
+        lb_(num_ids),
+        fanout_(num_ids),
+        m1_(num_ids),
+        m1_src_(num_ids, kNoNode),
+        m2_(num_ids),
+        m2_src_(num_ids, kNoNode),
+        m1_stale_(num_ids, kM1Stale),
+        blocked_(num_ids),
+        parked_(num_ids, 0),
+        watch_(num_ids),
+        floor_(num_ids, -1.0),
+        holders_(num_ids),
+        bfs_stamp_(num_ids, 0) {}
+
+  bool Alive(const BestEdge& e) const {
+    return e.valid() && clusters_.IsActive(e.u) && clusters_.IsActive(e.v);
+  }
+
+  // True when w is a mergeable neighbour of x (a member of the M1
+  // closed neighbourhood besides x itself). O(log deg) on the id-sorted
+  // adjacency row.
+  bool IsMergeableMember(uint32_t x, uint32_t w) const {
+    const ClusterEdge* e = clusters_.FindEdge(x, w);
+    return e != nullptr && e->similarity >= threshold_;
+  }
+
+  const BestEdge& lb(uint32_t v) const { return lb_[v]; }
+  std::vector<FanoutSlot>& fanout(uint32_t v) { return fanout_[v]; }
+
+  // Rebuilds lb(v) and the fanout slots from v's current adjacency row.
+  // With `preserve_known` the per-direction suppression state of slots
+  // whose neighbour survives is carried over (a rebuild must not make a
+  // vertex forget what it already told a still-living neighbour — that
+  // would re-flood, not break correctness). Thread-safe across distinct
+  // vertices: only v's own slots are touched.
+  void RebuildRow(uint32_t v, bool preserve_known) {
+    auto& slots = fanout_[v];
+    const bool restore = preserve_known && !slots.empty();
+    if (restore) {
+      // Post-merge maintenance is serial, so one scratch buffer suffices;
+      // swapping avoids allocating anything on this per-round hot path.
+      scratch_.swap(slots);
+    }
+    slots.clear();
+    floor_[v] = -1.0;
+    BestEdge lb;
+    // Rows keep sub-threshold edges (the linkage rule needs them), but
+    // only the mergeable ones matter here: the maintained per-cluster
+    // count lets the scan stop once it has seen them all, which skips
+    // the long weak tails that accumulate as linkage decays.
+    size_t remaining = clusters_.MergeableEdgeCount(v);
+    for (const ClusterEdge& e : clusters_.Neighbors(v)) {
+      if (remaining == 0) break;
+      if (e.similarity < threshold_) continue;
+      --remaining;
+      FoldMax(lb, BestEdge{std::min(v, e.id), std::max(v, e.id),
+                           e.similarity});
+      InsertSlot(v, e.id, e.similarity);
+    }
+    lb_[v] = lb;
+    if (restore) {
+      for (FanoutSlot& s : slots) {
+        for (const FanoutSlot& old : scratch_) {
+          if (old.nbr == s.nbr) {
+            s.known = old.known;
+            break;
+          }
+        }
       }
-    }
-    local_stats.total_merges += to_merge.size();
-    local_stats.merges_per_round.push_back(to_merge.size());
-    ++local_stats.rounds;
-    round_span.AddArg("merges", static_cast<double>(to_merge.size()));
-    if (metrics_on) {
-      auto& metrics = obs::MetricsRegistry::Global();
-      metrics.GetCounter("hac.rounds").Increment();
-      metrics.GetCounter("hac.merges").Increment(to_merge.size());
-      metrics.GetHistogram("hac.round.merges")
-          .Record(static_cast<double>(to_merge.size()));
-      metrics.GetHistogram("hac.round.active_clusters")
-          .Record(static_cast<double>(n));
-      metrics.GetHistogram("hac.round.messages")
-          .Record(static_cast<double>(engine.total_messages()));
-    }
-    if (options.checkpoint_every > 0 &&
-        local_stats.rounds % options.checkpoint_every == 0) {
-      SHOAL_TRACE_SPAN("hac.checkpoint");
-      SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
-          HacProgress{&clusters, &dendrogram, local_stats.rounds,
-                      /*finished=*/false, &local_stats}));
     }
   }
 
-  if (options.checkpoint_hook) {
-    SHOAL_TRACE_SPAN("hac.checkpoint");
-    SHOAL_RETURN_IF_ERROR(options.checkpoint_hook(
-        HacProgress{&clusters, &dendrogram, local_stats.rounds,
-                    /*finished=*/true, &local_stats}));
+  // Incremental registration of a newly created mergeable edge (v, c).
+  // Exact only when v's cached row is otherwise current — i.e. the
+  // caller already repaired the batch's deaths via PatchRowForDeaths
+  // (or RebuildRow). New ids are allocated above every existing id, so
+  // the stable insertion keeps the (similarity desc, id asc) slot order
+  // a full rebuild would produce.
+  void AddMergeableEdge(uint32_t v, uint32_t c, double sim) {
+    FoldMax(lb_[v], BestEdge{std::min(v, c), std::max(v, c), sim});
+    if (InsertSlot(v, c, sim)) holders_[c].push_back(v);
   }
-  if (metrics_on) {
-    auto& metrics = obs::MetricsRegistry::Global();
-    metrics.GetCounter("hac.runs").Increment();
-    metrics.GetCounter("hac.messages").Increment(local_stats.total_messages);
-    metrics.GetCounter("hac.supersteps")
-        .Increment(local_stats.total_supersteps);
+
+  // Surgical repair of v's cached row after a merge batch retired some
+  // of its neighbours, in O(cap) with no adjacency scan. Every mergeable
+  // edge of v outside the slots has similarity <= floor_[v] (the
+  // strongest edge ever evicted from or refused a slot), and merges
+  // never touch similarities between surviving clusters; so when the
+  // best surviving slot strictly beats the floor it is the exact row
+  // maximum, and the shrunken slot list remains a valid — merely
+  // smaller — top-k (exactness never depended on the cap). A dead lb
+  // always names a dead slot (the best edge is always slot material),
+  // so the no-deaths case needs no lb repair. When the floor is in
+  // reach — the survivors no longer provably dominate the dominated
+  // remainder — returns false and the caller falls back to RebuildRow.
+  bool PatchRowForDeaths(uint32_t v) {
+    auto& slots = fanout_[v];
+    const size_t before = slots.size();
+    size_t w = 0;
+    for (size_t i = 0; i < before; ++i) {
+      if (clusters_.IsActive(slots[i].nbr)) {
+        if (w != i) slots[w] = slots[i];
+        ++w;
+      }
+    }
+    if (w == before) return true;  // nothing died; lb is a slot, so alive
+    slots.resize(w);
+    if (w == 0) {
+      if (floor_[v] >= 0.0) return false;  // dominated edges may survive
+      lb_[v] = BestEdge{};
+      return true;
+    }
+    // Slots are (similarity desc, pair asc): the front is the Beats-max
+    // of the survivors. Strict: an outside edge tying the floor could
+    // still win on pair order.
+    if (slots[0].similarity <= floor_[v]) return false;
+    lb_[v] = BestEdge{std::min(v, slots[0].nbr), std::max(v, slots[0].nbr),
+                      slots[0].similarity};
+    return true;
   }
-  return util::Status::OK();
+
+  // Folds a finalized lb change of v into the cached closed-
+  // neighbourhood top-2 entries that could have derived from it, in
+  // place. Each case keeps the invariants stated at M1(): the top entry
+  // stays the exact live maximum, and the runner-up stays exact
+  // whenever the state says it is; any transition whose ordering cannot
+  // be proven from the cached values degrades conservatively (to kM1Top
+  // when only the runner-up is lost, to kM1Stale when the top itself
+  // is). Exact as long as every lb mutation of a round flows through
+  // here in record order (later folds for the same vertex carry its
+  // newer lb).
+  void OnLbChange(uint32_t v) {
+    const BestEdge after = lb_[v];
+    const auto fold = [&](uint32_t x) {
+      uint8_t& st = m1_stale_[x];
+      if (st == kM1Stale) return;  // already due a full rescan
+      if (m1_src_[x] == v) {
+        if (m1_[x] == after) return;
+        if (!Beats(m1_[x], after)) {
+          // The max rose — always onto a *different* edge. The old
+          // edge's other endpoint w is pinned while that edge lives:
+          // lb(w) >= the edge it is incident to, and lb(w) <= the old
+          // max when w is a member — so if w is a live member, lb(w)
+          // *equals* the old max and (old max, w) is the exact new
+          // runner-up. Otherwise no member holds the old edge and the
+          // existing runner-up is still exact. Either way the entry
+          // stays full.
+          const BestEdge old = m1_[x];
+          m1_[x] = after;
+          if (old.valid()) {
+            const uint32_t w = (old.u == v) ? old.v : old.u;
+            if (w == x || (clusters_.IsActive(w) && IsMergeableMember(x, w))) {
+              m2_[x] = old;
+              m2_src_[x] = w;
+              st = kM1Full;
+            }
+          }
+          return;
+        }
+        // The argmax dropped, which (similarities being immutable) means
+        // its old lb edge died: no live member still holds that edge.
+        // The runner-up — when exact and alive — bounds every surviving
+        // member, so it either stays behind the new value or takes over
+        // the top; v's new value is not a proven runner-up in the latter
+        // case, so it is dropped rather than kept as an unordered hint.
+        if (st == kM1Full && (!m2_[x].valid() || Alive(m2_[x]))) {
+          if (Beats(m2_[x], after)) {
+            m1_[x] = m2_[x];
+            m1_src_[x] = m2_src_[x];
+            m2_[x] = BestEdge{};
+            m2_src_[x] = kNoNode;
+            st = kM1Top;
+          } else if (m2_[x] == after) {
+            // Same edge seen through its other endpoint: it cannot be
+            // its own runner-up.
+            m1_[x] = after;
+            m1_src_[x] = v;
+            m2_[x] = BestEdge{};
+            m2_src_[x] = kNoNode;
+            st = kM1Top;
+          } else {
+            m1_[x] = after;  // still >= runner-up >= every other member
+          }
+        } else {
+          st = kM1Stale;  // no trustworthy runner-up to compare against
+        }
+        return;
+      }
+      if (st == kM1Full && m2_src_[x] == v) {
+        if (m2_[x] == after) return;
+        if (Beats(after, m1_[x])) {  // runner-up overtook the top
+          m2_[x] = m1_[x];
+          m2_src_[x] = m1_src_[x];
+          m1_[x] = after;
+          m1_src_[x] = v;
+          if (!m2_[x].valid() || !Alive(m2_[x])) {
+            m2_[x] = BestEdge{};  // a dead edge cannot vouch for the rest
+            m2_src_[x] = kNoNode;
+            st = kM1Top;
+          }
+        } else if (!Beats(m2_[x], after)) {
+          m2_[x] = after;  // rose within the gap: still >= the others
+        } else {
+          m2_[x] = BestEdge{};  // dropped below its old self: rank unknown
+          m2_src_[x] = kNoNode;
+          st = kM1Top;
+        }
+        return;
+      }
+      // v holds neither entry.
+      if (Beats(after, m1_[x])) {
+        // The displaced top bounds every member, so while it is alive it
+        // is the exact runner-up (a strict beat is a different edge) —
+        // this also repairs kM1Top entries back to full. A dead
+        // displaced top says nothing about the survivors: keep whatever
+        // runner-up knowledge the entry already had.
+        if (!m1_[x].valid() || Alive(m1_[x])) {
+          m2_[x] = m1_[x];
+          m2_src_[x] = m1_[x].valid() ? m1_src_[x] : kNoNode;
+          st = kM1Full;
+        }
+        m1_[x] = after;
+        m1_src_[x] = v;
+      } else if (st == kM1Full && !(after == m1_[x]) &&
+                 Beats(after, m2_[x])) {
+        m2_[x] = after;
+        m2_src_[x] = v;
+      }
+    };
+    fold(v);
+    for (const uint32_t y : clusters_.StrongNeighbors(v)) fold(y);
+  }
+
+  // Exact check of the paper's local-maximality condition for candidate
+  // pair (a, b) with similarity edge `edge`: is there any mergeable edge
+  // incident to the k-hop mergeable neighbourhood of {a, b} that beats
+  // it? Serial by design — candidates are few and the M1 cache keeps
+  // each check to O(deg) lookups — and deterministic: BFS order follows
+  // the id-sorted adjacency rows. On a hit, fills `cache` so later
+  // rounds can re-reject the same pair in O(|witness|).
+  bool FindBlocker(uint32_t a, uint32_t b, const BestEdge& edge, size_t k,
+                   RejectionCache& cache) {
+    // max lb over ball_k({a,b}) == max M1 over ball_{k-1}({a,b}): BFS to
+    // depth k-1 and consult the cached closed-neighbourhood maximum at
+    // each visited vertex.
+    ++bfs_round_;
+    bfs_nodes_.clear();
+    bfs_nodes_.push_back({a, -1, 0});
+    bfs_stamp_[a] = bfs_round_;
+    if (b != a && bfs_stamp_[b] != bfs_round_) {
+      bfs_nodes_.push_back({b, -1, 0});
+      bfs_stamp_[b] = bfs_round_;
+    }
+    for (size_t head = 0; head < bfs_nodes_.size(); ++head) {
+      const BfsNode node = bfs_nodes_[head];
+      const BestEdge& m1 = M1(node.v);
+      if (Beats(m1, edge)) {
+        cache.pair = edge;
+        cache.blocker = m1;
+        cache.witness.clear();
+        cache.witness.push_back(m1_src_[node.v]);
+        for (int32_t at = static_cast<int32_t>(head); at >= 0;
+             at = bfs_nodes_[at].parent) {
+          cache.witness.push_back(bfs_nodes_[at].v);
+        }
+        return true;
+      }
+      if (node.depth + 1 >= k) continue;
+      for (const uint32_t y : clusters_.StrongNeighbors(node.v)) {
+        if (bfs_stamp_[y] == bfs_round_) continue;
+        bfs_stamp_[y] = bfs_round_;
+        bfs_nodes_.push_back({y, static_cast<int32_t>(head), node.depth + 1});
+      }
+    }
+    return false;
+  }
+
+  // True while a cached refutation of `pair` is still conclusive.
+  bool StillBlocked(const RejectionCache& cache, const BestEdge& pair) const {
+    if (!(cache.pair == pair) || !Alive(cache.blocker)) return false;
+    for (uint32_t w : cache.witness) {
+      if (!clusters_.IsActive(w)) return false;
+    }
+    return true;
+  }
+
+  RejectionCache& blocked(uint32_t v) { return blocked_[v]; }
+
+  // --- parking -----------------------------------------------------------
+  // A pair whose rejection cache is alive stays blocked until one of the
+  // watched vertices (witness chain or blocker endpoint) dies — edges
+  // between live clusters are immutable, so nothing else can re-enable
+  // it. Parking takes such pairs out of the per-round work list
+  // entirely; the watch lists wake them on exactly the deaths that can
+  // invalidate the refutation. A parked pair can never merge away in
+  // the meantime: its endpoints' only mutual pair is the parked one.
+
+  // True while v's parked state refers to its current pair, i.e. the
+  // pair must stay out of the evaluation list.
+  bool ParkedFor(uint32_t v) const {
+    return parked_[v] && blocked_[v].pair == lb_[v];
+  }
+
+  // Parks the pair keyed by its smaller endpoint `a`. Watchers are
+  // registered only for a freshly computed cache; a still-valid old
+  // cache re-parks without re-registering (its entries are still in the
+  // watch lists — they are cleared only when a watched vertex dies).
+  void Park(uint32_t a, bool register_watchers) {
+    parked_[a] = 1;
+    if (!register_watchers) return;
+    const RejectionCache& cache = blocked_[a];
+    for (uint32_t w : cache.witness) watch_[w].push_back(a);
+    watch_[cache.blocker.u].push_back(a);
+    watch_[cache.blocker.v].push_back(a);
+  }
+
+  // Called for every cluster retired by a merge batch: wakes the parked
+  // pairs watching it (their refutation may no longer hold) and appends
+  // their keys to `out` for re-evaluation. Stale entries — pairs that
+  // were already unparked or re-parked under a different cache — cost
+  // one spurious re-check at most.
+  void WakeWatchers(uint32_t dead, std::vector<uint32_t>& out) {
+    for (uint32_t a : watch_[dead]) {
+      if (parked_[a]) {
+        parked_[a] = 0;
+        out.push_back(a);
+      }
+    }
+    watch_[dead].clear();
+    watch_[dead].shrink_to_fit();
+  }
+
+ private:
+  struct BfsNode {
+    uint32_t v;
+    int32_t parent;  // index into bfs_nodes_, -1 for the two anchors
+    size_t depth;
+  };
+
+  // Closed-neighbourhood maximum: max lb over v and its mergeable
+  // neighbours, with the exact runner-up alongside. States:
+  //   kM1Full  — m1_ is the exact live maximum and m2_ the exact
+  //              runner-up over the remaining members (invalid when
+  //              there is none);
+  //   kM1Top   — m1_ is still the exact maximum but the runner-up has
+  //              been consumed or invalidated;
+  //   kM1Stale — nothing is trusted; the next consult rescans.
+  // Every cached value is some member's lb and therefore incident to
+  // that member, so a member's death self-invalidates the entry it
+  // sourced. That was by far the dominant rescan trigger (merges kill
+  // two vertices whose lbs seed most of their neighbourhoods' maxima);
+  // keeping the runner-up turns the common case into an O(1) promotion:
+  // an exact runner-up that is still alive bounds every other live
+  // member and is current (all lb changes fold eagerly), so it *is* the
+  // new maximum.
+  const BestEdge& M1(uint32_t v) {
+    for (;;) {
+      if (m1_stale_[v] == kM1Stale) {
+        RescanM1(v);
+        return m1_[v];
+      }
+      if (!m1_[v].valid() || Alive(m1_[v])) return m1_[v];
+      if (m1_stale_[v] == kM1Full && m2_[v].valid() && Alive(m2_[v])) {
+        m1_[v] = m2_[v];
+        m1_src_[v] = m2_src_[v];
+        m2_[v] = BestEdge{};
+        m2_src_[v] = kNoNode;
+        m1_stale_[v] = kM1Top;
+        return m1_[v];
+      }
+      m1_stale_[v] = kM1Stale;
+    }
+  }
+
+  // Exact top-2 recomputation over v's live closed neighbourhood, with
+  // the runner-up restricted to members whose lb is a *different edge*
+  // than the maximum's. Two members often share one edge — its two
+  // endpoints — and merges retire exactly such pairs, so a value-ranked
+  // runner-up would usually die together with the maximum; the
+  // edge-disjoint runner-up is the one that survives the death of the
+  // top edge and makes the O(1) promotion in M1() fire. Ties resolve to
+  // the first holder in ascending row order (v itself first), matching
+  // what the incremental folds produce.
+  void RescanM1(uint32_t v) {
+    BestEdge e1 = lb_[v];
+    BestEdge e2;
+    uint32_t s1 = v;
+    uint32_t s2 = kNoNode;
+    for (const uint32_t y : clusters_.StrongNeighbors(v)) {
+      const BestEdge& cand = lb_[y];
+      if (Beats(cand, e1)) {
+        // A strict beat is a different edge, so the displaced maximum
+        // is runner-up eligible — and beats the old runner-up.
+        e2 = e1;
+        s2 = s1;
+        e1 = cand;
+        s1 = y;
+      } else if (!(cand == e1) && Beats(cand, e2)) {
+        e2 = cand;
+        s2 = y;
+      }
+    }
+    m1_[v] = e1;
+    m1_src_[v] = s1;
+    m2_[v] = e2;
+    m2_src_[v] = e2.valid() ? s2 : kNoNode;
+    m1_stale_[v] = kM1Full;
+  }
+
+  // Keeps v's slots sorted by (similarity desc, id asc) and capped. Rows
+  // are scanned in ascending id order, so the stable "no swap on equal
+  // similarity" rule realises the ties-to-smaller-id order. An edge that
+  // is refused a slot or evicted by the cap raises the row's floor: it
+  // still exists in the graph, and PatchRowForDeaths may only trust the
+  // surviving slots while they strictly beat everything pushed out.
+  bool InsertSlot(uint32_t v, uint32_t id, double sim) {
+    auto& slots = fanout_[v];
+    size_t pos = slots.size();
+    while (pos > 0 && slots[pos - 1].similarity < sim) --pos;
+    if (fanout_cap_ > 0 && slots.size() == fanout_cap_) {
+      if (pos == slots.size()) {
+        floor_[v] = std::max(floor_[v], sim);
+        return false;
+      }
+      floor_[v] = std::max(floor_[v], slots.back().similarity);
+      slots.pop_back();
+    }
+    slots.insert(slots.begin() + pos, FanoutSlot{id, sim, {}});
+    return true;
+  }
+
+  // Reverse slot index: holders_[c] lists every vertex that has (or
+  // once had) c seated in its fanout slots — a small superset of the
+  // rows a death of c can invalidate, so post-merge repair visits slot
+  // holders instead of whole adjacency rows. Entries are appended on
+  // seat and never removed on eviction (PatchRowForDeaths on a row that
+  // no longer names the dead id is a cheap no-op); a retired id's list
+  // is drained once and freed.
+ public:
+  void RecordHolders(uint32_t v) {
+    for (const FanoutSlot& s : fanout_[v]) holders_[s.nbr].push_back(v);
+  }
+  void DrainHolders(uint32_t dead, std::vector<uint32_t>& out) {
+    auto& h = holders_[dead];
+    out.insert(out.end(), h.begin(), h.end());
+    std::vector<uint32_t>().swap(h);
+  }
+
+ private:
+  ClusterGraph& clusters_;
+  const double threshold_;
+  const size_t fanout_cap_;
+  std::vector<BestEdge> lb_;
+  std::vector<std::vector<FanoutSlot>> fanout_;
+  std::vector<BestEdge> m1_;
+  std::vector<uint32_t> m1_src_;
+  std::vector<BestEdge> m2_;
+  std::vector<uint32_t> m2_src_;
+  std::vector<uint8_t> m1_stale_;
+  std::vector<RejectionCache> blocked_;
+  std::vector<uint8_t> parked_;
+  std::vector<std::vector<uint32_t>> watch_;
+  // Max similarity ever pushed out of (or refused) v's slots: an upper
+  // bound on every mergeable edge of v not currently holding a slot.
+  std::vector<double> floor_;
+  // See RecordHolders: who seats (or seated) each id in their slots.
+  std::vector<std::vector<uint32_t>> holders_;
+  std::vector<uint32_t> bfs_stamp_;
+  uint32_t bfs_round_ = 0;
+  std::vector<BfsNode> bfs_nodes_;
+  std::vector<FanoutSlot> scratch_;  // RebuildRow reuse (serial path only)
+};
+
+util::Status RunRoundsDelta(const ParallelHacOptions& options,
+                            ClusterGraph& clusters, Dendrogram& dendrogram,
+                            ParallelHacStats& local_stats) {
+  const double threshold = options.hac.threshold;
+  const size_t k = options.diffusion_iterations;
+  util::ThreadPool pool(std::max<size_t>(1, options.num_threads));
+
+  const size_t num_leaves = dendrogram.num_leaves();
+  const size_t num_ids = num_leaves > 0 ? 2 * num_leaves - 1 : 0;
+
+  // The engine is hoisted out of the round loop and addressed directly
+  // by cluster id, so rounds pay for their frontier, not for O(V)
+  // construction. Vertex values are each cluster's diffused best edge,
+  // stamped per round (see DeltaValue).
+  using Engine = engine::BspEngine<DeltaValue, DeltaMessage>;
+  Engine::Options engine_options;
+  engine_options.num_partitions = options.num_partitions;
+  engine_options.num_threads = options.num_threads;
+  engine_options.pool = &pool;
+  engine_options.max_supersteps = k + 1;
+  Engine engine(num_ids, engine_options);
+  engine.SetCombiner([](DeltaMessage& acc, const DeltaMessage& incoming) {
+    if (Beats(incoming.edge, acc.edge)) {
+      acc = incoming;
+    } else if (incoming.edge == acc.edge && incoming.src < acc.src) {
+      acc.src = incoming.src;  // deterministic tie, order-independent
+    }
+  });
+
+  DeltaFrontier frontier(num_ids, clusters, threshold, options.fanout_cap);
+  bool initialized = false;
+
+  std::vector<std::pair<uint32_t, uint32_t>> to_merge;
+  std::vector<double> merge_similarity;
+  std::vector<uint32_t> dirty;
+  struct LbChange {
+    uint32_t v;
+    BestEdge before;
+    BestEdge after;
+  };
+  std::vector<LbChange> lb_changes;
+  // Ascending smaller endpoints of the current mutually-best pairs —
+  // the only pairs diffusion can ever nominate: an engine agreement
+  // B(a) == (a,b) == B(b) forces lb(a) == (a,b) == lb(b), because B is
+  // the fold of the vertex's own lb with received values and no edge
+  // incident to a vertex can beat that vertex's lb. Maintaining the set
+  // incrementally (mutuality only flips where an lb changed or an
+  // endpoint died) replaces the per-round O(frontier) agreement scan
+  // with an O(changes) update — the step that makes round cost track
+  // merge activity instead of frontier size.
+  std::vector<uint32_t> candidates;
+  std::vector<uint32_t> affected;
+  std::vector<uint32_t> seed;
+  std::vector<uint32_t> rebuild_cands;
+  std::vector<uint32_t> scratch_ids;
+
+  std::vector<uint32_t> parked_events;
+
+  auto mutual = [&](uint32_t v) {
+    if (!clusters.IsActive(v)) return false;
+    const BestEdge& e = frontier.lb(v);
+    return e.valid() && e.u == v && frontier.lb(e.v) == e;
+  };
+  // Belongs in the per-round evaluation list: mutual and not parked
+  // behind a still-valid refutation.
+  auto evaluable = [&](uint32_t v) {
+    return mutual(v) && !frontier.ParkedFor(v);
+  };
+  const auto push_endpoints = [](std::vector<uint32_t>& out,
+                                 const BestEdge& e) {
+    if (e.valid()) {
+      out.push_back(e.u);
+      out.push_back(e.v);
+    }
+  };
+
+  for (size_t round = local_stats.rounds; round < options.max_rounds;
+       ++round) {
+    SHOAL_RETURN_IF_ERROR(util::FaultInjector::Global().OnHacRound(round));
+    obs::ScopedSpan round_span("hac.round");
+    round_span.AddArg("round", static_cast<double>(round));
+    if (clusters.num_active() < 2) break;
+    round_span.AddArg("active_clusters",
+                      static_cast<double>(clusters.num_active()));
+    const size_t stamp = round + 1;  // 0 marks never-seeded engine values
+
+    if (!initialized) {
+      // Fresh run or resume: build every frontier row once, in parallel
+      // (each vertex writes only its own slots), derive the mutual-pair
+      // set with one full scan, and flood-seed the first diffusion.
+      // Resume takes the same path — diffusion state is derived, not
+      // checkpointed, and the exact verification makes the dendrogram
+      // independent of it.
+      SHOAL_TRACE_SPAN("hac.delta_init");
+      std::vector<uint32_t> active = clusters.MergeableClusters();
+      if (active.size() < 2) break;
+      pool.ParallelForChunked(
+          active.size(), [&](size_t begin, size_t end, size_t /*c*/) {
+            for (size_t i = begin; i < end; ++i) {
+              frontier.RebuildRow(active[i], /*preserve_known=*/false);
+            }
+          });
+      // Holder registration is serial: a row's slots name other vertices'
+      // lists, which the parallel rebuild above must not touch.
+      for (uint32_t v : active) frontier.RecordHolders(v);
+      candidates.clear();
+      for (uint32_t v : active) {
+        if (evaluable(v)) candidates.push_back(v);
+      }
+      dirty.clear();
+      parked_events.clear();
+      seed = std::move(active);
+      initialized = true;
+    } else {
+      // Fold last round's lb flips and merge deaths into the mutual
+      // set: a single merged walk over the (sorted) event vertices and
+      // the previous set, re-testing mutuality only at event vertices.
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
+      scratch_ids.clear();
+      size_t ci = 0;
+      for (uint32_t v : affected) {
+        while (ci < candidates.size() && candidates[ci] < v) {
+          scratch_ids.push_back(candidates[ci++]);
+        }
+        if (ci < candidates.size() && candidates[ci] == v) ++ci;
+        if (evaluable(v)) scratch_ids.push_back(v);
+      }
+      while (ci < candidates.size()) {
+        scratch_ids.push_back(candidates[ci++]);
+      }
+      candidates.swap(scratch_ids);
+
+      // Pure delta protocol: a vertex speaks only when its best edge
+      // changed since it last spoke — the merge batch either rebuilt it
+      // to a different maximum or handed it a stronger fresh edge. A
+      // vertex in steady state has nothing to announce: its lb is
+      // unchanged and already known to its whole fanout.
+      seed.clear();
+      for (const LbChange& ch : lb_changes) seed.push_back(ch.v);
+      std::sort(seed.begin(), seed.end());
+      seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+    }
+
+    // Every vertex the round touches re-derives its diffusion value from
+    // its current lb via the stamp check in the compute function (rather
+    // than letting diffused values persist across rounds) — merges can
+    // drop linkage similarities below the threshold and disconnect old
+    // propagation paths, so a held-over value could exceed the true
+    // k-hop maximum and misreport the neighbourhood.
+    round_span.AddArg("seeded", static_cast<double>(seed.size()));
+    round_span.AddArg("candidate_pairs",
+                      static_cast<double>(candidates.size()));
+    engine.SeedFrontier(seed);
+
+    obs::ScopedSpan diffusion_span("hac.diffusion");
+    auto status = engine.Run([&](Engine::Context& ctx, uint32_t v,
+                                 DeltaValue& value,
+                                 const std::vector<DeltaMessage>& messages) {
+      if (value.stamp != stamp) {
+        value = DeltaValue{frontier.lb(v), stamp};
+      }
+      BestEdge& best = value.edge;
+      auto& slots = frontier.fanout(v);
+      for (const DeltaMessage& m : messages) {
+        const bool improves = Beats(m.edge, best);
+        if (improves) best = m.edge;
+        if (improves || m.edge == best) {
+          // The sender holds this value; remember that so we never echo
+          // it (or anything weaker) back along that direction.
+          for (FanoutSlot& s : slots) {
+            if (s.nbr != m.src) continue;
+            if (Beats(m.edge, s.known)) s.known = m.edge;
+            break;
+          }
+        }
+      }
+      if (best.valid() && ctx.superstep() < k) {
+        for (FanoutSlot& s : slots) {
+          // Delta + pruning: send only what the receiver cannot already
+          // know to be dominated. A known value whose endpoints died is
+          // no longer evidence the receiver holds anything — resend.
+          if (s.known.valid() && frontier.Alive(s.known) &&
+              !Beats(best, s.known)) {
+            continue;
+          }
+          ctx.SendMessage(s.nbr, DeltaMessage{best, v});
+          s.known = best;
+        }
+      }
+      ctx.VoteToHalt();  // reactivated by incoming messages
+    });
+    if (!status.ok()) return status;
+    const uint64_t round_messages = engine.total_messages();
+    local_stats.total_messages += round_messages;
+    local_stats.total_supersteps += engine.superstep();
+    diffusion_span.AddArg("supersteps",
+                          static_cast<double>(engine.superstep()));
+    diffusion_span.AddArg("messages", static_cast<double>(round_messages));
+    diffusion_span.End();
+
+    // --- candidate evaluation + exact verification ------------------------
+    // Mutual agreement only nominates: the pair merges iff no mergeable
+    // edge within k hops of either endpoint beats it. The ball-k check
+    // (or a still-live cached refutation) decides that exactly — it is
+    // the serial equivalent of the full-broadcast diffusion veto, which
+    // delivers precisely the ball-k maximum to each endpoint — and the
+    // ascending walk assigns merge ids in the same order a full frontier
+    // scan would, so the matching (and the dendrogram) is byte-identical
+    // to the broadcast path. Every rejected pair parks behind its
+    // refutation: nothing can re-enable it until a watched vertex dies,
+    // so it costs nothing per round while it waits.
+    to_merge.clear();
+    merge_similarity.clear();
+    for (uint32_t a : candidates) {
+      const BestEdge pair = frontier.lb(a);
+      ++local_stats.total_candidates;
+      RejectionCache& cache = frontier.blocked(a);
+      if (frontier.StillBlocked(cache, pair)) {
+        ++local_stats.total_rejected;
+        // The cached refutation is still live, so the pair stays blocked
+        // until one of its witnesses dies; the watchers registered when
+        // the cache was filled are still in place.
+        frontier.Park(a, /*register_watchers=*/false);
+        parked_events.push_back(a);
+        continue;
+      }
+      if (frontier.FindBlocker(a, pair.v, pair, k, cache)) {
+        ++local_stats.total_rejected;
+        // Blocked pairs cannot change state while blocker and witness
+        // chain stay alive (edges between live clusters are immutable,
+        // linkage never raises a similarity): park the pair and skip it
+        // until a watched vertex is retired by a merge.
+        frontier.Park(a, /*register_watchers=*/true);
+        parked_events.push_back(a);
+        continue;
+      }
+      to_merge.emplace_back(pair.u, pair.v);
+      merge_similarity.push_back(pair.similarity);
+    }
+    if (to_merge.empty()) break;
+
+    // Every vertex whose cached lb/fanout might reference a dying
+    // cluster seated that cluster in a slot at some point, so the
+    // reverse slot index names them all directly — no adjacency-row
+    // scans of the retiring endpoints.
+    rebuild_cands.clear();
+    for (const auto& [a, b] : to_merge) {
+      frontier.DrainHolders(a, rebuild_cands);
+      frontier.DrainHolders(b, rebuild_cands);
+    }
+    std::sort(rebuild_cands.begin(), rebuild_cands.end());
+    rebuild_cands.erase(
+        std::unique(rebuild_cands.begin(), rebuild_cands.end()),
+        rebuild_cands.end());
+
+    const size_t active_before = clusters.num_active();
+    const uint32_t first_new_id = static_cast<uint32_t>(dendrogram.num_nodes());
+    SHOAL_RETURN_IF_ERROR(CommitRound(options, clusters, dendrogram,
+                                      local_stats, to_merge, merge_similarity,
+                                      pool, round_messages, active_before,
+                                      round_span));
+
+    // --- incremental maintenance: touch only what the batch changed -------
+    // Serial: the touched set is O(merges * mergeable degree), tiny next
+    // to a frontier pass.
+    {
+      SHOAL_TRACE_SPAN("hac.delta_update");
+      const uint32_t end_id = static_cast<uint32_t>(dendrogram.num_nodes());
+      lb_changes.clear();
+      // Repair every survivor adjacent to a retired endpoint in O(cap);
+      // only the rare undecidable row (a capped fanout wiped out whole)
+      // falls back to an adjacency rescan.
+      dirty.clear();
+      for (uint32_t v : rebuild_cands) {
+        if (!clusters.IsActive(v)) continue;
+        const BestEdge before = frontier.lb(v);
+        if (frontier.PatchRowForDeaths(v)) {
+          if (!(frontier.lb(v) == before)) {
+            lb_changes.push_back({v, before, frontier.lb(v)});
+          }
+        } else {
+          dirty.push_back(v);
+        }
+      }
+      std::sort(dirty.begin(), dirty.end());
+      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+      for (uint32_t v : dirty) {
+        const BestEdge before = frontier.lb(v);
+        frontier.RebuildRow(v, /*preserve_known=*/true);
+        frontier.RecordHolders(v);
+        if (!(frontier.lb(v) == before)) {
+          lb_changes.push_back({v, before, frontier.lb(v)});
+        }
+      }
+      // One pass over each new cluster's mergeable edges builds its own
+      // row (the same fold + stable insert a rebuild would run) and
+      // hands the reverse edge to each surviving old neighbour, whose
+      // just-repaired row takes the O(cap) incremental insert — unless
+      // it fell back to a full rescan above, which already saw the edge.
+      // An edge between two new clusters is registered once from each
+      // side as their rows are built.
+      for (uint32_t c = first_new_id; c < end_id; ++c) {
+        size_t remaining = clusters.MergeableEdgeCount(c);
+        for (const ClusterEdge& e : clusters.Neighbors(c)) {
+          if (remaining == 0) break;
+          if (e.similarity < threshold) continue;
+          --remaining;
+          frontier.AddMergeableEdge(c, e.id, e.similarity);
+          if (e.id >= first_new_id) continue;
+          if (std::binary_search(dirty.begin(), dirty.end(), e.id)) continue;
+          const BestEdge before = frontier.lb(e.id);
+          frontier.AddMergeableEdge(e.id, c, e.similarity);
+          if (!(frontier.lb(e.id) == before)) {
+            lb_changes.push_back({e.id, before, frontier.lb(e.id)});
+          }
+        }
+        if (frontier.lb(c).valid()) {
+          lb_changes.push_back({c, BestEdge{}, frontier.lb(c)});
+        }
+      }
+      // A changed lb invalidates the cached closed-neighbourhood maxima
+      // that may have folded it (deaths need no marking: an M1 sourced
+      // from a dead vertex is incident to it and self-invalidates), and
+      // names every vertex whose pair mutuality can have flipped — the
+      // event set the next round folds into the candidate list.
+      affected.clear();
+      for (const auto& [a, b] : to_merge) {
+        affected.push_back(a);
+        affected.push_back(b);
+        // A retired watched vertex voids its parked refutations; the
+        // woken pairs rejoin the affected walk and are re-verified.
+        frontier.WakeWatchers(a, affected);
+        frontier.WakeWatchers(b, affected);
+      }
+      // Freshly parked pairs must pass through the next round's walk so
+      // the merged candidate scan drops them (evaluable() is false while
+      // parked). Losing this on the zero-merge break is fine — the run
+      // has ended.
+      affected.insert(affected.end(), parked_events.begin(),
+                      parked_events.end());
+      parked_events.clear();
+      for (const LbChange& ch : lb_changes) {
+        frontier.OnLbChange(ch.v);
+        affected.push_back(ch.v);
+        push_endpoints(affected, ch.before);
+        push_endpoints(affected, ch.after);
+      }
+    }
+  }
+
+  return FinishRun(options, clusters, dendrogram, local_stats);
+}
+
+util::Status RunRounds(const ParallelHacOptions& options,
+                       ClusterGraph& clusters, Dendrogram& dendrogram,
+                       ParallelHacStats& local_stats) {
+  if (options.diffusion_mode == DiffusionMode::kFullBroadcast) {
+    return RunRoundsFullBroadcast(options, clusters, dendrogram, local_stats);
+  }
+  return RunRoundsDelta(options, clusters, dendrogram, local_stats);
 }
 
 }  // namespace

@@ -311,6 +311,26 @@ class BspEngine {
     }
   }
 
+  // Replaces the awake frontier with exactly `vertices` (must be sorted
+  // ascending) and drops any undelivered messages left over from a
+  // previous Run. Lets one engine be reused across many runs over the
+  // same vertex space — e.g. ParallelHac's per-merge-round diffusion —
+  // with per-run cost proportional to the seed set plus the stale dirty
+  // lists, never O(V).
+  void SeedFrontier(const std::vector<uint32_t>& vertices) {
+    const uint32_t num_parts = partitioner_.num_partitions();
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      awake_[p].clear();
+      for (uint32_t v : dirty_[p]) inbox_[v].clear();
+      dirty_[p].clear();
+    }
+    // Ascending input keeps each partition's awake list ascending (a
+    // partition's members are a subsequence of the input).
+    for (uint32_t v : vertices) {
+      awake_[partitioner_.PartitionOf(v)].push_back(v);
+    }
+  }
+
   uint64_t total_messages() const { return total_messages_; }
 
  private:

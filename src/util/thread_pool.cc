@@ -58,6 +58,22 @@ void ThreadPool::ParallelForChunked(
     size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
   const size_t chunks = std::min(n, workers_.size());
+  if (chunks == 1) {
+    // A single chunk gains nothing from a worker handoff, and the
+    // wake/wait round trip dominates on small frontiers; run it inline
+    // on the calling thread. Stats account for it like any other task.
+    const auto start = std::chrono::steady_clock::now();
+    fn(0, n, 0);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::unique_lock<std::mutex> lock(mu_);
+    ++tasks_executed_;
+    total_task_seconds_ += seconds;
+    max_task_seconds_ = std::max(max_task_seconds_, seconds);
+    return;
+  }
   const size_t base = n / chunks;
   const size_t extra = n % chunks;
   size_t begin = 0;

@@ -85,6 +85,62 @@ TEST_P(HacDeterminismTest, ByteIdenticalAcrossThreadsAndPartitions) {
   }
 }
 
+// Delta diffusion suppresses messages, never decisions: at every
+// diffusion depth the reduced message flow plus the exact ball-k
+// verification must reproduce the full-broadcast dendrogram and merge
+// schedule byte for byte, while sending strictly fewer messages.
+TEST_P(HacDeterminismTest, DeltaMatchesFullBroadcastAtEveryDepth) {
+  const MatrixCase& param = GetParam();
+  auto graph = TestGraph(param.planted, param.seed);
+  for (size_t k : {1u, 2u, 3u}) {
+    ParallelHacOptions options;
+    options.hac.threshold = 0.3;
+    options.diffusion_iterations = k;
+
+    options.diffusion_mode = DiffusionMode::kDelta;
+    ParallelHacStats delta_stats;
+    auto delta = ParallelHac(graph, options, &delta_stats);
+    ASSERT_TRUE(delta.ok()) << delta.status().message();
+
+    options.diffusion_mode = DiffusionMode::kFullBroadcast;
+    ParallelHacStats full_stats;
+    auto full = ParallelHac(graph, options, &full_stats);
+    ASSERT_TRUE(full.ok()) << full.status().message();
+
+    EXPECT_EQ(DendrogramBytes(delta.value()), DendrogramBytes(full.value()))
+        << "k=" << k;
+    EXPECT_EQ(delta_stats.total_merges, full_stats.total_merges) << "k=" << k;
+    EXPECT_EQ(delta_stats.rounds, full_stats.rounds) << "k=" << k;
+    EXPECT_LT(delta_stats.total_messages, full_stats.total_messages)
+        << "k=" << k;
+  }
+}
+
+// The fanout cap limits propagation, not correctness: a cap-1 run must
+// agree byte for byte with an uncapped run, and the suppressed
+// propagation must visibly land in the exact-verification fallback
+// (candidate pairs get rejected rather than wrongly merged).
+TEST_P(HacDeterminismTest, FanoutCapOnePreservesDendrogram) {
+  const MatrixCase& param = GetParam();
+  auto graph = TestGraph(param.planted, param.seed);
+  ParallelHacOptions options;
+  options.hac.threshold = 0.3;
+
+  options.fanout_cap = 1;
+  ParallelHacStats capped_stats;
+  auto capped = ParallelHac(graph, options, &capped_stats);
+  ASSERT_TRUE(capped.ok()) << capped.status().message();
+
+  options.fanout_cap = 0;  // unlimited
+  ParallelHacStats uncapped_stats;
+  auto uncapped = ParallelHac(graph, options, &uncapped_stats);
+  ASSERT_TRUE(uncapped.ok()) << uncapped.status().message();
+
+  EXPECT_EQ(DendrogramBytes(capped.value()), DendrogramBytes(uncapped.value()));
+  EXPECT_LE(capped_stats.total_messages, uncapped_stats.total_messages);
+  EXPECT_GT(capped_stats.total_rejected, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Matrix, HacDeterminismTest,
     ::testing::Values(MatrixCase{false, 11}, MatrixCase{false, 29},

@@ -25,6 +25,17 @@ TEST(ParallelHacTest, ValidatesOptions) {
   EXPECT_FALSE(ParallelHac(g, options).ok());
 }
 
+// The resume entry point shares ValidateOptions with the fresh path: a
+// zero diffusion depth must be rejected before any state is touched,
+// not fall into the k - 1 superstep arithmetic.
+TEST(ParallelHacTest, ResumeValidatesDiffusionIterations) {
+  ParallelHacOptions options = FastOptions();
+  options.diffusion_iterations = 0;
+  HacResumeState state;  // contents irrelevant: options fail first
+  auto resumed = ResumeParallelHac(options, std::move(state));
+  EXPECT_FALSE(resumed.ok());
+}
+
 TEST(ParallelHacTest, EmptyGraphNoMerges) {
   graph::WeightedGraph g(5);
   auto d = ParallelHac(g, FastOptions());
