@@ -1,24 +1,42 @@
-// bench_serving: in-process load generator for the online serving tier.
+// bench_serving: load generator for the online serving tier.
 //
-// Builds a synthetic taxonomy, compiles it into a ServingIndex, and
-// drives ServingService::Handle directly (no kernel, no sockets) so the
-// numbers isolate the service layer: dictionary lookup, JSON rendering,
-// and the response cache. Reports QPS and p50/p95/p99 latency per
-// endpoint, plus an identity block (endpoint set, error counts, index
-// version) that bench/perf_diff.py gates on in CI.
+// Default mode builds a synthetic taxonomy, compiles it into a
+// ServingIndex, and drives ServingService::Handle directly (no kernel,
+// no sockets) so the numbers isolate the service layer: dictionary
+// lookup, JSON rendering, and the response cache. Reports QPS and
+// p50/p90/p95/p99/p999 latency per endpoint, plus an identity block
+// (endpoint set, error counts, index version) that bench/perf_diff.py
+// gates on in CI.
+//
+// --socket switches to an open-loop harness against the real HTTP
+// server: requests are scheduled at a fixed arrival rate and each
+// latency is measured from the request's *intended* send time, so a
+// stalled server inflates the tail instead of silently slowing the
+// load generator down (the coordinated-omission trap of closed loops).
 //
 //   bench_serving [--entities N --threads T --requests R]
 //                 [--json_out BENCH_serving.json]
+//   bench_serving --socket --rate 2000 --duration 5 [--connections 4]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "serve/http_server.h"
 #include "serve/service.h"
 #include "serve/serving_index.h"
 
@@ -32,9 +50,28 @@ struct EndpointResult {
   size_t errors = 0;
   double qps = 0.0;
   double p50_us = 0.0;
+  double p90_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
 };
+
+// Percent-encodes a query value for use in a socket request target
+// (in-process requests skip the wire format and do not need this).
+std::string UrlEncode(const std::string& text) {
+  std::string out;
+  for (unsigned char c : text) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out += util::StringPrintf("%%%02X", c);
+    }
+  }
+  return out;
+}
 
 double Percentile(std::vector<double>& sorted_latencies, double p) {
   if (sorted_latencies.empty()) return 0.0;
@@ -92,8 +129,226 @@ EndpointResult DriveEndpoint(serve::ServingService& service,
   result.errors += errors.load();
   result.qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
   result.p50_us = Percentile(all, 0.50);
+  result.p90_us = Percentile(all, 0.90);
   result.p95_us = Percentile(all, 0.95);
   result.p99_us = Percentile(all, 0.99);
+  result.p999_us = Percentile(all, 0.999);
+  return result;
+}
+
+// Minimal keep-alive HTTP/1.1 GET client for the open-loop harness: one
+// persistent connection per load-generator worker, reconnecting if the
+// server drops it. Returns the HTTP status, or -1 on transport errors.
+class KeepAliveClient {
+ public:
+  KeepAliveClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  ~KeepAliveClient() { Close(); }
+
+  int Get(const std::string& target) {
+    if (fd_ < 0 && !Connect()) return -1;
+    const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " +
+                                host_ + "\r\n\r\n";
+    if (!SendAll(request)) {
+      // The server may have closed an idle keep-alive connection; one
+      // reconnect attempt keeps the stream going.
+      Close();
+      if (!Connect() || !SendAll(request)) return -1;
+    }
+    return ReadResponse();
+  }
+
+ private:
+  bool Connect() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      Close();
+      return false;
+    }
+    buffer_.clear();
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
+  bool SendAll(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Fill() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  // Parses one response off the stream, leaving any pipelined bytes in
+  // the buffer for the next call.
+  int ReadResponse() {
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) {
+        Close();
+        return -1;
+      }
+    }
+    const std::string_view head(buffer_.data(), header_end);
+    int status = -1;
+    const size_t sp = head.find(' ');
+    if (head.compare(0, 5, "HTTP/") == 0 && sp != std::string_view::npos) {
+      status = 0;
+      for (size_t i = sp + 1;
+           i < head.size() && head[i] >= '0' && head[i] <= '9'; ++i) {
+        status = status * 10 + (head[i] - '0');
+      }
+    }
+    size_t content_length = 0;
+    size_t pos = 0;
+    while (pos < head.size()) {
+      size_t eol = head.find("\r\n", pos);
+      if (eol == std::string_view::npos) eol = head.size();
+      std::string_view line = head.substr(pos, eol - pos);
+      pos = eol + 2;
+      constexpr std::string_view kPrefix = "content-length:";
+      if (line.size() > kPrefix.size()) {
+        bool match = true;
+        for (size_t i = 0; i < kPrefix.size(); ++i) {
+          char c = line[i];
+          if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+          if (c != kPrefix[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          for (char c : line.substr(kPrefix.size())) {
+            if (c >= '0' && c <= '9') {
+              content_length = content_length * 10 +
+                               static_cast<size_t>(c - '0');
+            }
+          }
+        }
+      }
+    }
+    const size_t total = header_end + 4 + content_length;
+    while (buffer_.size() < total) {
+      if (!Fill()) {
+        Close();
+        return -1;
+      }
+    }
+    buffer_.erase(0, total);
+    if (status < 100 || status > 599) {
+      Close();
+      return -1;
+    }
+    return status;
+  }
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct OpenLoopResult {
+  double rate_per_sec = 0.0;
+  double duration_sec = 0.0;
+  size_t connections = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double achieved_rps = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+// Open-loop run: request i has intended send time start + i/rate on a
+// shared schedule; workers claim slots with an atomic counter, sleep
+// until the slot's time, fire over their keep-alive connection, and
+// measure latency from the *intended* send time. A server stall
+// therefore charges queueing delay to every request scheduled during
+// the stall — the coordinated-omission-safe definition of latency.
+OpenLoopResult DriveOpenLoop(const std::string& host, uint16_t port,
+                             const std::vector<std::string>& targets,
+                             double rate, double duration_sec,
+                             size_t connections) {
+  OpenLoopResult result;
+  result.rate_per_sec = rate;
+  result.duration_sec = duration_sec;
+  result.connections = connections;
+  const size_t total = static_cast<size_t>(rate * duration_sec);
+  result.requests = total;
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now() + std::chrono::milliseconds(10);
+  const double interval_ns = 1e9 / rate;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> errors{0};
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      KeepAliveClient client(host, port);
+      auto& local = latencies[w];
+      local.reserve(total / connections + 1);
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total) break;
+        const auto intended =
+            start + std::chrono::nanoseconds(
+                        static_cast<int64_t>(interval_ns *
+                                             static_cast<double>(i)));
+        std::this_thread::sleep_until(intended);
+        const int status = client.Get(targets[i % targets.size()]);
+        const auto done = Clock::now();
+        if (status < 0 || status >= 400) errors.fetch_add(1);
+        local.push_back(
+            std::chrono::duration<double, std::micro>(done - intended)
+                .count());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (auto& local : latencies) {
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.errors = errors.load();
+  result.achieved_rps =
+      wall > 0 ? static_cast<double>(all.size()) / wall : 0.0;
+  result.p50_us = Percentile(all, 0.50);
+  result.p90_us = Percentile(all, 0.90);
+  result.p99_us = Percentile(all, 0.99);
+  result.p999_us = Percentile(all, 0.999);
+  result.max_us = all.empty() ? 0.0 : all.back();
   return result;
 }
 
@@ -104,6 +359,15 @@ int Run(int argc, char** argv) {
   flags.AddInt64("threads", 1, "concurrent request workers");
   flags.AddInt64("requests", 50000, "timed requests per endpoint");
   flags.AddInt64("cache-entries", 4096, "response cache entries (0 = off)");
+  flags.AddBool("socket", false,
+                "also run the open-loop socket harness against a real "
+                "HttpServer on an ephemeral port");
+  flags.AddDouble("rate", 1000.0,
+                  "open-loop arrival rate in requests/sec (--socket)");
+  flags.AddDouble("duration", 3.0,
+                  "open-loop run length in seconds (--socket)");
+  flags.AddInt64("connections", 4,
+                 "open-loop keep-alive connections (--socket)");
   flags.AddString("json_out", "",
                   "append machine-readable results to this JSON file, "
                   "e.g. BENCH_serving.json");
@@ -185,12 +449,52 @@ int Run(int argc, char** argv) {
   results.push_back(DriveEndpoint(service, "/healthz", health_targets,
                                   requests, threads));
 
-  std::printf("%-10s %9s %7s %12s %9s %9s %9s\n", "endpoint", "requests",
-              "errors", "qps", "p50_us", "p95_us", "p99_us");
+  std::printf("%-10s %9s %7s %12s %9s %9s %9s %9s %9s\n", "endpoint",
+              "requests", "errors", "qps", "p50_us", "p90_us", "p95_us",
+              "p99_us", "p999_us");
   for (const auto& r : results) {
-    std::printf("%-10s %9zu %7zu %12.0f %9.2f %9.2f %9.2f\n",
+    std::printf("%-10s %9zu %7zu %12.0f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
                 r.name.c_str(), r.requests, r.errors, r.qps, r.p50_us,
-                r.p95_us, r.p99_us);
+                r.p90_us, r.p95_us, r.p99_us, r.p999_us);
+  }
+
+  // Open-loop pass over real sockets (coordinated-omission-safe tails).
+  OpenLoopResult open_loop;
+  bool ran_open_loop = false;
+  if (flags.GetBool("socket")) {
+    serve::HttpServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.threads =
+        std::max<size_t>(2, static_cast<size_t>(
+                                flags.GetInt64("connections")));
+    serve::HttpServer server(&service, server_options);
+    auto started = server.Start();
+    SHOAL_CHECK(started.ok()) << started.ToString();
+
+    std::vector<std::string> socket_targets;
+    for (size_t q = 0; q < index->num_queries(); ++q) {
+      socket_targets.push_back(
+          "/v1/query?q=" + UrlEncode(index->query_text[q]) + "&k=5");
+    }
+    if (socket_targets.empty()) socket_targets.push_back("/healthz");
+
+    const double rate = std::max(1.0, flags.GetDouble("rate"));
+    const double duration = std::max(0.1, flags.GetDouble("duration"));
+    const size_t connections = std::max<size_t>(
+        1, static_cast<size_t>(flags.GetInt64("connections")));
+    open_loop = DriveOpenLoop(server.host(), server.port(), socket_targets,
+                              rate, duration, connections);
+    ran_open_loop = true;
+    server.Stop();
+    std::printf(
+        "open-loop: rate %.0f/s for %.1fs over %zu conns -> "
+        "%zu requests, %zu errors, achieved %.0f rps\n"
+        "open-loop: p50 %.1fus p90 %.1fus p99 %.1fus p999 %.1fus "
+        "max %.1fus (from intended send time)\n",
+        open_loop.rate_per_sec, open_loop.duration_sec,
+        open_loop.connections, open_loop.requests, open_loop.errors,
+        open_loop.achieved_rps, open_loop.p50_us, open_loop.p90_us,
+        open_loop.p99_us, open_loop.p999_us, open_loop.max_us);
   }
 
   const std::string& json_path = flags.GetString("json_out");
@@ -217,11 +521,31 @@ int Run(int argc, char** argv) {
               util::JsonValue::Number(static_cast<double>(r.errors)));
       row.Set("qps", util::JsonValue::Number(r.qps));
       row.Set("p50_us", util::JsonValue::Number(r.p50_us));
+      row.Set("p90_us", util::JsonValue::Number(r.p90_us));
       row.Set("p95_us", util::JsonValue::Number(r.p95_us));
       row.Set("p99_us", util::JsonValue::Number(r.p99_us));
+      row.Set("p999_us", util::JsonValue::Number(r.p999_us));
       endpoints.Append(std::move(row));
     }
     json.Set("endpoints", std::move(endpoints));
+    if (ran_open_loop) {
+      util::JsonValue ol = util::JsonValue::Object();
+      ol.Set("rate_per_sec", util::JsonValue::Number(open_loop.rate_per_sec));
+      ol.Set("duration_sec", util::JsonValue::Number(open_loop.duration_sec));
+      ol.Set("connections", util::JsonValue::Number(
+                                static_cast<double>(open_loop.connections)));
+      ol.Set("requests", util::JsonValue::Number(
+                             static_cast<double>(open_loop.requests)));
+      ol.Set("errors", util::JsonValue::Number(
+                           static_cast<double>(open_loop.errors)));
+      ol.Set("achieved_rps", util::JsonValue::Number(open_loop.achieved_rps));
+      ol.Set("p50_us", util::JsonValue::Number(open_loop.p50_us));
+      ol.Set("p90_us", util::JsonValue::Number(open_loop.p90_us));
+      ol.Set("p99_us", util::JsonValue::Number(open_loop.p99_us));
+      ol.Set("p999_us", util::JsonValue::Number(open_loop.p999_us));
+      ol.Set("max_us", util::JsonValue::Number(open_loop.max_us));
+      json.Set("open_loop", std::move(ol));
+    }
     auto written = util::WriteJsonFile(json_path, json);
     SHOAL_CHECK(written.ok()) << written.ToString();
     std::printf("wrote %s\n", json_path.c_str());

@@ -23,11 +23,21 @@ it fails only when a messages_per_merge leaf regresses (grows) by more
 than --messages_tolerance percent. Message counts are deterministic, so
 any regression is algorithmic, never machine noise.
 
-Usage: perf_diff.py OLD.json NEW.json [--mode all|identity|timing|messages]
+A fourth mode, `--mode latency`, gates serving-latency coverage: every
+quantile leaf (p50_us/p90_us/p99_us/p999_us) present in the baseline
+must still be reported by the candidate — a harness change that stops
+reporting tail quantiles is a coverage regression even when nothing got
+slower. Quantile *values* vary with runner hardware, so they diff
+informationally unless --latency_fail_above bounds the allowed growth.
+
+Usage: perf_diff.py OLD.json NEW.json
+           [--mode all|identity|timing|messages|latency]
 
 Exit codes: 0 clean; 1 identity mismatch (modes all/identity) or a
 timing regression beyond --fail_above; 2 usage/IO errors (argparse);
-3 messages_per_merge regression (mode messages).
+3 messages_per_merge regression (mode messages); 4 missing quantile
+coverage or a latency regression beyond --latency_fail_above (mode
+latency).
 """
 
 import argparse
@@ -54,6 +64,10 @@ _INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges",
 
 # Leaves the `messages` mode gates (see module docstring).
 _MESSAGE_GATE_KEYS = {"messages_per_merge"}
+
+# Leaves the `latency` mode gates: the coordinated-omission-safe
+# quantiles the serving harness must keep reporting.
+_LATENCY_GATE_KEYS = {"p50_us", "p90_us", "p99_us", "p999_us"}
 
 
 def _element_key(value, index):
@@ -122,6 +136,29 @@ def check_messages(old, new, tolerance):
     return problems
 
 
+def check_latency(old, new, fail_above):
+    """Returns (coverage_problems, regressions, info_rows) for quantiles."""
+    gate_paths = sorted(
+        p for p in set(old) | set(new)
+        if p.rsplit("/", 1)[-1] in _LATENCY_GATE_KEYS)
+    coverage, regressions, rows = [], [], []
+    for path in gate_paths:
+        if path not in new:
+            coverage.append(f"{path}: missing from candidate "
+                            f"(baseline {old[path]:g})")
+            continue
+        if path not in old:
+            rows.append(f"{path}: new coverage = {new[path]:g}")
+            continue
+        before, after = old[path], new[path]
+        pct = ((after - before) / before * 100.0) if before else 0.0
+        rows.append(f"{path}: {before:g} -> {after:g} ({pct:+.1f}%)")
+        if fail_above is not None and pct > fail_above:
+            regressions.append(f"{path}: {before:g} -> {after:g} "
+                               f"({pct:+.1f}% > {fail_above:.1f}%)")
+    return coverage, regressions, rows
+
+
 def diff_timing(old, new, threshold):
     """Returns (rows, only_old, only_new, worst_seconds_regression_pct)."""
     shared = sorted(set(old) & set(new))
@@ -148,13 +185,16 @@ def main():
     parser.add_argument("old", help="baseline metrics JSON")
     parser.add_argument("new", help="candidate metrics JSON")
     parser.add_argument("--mode",
-                        choices=("all", "identity", "timing", "messages"),
+                        choices=("all", "identity", "timing", "messages",
+                                 "latency"),
                         default="all",
                         help="identity: hard-fail determinism check only; "
                              "timing: informational perf diff only; "
                              "all: both (default); messages: gate "
                              "messages_per_merge regressions only "
-                             "(exit 3 on regression)")
+                             "(exit 3 on regression); latency: gate "
+                             "p50/p90/p99/p999_us coverage and optional "
+                             "regressions (exit 4)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="suppress timing rows whose |delta| is below "
                              "this percent (default 2)")
@@ -164,6 +204,10 @@ def main():
     parser.add_argument("--messages_tolerance", type=float, default=0.0,
                         help="messages mode: allowed messages_per_merge "
                              "growth in percent before exit 3 (default 0)")
+    parser.add_argument("--latency_fail_above", type=float, default=None,
+                        help="latency mode: exit 4 if any gated quantile "
+                             "grows by more than this percent (default: "
+                             "values diff informationally)")
     args = parser.parse_args()
 
     with open(args.old) as f:
@@ -172,6 +216,28 @@ def main():
         new = dict(flatten(json.load(f)))
 
     failed = False
+
+    if args.mode == "latency":
+        coverage, regressions, rows = check_latency(
+            old, new, args.latency_fail_above)
+        for row in rows:
+            print(f"  {row}")
+        if coverage:
+            print("LATENCY COVERAGE REGRESSION — quantile leaves "
+                  "disappeared from the candidate:")
+            for problem in coverage:
+                print(f"  {problem}")
+            return 4
+        if regressions:
+            print("LATENCY REGRESSION — quantiles grew beyond "
+                  f"{args.latency_fail_above:.1f}%:")
+            for problem in regressions:
+                print(f"  {problem}")
+            return 4
+        gated = sum(1 for p in old
+                    if p.rsplit("/", 1)[-1] in _LATENCY_GATE_KEYS)
+        print(f"latency: {gated} quantile leaves covered")
+        return 0
 
     if args.mode == "messages":
         problems = check_messages(old, new, args.messages_tolerance)

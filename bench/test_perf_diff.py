@@ -28,14 +28,23 @@ _BASELINE = {
 }
 
 # A BENCH_serving.json-shaped document: endpoint rows aligned by "name",
-# with identity leaves (errors, index_version) next to timing leaves.
+# with identity leaves (errors, index_version) next to timing leaves,
+# plus the open-loop quantile section the latency mode gates.
 _SERVING = {
     "bench": "bench_serving",
     "index_version": 1,
     "endpoints": [
-        {"name": "/v1/query", "errors": 0, "qps": 50000.0, "p99_us": 40.0},
-        {"name": "/healthz", "errors": 0, "qps": 90000.0, "p99_us": 15.0},
+        {"name": "/v1/query", "errors": 0, "qps": 50000.0, "p50_us": 20.0,
+         "p90_us": 31.0, "p99_us": 40.0, "p999_us": 55.0},
+        {"name": "/healthz", "errors": 0, "qps": 90000.0, "p50_us": 8.0,
+         "p90_us": 12.0, "p99_us": 15.0, "p999_us": 19.0},
     ],
+    "open_loop": {
+        "rate_per_sec": 2000.0, "duration_sec": 5.0, "connections": 4,
+        "requests": 10000, "errors": 0, "achieved_rps": 1998.0,
+        "p50_us": 120.0, "p90_us": 340.0, "p99_us": 900.0,
+        "p999_us": 2400.0, "max_us": 3100.0,
+    },
 }
 
 
@@ -193,6 +202,50 @@ class PerfDiffExitCodes(unittest.TestCase):
         result = self._run(_BASELINE, pruned, "--mode", "messages")
         self.assertEqual(result.returncode, 3, result.stdout)
         self.assertIn("missing from candidate", result.stdout)
+
+    def test_latency_mode_values_are_informational(self):
+        # Hardware-dependent quantile drift passes without a bound...
+        slower = _with(_SERVING, **{"open_loop.p99_us": 5000.0,
+                                    "endpoints.0.p999_us": 400.0})
+        result = self._run(_SERVING, slower, "--mode", "latency")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("p99_us", result.stdout)
+        # ...and identity drift is not latency's job.
+        drifted = _with(_SERVING, **{"endpoints.0.errors": 7})
+        result = self._run(_SERVING, drifted, "--mode", "latency")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_latency_mode_missing_quantile_exits_4(self):
+        pruned = json.loads(json.dumps(_SERVING))
+        del pruned["open_loop"]["p999_us"]
+        result = self._run(_SERVING, pruned, "--mode", "latency")
+        self.assertEqual(result.returncode, 4, result.stdout)
+        self.assertIn("LATENCY COVERAGE REGRESSION", result.stdout)
+        self.assertIn("p999_us", result.stdout)
+
+    def test_latency_mode_missing_section_exits_4(self):
+        pruned = json.loads(json.dumps(_SERVING))
+        del pruned["open_loop"]
+        result = self._run(_SERVING, pruned, "--mode", "latency")
+        self.assertEqual(result.returncode, 4, result.stdout)
+        self.assertIn("missing from candidate", result.stdout)
+
+    def test_latency_fail_above_gates_regressions(self):
+        slower = _with(_SERVING, **{"open_loop.p99_us": 1350.0})  # +50%
+        ok = self._run(_SERVING, slower, "--mode", "latency",
+                       "--latency_fail_above", "100")
+        self.assertEqual(ok.returncode, 0, ok.stdout)
+        bad = self._run(_SERVING, slower, "--mode", "latency",
+                        "--latency_fail_above", "25")
+        self.assertEqual(bad.returncode, 4, bad.stdout)
+        self.assertIn("LATENCY REGRESSION", bad.stdout)
+
+    def test_latency_mode_speedups_and_new_coverage_pass(self):
+        faster = _with(_SERVING, **{"open_loop.p99_us": 10.0})
+        faster["open_loop"]["p95_us"] = 9.0  # extra leaf, not gated
+        result = self._run(_SERVING, faster, "--mode", "latency",
+                           "--latency_fail_above", "5")
+        self.assertEqual(result.returncode, 0, result.stdout)
 
 
 if __name__ == "__main__":

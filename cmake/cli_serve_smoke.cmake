@@ -6,9 +6,10 @@
 # response body to disk; json_lint then proves every JSON body is
 # well-formed and carries the expected fields.
 #
-# Required -D variables: SHOAL_CLI, SHOAL_SERVE, JSON_LINT, WORK_DIR.
+# Required -D variables: SHOAL_CLI, SHOAL_SERVE, JSON_LINT, PROM_LINT,
+# WORK_DIR.
 
-foreach(var SHOAL_CLI SHOAL_SERVE JSON_LINT WORK_DIR)
+foreach(var SHOAL_CLI SHOAL_SERVE JSON_LINT PROM_LINT WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "cli_serve_smoke: -D${var}=... is required")
   endif()
@@ -62,5 +63,24 @@ run_checked("${JSON_LINT}"
   "${WORK_DIR}/bodies/topic_bad.json"
   "${WORK_DIR}/bodies/item_miss.json"
   "${WORK_DIR}/bodies/not_found.json")
+
+# Readiness is distinct from liveness: /readyz reports the loaded index
+# version and uptime once serving.
+run_checked("${JSON_LINT}"
+  --expect=ready --expect=uptime_seconds --expect=index_version
+  "${WORK_DIR}/bodies/readyz.json")
+
+# The Prometheus exposition must survive the strict checker: sanitized
+# names, cumulative le buckets, +Inf == _count, _sum present.
+run_checked("${PROM_LINT}"
+  --expect=serve_requests_total --expect=serve_query_latency_us
+  --expect=serve_index_version
+  "${WORK_DIR}/bodies/metrics.prom")
+
+# Every request the selftest issued must have produced one JSONL access
+# log line, each independently parseable.
+run_checked("${JSON_LINT}" --jsonl
+  --expect=request_id --expect=latency_us --expect=endpoint
+  "${WORK_DIR}/bodies/access.log")
 
 message(STATUS "cli_serve_smoke: all endpoint bodies validated")

@@ -5,10 +5,12 @@
 //
 //   json_lint file.json [file2.json ...]
 //   json_lint --expect=shoal.build trace.json
+//   json_lint --jsonl access.log        # every non-empty line parses
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json.h"
@@ -16,19 +18,47 @@
 
 namespace {
 
+// Validates a JSONL file: every non-empty line must be a complete JSON
+// document. Returns the number of parsed lines, or -1 on failure.
+long LintJsonLines(const std::string& path, const std::string& text) {
+  long lines = 0;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = shoal::util::JsonValue::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
+                   parsed.status().ToString().c_str());
+      return -1;
+    }
+    ++lines;
+  }
+  return lines;
+}
+
 int Run(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<std::string> expected;
+  bool jsonl = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--expect=", 9) == 0) {
       expected.emplace_back(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
     } else {
       files.emplace_back(argv[i]);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: json_lint [--expect=substring ...] file.json ...\n");
+                 "usage: json_lint [--jsonl] [--expect=substring ...] "
+                 "file.json ...\n");
     return 2;
   }
   int failures = 0;
@@ -38,6 +68,27 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(),
                    text.status().ToString().c_str());
       ++failures;
+      continue;
+    }
+    if (jsonl) {
+      const long lines = LintJsonLines(path, *text);
+      if (lines < 0) {
+        ++failures;
+        continue;
+      }
+      bool line_missing = false;
+      for (const std::string& needle : expected) {
+        if (text->find(needle) == std::string::npos) {
+          std::fprintf(stderr, "%s: expected substring '%s' not found\n",
+                       path.c_str(), needle.c_str());
+          line_missing = true;
+        }
+      }
+      if (line_missing) {
+        ++failures;
+        continue;
+      }
+      std::printf("%s: ok (%ld JSONL lines)\n", path.c_str(), lines);
       continue;
     }
     auto parsed = shoal::util::JsonValue::Parse(*text);

@@ -1,0 +1,79 @@
+// prom_lint: strict validator for the Prometheus text exposition format
+// 0.0.4, the serving-tier sibling of json_lint. The serving smoke test
+// scrapes /metrics?format=prometheus and fails the build if the output
+// would not be ingestible: bad names, non-cumulative histogram buckets,
+// a missing +Inf bucket, or _count disagreeing with the +Inf bucket all
+// exit non-zero with the offending line.
+//
+//   prom_lint metrics.prom [metrics2.prom ...]
+//   prom_lint --expect=serve_query_latency_us metrics.prom
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus_lint.h"
+#include "util/tsv.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> expected;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--expect=", 9) == 0) {
+      expected.emplace_back(argv[i] + 9);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: prom_lint [--expect=family ...] file.prom ...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    auto text = shoal::util::ReadTextFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   text.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<std::string> families;
+    auto linted = shoal::obs::LintPrometheusText(*text, &families);
+    if (!linted.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   linted.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    bool missing = false;
+    for (const std::string& needle : expected) {
+      bool found = false;
+      for (const std::string& family : families) {
+        if (family == needle) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "%s: expected family '%s' not found\n",
+                     path.c_str(), needle.c_str());
+        missing = true;
+      }
+    }
+    if (missing) {
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu families)\n", path.c_str(), families.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

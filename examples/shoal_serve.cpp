@@ -124,6 +124,7 @@ int RunSelftest(serve::ServingService& service, serve::HttpServer& server,
   ok = SelftestFetch(server, "/v1/item/0", out_dir, "item.json",
                      index.num_entities() > 0 ? 200 : 404) && ok;
   ok = SelftestFetch(server, "/healthz", out_dir, "healthz.json", 200) && ok;
+  ok = SelftestFetch(server, "/readyz", out_dir, "readyz.json", 200) && ok;
   ok = SelftestFetch(server, "/admin/reload", out_dir, "reload.json", 200) &&
        ok;
   ok = SelftestFetch(server, "/v1/query?q=", out_dir, "query_empty.json",
@@ -134,8 +135,27 @@ int RunSelftest(serve::ServingService& service, serve::HttpServer& server,
                      404) && ok;
   ok = SelftestFetch(server, "/no/such/endpoint", out_dir, "not_found.json",
                      404) && ok;
-  // /metrics last so the counters above are visible in the snapshot.
+  // /metrics last so the counters above are visible in the snapshots
+  // (both the JSON and the Prometheus rendering).
   ok = SelftestFetch(server, "/metrics", out_dir, "metrics.json", 200) && ok;
+  ok = SelftestFetch(server, "/metrics?format=prometheus", out_dir,
+                     "metrics.prom", 200) && ok;
+
+  // Every response must carry an X-Request-Id, and a caller-supplied id
+  // must be echoed back verbatim.
+  auto echoed = serve::HttpFetch(server.host(), server.port(), "/healthz",
+                                 {{"X-Request-Id", "selftest-echo-42"}});
+  if (!echoed.ok() || echoed->Header("x-request-id") == nullptr ||
+      *echoed->Header("x-request-id") != "selftest-echo-42") {
+    std::fprintf(stderr, "selftest: X-Request-Id was not echoed back\n");
+    ok = false;
+  }
+  auto generated = serve::HttpFetch(server.host(), server.port(), "/healthz");
+  if (!generated.ok() || generated->Header("x-request-id") == nullptr ||
+      generated->Header("x-request-id")->empty()) {
+    std::fprintf(stderr, "selftest: no generated X-Request-Id header\n");
+    ok = false;
+  }
 
   if (service.cache() != nullptr && service.cache()->hits() == 0) {
     std::fprintf(stderr, "selftest: repeated query did not hit the cache\n");
@@ -158,6 +178,15 @@ int Run(int argc, char** argv) {
   flags.AddInt64("poll-sec", 0,
                  "reload automatically when --index changes on disk, "
                  "checking every N seconds (0 = manual /admin/reload only)");
+  flags.AddString("access-log", "",
+                  "append one JSONL record per request to this file "
+                  "('-' = stderr; empty = off)");
+  flags.AddString("slow-log", "",
+                  "append requests slower than --slow-request-us to this "
+                  "file (JSONL; empty = off)");
+  flags.AddInt64("slow-request-us", 0,
+                 "slow-request threshold in microseconds for --slow-log "
+                 "and the serve.requests.slow counter (0 = off)");
   flags.AddString("selftest-out", "",
                   "run the endpoint selftest, write response bodies into "
                   "this directory, and exit (uses an ephemeral port)");
@@ -205,6 +234,37 @@ int Run(int argc, char** argv) {
   service_options.default_k =
       static_cast<size_t>(flags.GetInt64("default-k"));
   service_options.max_k = static_cast<size_t>(flags.GetInt64("max-k"));
+
+  // Request logs. The selftest writes an access log next to the response
+  // bodies by default so the smoke test can validate the JSONL schema.
+  std::string access_log_path = flags.GetString("access-log");
+  if (selftest && access_log_path.empty()) {
+    access_log_path = flags.GetString("selftest-out") + "/access.log";
+    std::error_code ec;
+    std::filesystem::create_directories(flags.GetString("selftest-out"), ec);
+  }
+  std::unique_ptr<serve::AccessLog> access_log;
+  if (!access_log_path.empty()) {
+    auto opened = serve::AccessLog::Open(access_log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    access_log = std::move(opened).value();
+    service_options.access_log = access_log.get();
+  }
+  std::unique_ptr<serve::AccessLog> slow_log;
+  if (!flags.GetString("slow-log").empty()) {
+    auto opened = serve::AccessLog::Open(flags.GetString("slow-log"));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    slow_log = std::move(opened).value();
+    service_options.slow_log = slow_log.get();
+  }
+  service_options.slow_request_us =
+      static_cast<double>(flags.GetInt64("slow-request-us"));
   serve::ServingService service(index, service_options);
 
   serve::HttpServerOptions server_options;

@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
-#include "util/stats.h"
 
 namespace shoal::obs {
 
@@ -42,31 +42,130 @@ class Gauge {
   std::atomic<double> max_{0.0};
 };
 
-// Sample distribution: `util::RunningStats` moments plus optional fixed
-// buckets, under a per-metric mutex (samples are recorded at span/stage
-// granularity, not per-element, so contention is negligible).
+// Bucket geometry shared by HistogramMetric and its snapshots. Two
+// shapes:
+//
+//  * kLog (the default): HDR-style geometric buckets, bound i at
+//    lo * base^i, covering [lo, hi) plus an underflow bucket (< lo,
+//    including zero and negatives) and an overflow bucket (>= hi). The
+//    default layout spans 1e-6 .. 6e7 at base 1.15 — wide enough that
+//    one layout serves microsecond latencies recorded in either seconds
+//    or microseconds, and message/merge counts up to tens of millions,
+//    with every in-range quantile accurate to one bucket's ~15%
+//    relative width.
+//  * kLinear: `buckets` fixed-width bins over [lo, hi) plus the same
+//    underflow/overflow pair, for explicitly shaped distributions.
+struct BucketLayout {
+  enum class Kind { kLog, kLinear };
+
+  static BucketLayout Log(double lo, double hi, double base);
+  static BucketLayout Linear(double lo, double hi, size_t buckets);
+  // The process-wide default: Log(1e-6, 6e7, 1.15).
+  static BucketLayout DefaultLog();
+
+  // Index of the bucket `sample` falls into; 0 is underflow, back() is
+  // overflow. `sample` must be finite.
+  size_t BucketOf(double sample) const;
+
+  // Inclusive upper bound of bucket i (the Prometheus `le` value);
+  // +inf for the overflow bucket.
+  double UpperBound(size_t i) const;
+  // Lower bound of bucket i; -inf for the underflow bucket.
+  double LowerBound(size_t i) const;
+
+  size_t num_buckets() const { return bounds.size() + 1; }
+  bool operator==(const BucketLayout& other) const;
+
+  Kind kind = Kind::kLog;
+  double lo = 0.0;
+  double hi = 0.0;
+  double base = 0.0;     // log layouts only
+  size_t linear_buckets = 0;  // linear layouts only
+  // Sorted inner bucket boundaries: bucket i covers
+  // [bounds[i-1], bounds[i]), the underflow bucket is (-inf, bounds[0])
+  // and the overflow bucket [bounds.back(), +inf).
+  std::vector<double> bounds;
+};
+
+// A coherent point-in-time copy of one histogram: merged across all
+// recording shards, safe to query, merge and serialize without touching
+// the live metric. Mean/stddev come from (sum, sumsq), so they match
+// the recorded samples exactly when the metric is quiescent and are a
+// benign near-miss when snapshotted mid-record.
+struct HistogramSnapshot {
+  BucketLayout layout;
+  std::vector<uint64_t> counts;  // one per layout bucket
+  uint64_t count = 0;            // finite samples
+  uint64_t non_finite = 0;       // NaN / +-Inf samples rejected by Record
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  double stddev() const;
+
+  // Quantile estimate from the bucket counts: the value at rank
+  // ceil(q * count), linearly interpolated inside its bucket. Exact to
+  // within one bucket's width (~15% relative for the default log
+  // layout). Underflow clamps to the layout's lo, overflow to the
+  // largest observed sample. 0 when empty.
+  double Quantile(double q) const;
+
+  // Accumulates `other` (same layout required) into this snapshot, e.g.
+  // to aggregate per-shard or per-process histograms.
+  void Merge(const HistogramSnapshot& other);
+
+  util::JsonValue ToJson() const;
+};
+
+// Sample distribution with quantile support. Recording is lock-free and
+// thread-sharded: each thread is assigned one of a fixed set of shards,
+// and Record does a handful of relaxed atomic updates on that shard's
+// cache lines (bucket count, total, sum/sumsq, min/max) — no mutex, so
+// the serving hot path can record per-request latencies at millions of
+// QPS without contention. Snapshot() merges the shards.
 class HistogramMetric {
  public:
-  // Moments only.
-  HistogramMetric() = default;
-  // Moments plus `util::Histogram` buckets over [lo, hi).
+  // Default: the log-bucketed layout (BucketLayout::DefaultLog()), so
+  // every histogram is quantile-capable unless explicitly shaped.
+  HistogramMetric();
+  explicit HistogramMetric(BucketLayout layout);
+  // Legacy linear shape: `buckets` fixed-width bins over [lo, hi).
   HistogramMetric(double lo, double hi, size_t buckets);
+
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
 
   void Record(double sample);
 
-  // Snapshot of the moments (copy; safe against concurrent Record).
-  util::RunningStats Snapshot() const;
+  HistogramSnapshot Snapshot() const;
+  // Convenience: Snapshot().Quantile(q).
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
   void Reset();
 
-  util::JsonValue ToJson() const;
+  const BucketLayout& layout() const { return layout_; }
+
+  util::JsonValue ToJson() const { return Snapshot().ToJson(); }
 
  private:
-  mutable std::mutex mu_;
-  util::RunningStats stats_;
-  std::optional<util::Histogram> buckets_;
-  double lo_ = 0.0;
-  double hi_ = 0.0;
-  size_t num_buckets_ = 0;
+  // Enough shards to keep a few serving worker threads off each other's
+  // cache lines; threads are assigned round-robin.
+  static constexpr size_t kNumShards = 8;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> non_finite{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> sumsq{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+  };
+
+  BucketLayout layout_;
+  std::vector<Shard> shards_;
 };
 
 // Process-wide registry of named metrics. Handles returned by the
@@ -95,7 +194,9 @@ class MetricsRegistry {
   // kind is a programmer error (SHOAL_CHECK).
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
+  // Default log-bucketed layout — quantile-capable out of the box.
   HistogramMetric& GetHistogram(const std::string& name);
+  // Explicit linear shape (legacy); only honoured on first creation.
   HistogramMetric& GetHistogram(const std::string& name, double lo,
                                 double hi, size_t buckets);
 
@@ -107,6 +208,14 @@ class MetricsRegistry {
   util::JsonValue ToJson() const;
   std::string ToJsonString(int indent = 2) const;
 
+  // Prometheus text exposition format 0.0.4: every counter, gauge
+  // (plus a `<name>_max` gauge for the high-water mark) and histogram
+  // (`_bucket` series with cumulative `le` labels, `_sum`, `_count`).
+  // Dotted names are sanitized to [a-zA-Z0-9_:] with HELP/TYPE lines
+  // per family; empty bins are elided (the remaining cumulative series
+  // plus the mandatory `+Inf` bucket are a valid exposition).
+  std::string RenderPrometheus() const;
+
  private:
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;  // guards the maps, not the metric values
@@ -114,6 +223,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
+
+// `name` rewritten to the Prometheus metric-name alphabet: characters
+// outside [a-zA-Z0-9_:] become '_', and a leading digit gets a '_'
+// prefix. Exposed for tests and the exposition renderer.
+std::string SanitizeMetricName(const std::string& name);
 
 }  // namespace shoal::obs
 

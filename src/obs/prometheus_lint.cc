@@ -1,0 +1,317 @@
+#include "obs/prometheus_lint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace shoal::obs {
+
+namespace {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool ParseFloat(std::string_view text, double* value) {
+  if (text.empty()) return false;
+  if (text == "+Inf" || text == "Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  *value = std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != copy.c_str();
+}
+
+util::Status LineError(size_t line_no, std::string_view line,
+                       const std::string& what) {
+  return util::Status::InvalidArgument(util::StringPrintf(
+      "line %zu: %s: '%.*s'", line_no, what.c_str(),
+      static_cast<int>(std::min<size_t>(line.size(), 120)), line.data()));
+}
+
+// The base family a sample series belongs to: histogram series report
+// under `<family>_bucket` / `_sum` / `_count`.
+std::string FamilyOf(const std::string& series,
+                     const std::set<std::string>& histogram_families) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const size_t len = std::char_traits<char>::length(suffix);
+    if (series.size() > len &&
+        series.compare(series.size() - len, len, suffix) == 0) {
+      const std::string base = series.substr(0, series.size() - len);
+      if (histogram_families.contains(base)) return base;
+    }
+  }
+  return series;
+}
+
+struct BucketSeries {
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_count = -1.0;
+  bool has_inf = false;
+  double inf_count = 0.0;
+};
+
+}  // namespace
+
+util::Status LintPrometheusText(std::string_view text,
+                                std::vector<std::string>* families) {
+  std::map<std::string, std::string> type_of;  // family -> type
+  std::set<std::string> sampled;               // families with samples
+  std::set<std::string> histogram_families;
+  std::map<std::string, BucketSeries> buckets;  // histogram family state
+  std::map<std::string, double> count_value;    // `<family>_count` value
+  std::set<std::string> has_sum;
+
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# HELP name doc` / `# TYPE name type`; other comments pass.
+      if (line.size() < 2 || line[1] != ' ') {
+        return LineError(line_no, line, "comment must start with '# '");
+      }
+      std::string_view rest = line.substr(2);
+      std::string_view keyword = rest.substr(0, rest.find(' '));
+      if (keyword != "HELP" && keyword != "TYPE") continue;
+      rest.remove_prefix(std::min(rest.size(), keyword.size() + 1));
+      const size_t space = rest.find(' ');
+      std::string_view name = rest.substr(0, space);
+      if (!ValidMetricName(name)) {
+        return LineError(line_no, line,
+                         "invalid metric name in " + std::string(keyword));
+      }
+      if (keyword == "TYPE") {
+        if (space == std::string_view::npos) {
+          return LineError(line_no, line, "TYPE line missing a type");
+        }
+        std::string_view type = rest.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return LineError(line_no, line, "unknown TYPE");
+        }
+        const std::string family(name);
+        if (type_of.contains(family)) {
+          return LineError(line_no, line, "duplicate TYPE for family");
+        }
+        if (sampled.contains(family)) {
+          return LineError(line_no, line,
+                           "TYPE must precede the family's samples");
+        }
+        type_of[family] = std::string(type);
+        if (type == "histogram") histogram_families.insert(family);
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string series(line.substr(0, name_end));
+    if (!ValidMetricName(series)) {
+      return LineError(line_no, line, "invalid metric name");
+    }
+
+    // Labels.
+    double le = std::numeric_limits<double>::quiet_NaN();
+    bool has_le = false;
+    bool le_is_inf = false;
+    size_t pos = name_end;
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        size_t eq = line.find('=', pos);
+        if (eq == std::string_view::npos) {
+          return LineError(line_no, line, "label missing '='");
+        }
+        std::string_view label = line.substr(pos, eq - pos);
+        if (!ValidLabelName(label)) {
+          return LineError(line_no, line, "invalid label name");
+        }
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          return LineError(line_no, line, "label value must be quoted");
+        }
+        // Scan the quoted value honouring \" \\ \n escapes.
+        std::string value;
+        size_t v = eq + 2;
+        bool closed = false;
+        while (v < line.size()) {
+          const char c = line[v];
+          if (c == '\\') {
+            if (v + 1 >= line.size() ||
+                (line[v + 1] != '"' && line[v + 1] != '\\' &&
+                 line[v + 1] != 'n')) {
+              return LineError(line_no, line, "bad escape in label value");
+            }
+            value.push_back(line[v + 1] == 'n' ? '\n' : line[v + 1]);
+            v += 2;
+            continue;
+          }
+          if (c == '"') {
+            closed = true;
+            ++v;
+            break;
+          }
+          value.push_back(c);
+          ++v;
+        }
+        if (!closed) {
+          return LineError(line_no, line, "unterminated label value");
+        }
+        if (label == "le") {
+          has_le = true;
+          le_is_inf = value == "+Inf";
+          if (!le_is_inf && !ParseFloat(value, &le)) {
+            return LineError(line_no, line, "le label is not a number");
+          }
+        }
+        pos = v;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        return LineError(line_no, line, "unterminated label set");
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return LineError(line_no, line, "missing value");
+    }
+    std::string_view tail = line.substr(pos + 1);
+    // Optional timestamp after the value.
+    std::string_view value_text = tail.substr(0, tail.find(' '));
+    double value = 0.0;
+    if (!ParseFloat(value_text, &value)) {
+      return LineError(line_no, line, "sample value is not a number");
+    }
+    if (value_text.size() < tail.size()) {
+      double ts = 0.0;
+      if (!ParseFloat(tail.substr(value_text.size() + 1), &ts)) {
+        return LineError(line_no, line, "trailing timestamp is not a number");
+      }
+    }
+
+    const std::string family = FamilyOf(series, histogram_families);
+    if (!type_of.contains(family)) {
+      return LineError(line_no, line, "sample without a TYPE'd family");
+    }
+    sampled.insert(family);
+
+    if (histogram_families.contains(family)) {
+      if (series == family + "_bucket") {
+        if (!has_le) {
+          return LineError(line_no, line, "_bucket sample without le label");
+        }
+        BucketSeries& state = buckets[family];
+        if (le_is_inf) {
+          if (state.has_inf) {
+            return LineError(line_no, line, "duplicate +Inf bucket");
+          }
+          state.has_inf = true;
+          state.inf_count = value;
+          if (value < state.last_count) {
+            return LineError(line_no, line,
+                             "+Inf bucket below an earlier bucket count");
+          }
+        } else {
+          if (state.has_inf) {
+            return LineError(line_no, line,
+                             "finite bucket after the +Inf bucket");
+          }
+          if (le <= state.last_le) {
+            return LineError(line_no, line,
+                             "le labels must strictly increase");
+          }
+          if (value < state.last_count) {
+            return LineError(line_no, line,
+                             "bucket counts must be cumulative");
+          }
+          state.last_le = le;
+          state.last_count = value;
+        }
+      } else if (series == family + "_sum") {
+        has_sum.insert(family);
+      } else if (series == family + "_count") {
+        count_value[family] = value;
+      } else {
+        return LineError(line_no, line,
+                         "histogram family sample must be "
+                         "_bucket/_sum/_count");
+      }
+    }
+  }
+
+  // Cross-line histogram invariants.
+  for (const std::string& family : histogram_families) {
+    if (!sampled.contains(family)) continue;
+    const auto bucket = buckets.find(family);
+    if (bucket == buckets.end() || !bucket->second.has_inf) {
+      return util::Status::InvalidArgument(
+          "histogram " + family + " has no +Inf bucket");
+    }
+    if (!has_sum.contains(family)) {
+      return util::Status::InvalidArgument(
+          "histogram " + family + " has no _sum sample");
+    }
+    const auto count = count_value.find(family);
+    if (count == count_value.end()) {
+      return util::Status::InvalidArgument(
+          "histogram " + family + " has no _count sample");
+    }
+    if (count->second != bucket->second.inf_count) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "histogram %s: _count (%g) != +Inf bucket (%g)",
+          family.c_str(), count->second, bucket->second.inf_count));
+    }
+  }
+
+  if (families != nullptr) {
+    families->clear();
+    for (const auto& [name, type] : type_of) families->push_back(name);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace shoal::obs

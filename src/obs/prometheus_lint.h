@@ -1,0 +1,35 @@
+#ifndef SHOAL_OBS_PROMETHEUS_LINT_H_
+#define SHOAL_OBS_PROMETHEUS_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace shoal::obs {
+
+// Strict line checker for the Prometheus text exposition format 0.0.4,
+// the serving-tier sibling of examples/json_lint. Validates, line by
+// line:
+//
+//  * `# HELP <name> <doc>` / `# TYPE <name> <type>` comment structure
+//    (known types only, at most one TYPE per family, TYPE before the
+//    family's first sample);
+//  * sample lines `name{label="value",...} value` — metric and label
+//    names in the Prometheus alphabet, label values correctly quoted
+//    and escaped, sample values parsing as floats (+Inf/-Inf/NaN ok);
+//  * every sample belongs to a family with a declared TYPE;
+//  * histogram families: `le` labels numeric and strictly increasing,
+//    `_bucket` counts cumulative (non-decreasing), a `+Inf` bucket
+//    present and equal to `<family>_count`, and `_sum`/`_count` series
+//    present.
+//
+// Returns OK and (optionally) the family names seen, or InvalidArgument
+// naming the first offending line.
+util::Status LintPrometheusText(std::string_view text,
+                                std::vector<std::string>* families = nullptr);
+
+}  // namespace shoal::obs
+
+#endif  // SHOAL_OBS_PROMETHEUS_LINT_H_

@@ -1,0 +1,95 @@
+#include "serve/access_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace shoal::serve {
+
+namespace {
+
+void AppendStringField(std::string& out, const char* key,
+                       const std::string& value, bool first = false) {
+  if (!first) out += ", ";
+  out += '"';
+  out += key;
+  out += "\": \"";
+  util::JsonEscape(value, out);
+  out += '"';
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<AccessLog>> AccessLog::Open(
+    const std::string& path) {
+  int fd;
+  if (path == "-") {
+    fd = ::dup(STDERR_FILENO);
+  } else {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  }
+  if (fd < 0) {
+    return util::Status::IoError(util::StringPrintf(
+        "cannot open access log %s: %s", path.c_str(),
+        std::strerror(errno)));
+  }
+  return std::unique_ptr<AccessLog>(new AccessLog(path, fd));
+}
+
+AccessLog::AccessLog(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+AccessLog::~AccessLog() { ::close(fd_); }
+
+std::string AccessLog::Render(const AccessLogEntry& entry) {
+  // Hand-rolled rendering keeps this one allocation-light pass instead
+  // of building a JsonValue tree per request.
+  std::string out = "{";
+  out += "\"unix_ms\": ";
+  out += util::JsonNumberToString(static_cast<double>(entry.unix_ms));
+  AppendStringField(out, "request_id", entry.request_id);
+  AppendStringField(out, "method", entry.method);
+  AppendStringField(out, "target", entry.target);
+  AppendStringField(out, "endpoint", entry.endpoint);
+  out += util::StringPrintf(", \"status\": %d", entry.status);
+  out += ", \"latency_us\": ";
+  out += util::JsonNumberToString(entry.latency_us);
+  out += entry.cache_hit ? ", \"cache_hit\": true" : ", \"cache_hit\": false";
+  out += util::StringPrintf(
+      ", \"index_version\": %llu, \"bytes\": %llu}\n",
+      static_cast<unsigned long long>(entry.index_version),
+      static_cast<unsigned long long>(entry.bytes));
+  return out;
+}
+
+void AccessLog::Write(const AccessLogEntry& entry) {
+  const std::string line = Render(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  // One write(2) per line: O_APPEND makes the offset update atomic, so
+  // even a second process appending to the same file cannot interleave
+  // partial lines (short writes are the only tear risk; count them).
+  const ssize_t n = ::write(fd_, line.data(), line.size());
+  if (n == static_cast<ssize_t>(line.size())) {
+    ++lines_written_;
+  } else {
+    ++write_errors_;
+  }
+}
+
+uint64_t AccessLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_written_;
+}
+
+uint64_t AccessLog::write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
+}
+
+}  // namespace shoal::serve

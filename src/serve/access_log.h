@@ -1,0 +1,66 @@
+#ifndef SHOAL_SERVE_ACCESS_LOG_H_
+#define SHOAL_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::serve {
+
+// One structured access-log record, rendered as a single compact JSON
+// object per line (JSONL). The schema is documented in DESIGN.md §7.
+struct AccessLogEntry {
+  int64_t unix_ms = 0;          // wall-clock completion time
+  std::string request_id;       // never empty once the service ran
+  std::string method;           // "GET", "HEAD", ...
+  std::string target;           // raw request target incl. query string
+  std::string endpoint;         // dispatch bucket, e.g. "query", "other"
+  int status = 0;               // HTTP status code
+  double latency_us = 0.0;      // service-side handling latency
+  bool cache_hit = false;       // query-cache hit (query endpoint only)
+  uint64_t index_version = 0;   // index snapshot that served the request
+  uint64_t bytes = 0;           // response body size
+};
+
+// Append-only JSONL writer for request logs. The file is opened with
+// O_APPEND and every record is rendered to one buffer and handed to a
+// single write(2) under a mutex, so concurrently logged lines never
+// interleave — the same convention util/atomic_file.h uses for crash
+// consistency. `path` "-" writes to stderr (handy for smoke tests).
+class AccessLog {
+ public:
+  static util::Result<std::unique_ptr<AccessLog>> Open(
+      const std::string& path);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  // Renders `entry` and appends it. Errors are counted, not thrown: the
+  // serving path must never fail because a log disk filled up.
+  void Write(const AccessLogEntry& entry);
+
+  uint64_t lines_written() const;
+  uint64_t write_errors() const;
+  const std::string& path() const { return path_; }
+
+  // Renders the JSONL form without writing (exposed for tests).
+  static std::string Render(const AccessLogEntry& entry);
+
+ private:
+  AccessLog(std::string path, int fd);
+
+  const std::string path_;
+  const int fd_;
+  mutable std::mutex mu_;
+  uint64_t lines_written_ = 0;
+  uint64_t write_errors_ = 0;
+};
+
+}  // namespace shoal::serve
+
+#endif  // SHOAL_SERVE_ACCESS_LOG_H_

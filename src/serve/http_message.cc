@@ -1,6 +1,9 @@
 #include "serve/http_message.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdint>
 
 #include "util/string_util.h"
 
@@ -63,6 +66,35 @@ HttpRequest ParseRequestTarget(std::string method, std::string target) {
     }
   }
   return request;
+}
+
+std::string GenerateRequestId() {
+  // Sequence the counter, then mix with SplitMix64 so consecutive ids
+  // look unrelated (useful when grepping logs for one request).
+  static std::atomic<uint64_t> counter{0x5eedf00d};
+  uint64_t x = counter.fetch_add(1, std::memory_order_relaxed);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  static const char* kHex = "0123456789abcdef";
+  std::string id(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    id[i] = kHex[x & 0xf];
+    x >>= 4;
+  }
+  return id;
+}
+
+std::string SanitizeRequestId(std::string_view id) {
+  std::string out;
+  out.reserve(std::min<size_t>(id.size(), 64));
+  for (char c : id.substr(0, 64)) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
 }
 
 std::string_view HttpReasonPhrase(int status) {

@@ -19,6 +19,9 @@ struct HttpRequest {
   std::string path;    // decoded path component
   // Decoded query parameters in order of appearance.
   std::vector<std::pair<std::string, std::string>> params;
+  // Caller-supplied X-Request-Id (sanitized), or empty — the service
+  // generates one so every response and access-log line carries an id.
+  std::string request_id;
 
   // First value of `name`, or nullptr.
   const std::string* Param(std::string_view name) const;
@@ -28,6 +31,9 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  // Echoed back as the X-Request-Id response header by the socket
+  // layer; filled by ServingService::Handle on every request.
+  std::string request_id;
 };
 
 // Percent-decoding plus '+' -> space (application/x-www-form-urlencoded
@@ -39,6 +45,15 @@ HttpRequest ParseRequestTarget(std::string method, std::string target);
 
 // Canonical reason phrase for the status codes the service emits.
 std::string_view HttpReasonPhrase(int status);
+
+// Process-unique request id: 16 lowercase hex digits, cheap enough for
+// the per-request hot path (one relaxed atomic increment + SplitMix64).
+std::string GenerateRequestId();
+
+// Clamps a caller-supplied request id to something safe to echo into
+// headers and JSONL logs: [A-Za-z0-9._-] only (others become '_'),
+// truncated to 64 characters. Empty stays empty.
+std::string SanitizeRequestId(std::string_view id);
 
 }  // namespace shoal::serve
 

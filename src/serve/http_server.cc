@@ -62,6 +62,9 @@ std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
       HttpReasonPhrase(response.status).data());
   out += "Content-Type: " + response.content_type + "\r\n";
   out += util::StringPrintf("Content-Length: %zu\r\n", response.body.size());
+  if (!response.request_id.empty()) {
+    out += "X-Request-Id: " + response.request_id + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -93,6 +96,7 @@ std::string_view Trim(std::string_view s) {
 struct ParsedHead {
   std::string method;
   std::string target;
+  std::string request_id;  // sanitized X-Request-Id, or empty
   bool http11 = false;
   bool keep_alive = true;
   uint64_t content_length = 0;
@@ -129,6 +133,8 @@ ParsedHead ParseHead(std::string_view head) {
     if (EqualsIgnoreCase(name, "connection")) {
       if (EqualsIgnoreCase(value, "close")) parsed.keep_alive = false;
       if (EqualsIgnoreCase(value, "keep-alive")) parsed.keep_alive = true;
+    } else if (EqualsIgnoreCase(name, "x-request-id")) {
+      parsed.request_id = SanitizeRequestId(value);
     } else if (EqualsIgnoreCase(name, "content-length")) {
       uint64_t length = 0;
       for (char c : value) {
@@ -312,8 +318,9 @@ void HttpServer::ServeConnection(int fd) {
       response.body = "{\"error\": \"request body too large\"}\n";
       head.keep_alive = false;
     } else {
-      response =
-          service_->Handle(ParseRequestTarget(head.method, head.target));
+      HttpRequest request = ParseRequestTarget(head.method, head.target);
+      request.request_id = head.request_id;
+      response = service_->Handle(request);
     }
     const bool keep_alive =
         head.keep_alive && !stopping_.load(std::memory_order_relaxed);
@@ -323,9 +330,16 @@ void HttpServer::ServeConnection(int fd) {
   }
 }
 
-util::Result<HttpFetchResult> HttpFetch(const std::string& host,
-                                        uint16_t port,
-                                        const std::string& target) {
+const std::string* HttpFetchResult::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+util::Result<HttpFetchResult> HttpFetch(
+    const std::string& host, uint16_t port, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return util::Status::IoError(util::StringPrintf(
@@ -346,9 +360,12 @@ util::Result<HttpFetchResult> HttpFetch(const std::string& host,
     ::close(fd);
     return util::Status::IoError(message);
   }
-  const std::string request = "GET " + target +
-                              " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
+  request += "\r\n";
   if (!SendAll(fd, request)) {
     ::close(fd);
     return util::Status::IoError("short write sending request");
@@ -384,6 +401,27 @@ util::Result<HttpFetchResult> HttpFetch(const std::string& host,
   }
   if (result.status < 100 || result.status > 599) {
     return util::Status::IoError("malformed HTTP status code");
+  }
+  // Collect response headers (lower-cased names) for callers that check
+  // propagation, e.g. the X-Request-Id echo.
+  std::string_view head_block(raw.data(), header_end);
+  size_t line_start = head_block.find("\r\n");
+  while (line_start != std::string_view::npos &&
+         line_start + 2 < head_block.size()) {
+    line_start += 2;
+    size_t line_end = head_block.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head_block.size();
+    std::string_view line = head_block.substr(line_start, line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(Trim(line.substr(0, colon)));
+      for (char& c : name) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+      result.headers.emplace_back(std::move(name),
+                                  std::string(Trim(line.substr(colon + 1))));
+    }
+    line_start = line_end;
   }
   result.body = raw.substr(header_end + 4);
   return result;

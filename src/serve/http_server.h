@@ -6,7 +6,10 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "serve/service.h"
 #include "util/result.h"
@@ -80,13 +83,21 @@ class HttpServer {
 struct HttpFetchResult {
   int status = 0;
   std::string body;
+  // Response headers with lower-cased names, in wire order.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // First value of lower-case `name`, or nullptr.
+  const std::string* Header(std::string_view name) const;
 };
 
 // Tiny blocking HTTP/1.1 GET client for tests, the selftest harness and
 // the load generator. Sends `Connection: close` and reads to EOF.
-util::Result<HttpFetchResult> HttpFetch(const std::string& host,
-                                        uint16_t port,
-                                        const std::string& target);
+// `extra_headers` are emitted verbatim as `Name: value` request lines
+// (e.g. {{"X-Request-Id", "abc"}}).
+util::Result<HttpFetchResult> HttpFetch(
+    const std::string& host, uint16_t port, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
 
 }  // namespace shoal::serve
 

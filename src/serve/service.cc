@@ -1,11 +1,13 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/normalize.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -22,6 +24,7 @@ enum Endpoint : int {
   kTopic,
   kItem,
   kHealthz,
+  kReadyz,
   kMetrics,
   kReload,
   kOther,
@@ -34,6 +37,7 @@ const char* EndpointName(int endpoint) {
     case kTopic: return "topic";
     case kItem: return "item";
     case kHealthz: return "healthz";
+    case kReadyz: return "readyz";
     case kMetrics: return "metrics";
     case kReload: return "reload";
   }
@@ -45,14 +49,23 @@ int EndpointOf(const std::string& path) {
   if (util::StartsWith(path, "/v1/topic/")) return kTopic;
   if (util::StartsWith(path, "/v1/item/")) return kItem;
   if (path == "/healthz") return kHealthz;
+  if (path == "/readyz") return kReadyz;
   if (path == "/metrics") return kMetrics;
   if (path == "/admin/reload") return kReload;
   return kOther;
 }
 
+int64_t UnixMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 // Records one request against the serve.* namespace; a no-op while the
-// registry is disabled (one relaxed atomic load).
-void RecordMetrics(int endpoint, int status, double micros) {
+// registry is disabled (one relaxed atomic load). The latency
+// histograms use the default log-bucketed layout, so p50..p999 come out
+// of the same counters the JSON snapshot and Prometheus exposition use.
+void RecordMetrics(int endpoint, int status, double micros, bool slow) {
   auto& registry = obs::MetricsRegistry::Global();
   if (!registry.enabled()) return;
   const std::string prefix = std::string("serve.") + EndpointName(endpoint);
@@ -62,8 +75,8 @@ void RecordMetrics(int endpoint, int status, double micros) {
     registry.GetCounter(prefix + ".errors").Increment();
     registry.GetCounter("serve.requests.errors").Increment();
   }
-  registry.GetHistogram(prefix + ".latency_us", 0.0, 20000.0, 40)
-      .Record(micros);
+  if (slow) registry.GetCounter("serve.requests.slow").Increment();
+  registry.GetHistogram(prefix + ".latency_us").Record(micros);
 }
 
 void CountServeEvent(const char* name) {
@@ -133,14 +146,15 @@ std::optional<uint32_t> ParseId(const std::string& text) {
 
 ServingService::ServingService(std::shared_ptr<const ServingIndex> index,
                                ServiceOptions options)
-    : options_(std::move(options)), index_(std::move(index)) {
-  SHOAL_CHECK(index_ != nullptr) << "ServingService needs an index";
+    : options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()),
+      index_(std::move(index)) {
   if (options_.cache_entries > 0) {
     cache_ = std::make_unique<ShardedLruCache>(options_.cache_entries,
                                                options_.cache_shards);
   }
   auto& registry = obs::MetricsRegistry::Global();
-  if (registry.enabled()) {
+  if (registry.enabled() && index_ != nullptr) {
     registry.GetGauge("serve.index.version")
         .Set(static_cast<double>(index_->version));
   }
@@ -149,6 +163,16 @@ ServingService::ServingService(std::shared_ptr<const ServingIndex> index,
 std::shared_ptr<const ServingIndex> ServingService::Acquire() const {
   std::lock_guard<std::mutex> lock(index_mu_);
   return index_;
+}
+
+bool ServingService::ready() const { return Acquire() != nullptr; }
+
+void ServingService::RecordReload(bool ok, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(reload_status_mu_);
+  last_reload_.attempted = true;
+  last_reload_.ok = ok;
+  last_reload_.detail = detail;
+  last_reload_.unix_ms = UnixMillis();
 }
 
 void ServingService::SwapIndex(std::shared_ptr<const ServingIndex> index) {
@@ -174,18 +198,22 @@ util::Status ServingService::Reload() {
   std::lock_guard<std::mutex> reload_lock(reload_mu_);
   if (options_.index_path.empty()) {
     CountServeEvent("serve.reload.failures");
-    return util::Status::FailedPrecondition(
+    util::Status status = util::Status::FailedPrecondition(
         "no index path configured for reload");
+    RecordReload(false, status.ToString());
+    return status;
   }
   auto loaded = ReadServingIndexFile(options_.index_path);
   if (!loaded.ok()) {
     // The old index keeps serving; the caller sees exactly why the new
     // one was rejected.
     CountServeEvent("serve.reload.failures");
+    RecordReload(false, loaded.status().ToString());
     return loaded.status();
   }
   SwapIndex(std::make_shared<const ServingIndex>(std::move(loaded).value()));
   CountServeEvent("serve.reload.successes");
+  RecordReload(true, "ok");
   return util::Status::OK();
 }
 
@@ -193,30 +221,57 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
   util::Stopwatch stopwatch;
   const std::shared_ptr<const ServingIndex> index = Acquire();
   const int endpoint = EndpointOf(request.path);
+  obs::ScopedSpan span("serve.request");
+  span.AddArg("endpoint", static_cast<double>(endpoint));
 
   const bool cacheable = cache_ != nullptr && request.method == "GET" &&
-                         util::StartsWith(request.path, "/v1/");
+                         util::StartsWith(request.path, "/v1/") &&
+                         index != nullptr;
   HttpResponse response;
+  bool cache_hit = false;
   std::string cached_body;
   if (cacheable && cache_->Get(request.target, &cached_body)) {
     CountServeEvent("serve.cache.hits");
+    cache_hit = true;
     response.body = std::move(cached_body);
   } else {
     if (cacheable) CountServeEvent("serve.cache.misses");
-    const char* unused = nullptr;
-    response = Dispatch(request, *index, &unused);
+    response = Dispatch(request, index.get());
     if (cacheable && response.status == 200) {
       cache_->Put(request.target, response.body);
     }
   }
-  RecordMetrics(endpoint, response.status, stopwatch.ElapsedSeconds() * 1e6);
+  response.request_id = request.request_id.empty()
+                            ? GenerateRequestId()
+                            : request.request_id;
+
+  const double micros = stopwatch.ElapsedSeconds() * 1e6;
+  const bool slow =
+      options_.slow_request_us > 0.0 && micros > options_.slow_request_us;
+  span.AddArg("status", static_cast<double>(response.status));
+  span.AddArg("cache_hit", cache_hit ? 1.0 : 0.0);
+  RecordMetrics(endpoint, response.status, micros, slow);
+
+  if (options_.access_log != nullptr || (slow && options_.slow_log)) {
+    AccessLogEntry entry;
+    entry.unix_ms = UnixMillis();
+    entry.request_id = response.request_id;
+    entry.method = request.method;
+    entry.target = request.target;
+    entry.endpoint = EndpointName(endpoint);
+    entry.status = response.status;
+    entry.latency_us = micros;
+    entry.cache_hit = cache_hit;
+    entry.index_version = index != nullptr ? index->version : 0;
+    entry.bytes = response.body.size();
+    if (options_.access_log != nullptr) options_.access_log->Write(entry);
+    if (slow && options_.slow_log != nullptr) options_.slow_log->Write(entry);
+  }
   return response;
 }
 
 HttpResponse ServingService::Dispatch(const HttpRequest& request,
-                                      const ServingIndex& index,
-                                      const char** endpoint) {
-  (void)endpoint;
+                                      const ServingIndex* index) {
   const int which = EndpointOf(request.path);
   if (which == kReload) {
     if (request.method != "GET" && request.method != "POST") {
@@ -228,16 +283,25 @@ HttpResponse ServingService::Dispatch(const HttpRequest& request,
     return ErrorResponse(405, "only GET is supported");
   }
   switch (which) {
-    case kQuery:
-      return HandleQuery(request, index);
-    case kTopic:
-      return HandleTopic(request.path.substr(10), index);  // "/v1/topic/"
-    case kItem:
-      return HandleItem(request.path.substr(9), index);  // "/v1/item/"
     case kHealthz:
       return HandleHealthz(index);
+    case kReadyz:
+      return HandleReadyz(index);
     case kMetrics:
-      return HandleMetrics();
+      return HandleMetrics(request);
+  }
+  if (index == nullptr) {
+    // Data endpoints cannot answer before the first index loads; 503
+    // tells load balancers to retry rather than cache a 404.
+    return ErrorResponse(503, "index not loaded yet");
+  }
+  switch (which) {
+    case kQuery:
+      return HandleQuery(request, *index);
+    case kTopic:
+      return HandleTopic(request.path.substr(10), *index);  // "/v1/topic/"
+    case kItem:
+      return HandleItem(request.path.substr(9), *index);  // "/v1/item/"
   }
   return ErrorResponse(404, "no such endpoint: " + request.path);
 }
@@ -257,7 +321,10 @@ HttpResponse ServingService::HandleQuery(const HttpRequest& request,
     k = std::min<size_t>(*parsed, options_.max_k);
   }
 
+  obs::ScopedSpan lookup_span("serve.lookup");
   const ServingIndex::Lookup lookup = index.Find(*q);
+  lookup_span.AddArg("found", lookup.query != kNoQuery ? 1.0 : 0.0);
+  lookup_span.End();
   util::JsonValue body = util::JsonValue::Object();
   body.Set("query", util::JsonValue::Str(*q));
   body.Set("normalized", util::JsonValue::Str(text::NormalizeQuery(*q)));
@@ -350,22 +417,66 @@ HttpResponse ServingService::HandleItem(const std::string& suffix,
   return JsonResponse(200, body);
 }
 
-HttpResponse ServingService::HandleHealthz(const ServingIndex& index) {
+HttpResponse ServingService::HandleHealthz(const ServingIndex* index) {
+  // Liveness: answers 200 as soon as the process serves requests, even
+  // before the first index loads (readiness is /readyz's job).
   util::JsonValue body = util::JsonValue::Object();
   body.Set("status", util::JsonValue::Str("ok"));
+  if (index == nullptr) {
+    body.Set("index_version", util::JsonValue::Null());
+    return JsonResponse(200, body);
+  }
   body.Set("index_version",
-           util::JsonValue::Number(static_cast<double>(index.version)));
+           util::JsonValue::Number(static_cast<double>(index->version)));
   body.Set("topics", util::JsonValue::Number(
-                         static_cast<double>(index.num_topics())));
+                         static_cast<double>(index->num_topics())));
   body.Set("entities", util::JsonValue::Number(
-                           static_cast<double>(index.num_entities())));
+                           static_cast<double>(index->num_entities())));
   body.Set("queries", util::JsonValue::Number(
-                          static_cast<double>(index.num_queries())));
+                          static_cast<double>(index->num_queries())));
   return JsonResponse(200, body);
 }
 
-HttpResponse ServingService::HandleMetrics() {
+HttpResponse ServingService::HandleReadyz(const ServingIndex* index) {
+  const double uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  util::JsonValue body = util::JsonValue::Object();
+  body.Set("status",
+           util::JsonValue::Str(index != nullptr ? "ready" : "unready"));
+  body.Set("index_version",
+           index != nullptr
+               ? util::JsonValue::Number(static_cast<double>(index->version))
+               : util::JsonValue::Null());
+  body.Set("uptime_seconds", util::JsonValue::Number(uptime_seconds));
+  {
+    std::lock_guard<std::mutex> lock(reload_status_mu_);
+    if (last_reload_.attempted) {
+      util::JsonValue reload = util::JsonValue::Object();
+      reload.Set("ok", util::JsonValue::Bool(last_reload_.ok));
+      reload.Set("detail", util::JsonValue::Str(last_reload_.detail));
+      reload.Set("unix_ms", util::JsonValue::Number(
+                                static_cast<double>(last_reload_.unix_ms)));
+      body.Set("last_reload", std::move(reload));
+    } else {
+      body.Set("last_reload", util::JsonValue::Null());
+    }
+  }
+  return JsonResponse(index != nullptr ? 200 : 503, body);
+}
+
+HttpResponse ServingService::HandleMetrics(const HttpRequest& request) {
   HttpResponse response;
+  const std::string* format = request.Param("format");
+  if (format != nullptr && *format == "prometheus") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::MetricsRegistry::Global().RenderPrometheus();
+    return response;
+  }
+  if (format != nullptr && *format != "json") {
+    return ErrorResponse(400, "unknown metrics format: " + *format);
+  }
   response.body = obs::MetricsRegistry::Global().ToJsonString(2);
   response.body.push_back('\n');
   return response;

@@ -1,10 +1,13 @@
 #ifndef SHOAL_SERVE_SERVICE_H_
 #define SHOAL_SERVE_SERVICE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "serve/access_log.h"
 #include "serve/http_message.h"
 #include "serve/lru_cache.h"
 #include "serve/serving_index.h"
@@ -23,6 +26,12 @@ struct ServiceOptions {
   // requested k is clamped to.
   size_t default_k = 5;
   size_t max_k = 100;
+  // JSONL request logs (not owned; must outlive the service). Null
+  // disables. `slow_log` receives only requests slower than
+  // `slow_request_us` (0 sends nothing to the slow log).
+  AccessLog* access_log = nullptr;
+  AccessLog* slow_log = nullptr;
+  double slow_request_us = 0.0;
 };
 
 // The endpoint layer: pure request -> response over an immutable
@@ -37,16 +46,26 @@ struct ServiceOptions {
 //   GET /v1/topic/<id>             description, children, path-to-root
 //   GET /v1/item/<id>              entity -> topic / category mapping
 //   GET /healthz                   liveness + live index version
+//   GET /readyz                    readiness: 503 until an index is live
 //   GET /metrics                   obs::MetricsRegistry JSON snapshot
+//                                  (?format=prometheus for text 0.0.4)
 //   GET|POST /admin/reload         load + validate + swap options.index_path
 //
+// Every response carries an X-Request-Id: the caller's header value
+// (sanitized) or a generated 16-hex id. When options.access_log is set,
+// each request appends one JSONL record; requests slower than
+// options.slow_request_us additionally go to options.slow_log.
+//
 // Metrics (namespace serve.*, recorded when the global registry is
-// enabled): serve.<endpoint>.requests / .errors / .latency_us,
-// serve.requests.total, serve.requests.errors, serve.cache.hits /
+// enabled): serve.<endpoint>.requests / .errors / .latency_us
+// (log-bucketed; p50..p999 in snapshots), serve.requests.total,
+// serve.requests.errors, serve.requests.slow, serve.cache.hits /
 // .misses, serve.reload.successes / .failures, serve.index.version,
 // serve.index.swaps.
 class ServingService {
  public:
+  // `index` may be null: the service starts unready (/readyz answers
+  // 503 and /v1/* answer 503) until SwapIndex or Reload installs one.
   ServingService(std::shared_ptr<const ServingIndex> index,
                  ServiceOptions options);
 
@@ -63,29 +82,46 @@ class ServingService {
   // Swaps a pre-validated index in directly (startup, tests, pollers).
   void SwapIndex(std::shared_ptr<const ServingIndex> index);
 
-  // The live index (never null). In-flight holders keep old versions
-  // alive after a swap until their requests finish.
+  // The live index, or null while unready. In-flight holders keep old
+  // versions alive after a swap until their requests finish.
   std::shared_ptr<const ServingIndex> Acquire() const;
+
+  // True once an index has been installed.
+  bool ready() const;
 
   const ShardedLruCache* cache() const { return cache_.get(); }
 
  private:
+  // Outcome of the most recent reload attempt, surfaced by /readyz.
+  struct ReloadStatus {
+    bool attempted = false;
+    bool ok = false;
+    std::string detail;
+    int64_t unix_ms = 0;
+  };
+
   HttpResponse Dispatch(const HttpRequest& request,
-                        const ServingIndex& index, const char** endpoint);
+                        const ServingIndex* index);
   HttpResponse HandleQuery(const HttpRequest& request,
                            const ServingIndex& index);
   HttpResponse HandleTopic(const std::string& suffix,
                            const ServingIndex& index);
   HttpResponse HandleItem(const std::string& suffix,
                           const ServingIndex& index);
-  HttpResponse HandleHealthz(const ServingIndex& index);
-  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz(const ServingIndex* index);
+  HttpResponse HandleReadyz(const ServingIndex* index);
+  HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleReload();
 
+  void RecordReload(bool ok, const std::string& detail);
+
   ServiceOptions options_;
+  const std::chrono::steady_clock::time_point start_time_;
   mutable std::mutex index_mu_;  // guards index_ pointer swaps
   std::shared_ptr<const ServingIndex> index_;
   std::mutex reload_mu_;  // serializes reloads, not request traffic
+  mutable std::mutex reload_status_mu_;
+  ReloadStatus last_reload_;
   std::unique_ptr<ShardedLruCache> cache_;  // null when disabled
 };
 

@@ -148,7 +148,7 @@ TEST_F(ObservabilityTest, MetricsAgreeWithBuildStats) {
   EXPECT_EQ(registry.GetCounter("shoal.builds").value(), 1u);
   EXPECT_GT(registry.GetGauge("bsp.pool.peak_queue_depth").max(), 0.0);
   EXPECT_EQ(
-      registry.GetHistogram("hac.round.merges").Snapshot().count(),
+      registry.GetHistogram("hac.round.merges").Snapshot().count,
       static_cast<size_t>(model.stats().hac.rounds));
 
   // The snapshot is parseable JSON carrying those names.

@@ -1,0 +1,167 @@
+// Tests for the Prometheus text exposition (MetricsRegistry::
+// RenderPrometheus) and the strict line checker (LintPrometheusText)
+// that gates it in CI — each side validates the other: the renderer's
+// output must pass the checker, and hand-corrupted variants must fail.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/prometheus_lint.h"
+
+namespace shoal::obs {
+namespace {
+
+// A registry exercising every metric kind, dotted names included.
+void PopulateRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("serve.requests.total").Increment(42);
+  registry.GetCounter("serve.query.errors").Increment(1);
+  registry.GetGauge("serve.index.version").Set(3.0);
+  HistogramMetric& latency = registry.GetHistogram("serve.query.latency_us");
+  for (int i = 0; i < 500; ++i) {
+    latency.Record(static_cast<double>(i % 100 + 1));
+  }
+  latency.Record(1e9);  // overflow bucket must still lint
+}
+
+TEST(SanitizeMetricNameTest, RewritesToPrometheusAlphabet) {
+  EXPECT_EQ(SanitizeMetricName("serve.query.latency_us"),
+            "serve_query_latency_us");
+  EXPECT_EQ(SanitizeMetricName("hac-round/merges"), "hac_round_merges");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("already_fine:name"), "already_fine:name");
+}
+
+TEST(RenderPrometheusTest, OutputPassesTheStrictLinter) {
+  MetricsRegistry registry;
+  PopulateRegistry(registry);
+  std::vector<std::string> families;
+  auto status = LintPrometheusText(registry.RenderPrometheus(), &families);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // Dotted names arrive sanitized; gauges add a _max family.
+  EXPECT_NE(std::find(families.begin(), families.end(),
+                      "serve_requests_total"), families.end());
+  EXPECT_NE(std::find(families.begin(), families.end(),
+                      "serve_query_latency_us"), families.end());
+  EXPECT_NE(std::find(families.begin(), families.end(),
+                      "serve_index_version"), families.end());
+}
+
+TEST(RenderPrometheusTest, HistogramSeriesAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  PopulateRegistry(registry);
+  const std::string text = registry.RenderPrometheus();
+  // The linter enforces: le strictly increasing, counts cumulative, a
+  // single +Inf bucket equal to _count, _sum present. Spot-check the
+  // series exist at all, then trust the checker for the invariants.
+  EXPECT_NE(text.find("serve_query_latency_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_query_latency_us_bucket{le=\"+Inf\"} 501"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_query_latency_us_count 501"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_query_latency_us_sum"), std::string::npos);
+  EXPECT_TRUE(LintPrometheusText(text).ok());
+}
+
+TEST(RenderPrometheusTest, EmptyRegistryRendersEmptyValidExposition) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(LintPrometheusText(registry.RenderPrometheus()).ok());
+}
+
+TEST(PrometheusLintTest, AcceptsCanonicalHandWrittenExposition) {
+  const std::string text =
+      "# HELP rpc_latency_us request latency\n"
+      "# TYPE rpc_latency_us histogram\n"
+      "rpc_latency_us_bucket{le=\"10\"} 3\n"
+      "rpc_latency_us_bucket{le=\"100\"} 7\n"
+      "rpc_latency_us_bucket{le=\"+Inf\"} 9\n"
+      "rpc_latency_us_sum 421.5\n"
+      "rpc_latency_us_count 9\n"
+      "# TYPE up gauge\n"
+      "up 1\n";
+  std::vector<std::string> families;
+  auto status = LintPrometheusText(text, &families);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(families.size(), 2u);
+}
+
+TEST(PrometheusLintTest, RejectsNonMonotonicLeLabels) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"100\"} 3\n"
+      "h_bucket{le=\"10\"} 5\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 5\n";
+  auto status = LintPrometheusText(text);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("strictly increase"), std::string::npos);
+}
+
+TEST(PrometheusLintTest, RejectsNonCumulativeBucketCounts) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"10\"} 5\n"
+      "h_bucket{le=\"100\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 5\n";
+  auto status = LintPrometheusText(text);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("cumulative"), std::string::npos);
+}
+
+TEST(PrometheusLintTest, RejectsCountDisagreeingWithInfBucket) {
+  const std::string text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 7\n";
+  auto status = LintPrometheusText(text);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("_count"), std::string::npos);
+}
+
+TEST(PrometheusLintTest, RejectsMissingInfBucketOrSum) {
+  EXPECT_FALSE(LintPrometheusText("# TYPE h histogram\n"
+                                  "h_bucket{le=\"10\"} 5\n"
+                                  "h_sum 1\nh_count 5\n")
+                   .ok());
+  EXPECT_FALSE(LintPrometheusText("# TYPE h histogram\n"
+                                  "h_bucket{le=\"+Inf\"} 5\n"
+                                  "h_count 5\n")
+                   .ok());
+}
+
+TEST(PrometheusLintTest, RejectsBadNamesValuesAndStructure) {
+  // Invalid metric name (dot).
+  EXPECT_FALSE(LintPrometheusText("# TYPE a.b counter\na.b 1\n").ok());
+  // Sample without a TYPE'd family.
+  EXPECT_FALSE(LintPrometheusText("lonely 1\n").ok());
+  // Value is not a number.
+  EXPECT_FALSE(
+      LintPrometheusText("# TYPE x counter\nx banana\n").ok());
+  // Unterminated label value.
+  EXPECT_FALSE(
+      LintPrometheusText("# TYPE x counter\nx{a=\"b} 1\n").ok());
+  // Duplicate TYPE.
+  EXPECT_FALSE(LintPrometheusText("# TYPE x counter\n# TYPE x gauge\nx 1\n")
+                   .ok());
+  // Unknown TYPE.
+  EXPECT_FALSE(LintPrometheusText("# TYPE x fancy\nx 1\n").ok());
+}
+
+TEST(PrometheusLintTest, AcceptsEscapesAndTimestamps) {
+  const std::string text =
+      "# TYPE x counter\n"
+      "x{path=\"a\\\\b\\\"c\\nd\"} 7 1712345678\n";
+  auto status = LintPrometheusText(text);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace shoal::obs

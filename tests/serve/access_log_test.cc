@@ -1,0 +1,150 @@
+#include "serve/access_log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/tsv.h"
+
+namespace shoal::serve {
+namespace {
+
+class AccessLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("shoal_access_log_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+AccessLogEntry SampleEntry() {
+  AccessLogEntry entry;
+  entry.unix_ms = 1712345678901;
+  entry.request_id = "abc123";
+  entry.method = "GET";
+  entry.target = "/v1/query?q=red+dress";
+  entry.endpoint = "query";
+  entry.status = 200;
+  entry.latency_us = 83.5;
+  entry.cache_hit = true;
+  entry.index_version = 7;
+  entry.bytes = 512;
+  return entry;
+}
+
+TEST_F(AccessLogTest, RenderIsOneParseableJsonLine) {
+  const std::string line = AccessLog::Render(SampleEntry());
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // single line
+  auto parsed = util::JsonValue::Parse(
+      std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->Find("unix_ms")->number(), 1712345678901.0);
+  EXPECT_EQ(parsed->Find("request_id")->string_value(), "abc123");
+  EXPECT_EQ(parsed->Find("method")->string_value(), "GET");
+  EXPECT_EQ(parsed->Find("target")->string_value(), "/v1/query?q=red+dress");
+  EXPECT_EQ(parsed->Find("endpoint")->string_value(), "query");
+  EXPECT_DOUBLE_EQ(parsed->Find("status")->number(), 200.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("latency_us")->number(), 83.5);
+  EXPECT_TRUE(parsed->Find("cache_hit")->bool_value());
+  EXPECT_DOUBLE_EQ(parsed->Find("index_version")->number(), 7.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("bytes")->number(), 512.0);
+}
+
+TEST_F(AccessLogTest, RenderEscapesHostileTargets) {
+  AccessLogEntry entry = SampleEntry();
+  entry.target = "/v1/query?q=\"quoted\"\\back\nnewline";
+  const std::string line = AccessLog::Render(entry);
+  auto parsed = util::JsonValue::Parse(
+      std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("target")->string_value(), entry.target);
+}
+
+TEST_F(AccessLogTest, WritesAppendAcrossReopens) {
+  const std::string path = Path("access.log");
+  {
+    auto log = AccessLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    (*log)->Write(SampleEntry());
+    EXPECT_EQ((*log)->lines_written(), 1u);
+    EXPECT_EQ((*log)->write_errors(), 0u);
+  }
+  {
+    // Reopen appends instead of truncating — crash-restart safe.
+    auto log = AccessLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    (*log)->Write(SampleEntry());
+  }
+  auto text = util::ReadTextFile(path);
+  ASSERT_TRUE(text.ok());
+  size_t lines = 0;
+  for (char c : *text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(AccessLogTest, ConcurrentWritesNeverInterleave) {
+  const std::string path = Path("concurrent.log");
+  auto opened = AccessLog::Open(path);
+  ASSERT_TRUE(opened.ok());
+  AccessLog& log = **opened;
+  constexpr int kThreads = 4;
+  constexpr int kLines = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      AccessLogEntry entry = SampleEntry();
+      entry.request_id = "thread-" + std::to_string(t);
+      for (int i = 0; i < kLines; ++i) log.Write(entry);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(log.lines_written(), static_cast<uint64_t>(kThreads) * kLines);
+  EXPECT_EQ(log.write_errors(), 0u);
+
+  // Every line must parse as its own JSON document — a torn or
+  // interleaved write would break parsing.
+  auto text = util::ReadTextFile(path);
+  ASSERT_TRUE(text.ok());
+  size_t parsed_lines = 0;
+  size_t start = 0;
+  while (start < text->size()) {
+    size_t end = text->find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    auto parsed = util::JsonValue::Parse(
+        std::string_view(text->data() + start, end - start));
+    ASSERT_TRUE(parsed.ok()) << "line " << parsed_lines << ": "
+                             << parsed.status().ToString();
+    ++parsed_lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(parsed_lines, static_cast<size_t>(kThreads) * kLines);
+}
+
+TEST_F(AccessLogTest, OpenFailsCleanlyOnBadPath) {
+  auto opened = AccessLog::Open(Path("no/such/dir/access.log"));
+  EXPECT_FALSE(opened.ok());
+}
+
+}  // namespace
+}  // namespace shoal::serve

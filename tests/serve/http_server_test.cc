@@ -147,6 +147,31 @@ TEST_F(HttpServerTest, KeepAliveServesSequentialRequests) {
   EXPECT_NE(raw.find("Connection: close"), std::string::npos);
 }
 
+TEST_F(HttpServerTest, RequestIdIsEchoedOrGeneratedOverSockets) {
+  // A caller-supplied X-Request-Id is echoed back verbatim...
+  auto echoed = HttpFetch(server_->host(), server_->port(), "/healthz",
+                          {{"X-Request-Id", "trace-me-123"}});
+  ASSERT_TRUE(echoed.ok()) << echoed.status().ToString();
+  const std::string* id = echoed->Header("x-request-id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "trace-me-123");
+
+  // ...hostile ids are sanitized rather than reflected raw...
+  auto hostile = HttpFetch(server_->host(), server_->port(), "/healthz",
+                           {{"X-Request-Id", "bad\tid{}"}});
+  ASSERT_TRUE(hostile.ok());
+  id = hostile->Header("x-request-id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->find_first_of("\t{}"), std::string::npos);
+
+  // ...and requests without one still get a generated id.
+  auto anonymous = Fetch("/v1/query?q=router");
+  id = anonymous.Header("x-request-id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->size(), 16u);
+  EXPECT_EQ(id->find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
 TEST_F(HttpServerTest, MalformedRequestLineIsBadRequest) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);

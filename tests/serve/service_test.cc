@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/prometheus_lint.h"
+#include "serve/access_log.h"
 #include "serve_test_util.h"
 #include "util/json.h"
 #include "util/tsv.h"
@@ -148,6 +150,84 @@ TEST(ServiceMiscTest, HealthzMetricsAndNotFound) {
             405);
 }
 
+TEST(ServiceReadyzTest, ReadyServiceReports200WithVersionAndUptime) {
+  ServeFixture f;
+  ServingService service(CompileShared(f, /*version=*/9), ServiceOptions());
+  EXPECT_TRUE(service.ready());
+  auto response = service.Handle(Get("/readyz"));
+  EXPECT_EQ(response.status, 200);
+  auto body = MustParse(response.body);
+  EXPECT_EQ(body.Find("status")->string_value(), "ready");
+  EXPECT_EQ(body.Find("index_version")->number(), 9.0);
+  EXPECT_GE(body.Find("uptime_seconds")->number(), 0.0);
+  EXPECT_TRUE(body.Find("last_reload")->is_null());
+}
+
+TEST(ServiceRequestIdTest, GeneratesWhenAbsentEchoesWhenPresent) {
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+
+  auto anonymous = service.Handle(Get("/v1/query?q=router"));
+  EXPECT_EQ(anonymous.request_id.size(), 16u);  // generated: 16 hex chars
+  EXPECT_EQ(anonymous.request_id.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  auto another = service.Handle(Get("/v1/query?q=router"));
+  EXPECT_NE(anonymous.request_id, another.request_id);
+
+  HttpRequest tagged = Get("/healthz");
+  tagged.request_id = "caller-supplied.id-1";
+  EXPECT_EQ(service.Handle(tagged).request_id, "caller-supplied.id-1");
+}
+
+TEST(ServiceMetricsTest, PrometheusFormatPassesStrictLinter) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Enable();
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  (void)service.Handle(Get("/v1/query?q=router"));
+  (void)service.Handle(Get("/healthz"));
+
+  auto response = service.Handle(Get("/metrics?format=prometheus"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  std::vector<std::string> families;
+  auto status = obs::LintPrometheusText(response.body, &families);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(service.Handle(Get("/metrics?format=xml")).status, 400);
+  // Explicit json and the default agree.
+  EXPECT_EQ(service.Handle(Get("/metrics?format=json")).status, 200);
+  registry.Reset();
+  registry.Disable();
+}
+
+// Observability must never change what callers see: the same request
+// stream produces byte-identical bodies with metrics on or off.
+TEST(ServiceObservabilityTest, BodiesAreByteIdenticalWithMetricsOnAndOff) {
+  ServeFixture f;
+  auto index = CompileShared(f);
+  const std::vector<std::string> targets = {
+      "/v1/query?q=router&k=3", "/v1/query?q=BEACH+chair",
+      "/v1/topic/0",            "/v1/item/0",
+      "/healthz",               "/nope",
+  };
+  auto& registry = obs::MetricsRegistry::Global();
+
+  registry.Disable();
+  ServingService off(index, ServiceOptions());
+  std::vector<std::string> off_bodies;
+  for (const auto& t : targets) off_bodies.push_back(off.Handle(Get(t)).body);
+
+  registry.Enable();
+  ServingService on(index, ServiceOptions());
+  std::vector<std::string> on_bodies;
+  for (const auto& t : targets) on_bodies.push_back(on.Handle(Get(t)).body);
+  registry.Reset();
+  registry.Disable();
+
+  EXPECT_EQ(off_bodies, on_bodies);
+}
+
 TEST(ServiceCacheTest, RepeatHitsCacheAndStaysByteIdentical) {
   ServeFixture f;
   ServingService service(CompileShared(f), ServiceOptions());
@@ -275,6 +355,87 @@ TEST_F(ServiceReloadTest, CorruptFileKeepsOldIndexAndCountsFailure) {
   EXPECT_EQ(registry.GetCounter("serve.reload.failures").value(), 1u);
   registry.Reset();
   registry.Disable();
+}
+
+TEST_F(ServiceReloadTest, UnreadyServiceGates503UntilReloadInstallsIndex) {
+  ServeFixture f;
+  const std::string path = Path("live.idx");
+  {
+    auto index = f.Compile(CompileOptions{.version = 5});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(WriteServingIndexFile(path, *index).ok());
+  }
+  ServiceOptions options;
+  options.index_path = path;
+  // Boot with no index at all: alive but unready.
+  ServingService service(nullptr, options);
+  EXPECT_FALSE(service.ready());
+  EXPECT_EQ(service.Handle(Get("/healthz")).status, 200);  // liveness
+  auto unready = service.Handle(Get("/readyz"));
+  EXPECT_EQ(unready.status, 503);
+  auto body = MustParse(unready.body);
+  EXPECT_EQ(body.Find("status")->string_value(), "unready");
+  EXPECT_TRUE(body.Find("index_version")->is_null());
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router")).status, 503);
+  EXPECT_EQ(service.Handle(Get("/v1/topic/0")).status, 503);
+  EXPECT_EQ(service.Handle(Get("/metrics")).status, 200);  // obs stays up
+
+  // Reload installs the index and flips readiness.
+  EXPECT_EQ(service.Handle(Get("/admin/reload")).status, 200);
+  EXPECT_TRUE(service.ready());
+  auto ready = service.Handle(Get("/readyz"));
+  EXPECT_EQ(ready.status, 200);
+  body = MustParse(ready.body);
+  EXPECT_EQ(body.Find("status")->string_value(), "ready");
+  EXPECT_EQ(body.Find("index_version")->number(), 5.0);
+  ASSERT_FALSE(body.Find("last_reload")->is_null());
+  EXPECT_TRUE(body.Find("last_reload")->Find("ok")->bool_value());
+  EXPECT_EQ(service.Handle(Get("/v1/query?q=router")).status, 200);
+}
+
+TEST_F(ServiceReloadTest, AccessAndSlowLogsCaptureRequests) {
+  ServeFixture f;
+  auto access = AccessLog::Open(Path("access.log"));
+  ASSERT_TRUE(access.ok());
+  auto slow = AccessLog::Open(Path("slow.log"));
+  ASSERT_TRUE(slow.ok());
+  ServiceOptions options;
+  options.access_log = access->get();
+  options.slow_log = slow->get();
+  options.slow_request_us = 1e-3;  // everything counts as slow
+  ServingService service(CompileShared(f, /*version=*/4), options);
+
+  (void)service.Handle(Get("/v1/query?q=router"));
+  (void)service.Handle(Get("/v1/query?q=router"));  // cache hit
+  (void)service.Handle(Get("/nope"));
+  EXPECT_EQ((*access)->lines_written(), 3u);
+  EXPECT_EQ((*slow)->lines_written(), 3u);
+
+  auto text = util::ReadTextFile(Path("access.log"));
+  ASSERT_TRUE(text.ok());
+  std::vector<util::JsonValue> entries;
+  size_t start = 0;
+  while (start < text->size()) {
+    size_t end = text->find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    auto parsed = util::JsonValue::Parse(
+        std::string_view(text->data() + start, end - start));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    entries.push_back(std::move(parsed).value());
+    start = end + 1;
+  }
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].Find("endpoint")->string_value(), "query");
+  EXPECT_EQ(entries[0].Find("status")->number(), 200.0);
+  EXPECT_FALSE(entries[0].Find("cache_hit")->bool_value());
+  EXPECT_TRUE(entries[1].Find("cache_hit")->bool_value());
+  EXPECT_EQ(entries[1].Find("index_version")->number(), 4.0);
+  EXPECT_EQ(entries[2].Find("status")->number(), 404.0);
+  EXPECT_GE(entries[0].Find("latency_us")->number(), 0.0);
+  EXPECT_FALSE(entries[0].Find("request_id")->string_value().empty());
+  EXPECT_EQ(entries[0].Find("bytes")->number(),
+            static_cast<double>(
+                service.Handle(Get("/v1/query?q=router")).body.size()));
 }
 
 TEST_F(ServiceReloadTest, ReloadWithoutPathFailsCleanly) {
