@@ -28,8 +28,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -39,6 +42,7 @@
 #include "serve/http_server.h"
 #include "serve/service.h"
 #include "serve/serving_index.h"
+#include "util/rcu.h"
 
 namespace {
 
@@ -362,8 +366,9 @@ int Run(int argc, char** argv) {
   flags.AddBool("socket", false,
                 "also run the open-loop socket harness against a real "
                 "HttpServer on an ephemeral port");
-  flags.AddDouble("rate", 1000.0,
-                  "open-loop arrival rate in requests/sec (--socket)");
+  flags.AddString("rate", "1000",
+                  "comma-separated open-loop arrival rates in requests/sec "
+                  "(--socket); the last entry is the headline open_loop row");
   flags.AddDouble("duration", 3.0,
                   "open-loop run length in seconds (--socket)");
   flags.AddInt64("connections", 4,
@@ -402,8 +407,10 @@ int Run(int argc, char** argv) {
       input.entity_categories, serve::CompileOptions());
   SHOAL_CHECK(compiled.ok()) << compiled.status().ToString();
   const double compile_seconds = compile_timer.ElapsedSeconds();
+  auto built = compiled->Build();
+  SHOAL_CHECK(built.ok()) << built.status().ToString();
   auto index =
-      std::make_shared<const serve::ServingIndex>(std::move(compiled).value());
+      std::make_shared<const serve::ServingIndex>(std::move(built).value());
   std::printf("index: %zu topics, %zu entities, %zu queries "
               "(build %.2fs, compile %.3fs)\n",
               index->num_topics(), index->num_entities(),
@@ -420,7 +427,8 @@ int Run(int argc, char** argv) {
   std::vector<serve::HttpRequest> query_targets;
   for (size_t q = 0; q < index->num_queries(); ++q) {
     query_targets.push_back(serve::ParseRequestTarget(
-        "GET", "/v1/query?q=" + index->query_text[q] + "&k=5"));
+        "GET",
+        "/v1/query?q=" + std::string(index->query_text(q)) + "&k=5"));
   }
   if (query_targets.empty()) {
     query_targets.push_back(
@@ -458,9 +466,101 @@ int Run(int argc, char** argv) {
                 r.p90_us, r.p95_us, r.p99_us, r.p999_us);
   }
 
-  // Open-loop pass over real sockets (coordinated-omission-safe tails).
-  OpenLoopResult open_loop;
-  bool ran_open_loop = false;
+  // Install-time bench: how long until a freshly published file is
+  // servable. v1 decodes and rebuilds the whole index (O(index size));
+  // v2 copy validates and memcpys the image; v2 mmap binds the mapping
+  // and validates — with the CRC off this is O(1) in index size, the
+  // swap cost a production publisher pays.
+  struct InstallResult {
+    const char* name;
+    double micros;
+  };
+  std::vector<InstallResult> installs;
+  size_t index_file_bytes = 0;
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        util::StringPrintf("shoal_bench_install_%d",
+                           static_cast<int>(::getpid()));
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    SHOAL_CHECK(!ec) << ec.message();
+    const std::string v1_path = (dir / "v1.idx").string();
+    const std::string v2_path = (dir / "v2.idx").string();
+    SHOAL_CHECK(serve::WriteServingIndexFileV1(v1_path, *compiled).ok());
+    SHOAL_CHECK(serve::WriteServingIndexFile(v2_path, *compiled).ok());
+    index_file_bytes = static_cast<size_t>(fs::file_size(v2_path, ec));
+    auto time_load = [](const std::string& path,
+                        serve::LoadOptions options) {
+      double best = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        util::Stopwatch timer;
+        auto loaded = serve::ReadServingIndexFile(path, options);
+        const double micros = timer.ElapsedSeconds() * 1e6;
+        SHOAL_CHECK(loaded.ok()) << loaded.status().ToString();
+        SHOAL_CHECK(loaded->version() > 0);
+        best = std::min(best, micros);
+      }
+      return best;
+    };
+    serve::LoadOptions copy_options;
+    copy_options.use_mmap = false;
+    serve::LoadOptions mmap_nocrc;
+    mmap_nocrc.verify_crc = false;
+    installs.push_back({"install/v1_decode", time_load(v1_path, {})});
+    installs.push_back({"install/v2_copy", time_load(v2_path, copy_options)});
+    installs.push_back({"install/v2_mmap_crc", time_load(v2_path, {})});
+    installs.push_back(
+        {"install/v2_mmap_nocrc", time_load(v2_path, mmap_nocrc)});
+    fs::remove_all(dir, ec);
+  }
+  std::printf("install (best of 5, %zu-byte v2 image):\n", index_file_bytes);
+  for (const auto& r : installs) {
+    std::printf("  %-24s %10.1f us\n", r.name, r.micros);
+  }
+
+  // Index-acquisition microbench: the mutex-guarded shared_ptr copy the
+  // service used before vs the RCU cell it uses now, at this run's
+  // thread count.
+  auto drive_acquire = [&](auto&& snapshot) {
+    constexpr size_t kOps = 1 << 20;
+    std::atomic<uint64_t> sink{0};
+    std::vector<std::thread> workers;
+    util::Stopwatch timer;
+    for (size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        uint64_t local = 0;
+        for (size_t i = 0; i < kOps; ++i) local += snapshot()->version();
+        sink.fetch_add(local);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    const double seconds = timer.ElapsedSeconds();
+    SHOAL_CHECK(sink.load() == kOps * threads);
+    return seconds * 1e9 / static_cast<double>(kOps * threads);
+  };
+  double acquire_mutex_ns = 0.0;
+  double acquire_rcu_ns = 0.0;
+  {
+    std::mutex mu;
+    std::shared_ptr<const serve::ServingIndex> guarded = index;
+    acquire_mutex_ns = drive_acquire([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      return guarded;
+    });
+  }
+  {
+    util::RcuCell<const serve::ServingIndex> cell(index);
+    acquire_rcu_ns = drive_acquire([&] { return cell.Read(); });
+  }
+  std::printf("acquire: mutex %.1f ns/op, rcu %.1f ns/op (%zu threads)\n",
+              acquire_mutex_ns, acquire_rcu_ns, threads);
+
+  // Open-loop passes over real sockets (coordinated-omission-safe
+  // tails), one per --rate ladder entry; the last entry is the headline
+  // `open_loop` row perf_diff.py gates on.
+  std::vector<OpenLoopResult> ladder;
   if (flags.GetBool("socket")) {
     serve::HttpServerOptions server_options;
     server_options.port = 0;  // ephemeral
@@ -474,27 +574,34 @@ int Run(int argc, char** argv) {
     std::vector<std::string> socket_targets;
     for (size_t q = 0; q < index->num_queries(); ++q) {
       socket_targets.push_back(
-          "/v1/query?q=" + UrlEncode(index->query_text[q]) + "&k=5");
+          "/v1/query?q=" + UrlEncode(std::string(index->query_text(q))) +
+          "&k=5");
     }
     if (socket_targets.empty()) socket_targets.push_back("/healthz");
 
-    const double rate = std::max(1.0, flags.GetDouble("rate"));
     const double duration = std::max(0.1, flags.GetDouble("duration"));
     const size_t connections = std::max<size_t>(
         1, static_cast<size_t>(flags.GetInt64("connections")));
-    open_loop = DriveOpenLoop(server.host(), server.port(), socket_targets,
-                              rate, duration, connections);
-    ran_open_loop = true;
+    for (const std::string& token :
+         util::Split(flags.GetString("rate"), ',')) {
+      const std::string trimmed(util::Trim(token));
+      if (trimmed.empty()) continue;
+      const double rate = std::max(1.0, std::atof(trimmed.c_str()));
+      const OpenLoopResult open_loop = DriveOpenLoop(
+          server.host(), server.port(), socket_targets, rate, duration,
+          connections);
+      std::printf(
+          "open-loop: rate %.0f/s for %.1fs over %zu conns -> "
+          "%zu requests, %zu errors, achieved %.0f rps\n"
+          "open-loop: p50 %.1fus p90 %.1fus p99 %.1fus p999 %.1fus "
+          "max %.1fus (from intended send time)\n",
+          open_loop.rate_per_sec, open_loop.duration_sec,
+          open_loop.connections, open_loop.requests, open_loop.errors,
+          open_loop.achieved_rps, open_loop.p50_us, open_loop.p90_us,
+          open_loop.p99_us, open_loop.p999_us, open_loop.max_us);
+      ladder.push_back(open_loop);
+    }
     server.Stop();
-    std::printf(
-        "open-loop: rate %.0f/s for %.1fs over %zu conns -> "
-        "%zu requests, %zu errors, achieved %.0f rps\n"
-        "open-loop: p50 %.1fus p90 %.1fus p99 %.1fus p999 %.1fus "
-        "max %.1fus (from intended send time)\n",
-        open_loop.rate_per_sec, open_loop.duration_sec,
-        open_loop.connections, open_loop.requests, open_loop.errors,
-        open_loop.achieved_rps, open_loop.p50_us, open_loop.p90_us,
-        open_loop.p99_us, open_loop.p999_us, open_loop.max_us);
   }
 
   const std::string& json_path = flags.GetString("json_out");
@@ -508,7 +615,7 @@ int Run(int argc, char** argv) {
     json.Set("threads",
              util::JsonValue::Number(static_cast<double>(threads)));
     json.Set("index_version", util::JsonValue::Number(
-                                  static_cast<double>(index->version)));
+                                  static_cast<double>(index->version())));
     json.Set("index_queries", util::JsonValue::Number(
                                   static_cast<double>(index->num_queries())));
     util::JsonValue endpoints = util::JsonValue::Array();
@@ -528,7 +635,23 @@ int Run(int argc, char** argv) {
       endpoints.Append(std::move(row));
     }
     json.Set("endpoints", std::move(endpoints));
-    if (ran_open_loop) {
+    util::JsonValue install_rows = util::JsonValue::Array();
+    for (const auto& r : installs) {
+      util::JsonValue row = util::JsonValue::Object();
+      row.Set("name", util::JsonValue::Str(r.name));
+      row.Set("micros", util::JsonValue::Number(r.micros));
+      install_rows.Append(std::move(row));
+    }
+    json.Set("install", std::move(install_rows));
+    json.Set("index_file_bytes", util::JsonValue::Number(
+                                     static_cast<double>(index_file_bytes)));
+    util::JsonValue acquire = util::JsonValue::Object();
+    acquire.Set("threads",
+                util::JsonValue::Number(static_cast<double>(threads)));
+    acquire.Set("mutex_ns_per_op", util::JsonValue::Number(acquire_mutex_ns));
+    acquire.Set("rcu_ns_per_op", util::JsonValue::Number(acquire_rcu_ns));
+    json.Set("acquire", std::move(acquire));
+    auto open_loop_json = [](const OpenLoopResult& open_loop) {
       util::JsonValue ol = util::JsonValue::Object();
       ol.Set("rate_per_sec", util::JsonValue::Number(open_loop.rate_per_sec));
       ol.Set("duration_sec", util::JsonValue::Number(open_loop.duration_sec));
@@ -544,7 +667,13 @@ int Run(int argc, char** argv) {
       ol.Set("p99_us", util::JsonValue::Number(open_loop.p99_us));
       ol.Set("p999_us", util::JsonValue::Number(open_loop.p999_us));
       ol.Set("max_us", util::JsonValue::Number(open_loop.max_us));
-      json.Set("open_loop", std::move(ol));
+      return ol;
+    };
+    if (!ladder.empty()) {
+      util::JsonValue rungs = util::JsonValue::Array();
+      for (const auto& rung : ladder) rungs.Append(open_loop_json(rung));
+      json.Set("open_loop_ladder", std::move(rungs));
+      json.Set("open_loop", open_loop_json(ladder.back()));
     }
     auto written = util::WriteJsonFile(json_path, json);
     SHOAL_CHECK(written.ok()) << written.ToString();

@@ -240,6 +240,49 @@ class PerfDiffExitCodes(unittest.TestCase):
         self.assertEqual(bad.returncode, 4, bad.stdout)
         self.assertIn("LATENCY REGRESSION", bad.stdout)
 
+    def test_latency_gate_quantiles_scopes_the_growth_gate(self):
+        # Tail blows up, median holds: gating p50 only must pass...
+        tail_blip = _with(_SERVING, **{"open_loop.p999_us": 99999.0})
+        ok = self._run(_SERVING, tail_blip, "--mode", "latency",
+                       "--latency_fail_above", "100",
+                       "--latency_gate_quantiles", "p50_us")
+        self.assertEqual(ok.returncode, 0, ok.stdout)
+        # ...a median collapse must still fail...
+        slow_p50 = _with(_SERVING, **{"open_loop.p50_us":
+                                      _SERVING["open_loop"]["p50_us"] * 40})
+        bad = self._run(_SERVING, slow_p50, "--mode", "latency",
+                        "--latency_fail_above", "100",
+                        "--latency_gate_quantiles", "p50_us")
+        self.assertEqual(bad.returncode, 4, bad.stdout)
+        self.assertIn("p50_us", bad.stdout)
+        # ...and coverage still covers the ungated quantiles.
+        pruned = json.loads(json.dumps(_SERVING))
+        del pruned["open_loop"]["p999_us"]
+        cov = self._run(_SERVING, pruned, "--mode", "latency",
+                        "--latency_fail_above", "100",
+                        "--latency_gate_quantiles", "p50_us")
+        self.assertEqual(cov.returncode, 4, cov.stdout)
+        self.assertIn("LATENCY COVERAGE REGRESSION", cov.stdout)
+
+    def test_latency_floor_waives_subfloor_regressions(self):
+        # +900% but still under the floor: runner noise, not a stall.
+        blip = _with(_SERVING, **{"open_loop.p99_us":
+                                  _SERVING["open_loop"]["p99_us"] * 10})
+        ok = self._run(_SERVING, blip, "--mode", "latency",
+                       "--latency_fail_above", "400",
+                       "--latency_gate_quantiles", "p99_us",
+                       "--latency_floor_us",
+                       str(_SERVING["open_loop"]["p99_us"] * 20))
+        self.assertEqual(ok.returncode, 0, ok.stdout)
+        # The same growth past the floor fails.
+        bad = self._run(_SERVING, blip, "--mode", "latency",
+                        "--latency_fail_above", "400",
+                        "--latency_gate_quantiles", "p99_us",
+                        "--latency_floor_us",
+                        str(_SERVING["open_loop"]["p99_us"] * 5))
+        self.assertEqual(bad.returncode, 4, bad.stdout)
+        self.assertIn("LATENCY REGRESSION", bad.stdout)
+
     def test_latency_mode_speedups_and_new_coverage_pass(self):
         faster = _with(_SERVING, **{"open_loop.p99_us": 10.0})
         faster["open_loop"]["p95_us"] = 9.0  # extra leaf, not gated

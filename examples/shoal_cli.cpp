@@ -177,8 +177,8 @@ int MaybeWriteServingIndex(const util::FlagParser& flags,
   std::printf("compiled serving index v%llu (%zu topics, %zu entities, "
               "%zu queries) to %s\n",
               static_cast<unsigned long long>(index->version),
-              index->num_topics(), index->num_entities(),
-              index->num_queries(), index_out.c_str());
+              index->parent.size(), index->entity_topic.size(),
+              index->query_text.size(), index_out.c_str());
   return 0;
 }
 

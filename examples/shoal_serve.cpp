@@ -111,7 +111,7 @@ int RunSelftest(serve::ServingService& service, serve::HttpServer& server,
   std::string query_target = "/v1/query?q=no+such+query&k=3";
   if (index.num_queries() > 0) {
     query_target =
-        "/v1/query?q=" + UrlEncode(index.query_text.front()) + "&k=3";
+        "/v1/query?q=" + UrlEncode(std::string(index.query_text(0))) + "&k=3";
   }
   bool ok = true;
   ok = SelftestFetch(server, query_target, out_dir, "query.json", 200) && ok;
@@ -170,7 +170,13 @@ int Run(int argc, char** argv) {
   flags.AddString("index", "", "serving index file (required)");
   flags.AddString("host", "127.0.0.1", "bind address");
   flags.AddInt64("port", 8080, "bind port (0 = ephemeral)");
-  flags.AddInt64("threads", 4, "request worker threads");
+  flags.AddInt64("threads", 4,
+                 "epoll reactor threads (0 = hardware concurrency)");
+  flags.AddBool("mmap", true,
+                "serve the index zero-copy from a read-only mmap "
+                "(--mmap=false copies it into anonymous memory)");
+  flags.AddBool("verify-crc", true,
+                "checksum the index image before serving it");
   flags.AddInt64("cache-entries", 4096,
                  "response cache budget in entries (0 = off)");
   flags.AddInt64("default-k", 5, "/v1/query result count without k=");
@@ -214,7 +220,10 @@ int Run(int argc, char** argv) {
   }
   const bool selftest = !flags.GetString("selftest-out").empty();
 
-  auto loaded = serve::ReadServingIndexFile(index_path);
+  serve::LoadOptions load_options;
+  load_options.use_mmap = flags.GetBool("mmap");
+  load_options.verify_crc = flags.GetBool("verify-crc");
+  auto loaded = serve::ReadServingIndexFile(index_path, load_options);
   if (!loaded.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", index_path.c_str(),
                  loaded.status().ToString().c_str());
@@ -222,13 +231,16 @@ int Run(int argc, char** argv) {
   }
   auto index =
       std::make_shared<const serve::ServingIndex>(std::move(loaded).value());
-  std::printf("loaded index v%llu: %zu topics, %zu entities, %zu queries\n",
-              static_cast<unsigned long long>(index->version),
-              index->num_topics(), index->num_entities(),
-              index->num_queries());
+  std::printf(
+      "loaded index v%llu: %zu topics, %zu entities, %zu queries "
+      "(%zu bytes, %s)\n",
+      static_cast<unsigned long long>(index->version()), index->num_topics(),
+      index->num_entities(), index->num_queries(), index->resident_bytes(),
+      index->mmap_backed() ? "mmap" : "copied");
 
   serve::ServiceOptions service_options;
   service_options.index_path = index_path;
+  service_options.load_options = load_options;
   service_options.cache_entries =
       static_cast<size_t>(flags.GetInt64("cache-entries"));
   service_options.default_k =

@@ -40,8 +40,8 @@ using shoal::serve::ServingIndex;
 
 // Formats "  — first repr query" or "" for a topic summary line.
 std::string DescriptionSuffix(const ServingIndex& index, uint32_t t) {
-  if (index.descriptions[t].empty()) return "";
-  return "  — " + index.descriptions[t].front();
+  if (index.num_descriptions(t) == 0) return "";
+  return "  — " + std::string(index.description(t, 0));
 }
 
 class Explorer {
@@ -102,13 +102,13 @@ class Explorer {
                   lookup.match == ServingIndex::Lookup::Match::kExact
                       ? "exact"
                       : "normalized");
-      size_t shown = 0;
-      for (const auto& posting : index_.posting_list[lookup.query]) {
+      const auto postings = index_.postings(lookup.query);
+      for (size_t i = 0; i < postings.size() && i < 6; ++i) {
+        const auto posting = postings[i];
         std::printf("  #%-5u score %-7s %u items%s\n", posting.topic,
                     shoal::util::FormatDouble(posting.score, 2).c_str(),
-                    index_.topic_size[posting.topic],
+                    index_.topic_size(posting.topic),
                     DescriptionSuffix(index_, posting.topic).c_str());
-        if (++shown >= 6) break;
       }
       return;
     }
@@ -121,7 +121,7 @@ class Explorer {
         for (const auto& hit : hits) {
           std::printf("  #%-5u score %-7s %u items%s\n", hit.topic,
                       shoal::util::FormatDouble(hit.score, 2).c_str(),
-                      index_.topic_size[hit.topic],
+                      index_.topic_size(hit.topic),
                       DescriptionSuffix(index_, hit.topic).c_str());
         }
         return;
@@ -134,20 +134,20 @@ class Explorer {
   void ScenarioB(const std::string& arg) {
     uint32_t id;
     if (!ParseTopicId(arg, &id)) return;
-    std::printf("topic #%u: %u items, level %u", id, index_.topic_size[id],
-                index_.level[id]);
+    std::printf("topic #%u: %u items, level %u", id, index_.topic_size(id),
+                index_.level(id));
     std::printf("  (path:");
     for (uint32_t node : index_.PathToRoot(id)) std::printf(" #%u", node);
     std::printf(")\n");
-    for (size_t i = 0; i < index_.descriptions[id].size(); ++i) {
+    for (size_t i = 0; i < index_.num_descriptions(id); ++i) {
       std::printf("  repr query %zu: \"%s\"\n", i + 1,
-                  index_.descriptions[id][i].c_str());
+                  std::string(index_.description(id, i)).c_str());
     }
     auto [first, last] = index_.children(id);
     if (first == last) std::printf("  (no sub-topics)\n");
     for (const uint32_t* child = first; child != last; ++child) {
       std::printf("  sub-topic #%-5u %u items%s\n", *child,
-                  index_.topic_size[*child],
+                  index_.topic_size(*child),
                   DescriptionSuffix(index_, *child).c_str());
     }
   }
@@ -162,15 +162,15 @@ class Explorer {
       return;
     }
     const uint32_t e = static_cast<uint32_t>(value);
-    const uint32_t topic = index_.entity_topic[e];
+    const uint32_t topic = index_.entity_topic(e);
     if (topic == kNoTopic) {
       std::printf("item %u is not clustered into any topic\n", e);
       return;
     }
     std::printf("item %u: topic #%u, path", e, topic);
     for (uint32_t node : index_.PathToRoot(topic)) std::printf(" #%u", node);
-    if (index_.entity_category[e] != shoal::serve::kNoCategoryId) {
-      std::printf(", category %u", index_.entity_category[e]);
+    if (index_.entity_category(e) != shoal::serve::kNoCategoryId) {
+      std::printf(", category %u", index_.entity_category(e));
     }
     std::printf("%s\n", DescriptionSuffix(index_, topic).c_str());
   }
@@ -317,7 +317,9 @@ int Run(int argc, char** argv) {
         model->taxonomy(), describe_input, shoal::core::DescriberOptions(),
         input.entity_categories, shoal::serve::CompileOptions());
     SHOAL_CHECK(compiled.ok()) << compiled.status().ToString();
-    index = std::make_unique<ServingIndex>(std::move(compiled).value());
+    auto frozen = compiled->Build();
+    SHOAL_CHECK(frozen.ok()) << frozen.status().ToString();
+    index = std::make_unique<ServingIndex>(std::move(frozen).value());
   }
   std::printf("SHOAL explorer: %zu topics, %zu roots, %zu queries. ",
               index->num_topics(), index->roots().size(),

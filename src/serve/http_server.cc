@@ -3,15 +3,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -19,36 +25,21 @@ namespace shoal::serve {
 
 namespace {
 
-// Reads until `fd` delivers a blank line terminating the header block,
-// appending into `*buffer`. Returns false on EOF/error/overflow before
-// the terminator; `*header_end` points just past "\r\n\r\n".
-bool ReadHeaderBlock(int fd, size_t max_bytes, std::string* buffer,
-                     size_t* header_end, bool* overflow) {
-  *overflow = false;
-  size_t scan_from = 0;
-  while (true) {
-    const size_t found = buffer->find("\r\n\r\n", scan_from);
-    if (found != std::string::npos) {
-      *header_end = found + 4;
-      return true;
-    }
-    scan_from = buffer->size() < 3 ? 0 : buffer->size() - 3;
-    if (buffer->size() > max_bytes) {
-      *overflow = true;
-      return false;
-    }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;  // EOF, timeout, or peer reset
-    buffer->append(chunk, static_cast<size_t>(n));
-  }
-}
+// epoll_event.data.ptr tags for the two non-connection registrations.
+void* const kListenTag = nullptr;
+void* const kWakeTag = reinterpret_cast<void*>(1);
+
+// Responses buffered past this stop further pipelined parsing until the
+// socket drains — backpressure against a peer that writes requests but
+// never reads.
+constexpr size_t kMaxBufferedOut = 4 << 20;
 
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
@@ -69,6 +60,13 @@ std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
   out += "\r\n";
   out += response.body;
   return out;
+}
+
+std::string RenderError(int status, const char* message, bool keep_alive) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string("{\"error\": \"") + message + "\"}\n";
+  return RenderResponse(response, keep_alive);
 }
 
 // Case-insensitive ASCII compare for header names / token values.
@@ -151,16 +149,56 @@ ParsedHead ParseHead(std::string_view head) {
 
 }  // namespace
 
+// Nonblocking per-socket state machine. Owned by exactly one reactor;
+// no other thread ever touches it, so there is no locking anywhere on
+// the connection path.
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string in;        // unparsed request bytes
+  std::string out;       // rendered, not-yet-flushed response bytes
+  size_t out_sent = 0;   // prefix of `out` already on the wire
+  // A parsed head whose body is still being discarded from the stream.
+  ParsedHead pending;
+  uint64_t body_remaining = 0;
+  bool body_too_large = false;
+  bool have_pending = false;
+  bool close_after_flush = false;
+  bool want_write = false;  // EPOLLOUT armed
+  std::chrono::steady_clock::time_point last_activity;
+};
+
+struct HttpServer::Reactor {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  // fd -> connection, owned. Only the reactor thread reads or writes.
+  std::unordered_map<int, Connection*> conns;
+};
+
 HttpServer::HttpServer(ServingService* service, HttpServerOptions options)
     : service_(service), options_(std::move(options)) {
   SHOAL_CHECK(service_ != nullptr) << "HttpServer needs a service";
+  connections_gauge_ =
+      &obs::MetricsRegistry::Global().GetGauge("serve.connections.open");
 }
 
 HttpServer::~HttpServer() { Stop(); }
 
+void HttpServer::UpdateConnectionGauge(int64_t delta) {
+  const int64_t now = open_connections_.fetch_add(delta,
+                                                  std::memory_order_relaxed) +
+                      delta;
+  if (obs::MetricsRegistry::Global().enabled()) {
+    connections_gauge_->Set(static_cast<double>(now));
+  }
+}
+
 util::Status HttpServer::Start() {
-  SHOAL_CHECK(listen_fd_ < 0) << "HttpServer::Start called twice";
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  SHOAL_CHECK(listen_fd_ < 0 && reactors_.empty())
+      << "HttpServer::Start called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     return util::Status::IoError(util::StringPrintf(
         "socket() failed: %s", std::strerror(errno)));
@@ -204,130 +242,347 @@ util::Status HttpServer::Start() {
     port_ = options_.port;
   }
 
+  size_t num_reactors = options_.threads > 0
+                            ? options_.threads
+                            : std::thread::hardware_concurrency();
+  if (num_reactors == 0) num_reactors = 1;
+
   stopping_.store(false, std::memory_order_relaxed);
-  pool_ = std::make_unique<util::ThreadPool>(options_.threads);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  auto teardown = [this] {
+    for (auto& reactor : reactors_) {
+      if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
+      if (reactor->wake_fd >= 0) ::close(reactor->wake_fd);
+    }
+    reactors_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  };
+  for (size_t r = 0; r < num_reactors; ++r) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    reactor->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (reactor->epoll_fd < 0 || reactor->wake_fd < 0) {
+      const std::string message = util::StringPrintf(
+          "epoll/eventfd setup failed: %s", std::strerror(errno));
+      if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
+      if (reactor->wake_fd >= 0) ::close(reactor->wake_fd);
+      teardown();
+      return util::Status::IoError(message);
+    }
+    epoll_event wake_event;
+    std::memset(&wake_event, 0, sizeof(wake_event));
+    wake_event.events = EPOLLIN;
+    wake_event.data.ptr = kWakeTag;
+    ::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_ADD, reactor->wake_fd,
+                &wake_event);
+    // All reactors watch the listen socket; EPOLLEXCLUSIVE (kernel
+    // >= 4.5) wakes one reactor per pending accept instead of all of
+    // them. Older kernels fall back to a shared level-triggered watch —
+    // correct, just noisier (losers of the accept race see EAGAIN).
+    epoll_event listen_event;
+    std::memset(&listen_event, 0, sizeof(listen_event));
+    listen_event.events = EPOLLIN | EPOLLEXCLUSIVE;
+    listen_event.data.ptr = kListenTag;
+    if (::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_ADD, listen_fd_,
+                    &listen_event) != 0) {
+      listen_event.events = EPOLLIN;
+      if (::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_ADD, listen_fd_,
+                      &listen_event) != 0) {
+        const std::string message = util::StringPrintf(
+            "epoll_ctl(listen) failed: %s", std::strerror(errno));
+        ::close(reactor->epoll_fd);
+        ::close(reactor->wake_fd);
+        teardown();
+        return util::Status::IoError(message);
+      }
+    }
+    reactors_.push_back(std::move(reactor));
+  }
+  for (auto& reactor : reactors_) {
+    Reactor* raw = reactor.get();
+    reactor->thread = std::thread([this, raw] { ReactorLoop(raw); });
+  }
   SHOAL_LOG(kInfo) << "serving on http://" << options_.host << ":" << port_
-                   << " with " << pool_->num_threads() << " threads";
+                   << " with " << reactors_.size() << " epoll reactors";
   return util::Status::OK();
 }
 
 void HttpServer::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
-  stopping_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (reactors_.empty() && listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& reactor : reactors_) {
+    const uint64_t one = 1;
+    // Kick the reactor out of epoll_wait so it notices stopping_.
+    [[maybe_unused]] ssize_t n =
+        ::write(reactor->wake_fd, &one, sizeof(one));
+  }
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+    if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
+    if (reactor->wake_fd >= 0) ::close(reactor->wake_fd);
+  }
+  reactors_.clear();
   if (listen_fd_ >= 0) {
-    // Unblocks accept(); AcceptLoop sees stopping_ and exits.
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  {
-    // Wake connections blocked in recv(); their in-flight responses
-    // still flush because only the read half is shut down.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  pool_.reset();  // joins workers after the queue drains
 }
 
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener is gone; nothing sensible left to do
+void HttpServer::ReactorLoop(Reactor* reactor) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  auto drain_deadline = std::chrono::steady_clock::time_point::max();
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping) {
+      const auto now = std::chrono::steady_clock::now();
+      if (drain_deadline == std::chrono::steady_clock::time_point::max()) {
+        drain_deadline =
+            now + std::chrono::milliseconds(options_.drain_timeout_ms);
+      }
+      // Connections with nothing left to flush close immediately; the
+      // rest get until the drain deadline to finish their responses.
+      std::vector<Connection*> victims;
+      for (auto& [fd, conn] : reactor->conns) {
+        if (conn->out_sent >= conn->out.size() || now >= drain_deadline) {
+          victims.push_back(conn);
+        }
+      }
+      for (Connection* conn : victims) CloseConnection(reactor, conn);
+      if (reactor->conns.empty() || now >= drain_deadline) break;
     }
-    if (options_.idle_timeout_sec > 0) {
-      timeval timeout;
-      timeout.tv_sec = options_.idle_timeout_sec;
-      timeout.tv_usec = 0;
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int timeout_ms = stopping ? 10 : 500;
+    const int n =
+        ::epoll_wait(reactor->epoll_fd, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd is gone; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == kListenTag) {
+        AcceptReady(reactor);
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drained;
+        while (::read(reactor->wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(tag);
+      const int fd = conn->fd;
+      const uint32_t mask = events[i].events;
+      if ((mask & EPOLLERR) != 0 ||
+          ((mask & EPOLLHUP) != 0 && (mask & EPOLLIN) == 0)) {
+        CloseConnection(reactor, conn);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) ReadReady(reactor, conn);
+      // ReadReady may have closed (and freed) the connection; only
+      // touch it again if the fd still maps to the same object. No fd
+      // churn happens between the close and this check, so the pair
+      // (fd, pointer) cannot be recycled within this iteration.
+      auto it = reactor->conns.find(fd);
+      if (it == reactor->conns.end() || it->second != conn) continue;
+      if ((mask & EPOLLOUT) != 0) FlushOutput(reactor, conn);
+    }
+    if (!stopping) SweepIdle(reactor);
+  }
+  for (auto& [fd, conn] : reactor->conns) {
+    ::close(conn->fd);
+    delete conn;
+    UpdateConnectionGauge(-1);
+  }
+  reactor->conns.clear();
+}
+
+void HttpServer::AcceptReady(Reactor* reactor) {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (or a racing reactor won the accept)
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      if (stopping_.load(std::memory_order_relaxed)) {
-        ::close(fd);
-        continue;
-      }
-      active_fds_.insert(fd);
-    }
-    pool_->Submit([this, fd] {
-      ServeConnection(fd);
-      {
-        std::lock_guard<std::mutex> lock(conn_mu_);
-        active_fds_.erase(fd);
-      }
+    auto* conn = new Connection;
+    conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
+    epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EPOLLIN;
+    event.data.ptr = conn;
+    if (::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
       ::close(fd);
-    });
+      delete conn;
+      continue;
+    }
+    reactor->conns[fd] = conn;
+    UpdateConnectionGauge(+1);
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
-  std::string buffer;
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    size_t header_end = 0;
-    bool overflow = false;
-    if (!ReadHeaderBlock(fd, options_.max_header_bytes, &buffer,
-                         &header_end, &overflow)) {
-      if (overflow) {
-        HttpResponse response;
-        response.status = 431;
-        response.body = "{\"error\": \"headers too large\"}\n";
-        SendAll(fd, RenderResponse(response, /*keep_alive=*/false));
-      }
-      return;
+void HttpServer::ReadReady(Reactor* reactor, Connection* conn) {
+  char chunk[16384];
+  while (!conn->close_after_flush &&
+         conn->out.size() - conn->out_sent < kMaxBufferedOut) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->in.append(chunk, static_cast<size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
+      ProcessInput(conn);
+      continue;
     }
-    ParsedHead head = ParseHead(std::string_view(buffer).substr(0, header_end));
-    buffer.erase(0, header_end);
-    if (!head.ok) {
-      HttpResponse response;
-      response.status = 400;
-      response.body = "{\"error\": \"malformed request\"}\n";
-      SendAll(fd, RenderResponse(response, /*keep_alive=*/false));
-      return;
+    if (n == 0) {
+      // Peer sent EOF: no more requests are coming. Flush whatever is
+      // queued, then close.
+      conn->close_after_flush = true;
+      break;
     }
-
-    // Drain (and ignore) any request body so the next keep-alive request
-    // starts at a message boundary.
-    bool body_too_large = head.content_length > options_.max_body_bytes;
-    uint64_t remaining = head.content_length;
-    if (remaining <= static_cast<uint64_t>(buffer.size())) {
-      buffer.erase(0, static_cast<size_t>(remaining));
-      remaining = 0;
-    } else {
-      remaining -= buffer.size();
-      buffer.clear();
-      char chunk[4096];
-      while (remaining > 0) {
-        const size_t want = remaining < sizeof(chunk)
-                                ? static_cast<size_t>(remaining)
-                                : sizeof(chunk);
-        const ssize_t n = ::recv(fd, chunk, want, 0);
-        if (n <= 0) return;
-        remaining -= static_cast<uint64_t>(n);
-      }
-    }
-
-    HttpResponse response;
-    if (body_too_large) {
-      response.status = 400;
-      response.body = "{\"error\": \"request body too large\"}\n";
-      head.keep_alive = false;
-    } else {
-      HttpRequest request = ParseRequestTarget(head.method, head.target);
-      request.request_id = head.request_id;
-      response = service_->Handle(request);
-    }
-    const bool keep_alive =
-        head.keep_alive && !stopping_.load(std::memory_order_relaxed);
-    if (head.method == "HEAD") response.body.clear();
-    if (!SendAll(fd, RenderResponse(response, keep_alive))) return;
-    if (!keep_alive) return;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(reactor, conn);
+    return;
   }
+  FlushOutput(reactor, conn);
+}
+
+void HttpServer::ProcessInput(Connection* conn) {
+  while (!conn->close_after_flush) {
+    if (conn->have_pending) {
+      // Discard (and ignore) the request body so the next pipelined
+      // request starts at a message boundary.
+      const size_t take =
+          conn->body_remaining < conn->in.size()
+              ? static_cast<size_t>(conn->body_remaining)
+              : conn->in.size();
+      conn->in.erase(0, take);
+      conn->body_remaining -= take;
+      if (conn->body_remaining > 0) return;  // need more bytes
+      conn->have_pending = false;
+      DispatchRequest(conn);
+      continue;
+    }
+    const size_t found = conn->in.find("\r\n\r\n");
+    if (found == std::string::npos) {
+      if (conn->in.size() > options_.max_header_bytes) {
+        conn->out += RenderError(431, "headers too large",
+                                 /*keep_alive=*/false);
+        conn->close_after_flush = true;
+      }
+      return;
+    }
+    const size_t header_end = found + 4;
+    conn->pending = ParseHead(std::string_view(conn->in).substr(0, header_end));
+    conn->in.erase(0, header_end);
+    if (!conn->pending.ok) {
+      conn->out += RenderError(400, "malformed request",
+                               /*keep_alive=*/false);
+      conn->close_after_flush = true;
+      return;
+    }
+    conn->body_too_large =
+        conn->pending.content_length > options_.max_body_bytes;
+    conn->body_remaining = conn->pending.content_length;
+    conn->have_pending = true;
+  }
+}
+
+void HttpServer::DispatchRequest(Connection* conn) {
+  const ParsedHead& head = conn->pending;
+  HttpResponse response;
+  bool keep_alive = head.keep_alive;
+  if (conn->body_too_large) {
+    response.status = 400;
+    response.body = "{\"error\": \"request body too large\"}\n";
+    keep_alive = false;
+  } else {
+    HttpRequest request = ParseRequestTarget(head.method, head.target);
+    request.request_id = head.request_id;
+    response = service_->Handle(request);
+  }
+  if (stopping_.load(std::memory_order_acquire)) keep_alive = false;
+  if (head.method == "HEAD") response.body.clear();
+  conn->out += RenderResponse(response, keep_alive);
+  if (!keep_alive) conn->close_after_flush = true;
+}
+
+void HttpServer::SetWantWrite(Reactor* reactor, Connection* conn,
+                              bool want) {
+  if (conn->want_write == want) return;
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  event.data.ptr = conn;
+  ::epoll_ctl(reactor->epoll_fd, EPOLL_CTL_MOD, conn->fd, &event);
+  conn->want_write = want;
+}
+
+void HttpServer::FlushOutput(Reactor* reactor, Connection* conn) {
+  while (conn->out_sent < conn->out.size()) {
+    size_t len = conn->out.size() - conn->out_sent;
+    if (options_.max_write_chunk > 0 && len > options_.max_write_chunk) {
+      len = options_.max_write_chunk;
+    }
+    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_sent,
+                             len, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_sent += static_cast<size_t>(n);
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (options_.max_write_chunk > 0 &&
+          conn->out_sent < conn->out.size()) {
+        // Test hook: yield between chunks so the EPOLLOUT resume path
+        // runs even against a fast local peer.
+        SetWantWrite(reactor, conn, true);
+        return;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SetWantWrite(reactor, conn, true);
+      return;
+    }
+    CloseConnection(reactor, conn);  // peer is gone
+    return;
+  }
+  conn->out.clear();
+  conn->out_sent = 0;
+  SetWantWrite(reactor, conn, false);
+  if (conn->close_after_flush) {
+    CloseConnection(reactor, conn);
+    return;
+  }
+  // Requests may have parked in `in` while backpressure paused parsing.
+  if (!conn->in.empty()) {
+    ProcessInput(conn);
+    if (conn->out_sent < conn->out.size()) FlushOutput(reactor, conn);
+  }
+}
+
+void HttpServer::CloseConnection(Reactor* reactor, Connection* conn) {
+  reactor->conns.erase(conn->fd);
+  ::close(conn->fd);  // also deregisters from epoll
+  delete conn;
+  UpdateConnectionGauge(-1);
+}
+
+void HttpServer::SweepIdle(Reactor* reactor) {
+  if (options_.idle_timeout_sec <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::seconds(options_.idle_timeout_sec);
+  std::vector<Connection*> victims;
+  for (auto& [fd, conn] : reactor->conns) {
+    if (now - conn->last_activity > limit) victims.push_back(conn);
+  }
+  for (Connection* conn : victims) CloseConnection(reactor, conn);
 }
 
 const std::string* HttpFetchResult::Header(std::string_view name) const {
@@ -354,11 +609,29 @@ util::Result<HttpFetchResult> HttpFetch(
     return util::Status::InvalidArgument("cannot parse host " + host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string message = util::StringPrintf(
-        "cannot connect to %s:%u: %s", host.c_str(),
-        static_cast<unsigned>(port), std::strerror(errno));
-    ::close(fd);
-    return util::Status::IoError(message);
+    bool connected = false;
+    if (errno == EINTR) {
+      // The handshake keeps running after the interrupted connect; wait
+      // for writability and read the outcome from SO_ERROR.
+      pollfd waiter{fd, POLLOUT, 0};
+      while (::poll(&waiter, 1, -1) < 0 && errno == EINTR) {
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 &&
+          err == 0) {
+        connected = true;
+      } else {
+        errno = err != 0 ? err : errno;
+      }
+    }
+    if (!connected) {
+      const std::string message = util::StringPrintf(
+          "cannot connect to %s:%u: %s", host.c_str(),
+          static_cast<unsigned>(port), std::strerror(errno));
+      ::close(fd);
+      return util::Status::IoError(message);
+    }
   }
   std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
                         "\r\nConnection: close\r\n";
@@ -375,6 +648,7 @@ util::Result<HttpFetchResult> HttpFetch(
   while (true) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
       ::close(fd);
       return util::Status::IoError(util::StringPrintf(
           "recv() failed: %s", std::strerror(errno)));

@@ -1,20 +1,22 @@
 #ifndef SHOAL_SERVE_HTTP_SERVER_H_
 #define SHOAL_SERVE_HTTP_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "serve/service.h"
 #include "util/result.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
+
+namespace shoal::obs {
+class Gauge;
+}  // namespace shoal::obs
 
 namespace shoal::serve {
 
@@ -22,9 +24,11 @@ struct HttpServerOptions {
   std::string host = "127.0.0.1";
   // 0 asks the kernel for an ephemeral port; read it back via port().
   uint16_t port = 0;
-  // Request worker threads (0 = hardware concurrency). Each live
-  // connection occupies one worker for its keep-alive lifetime, so this
-  // also bounds concurrent connections; excess accepts queue.
+  // Epoll reactor threads (0 = hardware concurrency). Each reactor owns
+  // an epoll set and runs accept + parse + dispatch + write for its
+  // connections. Connections never pin a thread: an idle keep-alive
+  // socket costs one epoll registration, so open connections scale far
+  // past the thread count.
   size_t threads = 4;
   size_t listen_backlog = 128;
   // Request line + headers larger than this earn a 431.
@@ -32,18 +36,33 @@ struct HttpServerOptions {
   // Request bodies larger than this earn a 400 (bodies are read and
   // discarded; every endpoint takes its input from the target).
   size_t max_body_bytes = 1 << 20;
-  // Keep-alive connections idle longer than this are closed so they do
-  // not pin worker threads forever.
+  // Keep-alive connections idle longer than this are swept and closed
+  // by their reactor.
   int idle_timeout_sec = 30;
+  // Stop() flushes in-flight responses for at most this long before
+  // force-closing what remains.
+  int drain_timeout_ms = 2000;
+  // Test hook: cap bytes per ::send and yield to EPOLLOUT between
+  // chunks (0 = unlimited). Forces the partial-write resume path that
+  // slow or lossy peers exercise in production.
+  size_t max_write_chunk = 0;
 };
 
-// Minimal dependency-free HTTP/1.1 server: POSIX sockets + the repo's
-// util::ThreadPool. One dedicated accept thread hands each connection to
-// a pool worker, which serves keep-alive requests serially through
+// Minimal dependency-free HTTP/1.1 server on an epoll event loop. Each
+// of options.threads reactor threads owns an epoll instance; the listen
+// socket is registered with every reactor (EPOLLEXCLUSIVE where the
+// kernel supports it) so accepts spread without a dedicated accept
+// thread. Connections are nonblocking state machines — header
+// accumulation, body discard, inline dispatch through
 // ServingService::Handle (the service is thread-safe; all parallelism
-// lives here). Stop() is graceful: the listener closes first, live
-// sockets get shutdown(SHUT_RD) so in-flight responses still flush, and
-// workers drain before Stop returns.
+// lives here), then buffered writes completed via EPOLLOUT. HTTP/1.1
+// keep-alive and pipelining are supported; idle connections are swept
+// on the reactor's timer tick. Stop() is graceful: accepting ends
+// immediately, queued responses flush (bounded by drain_timeout_ms),
+// and reactors join before Stop returns.
+//
+// Metrics: the serve.connections.open gauge tracks currently accepted
+// sockets across all reactors.
 class HttpServer {
  public:
   // `service` must outlive the server.
@@ -53,8 +72,8 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Binds + listens + starts the accept loop. Fails cleanly if the port
-  // is taken.
+  // Binds + listens + starts the reactor threads. Fails cleanly if the
+  // port is taken.
   util::Status Start();
 
   // Graceful shutdown; idempotent. Safe to call from signal-driven code
@@ -66,18 +85,29 @@ class HttpServer {
   const std::string& host() const { return options_.host; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  struct Connection;
+  struct Reactor;
+
+  void ReactorLoop(Reactor* reactor);
+  void AcceptReady(Reactor* reactor);
+  void ReadReady(Reactor* reactor, Connection* conn);
+  void ProcessInput(Connection* conn);
+  void DispatchRequest(Connection* conn);
+  void FlushOutput(Reactor* reactor, Connection* conn);
+  void SetWantWrite(Reactor* reactor, Connection* conn, bool want);
+  void CloseConnection(Reactor* reactor, Connection* conn);
+  void SweepIdle(Reactor* reactor);
+  void UpdateConnectionGauge(int64_t delta);
 
   ServingService* service_;
   HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::unique_ptr<util::ThreadPool> pool_;
-  std::mutex conn_mu_;
-  std::set<int> active_fds_;
+  std::atomic<int64_t> open_connections_{0};
+  obs::Gauge* connections_gauge_ = nullptr;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::mutex lifecycle_mu_;  // serializes Start/Stop, never the data plane
 };
 
 struct HttpFetchResult {

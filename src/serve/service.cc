@@ -6,7 +6,6 @@
 #include <optional>
 #include <utility>
 
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/normalize.h"
 #include "util/json.h"
@@ -61,29 +60,6 @@ int64_t UnixMillis() {
       .count();
 }
 
-// Records one request against the serve.* namespace; a no-op while the
-// registry is disabled (one relaxed atomic load). The latency
-// histograms use the default log-bucketed layout, so p50..p999 come out
-// of the same counters the JSON snapshot and Prometheus exposition use.
-void RecordMetrics(int endpoint, int status, double micros, bool slow) {
-  auto& registry = obs::MetricsRegistry::Global();
-  if (!registry.enabled()) return;
-  const std::string prefix = std::string("serve.") + EndpointName(endpoint);
-  registry.GetCounter(prefix + ".requests").Increment();
-  registry.GetCounter("serve.requests.total").Increment();
-  if (status >= 400) {
-    registry.GetCounter(prefix + ".errors").Increment();
-    registry.GetCounter("serve.requests.errors").Increment();
-  }
-  if (slow) registry.GetCounter("serve.requests.slow").Increment();
-  registry.GetHistogram(prefix + ".latency_us").Record(micros);
-}
-
-void CountServeEvent(const char* name) {
-  auto& registry = obs::MetricsRegistry::Global();
-  if (registry.enabled()) registry.GetCounter(name).Increment();
-}
-
 HttpResponse JsonResponse(int status, const util::JsonValue& value) {
   HttpResponse response;
   response.status = status;
@@ -105,8 +81,9 @@ util::JsonValue TopicIdOrNull(uint32_t topic) {
 
 util::JsonValue DescriptionJson(const ServingIndex& index, uint32_t t) {
   util::JsonValue description = util::JsonValue::Array();
-  for (const std::string& query : index.descriptions[t]) {
-    description.Append(util::JsonValue::Str(query));
+  for (size_t i = 0; i < index.num_descriptions(t); ++i) {
+    description.Append(
+        util::JsonValue::Str(std::string(index.description(t, i))));
   }
   return description;
 }
@@ -123,9 +100,9 @@ util::JsonValue TopicSummaryJson(const ServingIndex& index, uint32_t t) {
   util::JsonValue summary = util::JsonValue::Object();
   summary.Set("topic", util::JsonValue::Number(static_cast<double>(t)));
   summary.Set("level",
-              util::JsonValue::Number(static_cast<double>(index.level[t])));
+              util::JsonValue::Number(static_cast<double>(index.level(t))));
   summary.Set("size", util::JsonValue::Number(
-                          static_cast<double>(index.topic_size[t])));
+                          static_cast<double>(index.topic_size(t))));
   summary.Set("description", DescriptionJson(index, t));
   return summary;
 }
@@ -149,23 +126,65 @@ ServingService::ServingService(std::shared_ptr<const ServingIndex> index,
     : options_(std::move(options)),
       start_time_(std::chrono::steady_clock::now()),
       index_(std::move(index)) {
+  static_assert(kNumEndpoints == Endpoint::kNumEndpoints,
+                "service.h endpoint count is out of date");
   if (options_.cache_entries > 0) {
     cache_ = std::make_unique<ShardedLruCache>(options_.cache_entries,
                                                options_.cache_shards);
   }
+  // Resolve every metric handle once; the request path records through
+  // these pointers without ever touching the registry lock.
   auto& registry = obs::MetricsRegistry::Global();
-  if (registry.enabled() && index_ != nullptr) {
-    registry.GetGauge("serve.index.version")
-        .Set(static_cast<double>(index_->version));
+  for (int e = 0; e < kNumEndpoints; ++e) {
+    const std::string prefix = std::string("serve.") + EndpointName(e);
+    metrics_.endpoints[e].requests =
+        &registry.GetCounter(prefix + ".requests");
+    metrics_.endpoints[e].errors = &registry.GetCounter(prefix + ".errors");
+    metrics_.endpoints[e].latency =
+        &registry.GetHistogram(prefix + ".latency_us");
+  }
+  metrics_.total = &registry.GetCounter("serve.requests.total");
+  metrics_.total_errors = &registry.GetCounter("serve.requests.errors");
+  metrics_.slow = &registry.GetCounter("serve.requests.slow");
+  metrics_.cache_hits = &registry.GetCounter("serve.cache.hits");
+  metrics_.cache_misses = &registry.GetCounter("serve.cache.misses");
+  metrics_.reload_successes = &registry.GetCounter("serve.reload.successes");
+  metrics_.reload_failures = &registry.GetCounter("serve.reload.failures");
+  metrics_.index_swaps = &registry.GetCounter("serve.index.swaps");
+  metrics_.index_version = &registry.GetGauge("serve.index.version");
+  metrics_.index_epoch = &registry.GetGauge("serve.index.epoch");
+  metrics_.index_resident_bytes =
+      &registry.GetGauge("serve.index.resident_bytes");
+  if (registry.enabled()) {
+    const std::shared_ptr<const ServingIndex> live = Acquire();
+    if (live != nullptr) {
+      metrics_.index_version->Set(static_cast<double>(live->version()));
+      metrics_.index_resident_bytes->Set(
+          static_cast<double>(live->resident_bytes()));
+    }
+    metrics_.index_epoch->Set(static_cast<double>(index_.epoch()));
   }
 }
 
 std::shared_ptr<const ServingIndex> ServingService::Acquire() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  return index_;
+  return index_.Read();
 }
 
 bool ServingService::ready() const { return Acquire() != nullptr; }
+
+void ServingService::RecordMetrics(int endpoint, int status, double micros,
+                                   bool slow) {
+  if (!obs::MetricsRegistry::Global().enabled()) return;
+  const EndpointMetrics& per_endpoint = metrics_.endpoints[endpoint];
+  per_endpoint.requests->Increment();
+  metrics_.total->Increment();
+  if (status >= 400) {
+    per_endpoint.errors->Increment();
+    metrics_.total_errors->Increment();
+  }
+  if (slow) metrics_.slow->Increment();
+  per_endpoint.latency->Record(micros);
+}
 
 void ServingService::RecordReload(bool ok, const std::string& detail) {
   std::lock_guard<std::mutex> lock(reload_status_mu_);
@@ -177,42 +196,43 @@ void ServingService::RecordReload(bool ok, const std::string& detail) {
 
 void ServingService::SwapIndex(std::shared_ptr<const ServingIndex> index) {
   SHOAL_CHECK(index != nullptr) << "cannot swap in a null index";
-  {
-    std::lock_guard<std::mutex> lock(index_mu_);
-    index_ = std::move(index);
-  }
+  const uint64_t version = index->version();
+  const size_t resident_bytes = index->resident_bytes();
+  index_.Write(std::move(index));
   // Cached bodies describe the old version; drop them after the swap so
   // a request never mixes versions (it either hit the old cache before
   // the swap or recomputes against the new index).
   if (cache_ != nullptr) cache_->Clear();
-  auto& registry = obs::MetricsRegistry::Global();
-  if (registry.enabled()) {
-    registry.GetGauge("serve.index.version")
-        .Set(static_cast<double>(Acquire()->version));
-    registry.GetCounter("serve.index.swaps").Increment();
+  if (obs::MetricsRegistry::Global().enabled()) {
+    metrics_.index_version->Set(static_cast<double>(version));
+    metrics_.index_epoch->Set(static_cast<double>(index_.epoch()));
+    metrics_.index_resident_bytes->Set(static_cast<double>(resident_bytes));
+    metrics_.index_swaps->Increment();
   }
 }
 
 util::Status ServingService::Reload() {
   // One reload at a time; request traffic is never blocked by this lock.
   std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  const bool enabled = obs::MetricsRegistry::Global().enabled();
   if (options_.index_path.empty()) {
-    CountServeEvent("serve.reload.failures");
+    if (enabled) metrics_.reload_failures->Increment();
     util::Status status = util::Status::FailedPrecondition(
         "no index path configured for reload");
     RecordReload(false, status.ToString());
     return status;
   }
-  auto loaded = ReadServingIndexFile(options_.index_path);
+  auto loaded =
+      ReadServingIndexFile(options_.index_path, options_.load_options);
   if (!loaded.ok()) {
     // The old index keeps serving; the caller sees exactly why the new
     // one was rejected.
-    CountServeEvent("serve.reload.failures");
+    if (enabled) metrics_.reload_failures->Increment();
     RecordReload(false, loaded.status().ToString());
     return loaded.status();
   }
   SwapIndex(std::make_shared<const ServingIndex>(std::move(loaded).value()));
-  CountServeEvent("serve.reload.successes");
+  if (enabled) metrics_.reload_successes->Increment();
   RecordReload(true, "ok");
   return util::Status::OK();
 }
@@ -224,6 +244,7 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
   obs::ScopedSpan span("serve.request");
   span.AddArg("endpoint", static_cast<double>(endpoint));
 
+  const bool metrics_on = obs::MetricsRegistry::Global().enabled();
   const bool cacheable = cache_ != nullptr && request.method == "GET" &&
                          util::StartsWith(request.path, "/v1/") &&
                          index != nullptr;
@@ -231,11 +252,11 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
   bool cache_hit = false;
   std::string cached_body;
   if (cacheable && cache_->Get(request.target, &cached_body)) {
-    CountServeEvent("serve.cache.hits");
+    if (metrics_on) metrics_.cache_hits->Increment();
     cache_hit = true;
     response.body = std::move(cached_body);
   } else {
-    if (cacheable) CountServeEvent("serve.cache.misses");
+    if (cacheable && metrics_on) metrics_.cache_misses->Increment();
     response = Dispatch(request, index.get());
     if (cacheable && response.status == 200) {
       cache_->Put(request.target, response.body);
@@ -262,7 +283,7 @@ HttpResponse ServingService::Handle(const HttpRequest& request) {
     entry.status = response.status;
     entry.latency_us = micros;
     entry.cache_hit = cache_hit;
-    entry.index_version = index != nullptr ? index->version : 0;
+    entry.index_version = index != nullptr ? index->version() : 0;
     entry.bytes = response.body.size();
     if (options_.access_log != nullptr) options_.access_log->Write(entry);
     if (slow && options_.slow_log != nullptr) options_.slow_log->Write(entry);
@@ -336,15 +357,15 @@ HttpResponse ServingService::HandleQuery(const HttpRequest& request,
   body.Set("match", util::JsonValue::Str(match));
   body.Set("k", util::JsonValue::Number(static_cast<double>(k)));
   body.Set("index_version",
-           util::JsonValue::Number(static_cast<double>(index.version)));
+           util::JsonValue::Number(static_cast<double>(index.version())));
 
   util::JsonValue results = util::JsonValue::Array();
   if (lookup.query != kNoQuery) {
-    const auto& postings = index.posting_list[lookup.query];
+    const ServingIndex::PostingSpan postings = index.postings(lookup.query);
     for (size_t i = 0; i < postings.size() && i < k; ++i) {
-      util::JsonValue hit = TopicSummaryJson(index, postings[i].topic);
-      hit.Set("score", util::JsonValue::Number(postings[i].score));
-      hit.Set("path", PathJson(index, postings[i].topic));
+      util::JsonValue hit = TopicSummaryJson(index, postings.topic(i));
+      hit.Set("score", util::JsonValue::Number(postings.score(i)));
+      hit.Set("path", PathJson(index, postings.topic(i)));
       results.Append(std::move(hit));
     }
   }
@@ -364,7 +385,7 @@ HttpResponse ServingService::HandleTopic(const std::string& suffix,
                                   *id, index.num_topics()));
   }
   util::JsonValue body = TopicSummaryJson(index, *id);
-  body.Set("parent", TopicIdOrNull(index.parent[*id]));
+  body.Set("parent", TopicIdOrNull(index.parent(*id)));
   body.Set("path", PathJson(index, *id));
   util::JsonValue children = util::JsonValue::Array();
   auto [first, last] = index.children(*id);
@@ -373,7 +394,7 @@ HttpResponse ServingService::HandleTopic(const std::string& suffix,
   }
   body.Set("children", std::move(children));
   body.Set("index_version",
-           util::JsonValue::Number(static_cast<double>(index.version)));
+           util::JsonValue::Number(static_cast<double>(index.version())));
   return JsonResponse(200, body);
 }
 
@@ -388,10 +409,10 @@ HttpResponse ServingService::HandleItem(const std::string& suffix,
                                   "item %u does not exist (index has %zu)",
                                   *id, index.num_entities()));
   }
-  const uint32_t topic = index.entity_topic[*id];
+  const uint32_t topic = index.entity_topic(*id);
   util::JsonValue body = util::JsonValue::Object();
   body.Set("item", util::JsonValue::Number(static_cast<double>(*id)));
-  const uint32_t category = index.entity_category[*id];
+  const uint32_t category = index.entity_category(*id);
   body.Set("category", category == kNoCategoryId
                            ? util::JsonValue::Null()
                            : util::JsonValue::Number(
@@ -413,7 +434,7 @@ HttpResponse ServingService::HandleItem(const std::string& suffix,
     body.Set("description", util::JsonValue::Array());
   }
   body.Set("index_version",
-           util::JsonValue::Number(static_cast<double>(index.version)));
+           util::JsonValue::Number(static_cast<double>(index.version())));
   return JsonResponse(200, body);
 }
 
@@ -427,7 +448,7 @@ HttpResponse ServingService::HandleHealthz(const ServingIndex* index) {
     return JsonResponse(200, body);
   }
   body.Set("index_version",
-           util::JsonValue::Number(static_cast<double>(index->version)));
+           util::JsonValue::Number(static_cast<double>(index->version())));
   body.Set("topics", util::JsonValue::Number(
                          static_cast<double>(index->num_topics())));
   body.Set("entities", util::JsonValue::Number(
@@ -447,9 +468,11 @@ HttpResponse ServingService::HandleReadyz(const ServingIndex* index) {
            util::JsonValue::Str(index != nullptr ? "ready" : "unready"));
   body.Set("index_version",
            index != nullptr
-               ? util::JsonValue::Number(static_cast<double>(index->version))
+               ? util::JsonValue::Number(static_cast<double>(index->version()))
                : util::JsonValue::Null());
   body.Set("uptime_seconds", util::JsonValue::Number(uptime_seconds));
+  body.Set("index_epoch",
+           util::JsonValue::Number(static_cast<double>(index_.epoch())));
   {
     std::lock_guard<std::mutex> lock(reload_status_mu_);
     if (last_reload_.attempted) {
@@ -492,7 +515,7 @@ HttpResponse ServingService::HandleReload() {
   util::JsonValue body = util::JsonValue::Object();
   body.Set("status", util::JsonValue::Str("reloaded"));
   body.Set("index_version", util::JsonValue::Number(
-                                static_cast<double>(Acquire()->version)));
+                                static_cast<double>(Acquire()->version())));
   return JsonResponse(200, body);
 }
 

@@ -7,10 +7,12 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/access_log.h"
 #include "serve/http_message.h"
 #include "serve/lru_cache.h"
 #include "serve/serving_index.h"
+#include "util/rcu.h"
 #include "util/status.h"
 
 namespace shoal::serve {
@@ -19,7 +21,10 @@ struct ServiceOptions {
   // Path /admin/reload (and the manifest poller) loads new versions
   // from. Empty disables reloading.
   std::string index_path;
-  // Response cache budget in entries; 0 disables the cache.
+  // How Reload() materializes the file: mmap vs copy, CRC, deep checks.
+  LoadOptions load_options;
+  // Response cache budget in entries; 0 disables the cache (and with it
+  // the only mutexes left on the data-plane read path).
   size_t cache_entries = 4096;
   size_t cache_shards = 8;
   // /v1/query result count when no k parameter is given, and the cap a
@@ -36,10 +41,13 @@ struct ServiceOptions {
 
 // The endpoint layer: pure request -> response over an immutable
 // ServingIndex. Thread-safe; any number of threads may call Handle
-// concurrently. The live index sits behind a shared_ptr that each
-// request acquires once — a hot reload swaps the pointer, so in-flight
-// requests keep the version they started with and finish normally while
-// new requests see the new index.
+// concurrently. The live index sits in an epoch-based RCU cell: each
+// request acquires a snapshot with zero mutex acquisitions (a
+// thread-local epoch check in the steady state), a hot reload publishes
+// a new epoch, and in-flight requests keep the version they started
+// with and finish normally while new requests see the new index. With
+// cache_entries = 0, access logs off, and tracing off, the entire
+// /v1/* read path performs no mutex operations at all.
 //
 // Endpoints (all JSON):
 //   GET /v1/query?q=<text>[&k=N]   top-k topics for a query
@@ -57,11 +65,15 @@ struct ServiceOptions {
 // options.slow_request_us additionally go to options.slow_log.
 //
 // Metrics (namespace serve.*, recorded when the global registry is
-// enabled): serve.<endpoint>.requests / .errors / .latency_us
-// (log-bucketed; p50..p999 in snapshots), serve.requests.total,
-// serve.requests.errors, serve.requests.slow, serve.cache.hits /
-// .misses, serve.reload.successes / .failures, serve.index.version,
-// serve.index.swaps.
+// enabled; all handles are resolved once at construction so the hot
+// path never touches the registry mutex): serve.<endpoint>.requests /
+// .errors / .latency_us (log-bucketed; p50..p999 in snapshots),
+// serve.requests.total, serve.requests.errors, serve.requests.slow,
+// serve.cache.hits / .misses, serve.reload.successes / .failures,
+// serve.index.version, serve.index.swaps, and gauges serve.index.epoch
+// (RCU publication epoch of the live cell) and
+// serve.index.resident_bytes (bytes of the live index image, mmap or
+// heap).
 class ServingService {
  public:
   // `index` may be null: the service starts unready (/readyz answers
@@ -80,24 +92,58 @@ class ServingService {
   util::Status Reload();
 
   // Swaps a pre-validated index in directly (startup, tests, pollers).
+  // Publishes a new epoch; readers drain off the old index without ever
+  // blocking, and the old image is released once the last in-flight
+  // holder drops it.
   void SwapIndex(std::shared_ptr<const ServingIndex> index);
 
-  // The live index, or null while unready. In-flight holders keep old
+  // The live index, or null while unready. Lock-free: steady-state
+  // reads are a thread-local epoch check. In-flight holders keep old
   // versions alive after a swap until their requests finish.
   std::shared_ptr<const ServingIndex> Acquire() const;
 
   // True once an index has been installed.
   bool ready() const;
 
+  // RCU publication epoch of the index cell (bumps on every swap).
+  uint64_t index_epoch() const { return index_.epoch(); }
+
   const ShardedLruCache* cache() const { return cache_.get(); }
 
  private:
+  // Mirrors the Endpoint enum in service.cc.
+  static constexpr int kNumEndpoints = 8;
+
   // Outcome of the most recent reload attempt, surfaced by /readyz.
   struct ReloadStatus {
     bool attempted = false;
     bool ok = false;
     std::string detail;
     int64_t unix_ms = 0;
+  };
+
+  // Metric handles, resolved once in the constructor (registry handles
+  // are stable for the registry's lifetime). Recording through them is
+  // a relaxed atomic op — no registry lock, no per-request name
+  // formatting.
+  struct EndpointMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::HistogramMetric* latency = nullptr;
+  };
+  struct ServeMetrics {
+    EndpointMetrics endpoints[kNumEndpoints];
+    obs::Counter* total = nullptr;
+    obs::Counter* total_errors = nullptr;
+    obs::Counter* slow = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* reload_successes = nullptr;
+    obs::Counter* reload_failures = nullptr;
+    obs::Counter* index_swaps = nullptr;
+    obs::Gauge* index_version = nullptr;
+    obs::Gauge* index_epoch = nullptr;
+    obs::Gauge* index_resident_bytes = nullptr;
   };
 
   HttpResponse Dispatch(const HttpRequest& request,
@@ -113,16 +159,18 @@ class ServingService {
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleReload();
 
+  void RecordMetrics(int endpoint, int status, double micros, bool slow);
   void RecordReload(bool ok, const std::string& detail);
 
   ServiceOptions options_;
   const std::chrono::steady_clock::time_point start_time_;
-  mutable std::mutex index_mu_;  // guards index_ pointer swaps
-  std::shared_ptr<const ServingIndex> index_;
+  // Lock-free snapshot of the live index; Write publishes a new epoch.
+  util::RcuCell<const ServingIndex> index_;
   std::mutex reload_mu_;  // serializes reloads, not request traffic
   mutable std::mutex reload_status_mu_;
   ReloadStatus last_reload_;
   std::unique_ptr<ShardedLruCache> cache_;  // null when disabled
+  ServeMetrics metrics_;
 };
 
 }  // namespace shoal::serve

@@ -2,6 +2,7 @@
 #define SHOAL_SERVE_SERVING_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "core/taxonomy.h"
 #include "core/topic_describer.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -31,24 +33,44 @@ struct Posting {
   }
 };
 
-// The compact immutable artefact the online tier serves from: everything
-// a request needs, precomputed offline and loaded in one pass. A loaded
-// index is never mutated — request threads share one instance through a
-// shared_ptr<const ServingIndex> and hot reload swaps the pointer, so no
-// per-request locking is needed anywhere in the read path.
+// How ReadServingIndexFile installs a v2 index.
+struct LoadOptions {
+  // Map the file read-only and serve straight from the page cache
+  // (O(1) allocations; the kernel pages data in on demand). false reads
+  // the file into an owned, 64-byte-aligned buffer instead — same
+  // accessors, private copy.
+  bool use_mmap = true;
+  // Checksum the whole image before serving from it. One streaming CRC
+  // pass; turning it off makes install strictly O(1) but leaves
+  // bit-flips to the structural bounds sweep alone.
+  bool verify_crc = true;
+  // Additionally re-verify the semantic invariants the compiler already
+  // enforced (posting sort order, dictionary orderings, children CSR vs
+  // parents). Redundant behind an intact CRC; for forensics.
+  bool deep_validate = false;
+};
+
+// The immutable artefact the online tier serves from. Since format v2
+// this is a *flat* index: one contiguous, pointer-free, 64-byte-aligned
+// image (a section table over typed arrays + string arenas) that is
+// either mmap'd read-only straight off disk or held in one owned
+// allocation. Every accessor reads directly out of the image — loading
+// never deserializes, so index install cost does not grow with index
+// size, and request threads share the image with no locks anywhere.
 //
 // Contents:
-//   * topic tree in CSR form: per-topic parent / level / member count,
-//     a children adjacency (offsets + ids, ascending), and descriptions
-//     (the topic's representative queries, best first);
-//   * item->entity->topic maps: the deepest topic and ontology category
-//     of every entity (items and entities coincide in this system);
-//   * an interned query dictionary with exact and normalized lookup,
-//     each entry carrying its posting list.
+//   * topic tree: per-topic parent / level / member count, descriptions
+//     (representative queries, best first), a children CSR and the root
+//     list;
+//   * item->entity->topic maps: deepest topic and ontology category per
+//     entity;
+//   * the interned query dictionary (raw + normalized arenas, sort
+//     permutations for binary search) with per-query posting lists laid
+//     out as parallel topic/score arrays.
 //
-// Build with CompileServingIndex (offline) or ReadServingIndexFile
-// (online). Direct field access is for the codec and tests; after any
-// mutation Finalize() must be re-run.
+// Build one offline with CompileServingIndex(...).Build() and load it
+// online with ReadServingIndexFile. Mutate-and-revalidate workflows
+// (tests, tools) go through ServingIndexData.
 class ServingIndex {
  public:
   struct Lookup {
@@ -57,61 +79,166 @@ class ServingIndex {
     Match match = Match::kNone;
   };
 
+  // Postings of one query as a zero-copy view over the image's parallel
+  // arrays (4-byte topics and 8-byte scores are stored apart so neither
+  // pads the other).
+  struct PostingSpan {
+    const uint32_t* topics = nullptr;
+    const double* scores = nullptr;
+    size_t count = 0;
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    uint32_t topic(size_t i) const { return topics[i]; }
+    double score(size_t i) const { return scores[i]; }
+    Posting operator[](size_t i) const { return Posting{topics[i], scores[i]}; }
+  };
+
   ServingIndex() = default;
+  ServingIndex(ServingIndex&& other) noexcept;
+  ServingIndex& operator=(ServingIndex&& other) noexcept;
+  ServingIndex(const ServingIndex&) = delete;
+  ServingIndex& operator=(const ServingIndex&) = delete;
+  ~ServingIndex();
 
-  // --- stored fields ------------------------------------------------------
-  uint64_t version = 0;  // compiler-stamped artefact version
+  // --- scalar header -----------------------------------------------------
+  uint64_t version() const { return version_; }
+  size_t num_topics() const { return num_topics_; }
+  size_t num_entities() const { return num_entities_; }
+  size_t num_queries() const { return num_queries_; }
 
-  // Topics, indexed by taxonomy topic id. Parents precede children.
-  std::vector<uint32_t> parent;                         // kNoTopic = root
-  std::vector<uint32_t> level;                          // 0 for roots
-  std::vector<uint32_t> topic_size;                     // member entities
-  std::vector<std::vector<std::string>> descriptions;   // best query first
+  // Bytes of the backing image (what serve.index.resident_bytes
+  // reports), and whether they live in a file mapping or a private
+  // allocation.
+  size_t resident_bytes() const { return size_; }
+  bool mmap_backed() const { return mmap_backed_; }
 
-  // Entities (== items).
-  std::vector<uint32_t> entity_topic;     // deepest topic or kNoTopic
-  std::vector<uint32_t> entity_category;  // ontology leaf or kNoCategoryId
+  // --- topics ------------------------------------------------------------
+  uint32_t parent(uint32_t t) const { return parent_[t]; }
+  uint32_t level(uint32_t t) const { return level_[t]; }
+  uint32_t topic_size(uint32_t t) const { return topic_size_[t]; }
+  size_t num_descriptions(uint32_t t) const {
+    return desc_offsets_[t + 1] - desc_offsets_[t];
+  }
+  // The i-th description query of topic `t`, best first.
+  std::string_view description(uint32_t t, size_t i) const {
+    const uint64_t d = desc_offsets_[t] + i;
+    return {desc_arena_ + desc_bounds_[d],
+            static_cast<size_t>(desc_bounds_[d + 1] - desc_bounds_[d])};
+  }
 
-  // Interned queries, ascending original query id (deterministic).
-  std::vector<std::string> query_text;            // raw form
-  std::vector<std::string> query_norm;            // NormalizeQuery(raw)
-  std::vector<std::vector<Posting>> posting_list; // per query, score desc
-
-  // Validates every structural invariant (parent ordering, level
-  // consistency, range checks, posting sortedness) and rebuilds the
-  // derived structures below. Any violation is a clean InvalidArgument —
-  // this is the last line of defence behind the file CRC.
-  util::Status Finalize();
-
-  // --- derived accessors (valid after a successful Finalize) --------------
-  size_t num_topics() const { return parent.size(); }
-  size_t num_entities() const { return entity_topic.size(); }
-  size_t num_queries() const { return query_text.size(); }
-
-  const std::vector<uint32_t>& roots() const { return roots_; }
+  std::span<const uint32_t> roots() const { return {roots_, num_roots_}; }
 
   // Children of `t`, ascending, as a [first, last) range into the CSR.
   std::pair<const uint32_t*, const uint32_t*> children(uint32_t t) const {
-    const uint32_t* base = child_ids_.data();
-    return {base + child_offsets_[t], base + child_offsets_[t + 1]};
+    return {child_ids_ + child_offsets_[t], child_ids_ + child_offsets_[t + 1]};
   }
 
   // Topic ids from the root down to `t` (root first, `t` last).
   std::vector<uint32_t> PathToRoot(uint32_t t) const;
+
+  // --- entities ------------------------------------------------------------
+  uint32_t entity_topic(uint32_t e) const { return entity_topic_[e]; }
+  uint32_t entity_category(uint32_t e) const { return entity_category_[e]; }
+
+  // --- queries -------------------------------------------------------------
+  std::string_view query_text(uint32_t q) const {
+    return {text_arena_ + text_bounds_[q],
+            static_cast<size_t>(text_bounds_[q + 1] - text_bounds_[q])};
+  }
+  std::string_view query_norm(uint32_t q) const {
+    return {norm_arena_ + norm_bounds_[q],
+            static_cast<size_t>(norm_bounds_[q + 1] - norm_bounds_[q])};
+  }
+  PostingSpan postings(uint32_t q) const {
+    const uint64_t first = post_offsets_[q];
+    return {post_topics_ + first, post_scores_ + first,
+            static_cast<size_t>(post_offsets_[q + 1] - first)};
+  }
 
   // Exact raw-text match first, then the normalized form; kNone when the
   // query is not in the dictionary.
   Lookup Find(const std::string& raw_query) const;
 
  private:
-  // Children CSR and root list, derived from `parent`.
-  std::vector<uint64_t> child_offsets_;
-  std::vector<uint32_t> child_ids_;
-  std::vector<uint32_t> roots_;
-  // Query ids ordered by raw / normalized text (ties: smaller id first,
-  // so duplicate texts resolve deterministically to the first intern).
-  std::vector<uint32_t> exact_order_;
-  std::vector<uint32_t> norm_order_;
+  friend util::Result<ServingIndex> BindServingImage(util::MmapFile mapped,
+                                                     std::string owned,
+                                                     const LoadOptions& options,
+                                                     const std::string& origin);
+
+  util::Status Bind(const LoadOptions& options, const std::string& origin);
+  void Release();
+  void StealFrom(ServingIndex& other);
+
+  // Backing storage: exactly one of the two is live (or neither, for a
+  // default-constructed empty index).
+  util::MmapFile mapped_;
+  uint8_t* owned_ = nullptr;  // 64-byte-aligned private image
+  bool mmap_backed_ = false;
+
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+
+  // Header scalars and section pointers, cached by Bind().
+  uint64_t version_ = 0;
+  size_t num_topics_ = 0;
+  size_t num_entities_ = 0;
+  size_t num_queries_ = 0;
+  size_t num_roots_ = 0;
+  const uint32_t* parent_ = nullptr;
+  const uint32_t* level_ = nullptr;
+  const uint32_t* topic_size_ = nullptr;
+  const uint64_t* desc_offsets_ = nullptr;
+  const uint64_t* desc_bounds_ = nullptr;
+  const char* desc_arena_ = nullptr;
+  const uint32_t* entity_topic_ = nullptr;
+  const uint32_t* entity_category_ = nullptr;
+  const uint64_t* text_bounds_ = nullptr;
+  const char* text_arena_ = nullptr;
+  const uint64_t* norm_bounds_ = nullptr;
+  const char* norm_arena_ = nullptr;
+  const uint64_t* post_offsets_ = nullptr;
+  const uint32_t* post_topics_ = nullptr;
+  const double* post_scores_ = nullptr;
+  const uint64_t* child_offsets_ = nullptr;
+  const uint32_t* child_ids_ = nullptr;
+  const uint32_t* roots_ = nullptr;
+  const uint32_t* exact_order_ = nullptr;
+  const uint32_t* norm_order_ = nullptr;
+};
+
+// The mutable builder form: plain vectors, free to edit, validated as a
+// whole. CompileServingIndex produces one; Build() freezes it into the
+// flat image a ServingIndex serves from. The v1 (copying) codec also
+// round-trips through this type.
+struct ServingIndexData {
+  uint64_t version = 0;  // compiler-stamped artefact version
+
+  // Topics, indexed by taxonomy topic id. Parents precede children.
+  std::vector<uint32_t> parent;                        // kNoTopic = root
+  std::vector<uint32_t> level;                         // 0 for roots
+  std::vector<uint32_t> topic_size;                    // member entities
+  std::vector<std::vector<std::string>> descriptions;  // best query first
+
+  // Entities (== items).
+  std::vector<uint32_t> entity_topic;     // deepest topic or kNoTopic
+  std::vector<uint32_t> entity_category;  // ontology leaf or kNoCategoryId
+
+  // Interned queries, ascending original query id (deterministic).
+  std::vector<std::string> query_text;             // raw form
+  std::vector<std::string> query_norm;             // NormalizeQuery(raw)
+  std::vector<std::vector<Posting>> posting_list;  // per query, score desc
+
+  // Validates every structural invariant (parent ordering, level
+  // consistency, range checks, posting sortedness, stored
+  // normalizations matching the live normalizer). Any violation is a
+  // clean InvalidArgument — the last line of defence behind the file
+  // CRC.
+  util::Status Validate() const;
+
+  // Validate + freeze into the flat serving form (one aligned
+  // allocation holding the same image WriteServingIndexFile persists).
+  util::Result<ServingIndex> Build() const;
 };
 
 struct CompileOptions {
@@ -123,34 +250,56 @@ struct CompileOptions {
   size_t max_postings_per_query = 64;
 };
 
-// Compiles a built taxonomy into a ServingIndex. Re-runs the Sec 2.3
+// Compiles a built taxonomy into serving form. Re-runs the Sec 2.3
 // topic-description scoring (TopicDescriber) on a copy of the taxonomy
 // to obtain the full per-topic query rankings, then inverts them into
 // per-query posting lists. `entity_categories` may be null (categories
 // become kNoCategoryId); when present it must have one entry per entity.
-util::Result<ServingIndex> CompileServingIndex(
+util::Result<ServingIndexData> CompileServingIndex(
     const core::Taxonomy& taxonomy, const core::DescriberInput& input,
     const core::DescriberOptions& describer_options,
     const std::vector<uint32_t>* entity_categories,
     const CompileOptions& options);
 
 // --- binary format --------------------------------------------------------
-// Payload codec plus a CRC-32 framed file wrapper, mirroring the
-// checkpoint snapshot format: 8-byte magic "SHOALIDX", u32 format
-// version, u64 payload size, u32 CRC-32 of the payload, payload bytes.
-// Files are written through AtomicWriteFile (never torn on disk) and
-// every count read back is bounds-checked against the remaining bytes,
-// so truncated / bit-flipped / oversized-count files fail with a clean
+// Both formats open with the same sniffable frame: 8-byte magic
+// "SHOALIDX" then a u32 format version at offset 8.
+//
+//   v2 (current): the flat little-endian image described above —
+//     magic | u32 2 | u32 crc32(bytes[16..end)) | fixed header |
+//     section table | 64-byte-aligned sections — written atomically and
+//     loaded by mmap with CRC + bounds validation over the mapped
+//     region (see DESIGN.md §12 for the layout diagram).
+//   v1 (legacy): magic | u32 1 | u64 payload size | u32 crc32 | a
+//     length-prefixed record stream, fully deserialized on load via the
+//     copying path below. Still readable for compatibility; still
+//     writable for format-skew tests and old consumers.
+//
+// Every count and offset read back is bounds-checked against the file,
+// so truncated / bit-flipped / oversized-count images fail with a clean
 // Status, never undefined behaviour.
 
-inline constexpr uint32_t kServingIndexFormatVersion = 1;
+inline constexpr uint32_t kServingIndexFormatVersion = 2;
+inline constexpr uint32_t kServingIndexFormatVersionV1 = 1;
 
-std::string EncodeServingIndex(const ServingIndex& index);
-util::Result<ServingIndex> DecodeServingIndex(std::string_view payload);
+// v1 payload codec (legacy, copying).
+std::string EncodeServingIndex(const ServingIndexData& data);
+util::Result<ServingIndexData> DecodeServingIndex(std::string_view payload);
 
+// The complete v2 file image for `data` (magic through last section).
+util::Result<std::string> EncodeServingIndexFile(const ServingIndexData& data);
+
+// Writes the v2 (current) / v1 (legacy) file atomically.
 util::Status WriteServingIndexFile(const std::string& path,
-                                   const ServingIndex& index);
-util::Result<ServingIndex> ReadServingIndexFile(const std::string& path);
+                                   const ServingIndexData& data);
+util::Status WriteServingIndexFileV1(const std::string& path,
+                                     const ServingIndexData& data);
+
+// Loads either format: v2 binds the image in place (mmap by default),
+// v1 falls back to the deserializing path. Always returns a fully
+// validated, ready-to-serve index or a clean error.
+util::Result<ServingIndex> ReadServingIndexFile(const std::string& path,
+                                                const LoadOptions& options = {});
 
 }  // namespace shoal::serve
 

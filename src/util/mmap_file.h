@@ -1,0 +1,47 @@
+#ifndef SHOAL_UTIL_MMAP_FILE_H_
+#define SHOAL_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace shoal::util {
+
+// A read-only memory-mapped file. The mapping lives as long as the
+// object (moves transfer ownership), so consumers can hold raw pointers
+// into data() for the object's lifetime — the serving index uses this to
+// serve straight out of the page cache with zero copies and O(1) setup.
+//
+// The mapping is MAP_PRIVATE + PROT_READ: writes through other handles
+// to the same file do not tear pages under us once they are faulted in,
+// and the publisher side always replaces files atomically (rename), so a
+// mapped index never changes beneath the server.
+class MmapFile {
+ public:
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  // Page-aligned start of the mapping; nullptr for an empty file.
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_MMAP_FILE_H_

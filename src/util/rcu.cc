@@ -1,0 +1,96 @@
+#include "util/rcu.h"
+
+#include <thread>
+
+namespace shoal::util::rcu_internal {
+
+namespace {
+
+// Head of the global slot list. Slots are pushed once and never
+// unlinked or freed: a concurrent Synchronize may be walking the list,
+// and the registry stays reachable from this global so leak checkers
+// treat it as live. Thread exit merely releases `claimed`.
+std::atomic<ReaderSlot*> g_slots{nullptr};
+
+// The global era. Starts at 1 so a pinned era is never 0 (0 means
+// "not reading").
+std::atomic<uint64_t> g_era{1};
+
+ReaderSlot* ClaimSlot() {
+  // Reuse a slot left behind by an exited thread if one is free.
+  for (ReaderSlot* slot = g_slots.load(std::memory_order_acquire);
+       slot != nullptr; slot = slot->next) {
+    bool expected = false;
+    if (slot->claimed.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+      return slot;
+    }
+  }
+  auto* slot = new ReaderSlot();
+  slot->claimed.store(true, std::memory_order_relaxed);
+  ReaderSlot* head = g_slots.load(std::memory_order_acquire);
+  do {
+    slot->next = head;
+  } while (!g_slots.compare_exchange_weak(head, slot,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire));
+  return slot;
+}
+
+// Claims on first use, releases (never frees) on thread exit.
+struct SlotHolder {
+  ReaderSlot* slot = ClaimSlot();
+  ~SlotHolder() {
+    slot->era.store(0, std::memory_order_seq_cst);
+    slot->claimed.store(false, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+ReaderSlot* ThreadSlot() {
+  static thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+void ReadLock(ReaderSlot* slot) {
+  // Pin the current era, then re-check until the global agrees with the
+  // pin. Everything is seq_cst, so once this loop exits, any writer
+  // whose era bump preceded our final re-check load will observe our
+  // pinned era during its slot scan (the pin store precedes the re-check
+  // load in the single total order), and any writer whose bump follows
+  // it published its new value before we load the box.
+  uint64_t era = g_era.load(std::memory_order_seq_cst);
+  while (true) {
+    slot->era.store(era, std::memory_order_seq_cst);
+    const uint64_t now = g_era.load(std::memory_order_seq_cst);
+    if (now == era) return;
+    era = now;
+  }
+}
+
+void ReadUnlock(ReaderSlot* slot) {
+  slot->era.store(0, std::memory_order_seq_cst);
+}
+
+void Synchronize() {
+  const uint64_t target = g_era.fetch_add(1, std::memory_order_seq_cst) + 1;
+  for (ReaderSlot* slot = g_slots.load(std::memory_order_seq_cst);
+       slot != nullptr; slot = slot->next) {
+    // Wait out any critical section pinned before `target`. Readers are
+    // a handful of atomic ops, so this spin is nanoseconds in practice;
+    // yield keeps it polite under oversubscription.
+    while (true) {
+      const uint64_t era = slot->era.load(std::memory_order_seq_cst);
+      if (era == 0 || era >= target) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
+uint64_t NextCellId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace shoal::util::rcu_internal

@@ -1,0 +1,156 @@
+#ifndef SHOAL_UTIL_RCU_H_
+#define SHOAL_UTIL_RCU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace shoal::util {
+
+// Epoch-based read-copy-update support for RcuCell<T>. The full
+// reclamation argument lives in DESIGN.md §12; the short version:
+//
+//  * Every reader thread owns one cache-line-sized slot in a global,
+//    never-freed registry. A slot's `era` is 0 outside a read-side
+//    critical section and a copy of the global era inside one.
+//  * ReadLock stores the global era into the slot and then re-checks the
+//    global until the two agree — after that loop, any writer that
+//    advanced the era past the pinned value is guaranteed to observe the
+//    pin (all accesses are seq_cst, so the store and re-check load are
+//    ordered against the writer's era bump and slot scan).
+//  * Synchronize (writer side) advances the global era and spins until
+//    every claimed slot is either unpinned (0) or pinned at/after the
+//    new era. Anything unlinked before Synchronize is unreachable by
+//    readers after it, so the writer can free it.
+//
+// Slots are claimed per thread on first use and recycled when the
+// thread exits; the registry itself is intentionally immortal (reachable
+// from a global, so leak checkers stay quiet) because a dying thread
+// can never safely free a slot a concurrent Synchronize may be reading.
+namespace rcu_internal {
+
+struct alignas(64) ReaderSlot {
+  // 0 = not in a critical section; otherwise the pinned global era.
+  std::atomic<uint64_t> era{0};
+  // Claimed by a live thread; released (for reuse) on thread exit.
+  std::atomic<bool> claimed{false};
+  ReaderSlot* next = nullptr;  // immutable after the slot is linked in
+};
+
+// This thread's slot, claimed (or allocated and linked) on first use.
+ReaderSlot* ThreadSlot();
+
+// Enters / leaves a read-side critical section on `slot`.
+void ReadLock(ReaderSlot* slot);
+void ReadUnlock(ReaderSlot* slot);
+
+// Waits until every read-side critical section that began before this
+// call has finished. O(#slots) spin; writer-path only.
+void Synchronize();
+
+// Process-unique id for an RcuCell instance (never reused, so a stale
+// thread-local cache entry can never alias a new cell at an old
+// address).
+uint64_t NextCellId();
+
+}  // namespace rcu_internal
+
+// A single shared_ptr-valued cell with lock-free, wait-free-in-practice
+// reads and grace-period-based writer-side reclamation — the publication
+// point for the live ServingIndex. Any number of threads may call
+// Read() concurrently with writers; Read never takes a mutex and in the
+// steady state (no write since this thread's last read) performs exactly
+// one atomic load plus one reference-count increment.
+//
+//   RcuCell<const Index> live(initial);
+//   std::shared_ptr<const Index> snap = live.Read();   // request path
+//   live.Write(next);                                  // reload path
+//
+// Semantics:
+//  * Read returns the value of some Write that happened at or after the
+//    previous Write observed by this thread (monotonic per thread), and
+//    the returned shared_ptr keeps that value alive for as long as the
+//    caller holds it — a concurrent Write never invalidates it.
+//  * Write publishes `next`, waits for a grace period, and only then
+//    frees the *publication box* of the previous value. The previous
+//    value itself dies when the last reader drops its shared_ptr, so
+//    in-flight requests finish on the version they started with.
+//  * Writes are serialized internally (writers may block; readers never
+//    do).
+//
+// The per-thread cache means a thread that stops calling Read can keep
+// the previously published value alive until its next Read (or thread
+// exit). For index hot-reload this is bounded by one request per
+// serving thread — acceptable; callers needing prompt reclamation can
+// call Read once per thread after a swap.
+template <typename T>
+class RcuCell {
+ public:
+  explicit RcuCell(std::shared_ptr<T> initial = nullptr)
+      : box_(new std::shared_ptr<T>(std::move(initial))) {}
+
+  ~RcuCell() {
+    // No readers may be in flight at destruction (standard ownership
+    // rule); Synchronize makes the teardown race-free even if a reader
+    // just left.
+    rcu_internal::Synchronize();
+    delete box_.load(std::memory_order_acquire);
+  }
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  // Lock-free snapshot of the current value.
+  std::shared_ptr<T> Read() const {
+    // Fast path: nothing was published since this thread's last Read of
+    // this cell — one acquire load validates the cached snapshot.
+    static thread_local struct {
+      uint64_t cell_id = 0;
+      uint64_t epoch = 0;
+      std::shared_ptr<T> value;
+    } cache;
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (cache.cell_id == id_ && cache.epoch == epoch) return cache.value;
+
+    // Slow path: pin this thread's reader slot so the writer's grace
+    // period waits for us, then copy the shared_ptr out of the current
+    // box. The epoch is sampled *before* the box, so the cached pair is
+    // conservative: the box is at least as new as the epoch claims.
+    rcu_internal::ReaderSlot* slot = rcu_internal::ThreadSlot();
+    rcu_internal::ReadLock(slot);
+    std::shared_ptr<T>* box = box_.load(std::memory_order_seq_cst);
+    std::shared_ptr<T> value = *box;
+    rcu_internal::ReadUnlock(slot);
+    cache.cell_id = id_;
+    cache.epoch = epoch;
+    cache.value = value;
+    return value;
+  }
+
+  // Publishes `next` and reclaims the previous publication box after
+  // all in-flight readers drain. Serialized against other writers.
+  void Write(std::shared_ptr<T> next) {
+    auto* fresh = new std::shared_ptr<T>(std::move(next));
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::shared_ptr<T>* old = box_.exchange(fresh, std::memory_order_seq_cst);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    rcu_internal::Synchronize();
+    delete old;  // readers that copied it still hold the value
+  }
+
+  // Number of Writes published so far (starts at 1 for the initial
+  // value) — exported as the serve.index.epoch gauge.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  const uint64_t id_ = rcu_internal::NextCellId();
+  std::atomic<std::shared_ptr<T>*> box_;
+  std::atomic<uint64_t> epoch_{1};
+  std::mutex write_mu_;  // writers only; never touched by Read
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_RCU_H_

@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -15,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "serve_test_util.h"
 #include "util/json.h"
 #include "util/tsv.h"
@@ -40,9 +44,11 @@ class HttpServerTest : public ::testing::Test {
     std::filesystem::create_directories(dir_);
     live_path_ = (dir_ / "live.idx").string();
 
-    auto v1 = fixture_.Compile(CompileOptions{.version = 1});
+    auto data = fixture_.Compile(CompileOptions{.version = 1});
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    ASSERT_TRUE(WriteServingIndexFile(live_path_, *data).ok());
+    auto v1 = data->Build();
     ASSERT_TRUE(v1.ok()) << v1.status().ToString();
-    ASSERT_TRUE(WriteServingIndexFile(live_path_, *v1).ok());
 
     ServiceOptions service_options;
     service_options.index_path = live_path_;
@@ -55,6 +61,29 @@ class HttpServerTest : public ::testing::Test {
     server_options.threads = 8;
     server_ = std::make_unique<HttpServer>(service_.get(), server_options);
     ASSERT_TRUE(server_->Start().ok());
+  }
+
+  // Tears the default server down and restarts with custom options
+  // (tests that exercise a specific reactor configuration).
+  void RestartServer(HttpServerOptions server_options) {
+    server_.reset();
+    server_options.port = 0;
+    server_ = std::make_unique<HttpServer>(service_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  // A raw connected client socket (caller closes).
+  int Connect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
   }
 
   void TearDown() override {
@@ -257,9 +286,144 @@ TEST_F(HttpServerTest, StopIsGracefulAndIdempotent) {
   EXPECT_FALSE(after.ok());
 }
 
+// With a single reactor thread, parked keep-alive connections must not
+// starve new clients: connections are epoll registrations, not pinned
+// threads. The pre-epoll server (one blocking thread per connection)
+// fails this with threads=1.
+TEST_F(HttpServerTest, KeepAliveConnectionsDoNotPinReactor) {
+  HttpServerOptions options;
+  options.threads = 1;
+  RestartServer(options);
+
+  std::vector<int> parked;
+  for (int i = 0; i < 4; ++i) parked.push_back(Connect());
+
+  // The lone reactor still serves a fifth, fresh client.
+  EXPECT_EQ(Fetch("/healthz").status, 200);
+  EXPECT_EQ(Fetch("/v1/query?q=router").status, 200);
+
+  for (int fd : parked) ::close(fd);
+}
+
+// Responses larger than the kernel (or, here, the test hook) accepts in
+// one send must resume via EPOLLOUT and arrive byte-complete.
+TEST_F(HttpServerTest, PartialWritesResumeViaEpollout) {
+  auto reference = Fetch("/v1/query?q=router&k=5");
+  ASSERT_EQ(reference.status, 200);
+
+  HttpServerOptions options;
+  options.threads = 2;
+  options.max_write_chunk = 7;  // dribble every response out 7 bytes at a time
+  RestartServer(options);
+
+  auto dribbled = Fetch("/v1/query?q=router&k=5");
+  EXPECT_EQ(dribbled.status, 200);
+  EXPECT_EQ(dribbled.body, reference.body);
+  auto metrics = Fetch("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(util::JsonValue::Parse(metrics.body).ok());
+}
+
+// A storm of signals interrupting every blocking call: reads, writes
+// and epoll_wait all see EINTR and must retry, not fail or drop bytes.
+TEST_F(HttpServerTest, EintrStormDoesNotCorruptRequests) {
+  struct sigaction noisy {};
+  noisy.sa_handler = +[](int) {};
+  sigemptyset(&noisy.sa_mask);
+  noisy.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction saved {};
+  ASSERT_EQ(::sigaction(SIGALRM, &noisy, &saved), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 1000;
+  storm.it_value.tv_usec = 1000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  auto reference = Fetch("/v1/query?q=router&k=3");
+  for (int i = 0; i < 50; ++i) {
+    auto response = Fetch("/v1/query?q=router&k=3");
+    ASSERT_EQ(response.status, 200);
+    ASSERT_EQ(response.body, reference.body);
+  }
+
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &saved, nullptr), 0);
+}
+
+TEST_F(HttpServerTest, PipelinedRequestsAnswerInOrder) {
+  const int fd = Connect();
+  const std::string requests =
+      "GET /v1/topic/0 HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /v1/item/0 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+            static_cast<ssize_t>(requests.size()));
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t status_lines = 0;
+  for (size_t at = raw.find("HTTP/1.1 200 OK\r\n");
+       at != std::string::npos; at = raw.find("HTTP/1.1 200 OK\r\n", at + 1)) {
+    ++status_lines;
+  }
+  EXPECT_EQ(status_lines, 2u);
+  const size_t topic_at = raw.find("\"topic\"");
+  const size_t item_at = raw.find("\"item\"");
+  ASSERT_NE(topic_at, std::string::npos);
+  ASSERT_NE(item_at, std::string::npos);
+  EXPECT_LT(topic_at, item_at);  // responses in request order
+}
+
+TEST_F(HttpServerTest, IdleConnectionsAreSwept) {
+  HttpServerOptions options;
+  options.threads = 2;
+  options.idle_timeout_sec = 1;
+  RestartServer(options);
+
+  const int fd = Connect();
+  timeval patience{};
+  patience.tv_sec = 10;
+  ASSERT_EQ(
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &patience, sizeof(patience)),
+      0);
+  char byte;
+  // The sweep closes us without a response; recv sees a clean EOF.
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+}
+
+TEST_F(HttpServerTest, ConnectionsOpenGaugeTracksSockets) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Enable();
+  registry.Reset();
+  auto& gauge = registry.GetGauge("serve.connections.open");
+
+  const int fd = Connect();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (gauge.value() < 1.0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(gauge.value(), 1.0);
+
+  ::close(fd);
+  while (gauge.value() > 0.0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(gauge.value(), 0.0);
+  registry.Reset();
+  registry.Disable();
+}
+
 TEST(HttpServerStartTest, PortCollisionFailsCleanly) {
   ServeFixture f;
-  auto index = f.Compile();
+  auto index = f.CompileIndex();
   ASSERT_TRUE(index.ok());
   auto shared =
       std::make_shared<const ServingIndex>(std::move(index).value());

@@ -57,9 +57,16 @@ struct ServeFixture {
     return input;
   }
 
-  util::Result<ServingIndex> Compile(CompileOptions options = {}) {
+  // The mutable builder form (field access, tamper-then-Validate tests).
+  util::Result<ServingIndexData> Compile(CompileOptions options = {}) {
     return CompileServingIndex(taxonomy, Input(), core::DescriberOptions(),
                                &categories, options);
+  }
+
+  // The frozen flat form the serving path reads.
+  util::Result<ServingIndex> CompileIndex(CompileOptions options = {}) {
+    SHOAL_ASSIGN_OR_RETURN(ServingIndexData data, Compile(options));
+    return data.Build();
   }
 };
 

@@ -1,8 +1,13 @@
 // Malformed-index robustness, mirroring tests/ckpt/snapshot_test.cc:
 // every truncation and a bit-flip sweep over a real index file must
 // produce a clean Status — never a crash, hang, or huge allocation
-// (ASan/UBSan runs of this test are part of the CI matrix).
+// (ASan/UBSan runs of this test are part of the CI matrix). The v2
+// sweeps run twice: once with the CRC on (the normal deployment mode,
+// where every flip outside the stored CRC is caught by the checksum)
+// and once with the CRC off, which forces the structural validators to
+// stand on their own.
 
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -16,6 +21,11 @@
 namespace shoal::serve {
 namespace {
 
+void PatchU64(std::string* bytes, size_t offset, uint64_t value) {
+  ASSERT_LE(offset + 8, bytes->size());
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
 class ServingIndexCorruptTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -28,13 +38,25 @@ class ServingIndexCorruptTest : public ::testing::Test {
 
   std::string Path(const std::string& name) { return (dir_ / name).string(); }
 
-  // A real index file's bytes.
+  // A real v2 index file's bytes.
   std::string WriteSample() {
     ServeFixture f;
-    auto index = f.Compile();
-    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    auto data = f.Compile();
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
     const std::string path = Path("sample.idx");
-    EXPECT_TRUE(WriteServingIndexFile(path, *index).ok());
+    EXPECT_TRUE(WriteServingIndexFile(path, *data).ok());
+    auto bytes = util::ReadTextFile(path);
+    EXPECT_TRUE(bytes.ok());
+    return bytes.value();
+  }
+
+  // A legacy v1 index file's bytes.
+  std::string WriteSampleV1() {
+    ServeFixture f;
+    auto data = f.Compile();
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    const std::string path = Path("sample_v1.idx");
+    EXPECT_TRUE(WriteServingIndexFileV1(path, *data).ok());
     auto bytes = util::ReadTextFile(path);
     EXPECT_TRUE(bytes.ok());
     return bytes.value();
@@ -79,10 +101,10 @@ TEST_F(ServingIndexCorruptTest, EveryTruncationFailsCleanly) {
 TEST_F(ServingIndexCorruptTest, EveryBitFlipIsDetectedOrValidated) {
   const std::string full = WriteSample();
   const std::string path = Path("flip.idx");
-  // One flipped bit per sampled byte: the CRC must catch payload flips,
-  // the header checks catch header flips; anything that slips through
-  // (flips inside the stored CRC cannot, but stay defensive) must still
-  // decode into a state that passes or cleanly fails Finalize().
+  // One flipped bit per sampled byte: the CRC must catch body flips,
+  // the preamble checks catch magic/format flips; anything that slips
+  // through (flips inside the stored CRC word cannot, but stay
+  // defensive) must still bind into a state where lookups work.
   const size_t stride = full.size() > 512 ? full.size() / 512 : 1;
   for (size_t i = 0; i < full.size(); i += stride) {
     std::string tampered = full;
@@ -90,9 +112,89 @@ TEST_F(ServingIndexCorruptTest, EveryBitFlipIsDetectedOrValidated) {
     ASSERT_TRUE(util::WriteTextFile(path, tampered).ok());
     auto loaded = ReadServingIndexFile(path);
     if (!loaded.ok()) continue;
-    // Survivors must be fully valid: Find and tree walks must work.
-    EXPECT_TRUE(loaded->Finalize().ok());
     (void)loaded->Find("router");
+  }
+}
+
+TEST_F(ServingIndexCorruptTest, BitFlipsWithCrcOffFailStructurally) {
+  // The structural validators (section-table recomputation, count
+  // guards, monotone-bounds sweeps, id-range checks) must hold without
+  // the checksum: every sampled single-bit flip either fails cleanly or
+  // yields an index whose lookups and tree walks stay in bounds. ASan
+  // and UBSan runs of this sweep are the real assertion.
+  const std::string full = WriteSample();
+  const std::string path = Path("flip_nocrc.idx");
+  LoadOptions options;
+  options.verify_crc = false;
+  const size_t stride = full.size() > 512 ? full.size() / 512 : 1;
+  for (size_t i = 0; i < full.size(); i += stride) {
+    std::string tampered = full;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x10);
+    ASSERT_TRUE(util::WriteTextFile(path, tampered).ok());
+    auto loaded = ReadServingIndexFile(path, options);
+    if (!loaded.ok()) continue;
+    (void)loaded->Find("router");
+    (void)loaded->Find("Beach  Chair");
+    for (uint32_t t = 0; t < loaded->num_topics(); ++t) {
+      (void)loaded->PathToRoot(t);
+    }
+  }
+}
+
+TEST_F(ServingIndexCorruptTest, RejectsOversizedHeaderCount) {
+  // Patch the topic count in the v2 header to an absurd value. With the
+  // CRC disabled, the count guard must still reject before any
+  // count-sized allocation or pointer arithmetic happens.
+  std::string full = WriteSample();
+  // Header starts at byte 16; field 2 is the topic count.
+  PatchU64(&full, 16 + 2 * 8, 0xffffffffffull);
+  const std::string path = Path("oversized.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, full).ok());
+  LoadOptions options;
+  options.verify_crc = false;
+  auto loaded = ReadServingIndexFile(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("oversized"), std::string::npos);
+}
+
+TEST_F(ServingIndexCorruptTest, RejectsMisalignedSectionTable) {
+  // Nudge the first section's stored offset off its 64-byte alignment.
+  // The loader recomputes the expected layout from the header counts and
+  // must refuse a table that disagrees with it.
+  std::string full = WriteSample();
+  uint64_t stored = 0;
+  ASSERT_LE(size_t{128}, full.size());
+  std::memcpy(&stored, full.data() + 120, sizeof(stored));
+  PatchU64(&full, 120, stored + 1);
+  const std::string path = Path("misaligned.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, full).ok());
+  LoadOptions options;
+  options.verify_crc = false;
+  auto loaded = ReadServingIndexFile(path, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("section table"),
+            std::string::npos);
+}
+
+TEST_F(ServingIndexCorruptTest, V1PayloadCrcFlipIsRejected) {
+  std::string full = WriteSampleV1();
+  ASSERT_GT(full.size(), 64u);
+  full[full.size() - 8] = static_cast<char>(full[full.size() - 8] ^ 0x01);
+  const std::string path = Path("v1flip.idx");
+  ASSERT_TRUE(util::WriteTextFile(path, full).ok());
+  auto loaded = ReadServingIndexFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("CRC"), std::string::npos);
+}
+
+TEST_F(ServingIndexCorruptTest, EveryV1TruncationFailsCleanly) {
+  const std::string full = WriteSampleV1();
+  const std::string path = Path("v1trunc.idx");
+  const size_t stride = full.size() > 256 ? full.size() / 256 : 1;
+  for (size_t len = 0; len < full.size(); len += stride) {
+    ASSERT_TRUE(util::WriteTextFile(path, full.substr(0, len)).ok());
+    auto loaded = ReadServingIndexFile(path);
+    ASSERT_FALSE(loaded.ok()) << "truncated to " << len << " bytes";
   }
 }
 
@@ -109,9 +211,9 @@ TEST_F(ServingIndexCorruptTest, DecodeRejectsOversizedCounts) {
 
 TEST_F(ServingIndexCorruptTest, DecodeRejectsTrailingBytes) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  std::string payload = EncodeServingIndex(*index);
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  std::string payload = EncodeServingIndex(*data);
   payload += "extra";
   EXPECT_FALSE(DecodeServingIndex(payload).ok());
 }

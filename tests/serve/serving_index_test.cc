@@ -16,26 +16,30 @@ namespace {
 
 TEST(ServingIndexCompileTest, CompilesFixture) {
   ServeFixture f;
-  auto index = f.Compile();
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  auto index = data->Build();
   ASSERT_TRUE(index.ok()) << index.status().ToString();
   EXPECT_EQ(index->num_topics(), f.taxonomy.num_topics());
   EXPECT_EQ(index->num_entities(), 4u);
   EXPECT_GT(index->num_queries(), 0u);
   EXPECT_EQ(index->roots().size(), 2u);
+  EXPECT_FALSE(index->mmap_backed());
+  EXPECT_GT(index->resident_bytes(), 0u);
   for (uint32_t e = 0; e < 4; ++e) {
-    EXPECT_EQ(index->entity_topic[e], f.taxonomy.TopicOfEntity(e));
-    EXPECT_EQ(index->entity_category[e], f.categories[e]);
+    EXPECT_EQ(index->entity_topic(e), f.taxonomy.TopicOfEntity(e));
+    EXPECT_EQ(index->entity_category(e), f.categories[e]);
   }
 }
 
 TEST(ServingIndexCompileTest, NullCategoriesBecomeNoCategory) {
   ServeFixture f;
-  auto index = CompileServingIndex(f.taxonomy, f.Input(),
-                                   core::DescriberOptions(), nullptr,
-                                   CompileOptions());
-  ASSERT_TRUE(index.ok());
+  auto data = CompileServingIndex(f.taxonomy, f.Input(),
+                                  core::DescriberOptions(), nullptr,
+                                  CompileOptions());
+  ASSERT_TRUE(data.ok());
   for (uint32_t e = 0; e < 4; ++e) {
-    EXPECT_EQ(index->entity_category[e], kNoCategoryId);
+    EXPECT_EQ(data->entity_category[e], kNoCategoryId);
   }
 }
 
@@ -44,8 +48,8 @@ TEST(ServingIndexCompileTest, NullCategoriesBecomeNoCategory) {
 // r(q, t) produced by TopicDescriber.
 TEST(ServingIndexCompileTest, TopPostingIsOfflineArgmax) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
 
   core::Taxonomy scored = f.taxonomy;
   auto input = f.Input();
@@ -54,11 +58,11 @@ TEST(ServingIndexCompileTest, TopPostingIsOfflineArgmax) {
                                                  core::DescriberOptions());
   ASSERT_TRUE(rankings.ok());
 
-  for (size_t q = 0; q < index->num_queries(); ++q) {
-    ASSERT_FALSE(index->posting_list[q].empty());
+  for (size_t q = 0; q < data->query_text.size(); ++q) {
+    ASSERT_FALSE(data->posting_list[q].empty());
     // Recover the original query id through the raw text (interning
     // preserves the text verbatim).
-    const std::string& raw = index->query_text[q];
+    const std::string& raw = data->query_text[q];
     auto it = std::find(f.query_texts.begin(), f.query_texts.end(), raw);
     ASSERT_NE(it, f.query_texts.end());
     const uint32_t original =
@@ -75,9 +79,9 @@ TEST(ServingIndexCompileTest, TopPostingIsOfflineArgmax) {
         }
       }
     }
-    EXPECT_EQ(index->posting_list[q].front().topic, best_topic)
+    EXPECT_EQ(data->posting_list[q].front().topic, best_topic)
         << "query \"" << raw << "\"";
-    EXPECT_DOUBLE_EQ(index->posting_list[q].front().score, best_score);
+    EXPECT_DOUBLE_EQ(data->posting_list[q].front().score, best_score);
   }
 }
 
@@ -89,8 +93,8 @@ TEST(ServingIndexCompileTest, PostingCapKeepsBestFirst) {
   auto full = f.Compile();
   ASSERT_TRUE(capped.ok());
   ASSERT_TRUE(full.ok());
-  ASSERT_EQ(capped->num_queries(), full->num_queries());
-  for (size_t q = 0; q < capped->num_queries(); ++q) {
+  ASSERT_EQ(capped->query_text.size(), full->query_text.size());
+  for (size_t q = 0; q < capped->query_text.size(); ++q) {
     ASSERT_EQ(capped->posting_list[q].size(), 1u);
     EXPECT_EQ(capped->posting_list[q][0], full->posting_list[q][0]);
   }
@@ -98,13 +102,13 @@ TEST(ServingIndexCompileTest, PostingCapKeepsBestFirst) {
 
 TEST(ServingIndexFindTest, ExactThenNormalizedThenMiss) {
   ServeFixture f;
-  auto index = f.Compile();
+  auto index = f.CompileIndex();
   ASSERT_TRUE(index.ok());
 
   const auto exact = index->Find("Beach  Chair");
   EXPECT_EQ(exact.match, ServingIndex::Lookup::Match::kExact);
   ASSERT_NE(exact.query, kNoQuery);
-  EXPECT_EQ(index->query_text[exact.query], "Beach  Chair");
+  EXPECT_EQ(index->query_text(exact.query), "Beach  Chair");
 
   // Any text normalizing to "beach chair" resolves through the
   // normalized dictionary.
@@ -122,7 +126,7 @@ TEST(ServingIndexFindTest, ExactThenNormalizedThenMiss) {
 
 TEST(ServingIndexTreeTest, ChildrenAndPathAgreeWithTaxonomy) {
   ServeFixture f;
-  auto index = f.Compile();
+  auto index = f.CompileIndex();
   ASSERT_TRUE(index.ok());
   for (uint32_t t = 0; t < index->num_topics(); ++t) {
     auto [first, last] = index->children(t);
@@ -134,110 +138,209 @@ TEST(ServingIndexTreeTest, ChildrenAndPathAgreeWithTaxonomy) {
     const auto path = index->PathToRoot(t);
     ASSERT_FALSE(path.empty());
     EXPECT_EQ(path.back(), t);
-    EXPECT_EQ(index->parent[path.front()], core::kNoTopic);
+    EXPECT_EQ(index->parent(path.front()), core::kNoTopic);
     for (size_t i = 1; i < path.size(); ++i) {
-      EXPECT_EQ(index->parent[path[i]], path[i - 1]);
+      EXPECT_EQ(index->parent(path[i]), path[i - 1]);
+    }
+  }
+}
+
+// The frozen flat image must agree with the builder data on every
+// accessor — this is the bridge the whole serving tier stands on.
+TEST(ServingIndexBuildTest, FlatImageMatchesBuilderData) {
+  ServeFixture f;
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  auto index = data->Build();
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  ASSERT_EQ(index->num_topics(), data->parent.size());
+  for (uint32_t t = 0; t < index->num_topics(); ++t) {
+    EXPECT_EQ(index->parent(t), data->parent[t]);
+    EXPECT_EQ(index->level(t), data->level[t]);
+    EXPECT_EQ(index->topic_size(t), data->topic_size[t]);
+    ASSERT_EQ(index->num_descriptions(t), data->descriptions[t].size());
+    for (size_t d = 0; d < data->descriptions[t].size(); ++d) {
+      EXPECT_EQ(index->description(t, d), data->descriptions[t][d]);
+    }
+  }
+  ASSERT_EQ(index->num_queries(), data->query_text.size());
+  for (uint32_t q = 0; q < index->num_queries(); ++q) {
+    EXPECT_EQ(index->query_text(q), data->query_text[q]);
+    EXPECT_EQ(index->query_norm(q), data->query_norm[q]);
+    const auto span = index->postings(q);
+    ASSERT_EQ(span.size(), data->posting_list[q].size());
+    for (size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i], data->posting_list[q][i]);
     }
   }
 }
 
 TEST(ServingIndexCodecTest, EncodeDecodeRoundtrips) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  auto decoded = DecodeServingIndex(EncodeServingIndex(*index));
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  auto decoded = DecodeServingIndex(EncodeServingIndex(*data));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  EXPECT_EQ(decoded->version, index->version);
-  EXPECT_EQ(decoded->parent, index->parent);
-  EXPECT_EQ(decoded->level, index->level);
-  EXPECT_EQ(decoded->topic_size, index->topic_size);
-  EXPECT_EQ(decoded->descriptions, index->descriptions);
-  EXPECT_EQ(decoded->entity_topic, index->entity_topic);
-  EXPECT_EQ(decoded->entity_category, index->entity_category);
-  EXPECT_EQ(decoded->query_text, index->query_text);
-  EXPECT_EQ(decoded->query_norm, index->query_norm);
-  EXPECT_EQ(decoded->posting_list, index->posting_list);
+  EXPECT_EQ(decoded->version, data->version);
+  EXPECT_EQ(decoded->parent, data->parent);
+  EXPECT_EQ(decoded->level, data->level);
+  EXPECT_EQ(decoded->topic_size, data->topic_size);
+  EXPECT_EQ(decoded->descriptions, data->descriptions);
+  EXPECT_EQ(decoded->entity_topic, data->entity_topic);
+  EXPECT_EQ(decoded->entity_category, data->entity_category);
+  EXPECT_EQ(decoded->query_text, data->query_text);
+  EXPECT_EQ(decoded->query_norm, data->query_norm);
+  EXPECT_EQ(decoded->posting_list, data->posting_list);
 }
 
-TEST(ServingIndexCodecTest, FileRoundtripsThroughDisk) {
+class ServingIndexFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_serving_idx_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+void ExpectSameContent(const ServingIndex& a, const ServingIndexData& b) {
+  ASSERT_EQ(a.num_queries(), b.query_text.size());
+  for (uint32_t q = 0; q < a.num_queries(); ++q) {
+    EXPECT_EQ(a.query_text(q), b.query_text[q]);
+    const auto span = a.postings(q);
+    ASSERT_EQ(span.size(), b.posting_list[q].size());
+    for (size_t i = 0; i < span.size(); ++i) {
+      EXPECT_EQ(span[i], b.posting_list[q][i]);
+    }
+  }
+}
+
+TEST_F(ServingIndexFileTest, V2FileRoundtripsViaMmap) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "serving_index_rt.idx")
-          .string();
-  ASSERT_TRUE(WriteServingIndexFile(path, *index).ok());
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  const std::string path = Path("rt.idx");
+  ASSERT_TRUE(WriteServingIndexFile(path, *data).ok());
   auto loaded = ReadServingIndexFile(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(loaded->query_text, index->query_text);
-  EXPECT_EQ(loaded->posting_list, index->posting_list);
-  std::filesystem::remove(path);
+  EXPECT_TRUE(loaded->mmap_backed());
+  ExpectSameContent(*loaded, *data);
 }
 
-TEST(ServingIndexFinalizeTest, RejectsChildBeforeParent) {
+TEST_F(ServingIndexFileTest, V2FileRoundtripsViaCopy) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  ASSERT_GE(index->num_topics(), 2u);
-  index->parent[0] = 1;  // parent id >= topic id
-  EXPECT_FALSE(index->Finalize().ok());
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  const std::string path = Path("rt.idx");
+  ASSERT_TRUE(WriteServingIndexFile(path, *data).ok());
+  LoadOptions options;
+  options.use_mmap = false;
+  auto loaded = ReadServingIndexFile(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->mmap_backed());
+  ExpectSameContent(*loaded, *data);
 }
 
-TEST(ServingIndexFinalizeTest, RejectsUnsortedPostings) {
+TEST_F(ServingIndexFileTest, DeepValidationPassesOnGoodFile) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  ASSERT_FALSE(index->posting_list.empty());
-  auto& postings = index->posting_list[0];
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  const std::string path = Path("deep.idx");
+  ASSERT_TRUE(WriteServingIndexFile(path, *data).ok());
+  LoadOptions options;
+  options.deep_validate = true;
+  auto loaded = ReadServingIndexFile(path, options);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+// The previous on-disk generation still loads (via decode + rebuild),
+// so serving binaries can roll forward before index publishers do.
+TEST_F(ServingIndexFileTest, V1FileLoadsThroughCompatibilityPath) {
+  ServeFixture f;
+  CompileOptions compile;
+  compile.version = 42;
+  auto data = f.Compile(compile);
+  ASSERT_TRUE(data.ok());
+  const std::string path = Path("legacy.idx");
+  ASSERT_TRUE(WriteServingIndexFileV1(path, *data).ok());
+  auto loaded = ReadServingIndexFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version(), 42u);
+  EXPECT_FALSE(loaded->mmap_backed());  // v1 copies + rebuilds
+  ExpectSameContent(*loaded, *data);
+}
+
+TEST(ServingIndexValidateTest, RejectsChildBeforeParent) {
+  ServeFixture f;
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  ASSERT_GE(data->parent.size(), 2u);
+  data->parent[0] = 1;  // parent id >= topic id
+  EXPECT_FALSE(data->Validate().ok());
+  EXPECT_FALSE(data->Build().ok());
+}
+
+TEST(ServingIndexValidateTest, RejectsUnsortedPostings) {
+  ServeFixture f;
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(data->posting_list.empty());
+  auto& postings = data->posting_list[0];
   if (postings.size() < 2) {
     postings.push_back(postings[0]);  // duplicate topic also invalid
   } else {
     std::swap(postings.front(), postings.back());
   }
-  EXPECT_FALSE(index->Finalize().ok());
+  EXPECT_FALSE(data->Validate().ok());
 }
 
-TEST(ServingIndexFinalizeTest, RejectsNormalizerSkew) {
+TEST(ServingIndexValidateTest, RejectsNormalizerSkew) {
   // A stored normalized form that today's NormalizeQuery would not
   // produce means the artefact was built by a different normalizer —
   // serving it would silently miss lookups, so loading must fail.
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  ASSERT_GT(index->num_queries(), 0u);
-  index->query_norm[0] = index->query_norm[0] + " skewed";
-  EXPECT_FALSE(index->Finalize().ok());
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  ASSERT_GT(data->query_text.size(), 0u);
+  data->query_norm[0] = data->query_norm[0] + " skewed";
+  EXPECT_FALSE(data->Validate().ok());
 }
 
-TEST(ServingIndexFinalizeTest, RejectsOutOfRangePostingTopic) {
+TEST(ServingIndexValidateTest, RejectsOutOfRangePostingTopic) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  ASSERT_FALSE(index->posting_list.empty());
-  ASSERT_FALSE(index->posting_list[0].empty());
-  index->posting_list[0][0].topic =
-      static_cast<uint32_t>(index->num_topics());
-  EXPECT_FALSE(index->Finalize().ok());
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(data->posting_list.empty());
+  ASSERT_FALSE(data->posting_list[0].empty());
+  data->posting_list[0][0].topic =
+      static_cast<uint32_t>(data->parent.size());
+  EXPECT_FALSE(data->Validate().ok());
 }
 
-TEST(ServingIndexFinalizeTest, RejectsNonFiniteScore) {
+TEST(ServingIndexValidateTest, RejectsNonFiniteScore) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  ASSERT_FALSE(index->posting_list.empty());
-  ASSERT_FALSE(index->posting_list[0].empty());
-  index->posting_list[0][0].score =
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  ASSERT_FALSE(data->posting_list.empty());
+  ASSERT_FALSE(data->posting_list[0].empty());
+  data->posting_list[0][0].score =
       std::numeric_limits<double>::quiet_NaN();
-  EXPECT_FALSE(index->Finalize().ok());
+  EXPECT_FALSE(data->Validate().ok());
 }
 
-TEST(ServingIndexFinalizeTest, NormStoredMatchesSharedNormalizer) {
+TEST(ServingIndexValidateTest, NormStoredMatchesSharedNormalizer) {
   ServeFixture f;
-  auto index = f.Compile();
-  ASSERT_TRUE(index.ok());
-  for (size_t q = 0; q < index->num_queries(); ++q) {
-    EXPECT_EQ(index->query_norm[q],
-              text::NormalizeQuery(index->query_text[q]));
+  auto data = f.Compile();
+  ASSERT_TRUE(data.ok());
+  for (size_t q = 0; q < data->query_text.size(); ++q) {
+    EXPECT_EQ(data->query_norm[q],
+              text::NormalizeQuery(data->query_text[q]));
   }
 }
 

@@ -1,0 +1,80 @@
+#include "util/mmap_file.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/tsv.h"
+
+namespace shoal::util {
+namespace {
+
+class MmapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("shoal_mmap_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(MmapFileTest, MapsFileContentsByteForByte) {
+  std::string payload;
+  for (int i = 0; i < 10000; ++i) payload.push_back(static_cast<char>(i * 7));
+  ASSERT_TRUE(WriteTextFile(Path("blob"), payload).ok());
+
+  auto mapped = MmapFile::Open(Path("blob"));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->size(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(mapped->data()),
+                        mapped->size()),
+            payload);
+}
+
+TEST_F(MmapFileTest, EmptyFileMapsToEmptyRange) {
+  ASSERT_TRUE(WriteTextFile(Path("empty"), "").ok());
+  auto mapped = MmapFile::Open(Path("empty"));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 0u);
+  EXPECT_EQ(mapped->data(), nullptr);
+}
+
+TEST_F(MmapFileTest, MissingFileFailsCleanly) {
+  auto mapped = MmapFile::Open(Path("no_such_file"));
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST_F(MmapFileTest, DirectoryIsRejected) {
+  auto mapped = MmapFile::Open(dir_.string());
+  EXPECT_FALSE(mapped.ok());
+}
+
+TEST_F(MmapFileTest, MoveTransfersTheMapping) {
+  ASSERT_TRUE(WriteTextFile(Path("blob"), "hello mapping").ok());
+  auto opened = MmapFile::Open(Path("blob"));
+  ASSERT_TRUE(opened.ok());
+  MmapFile first = std::move(opened).value();
+  const uint8_t* data = first.data();
+  MmapFile second = std::move(first);
+  EXPECT_EQ(second.data(), data);
+  EXPECT_EQ(second.size(), 13u);
+  EXPECT_EQ(first.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+
+  MmapFile third;
+  third = std::move(second);
+  EXPECT_EQ(third.data(), data);
+  // The mapping stays readable through the final owner.
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(third.data()),
+                        third.size()),
+            "hello mapping");
+}
+
+}  // namespace
+}  // namespace shoal::util
