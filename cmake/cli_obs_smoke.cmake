@@ -43,4 +43,16 @@ run_checked("${JSON_LINT}"
   --expect=hac.rounds --expect=merges_per_round
   "${WORK_DIR}/metrics.json")
 
+# Same build through the MinHash/LSH candidate path: the entity_graph
+# lsh.* gauges must land in the metrics snapshot.
+run_checked("${SHOAL_CLI}" build
+  "--in=${WORK_DIR}/log" "--out=${WORK_DIR}/taxonomy_lsh"
+  --candidate-strategy=lsh
+  "--metrics-out=${WORK_DIR}/metrics_lsh.json")
+run_checked("${JSON_LINT}"
+  --expect=entity_graph.lsh.candidate_pairs
+  --expect=entity_graph.lsh.signed_entities
+  --expect=entity_graph.lsh.buckets
+  "${WORK_DIR}/metrics_lsh.json")
+
 message(STATUS "cli_obs_smoke: trace.json and metrics.json validated")

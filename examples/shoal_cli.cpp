@@ -127,6 +127,24 @@ int Generate(util::FlagParser& flags) {
 bool OptionsFromFlags(const util::FlagParser& flags,
                       core::ShoalOptions& options) {
   options.entity_graph.alpha = flags.GetDouble("alpha");
+  const std::string& strategy = flags.GetString("candidate-strategy");
+  if (strategy == "lsh") {
+    options.entity_graph.candidate_strategy =
+        core::CandidateStrategy::kMinHashLsh;
+  } else if (strategy != "exact") {
+    std::fprintf(stderr,
+                 "--candidate-strategy must be 'exact' or 'lsh', got '%s'\n",
+                 strategy.c_str());
+    return false;
+  }
+  if (flags.GetInt64("lsh-bands") < 1 || flags.GetInt64("lsh-rows") < 1) {
+    std::fprintf(stderr, "--lsh-bands and --lsh-rows must be >= 1\n");
+    return false;
+  }
+  options.entity_graph.lsh.minhash.bands =
+      static_cast<size_t>(flags.GetInt64("lsh-bands"));
+  options.entity_graph.lsh.minhash.rows =
+      static_cast<size_t>(flags.GetInt64("lsh-rows"));
   options.hac.hac.threshold = flags.GetDouble("threshold");
   options.correlation.min_strength =
       static_cast<uint32_t>(flags.GetInt64("min_strength"));
@@ -299,6 +317,15 @@ int Run(int argc, char** argv) {
   flags.AddString("taxonomy", "shoal_out",
                   "taxonomy directory for 'inspect'");
   flags.AddDouble("alpha", 0.7, "similarity mix (Eq. 3)");
+  flags.AddString("candidate-strategy", "exact",
+                  "entity-graph candidate generation: 'exact' (all co-click "
+                  "pairs) or 'lsh' (MinHash/LSH, sub-quadratic)");
+  flags.AddInt64("lsh-bands",
+                 static_cast<int64_t>(core::MinHashConfig().bands),
+                 "LSH bands (candidate-strategy=lsh)");
+  flags.AddInt64("lsh-rows",
+                 static_cast<int64_t>(core::MinHashConfig().rows),
+                 "MinHash rows per band (candidate-strategy=lsh)");
   flags.AddDouble("threshold", 0.35, "HAC merge threshold");
   flags.AddDouble("window_days", 7.0, "sliding window length");
   flags.AddInt64("min_strength", 1, "correlation threshold (paper: 10)");

@@ -1,12 +1,17 @@
 #include "core/entity_graph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
+#include "core/lsh_index.h"
+#include "core/minhash.h"
 #include "core/similarity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/bounded_queue.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -74,7 +79,117 @@ struct Scored {
   double s;
 };
 
+// One producer batch of the streaming LSH pipeline: the entities of a
+// contiguous range that had a non-empty shingle set, with their band
+// keys laid out back to back (`bands` keys per entity). Signatures
+// themselves never leave the producer — only the folded band keys
+// travel, so the n × (bands·rows) signature matrix is never
+// materialized.
+struct BandKeyBatch {
+  std::vector<uint32_t> entities;
+  std::vector<uint64_t> band_keys;
+};
+
 }  // namespace
+
+std::vector<uint64_t> BuildLshCandidatePairs(
+    const std::vector<std::vector<uint32_t>>& queries_of,
+    const std::vector<std::vector<uint32_t>>& title_words,
+    const EntityGraphLshOptions& options, util::ThreadPool* pool,
+    EntityGraphStats* stats) {
+  const MinHasher hasher(options.minhash);
+  const size_t bands = hasher.bands();
+  const size_t num_entities = queries_of.size();
+  const size_t batch_entities = std::max<size_t>(1, options.batch_entities);
+
+  util::Stopwatch sign_timer;
+  obs::ScopedSpan sign_span("entity_graph.lsh.sign");
+
+  // Signs entities [begin, end), appending full batches through `push`.
+  // A pure function of the inputs: which thread signs an entity never
+  // changes its band keys.
+  const auto sign_range = [&](size_t begin, size_t end,
+                              const std::function<void(BandKeyBatch&&)>&
+                                  push) {
+    std::vector<uint64_t> shingles;
+    std::vector<uint64_t> signature;
+    std::vector<uint64_t> band_keys;
+    BandKeyBatch batch;
+    for (size_t e = begin; e < end; ++e) {
+      shingles.clear();
+      AppendQueryShingles(queries_of[e], &shingles);
+      AppendTitleShingles(title_words[e], options.title_shingle_len,
+                          &shingles);
+      if (!hasher.BandKeys(shingles, &signature, &band_keys)) continue;
+      batch.entities.push_back(static_cast<uint32_t>(e));
+      batch.band_keys.insert(batch.band_keys.end(), band_keys.begin(),
+                             band_keys.end());
+      if (batch.entities.size() >= batch_entities) {
+        push(std::move(batch));
+        batch = BandKeyBatch{};
+      }
+    }
+    if (!batch.entities.empty()) push(std::move(batch));
+  };
+
+  LshIndex index(bands);
+  size_t signed_entities = 0;
+  const auto insert_batch = [&](const BandKeyBatch& batch) {
+    for (size_t i = 0; i < batch.entities.size(); ++i) {
+      index.Insert(batch.entities[i], batch.band_keys.data() + i * bands);
+    }
+    signed_entities += batch.entities.size();
+  };
+
+  if (pool != nullptr && num_entities > batch_entities) {
+    // Producer/consumer over a bounded queue: pool workers sign
+    // fixed-size entity ranges and stream band-key batches to the
+    // calling thread, which is the single bucket-insert consumer.
+    // Backpressure (queue_capacity slots) bounds the in-flight batches
+    // regardless of how far the producers run ahead. Producers
+    // decrement the remaining-counter only after their last Push, so
+    // Close() cannot drop a batch.
+    util::BoundedQueue<BandKeyBatch> queue(
+        std::max<size_t>(1, options.queue_capacity));
+    const size_t num_ranges =
+        (num_entities + batch_entities - 1) / batch_entities;
+    std::atomic<size_t> remaining{num_ranges};
+    for (size_t r = 0; r < num_ranges; ++r) {
+      const size_t begin = r * batch_entities;
+      const size_t end = std::min(num_entities, begin + batch_entities);
+      pool->Submit([&, begin, end] {
+        sign_range(begin, end,
+                   [&](BandKeyBatch&& batch) { queue.Push(std::move(batch)); });
+        if (remaining.fetch_sub(1) == 1) queue.Close();
+      });
+    }
+    BandKeyBatch batch;
+    while (queue.Pop(&batch)) insert_batch(batch);
+    pool->Wait();
+  } else {
+    sign_range(0, num_entities,
+               [&](BandKeyBatch&& batch) { insert_batch(batch); });
+  }
+  const double signature_seconds = sign_timer.ElapsedSeconds();
+  sign_span.AddArg("signed", static_cast<double>(signed_entities));
+  sign_span.End();
+
+  obs::ScopedSpan emit_span("entity_graph.lsh.emit");
+  LshStats lsh_stats;
+  std::vector<uint64_t> pairs =
+      index.CandidatePairs(options.max_bucket, pool, &lsh_stats);
+  emit_span.AddArg("pairs", static_cast<double>(pairs.size()));
+  emit_span.End();
+
+  if (stats != nullptr) {
+    stats->lsh_signed_entities = signed_entities;
+    stats->lsh_buckets = lsh_stats.buckets;
+    stats->lsh_skipped_buckets = lsh_stats.skipped_buckets;
+    stats->lsh_emitted_pairs = lsh_stats.emitted_pairs;
+    stats->signature_seconds = signature_seconds;
+  }
+  return pairs;
+}
 
 util::Result<graph::WeightedGraph> BuildEntityGraph(
     const graph::BipartiteGraph& query_item_graph,
@@ -120,23 +235,45 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
         }
       };
 
-  // --- Stage 1: candidate pairs (co-clicked under >= 1 query) ----------
-  // Each shard fills a thread-local hash set; the shard sets are then
-  // merged into one sorted, duplicate-free key vector. Sorting makes the
-  // scoring order (and hence the whole build) deterministic.
+  // --- Stage 1: per-entity query sets ----------------------------------
+  // Needed ahead of candidate generation: exact rescoring reads them for
+  // Eq. 1 and the LSH path shingles them. Each worker writes only its
+  // own entities' slots.
+  obs::ScopedSpan query_sets_span("entity_graph.query_sets");
+  std::vector<std::vector<uint32_t>> queries_of(num_entities);
+  for_shards(num_entities, [&](size_t begin, size_t end, size_t /*shard*/) {
+    for (size_t e = begin; e < end; ++e) {
+      queries_of[e] = query_item_graph.QueriesOfItem(static_cast<uint32_t>(e));
+    }
+  });
+  local_stats.profile_seconds = stage_timer.ElapsedSeconds();
+  query_sets_span.End();
+
+  // --- Stage 2: candidate pairs ----------------------------------------
+  // Either strategy produces one sorted, duplicate-free key vector:
+  // kExact merges per-shard hash sets of co-click pairs; kMinHashLsh
+  // streams MinHash band keys into LSH buckets and collects bucket
+  // pairs. Sorting makes the scoring order (and hence the whole build)
+  // deterministic regardless of strategy, thread count, or the order
+  // buckets emitted candidates.
+  stage_timer.Restart();
   obs::ScopedSpan candidate_span("entity_graph.candidates");
-  std::vector<std::unordered_set<uint64_t>> shard_pairs(max_shards);
-  std::vector<size_t> shard_capped(max_shards, 0);
-  for_shards(query_item_graph.num_left(),
-             [&](size_t begin, size_t end, size_t shard) {
-               SHOAL_TRACE_SPAN("entity_graph.candidate_shard");
-               CollectShardCandidates(query_item_graph, begin, end,
-                                      options.max_items_per_query,
-                                      &shard_pairs[shard],
-                                      &shard_capped[shard]);
-             });
   std::vector<uint64_t> candidates;
-  {
+  if (options.candidate_strategy == CandidateStrategy::kMinHashLsh) {
+    candidates = BuildLshCandidatePairs(queries_of, title_words,
+                                        options.lsh, pool.get(),
+                                        &local_stats);
+  } else {
+    std::vector<std::unordered_set<uint64_t>> shard_pairs(max_shards);
+    std::vector<size_t> shard_capped(max_shards, 0);
+    for_shards(query_item_graph.num_left(),
+               [&](size_t begin, size_t end, size_t shard) {
+                 SHOAL_TRACE_SPAN("entity_graph.candidate_shard");
+                 CollectShardCandidates(query_item_graph, begin, end,
+                                        options.max_items_per_query,
+                                        &shard_pairs[shard],
+                                        &shard_capped[shard]);
+               });
     size_t total = 0;
     for (const auto& s : shard_pairs) total += s.size();
     candidates.reserve(total);
@@ -155,21 +292,15 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
                         static_cast<double>(local_stats.candidate_pairs));
   candidate_span.End();
 
-  // --- Stage 2: per-entity inputs (Eq. 1 query sets, Eq. 2 profiles) ---
+  // --- Stage 3: content profiles (Eq. 2 inputs) ------------------------
   stage_timer.Restart();
   obs::ScopedSpan profile_span("entity_graph.profiles");
-  std::vector<std::vector<uint32_t>> queries_of(num_entities);
-  for_shards(num_entities, [&](size_t begin, size_t end, size_t /*shard*/) {
-    for (size_t e = begin; e < end; ++e) {
-      queries_of[e] = query_item_graph.QueriesOfItem(static_cast<uint32_t>(e));
-    }
-  });
   std::vector<ContentProfile> profiles =
       BuildContentProfiles(word_vectors, title_words, pool.get());
-  local_stats.profile_seconds = stage_timer.ElapsedSeconds();
+  local_stats.profile_seconds += stage_timer.ElapsedSeconds();
   profile_span.End();
 
-  // --- Stage 3: score candidates (Eq. 3), keep those above threshold --
+  // --- Stage 4: score candidates (Eq. 3), keep those above threshold --
   // Shards scan disjoint ranges of the sorted key vector and emit local
   // edge lists; concatenating them in shard order reproduces exactly the
   // serial scan order over the sorted keys.
@@ -208,7 +339,7 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   scoring_span.AddArg("kept", static_cast<double>(edges.size()));
   scoring_span.End();
 
-  // --- Stage 4: degree cap ---------------------------------------------
+  // --- Stage 5: degree cap ---------------------------------------------
   // Keep each entity's strongest edges only ("one item entity should
   // have only a few neighbor entities", Sec 2.2). An edge survives if it
   // ranks within the cap for *either* endpoint, so the graph stays
@@ -244,6 +375,18 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
         .Set(static_cast<double>(local_stats.kept_edges));
     metrics.GetCounter("entity_graph.capped_queries")
         .Increment(local_stats.capped_queries);
+    if (options.candidate_strategy == CandidateStrategy::kMinHashLsh) {
+      metrics.GetGauge("entity_graph.lsh.candidate_pairs")
+          .Set(static_cast<double>(local_stats.candidate_pairs));
+      metrics.GetGauge("entity_graph.lsh.signed_entities")
+          .Set(static_cast<double>(local_stats.lsh_signed_entities));
+      metrics.GetGauge("entity_graph.lsh.buckets")
+          .Set(static_cast<double>(local_stats.lsh_buckets));
+      metrics.GetGauge("entity_graph.lsh.skipped_buckets")
+          .Set(static_cast<double>(local_stats.lsh_skipped_buckets));
+      metrics.GetGauge("entity_graph.lsh.emitted_pairs")
+          .Set(static_cast<double>(local_stats.lsh_emitted_pairs));
+    }
     if (pool != nullptr) {
       const util::ThreadPoolStats pool_stats = pool->GetStats();
       metrics.GetGauge("entity_graph.pool.queue_depth")

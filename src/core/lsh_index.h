@@ -1,0 +1,79 @@
+#ifndef SHOAL_CORE_LSH_INDEX_H_
+#define SHOAL_CORE_LSH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace shoal::core {
+
+// Counters the LSH candidate stage reports up through
+// EntityGraphStats and the entity_graph.lsh.* metrics.
+struct LshStats {
+  size_t signed_entities = 0;    // entities with a non-empty shingle set
+  size_t buckets = 0;            // buckets with >= 2 members, all bands
+  size_t skipped_buckets = 0;    // buckets larger than max_bucket
+  size_t emitted_pairs = 0;      // bucket collisions before dedup
+  size_t candidate_pairs = 0;    // unique pairs after the global sort
+};
+
+// Banded LSH bucket index: band b maps a band key (the folded MinHash
+// rows, see MinHasher::BandKey) to the entities that produced it. Two
+// entities become a candidate pair iff the *first* band where their
+// keys agree holds a bucket of size within `max_bucket` (with
+// max_bucket == 0, exactly: iff they share at least one band). Pinning
+// the decision to the first matching band makes the union of all
+// bands' emissions duplicate-free by construction — no global dedup
+// pass — and only drops pairs whose first collision is a degenerate
+// flood bucket, which recur in equally degenerate buckets elsewhere.
+//
+// Layout: one flat row of band keys per inserted entity (`bands` keys
+// back to back). Buckets are never stored — CandidatePairs sorts a
+// transient (key, entity) array per band and scans the runs, which
+// beats hash-map buckets by a wide margin at the 100k+ tiers and keeps
+// Insert a plain copy.
+//
+// Determinism: a bucket's membership is a pure set — which entities
+// hash to the key — so bucket sizes, the skip decision, and the
+// candidate *set* never depend on insertion order. Candidate pairs are
+// emitted once (at the first band where the pair collides) and globally
+// sorted; only that sorted vector escapes this class.
+class LshIndex {
+ public:
+  explicit LshIndex(size_t bands);
+
+  size_t num_bands() const { return num_bands_; }
+
+  // Registers one entity's band keys (`band_keys[b]` for band b).
+  // Single-writer, at most once per entity: the streaming pipeline
+  // funnels every signature batch through one consumer, so Insert is
+  // not synchronized.
+  void Insert(uint32_t entity, const uint64_t* band_keys);
+
+  // Emits the ascending `(u << 32) | v`-packed candidate pairs under
+  // the first-matching-band rule above. Oversized buckets (degenerate
+  // collisions — e.g. the near-universal shingle of a boilerplate
+  // title) are skipped and counted, mirroring the head-query cap of
+  // the exact path. When `pool` is non-null the bands are scanned in
+  // parallel; the result is identical either way.
+  std::vector<uint64_t> CandidatePairs(size_t max_bucket,
+                                       util::ThreadPool* pool,
+                                       LshStats* stats) const;
+
+  // Sorted bucket sizes of one band, for tests and diagnostics.
+  std::vector<size_t> BandBucketSizes(size_t band) const;
+
+ private:
+  size_t num_bands_;
+  // keys_[e * num_bands_ + b] is entity e's key in band b; slots of
+  // never-inserted entities are uninitialized and never read, because
+  // every scan iterates `inserted_`.
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> inserted_;
+};
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_LSH_INDEX_H_

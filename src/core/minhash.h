@@ -1,0 +1,100 @@
+#ifndef SHOAL_CORE_MINHASH_H_
+#define SHOAL_CORE_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shoal::core {
+
+// MinHash signatures over 64-bit shingles, banded for LSH candidate
+// generation (DESIGN.md §6.1). An entity's shingle set combines its
+// two similarity signals:
+//
+//   * query shingles — one shingle per associated query id, so the
+//     MinHash estimate converges on the Eq. 1 Jaccard of query sets;
+//   * title shingles — token n-grams of the title, a set proxy for the
+//     Eq. 2 content similarity (near-identical titles share nearly all
+//     of their n-grams).
+//
+// Signatures are `bands * rows` 64-bit minima. Two entities land in
+// the same bucket of band b iff all `rows` minima of that band agree,
+// so a pair with shingle-Jaccard j collides somewhere with probability
+// 1 - (1 - j^rows)^bands — the banding S-curve that separates likely
+// edges from the O(n²) bulk. Candidates are exactly rescored (Eq. 1-3)
+// afterwards, so LSH affects recall, never precision.
+// Defaults picked from the bench_scalability sweep (BENCH.md): at the
+// 100k-entity tier, 24 bands x 1 row holds recall ≈ 0.994 against the
+// exact graph while generating candidates >10x faster; one row per
+// band keeps the per-band collision probability at j (not j^rows),
+// which the diluted query+title shingle unions of borderline edges
+// need to stay above the 0.95 CI recall floor.
+struct MinHashConfig {
+  size_t bands = 24;
+  size_t rows = 1;
+  // Seed for the row hash functions. Part of the determinism contract:
+  // same config + same shingles -> bitwise-identical signatures on any
+  // thread, machine, or build.
+  uint64_t seed = 0x5a0a15eedULL;
+};
+
+class MinHasher {
+ public:
+  explicit MinHasher(const MinHashConfig& config);
+
+  size_t bands() const { return bands_; }
+  size_t rows() const { return rows_; }
+  size_t signature_size() const { return bands_ * rows_; }
+
+  // Fills `signature` (resized to signature_size()) with the per-row
+  // minima over `shingles`. An empty shingle set yields all-kEmpty
+  // sentinels; callers typically skip such entities entirely.
+  void Sign(const std::vector<uint64_t>& shingles,
+            std::vector<uint64_t>* signature) const;
+
+  // Folds band `band`'s rows of `signature` into one bucket key. The
+  // band index is mixed in, so the same row values in different bands
+  // do not alias to one bucket.
+  uint64_t BandKey(const std::vector<uint64_t>& signature,
+                   size_t band) const;
+
+  // Convenience: Sign + BandKey for every band. `band_keys` is resized
+  // to bands(). Returns false (leaving band_keys untouched) when the
+  // shingle set is empty.
+  bool BandKeys(const std::vector<uint64_t>& shingles,
+                std::vector<uint64_t>* scratch_signature,
+                std::vector<uint64_t>* band_keys) const;
+
+  // Fraction of equal rows between two signatures — the unbiased
+  // MinHash estimate of the shingle-set Jaccard. Test/diagnostic use.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+ private:
+  size_t bands_;
+  size_t rows_;
+  // Per-row multiply-shift parameters (odd multiplier, additive offset)
+  // applied to the mixed shingle value; see Sign().
+  std::vector<uint64_t> row_mults_;
+  std::vector<uint64_t> row_adds_;
+};
+
+// Shingle builders. Both append to `out` so the two signals compose
+// into one set; ids are salted differently so query id 7 and title
+// token 7 never collide into the same shingle.
+
+// One shingle per query id (Eq. 1 co-click signal).
+void AppendQueryShingles(const std::vector<uint32_t>& query_ids,
+                         std::vector<uint64_t>* out);
+
+// Token n-grams of length `shingle_len` (Eq. 2 content signal). Titles
+// shorter than `shingle_len` contribute their whole token sequence as
+// one shingle; `shingle_len` == 0 is treated as 1 (unigrams).
+void AppendTitleShingles(const std::vector<uint32_t>& title_words,
+                         size_t shingle_len, std::vector<uint64_t>* out);
+
+}  // namespace shoal::core
+
+#endif  // SHOAL_CORE_MINHASH_H_

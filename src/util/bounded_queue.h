@@ -1,0 +1,91 @@
+#ifndef SHOAL_UTIL_BOUNDED_QUEUE_H_
+#define SHOAL_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace shoal::util {
+
+// Bounded multi-producer/multi-consumer FIFO queue connecting the
+// stages of a streaming pipeline (entity-graph LSH candidate
+// generation: signature producers -> bucket inserter -> pair emitters).
+// Push blocks while the queue is at capacity, which is the whole point:
+// backpressure keeps a fast producer stage from materializing the
+// entire intermediate stream in memory.
+//
+// Close() wakes every waiter and turns further Pushes into no-ops;
+// Pop drains the remaining items and then returns false. Elements are
+// moved through the queue, so T is typically a batch (vector) rather
+// than a single record — the mutex is taken once per batch.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until there is room (or the queue is closed). Returns false
+  // iff the queue was closed, in which case `item` was not enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available (or the queue is closed *and*
+  // drained). Returns false only when no item will ever arrive again.
+  bool Pop(T* item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent. Pending Pops drain the queue; pending Pushes give up.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace shoal::util
+
+#endif  // SHOAL_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,113 @@
+#include "core/lsh_index.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace shoal::core {
+namespace {
+
+uint64_t Pair(uint32_t u, uint32_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+TEST(LshIndexTest, SharedBucketEmitsPair) {
+  LshIndex index(2);
+  const uint64_t keys_a[] = {100, 200};
+  const uint64_t keys_b[] = {100, 999};
+  const uint64_t keys_c[] = {111, 222};
+  index.Insert(0, keys_a);
+  index.Insert(1, keys_b);
+  index.Insert(2, keys_c);
+  LshStats stats;
+  auto pairs = index.CandidatePairs(/*max_bucket=*/0, nullptr, &stats);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], Pair(0, 1));
+  EXPECT_EQ(stats.buckets, 1u);
+  EXPECT_EQ(stats.emitted_pairs, 1u);
+  EXPECT_EQ(stats.candidate_pairs, 1u);
+  EXPECT_EQ(stats.skipped_buckets, 0u);
+}
+
+TEST(LshIndexTest, PairSharedInManyBandsDeduped) {
+  LshIndex index(3);
+  const uint64_t keys_a[] = {1, 2, 3};
+  const uint64_t keys_b[] = {1, 2, 3};  // collides in all three bands
+  index.Insert(5, keys_a);
+  index.Insert(9, keys_b);
+  LshStats stats;
+  auto pairs = index.CandidatePairs(0, nullptr, &stats);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], Pair(5, 9));
+  EXPECT_EQ(stats.emitted_pairs, 3u);    // one emission per band
+  EXPECT_EQ(stats.candidate_pairs, 1u);  // deduped
+}
+
+TEST(LshIndexTest, BucketEmitsAllPairsSortedAscending) {
+  LshIndex index(1);
+  for (uint32_t e : {4, 2, 7}) {
+    const uint64_t key[] = {77};
+    index.Insert(e, key);
+  }
+  auto pairs = index.CandidatePairs(0, nullptr, nullptr);
+  const std::vector<uint64_t> want = {Pair(2, 4), Pair(2, 7), Pair(4, 7)};
+  EXPECT_EQ(pairs, want);
+}
+
+TEST(LshIndexTest, OversizedBucketSkippedAndCounted) {
+  LshIndex index(1);
+  for (uint32_t e = 0; e < 5; ++e) {
+    const uint64_t key[] = {42};
+    index.Insert(e, key);
+  }
+  LshStats stats;
+  auto pairs = index.CandidatePairs(/*max_bucket=*/4, nullptr, &stats);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(stats.buckets, 1u);
+  EXPECT_EQ(stats.skipped_buckets, 1u);
+  EXPECT_EQ(stats.emitted_pairs, 0u);
+  // max_bucket = 0 means unlimited: C(5,2) pairs.
+  auto all = index.CandidatePairs(/*max_bucket=*/0, nullptr, &stats);
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_EQ(stats.skipped_buckets, 0u);
+}
+
+TEST(LshIndexTest, BandBucketSizes) {
+  LshIndex index(2);
+  const uint64_t keys_a[] = {1, 10};
+  const uint64_t keys_b[] = {1, 20};
+  const uint64_t keys_c[] = {1, 20};
+  index.Insert(0, keys_a);
+  index.Insert(1, keys_b);
+  index.Insert(2, keys_c);
+  EXPECT_EQ(index.BandBucketSizes(0), (std::vector<size_t>{3}));
+  EXPECT_EQ(index.BandBucketSizes(1), (std::vector<size_t>{1, 2}));
+}
+
+TEST(LshIndexTest, ParallelScanMatchesSerial) {
+  // 8 bands, 64 entities, key = entity % k per band so buckets overlap
+  // in a band-dependent pattern. The pooled scan must produce exactly
+  // the serial pair vector (already sorted + deduped).
+  LshIndex index(8);
+  for (uint32_t e = 0; e < 64; ++e) {
+    uint64_t keys[8];
+    for (uint64_t b = 0; b < 8; ++b) keys[b] = (b << 32) | (e % (b + 2));
+    index.Insert(e, keys);
+  }
+  LshStats serial_stats;
+  auto serial = index.CandidatePairs(16, nullptr, &serial_stats);
+  util::ThreadPool pool(4);
+  LshStats pooled_stats;
+  auto pooled = index.CandidatePairs(16, &pool, &pooled_stats);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(serial_stats.buckets, pooled_stats.buckets);
+  EXPECT_EQ(serial_stats.skipped_buckets, pooled_stats.skipped_buckets);
+  EXPECT_EQ(serial_stats.emitted_pairs, pooled_stats.emitted_pairs);
+  EXPECT_EQ(serial_stats.candidate_pairs, pooled_stats.candidate_pairs);
+}
+
+}  // namespace
+}  // namespace shoal::core

@@ -1,0 +1,252 @@
+// Recall and determinism of the MinHash/LSH candidate stage against the
+// exact co-click path, on a planted workload whose true edge set is the
+// intra-intent pairs. Exact rescoring means LSH can only lose edges
+// (recall), never invent them (precision), so the tests measure
+//   recall = |E_lsh ∩ E_exact| / |E_exact|
+// across band/row settings, check the bucket-superset property that
+// defines the candidate stage, and pin the thread-count byte-identity
+// contract of DESIGN.md §6.1.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/entity_graph.h"
+#include "core/minhash.h"
+#include "util/thread_pool.h"
+
+namespace shoal::core {
+namespace {
+
+struct PlantedWorkload {
+  graph::BipartiteGraph qi{0, 0};
+  std::vector<std::vector<uint32_t>> titles;
+  text::EmbeddingTable vectors{0, 0};
+  std::vector<std::vector<uint32_t>> queries_of;
+};
+
+// Entities come in intents of `intent_size`; each intent owns
+// `queries_per_intent` queries that click a random majority of its
+// entities, and intent-specific title tokens. Intra-intent pairs share
+// queries and title n-grams (high Jaccard, edges of the exact graph);
+// cross-intent pairs share nothing.
+PlantedWorkload MakePlanted(size_t num_intents, size_t intent_size,
+                            size_t queries_per_intent, uint64_t seed) {
+  PlantedWorkload w;
+  const size_t num_entities = num_intents * intent_size;
+  const size_t num_queries = num_intents * queries_per_intent;
+  const size_t vocab = num_intents * 3;
+  w.qi = graph::BipartiteGraph(num_queries, num_entities);
+  w.vectors = text::EmbeddingTable(vocab, 8);
+  std::mt19937_64 rng(seed);
+  for (size_t v = 0; v < vocab; ++v) {
+    w.vectors.Row(v)[(v / 3) % 8] = 1.0f;  // intent-aligned directions
+  }
+  w.titles.resize(num_entities);
+  for (size_t e = 0; e < num_entities; ++e) {
+    const uint32_t base = static_cast<uint32_t>((e / intent_size) * 3);
+    w.titles[e] = {base, base + 1, base + 2};
+  }
+  std::uniform_int_distribution<size_t> fanout(intent_size / 2,
+                                               intent_size - 1);
+  for (size_t k = 0; k < num_intents; ++k) {
+    for (size_t j = 0; j < queries_per_intent; ++j) {
+      const uint32_t q = static_cast<uint32_t>(k * queries_per_intent + j);
+      std::vector<uint32_t> members(intent_size);
+      for (size_t i = 0; i < intent_size; ++i) {
+        members[i] = static_cast<uint32_t>(k * intent_size + i);
+      }
+      std::shuffle(members.begin(), members.end(), rng);
+      const size_t links = fanout(rng);
+      for (size_t i = 0; i < links; ++i) {
+        EXPECT_TRUE(w.qi.AddInteraction(q, members[i]).ok());
+      }
+    }
+  }
+  w.queries_of.resize(num_entities);
+  for (size_t e = 0; e < num_entities; ++e) {
+    w.queries_of[e] = w.qi.QueriesOfItem(static_cast<uint32_t>(e));
+  }
+  return w;
+}
+
+std::set<std::pair<uint32_t, uint32_t>> EdgeSet(
+    const graph::WeightedGraph& g) {
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  for (const auto& e : g.AllEdges()) edges.insert({e.u, e.v});
+  return edges;
+}
+
+double Recall(const std::set<std::pair<uint32_t, uint32_t>>& exact,
+              const std::set<std::pair<uint32_t, uint32_t>>& lsh) {
+  if (exact.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& e : exact) common += lsh.count(e);
+  return static_cast<double>(common) / static_cast<double>(exact.size());
+}
+
+TEST(LshRecallTest, RecallSweepAcrossBandSettings) {
+  auto w = MakePlanted(/*num_intents=*/40, /*intent_size=*/8,
+                       /*queries_per_intent=*/12, /*seed=*/2019);
+  EntityGraphOptions exact_options;
+  EntityGraphStats exact_stats;
+  auto exact = BuildEntityGraph(w.qi, w.titles, w.vectors, exact_options,
+                                &exact_stats);
+  ASSERT_TRUE(exact.ok());
+  const auto exact_edges = EdgeSet(*exact);
+  ASSERT_GT(exact_edges.size(), 100u) << "planted workload too sparse";
+
+  // (bands, rows, recall floor): the default setting must clear the CI
+  // gate's 0.95; fewer bands with more rows slides down the S-curve.
+  struct Setting {
+    size_t bands;
+    size_t rows;
+    double min_recall;
+  };
+  const MinHashConfig defaults;
+  ASSERT_EQ(defaults.bands, 24u) << "sweep floors assume the default";
+  ASSERT_EQ(defaults.rows, 1u) << "sweep floors assume the default";
+  const Setting settings[] = {
+      {24, 1, 0.95},
+      {16, 1, 0.90},
+      {32, 1, 0.95},
+      {32, 2, 0.90},
+  };
+  double default_recall = 0.0;
+  for (const auto& s : settings) {
+    EntityGraphOptions options;
+    options.candidate_strategy = CandidateStrategy::kMinHashLsh;
+    options.lsh.minhash.bands = s.bands;
+    options.lsh.minhash.rows = s.rows;
+    EntityGraphStats stats;
+    auto lsh = BuildEntityGraph(w.qi, w.titles, w.vectors, options, &stats);
+    ASSERT_TRUE(lsh.ok());
+    const double recall = Recall(exact_edges, EdgeSet(*lsh));
+    EXPECT_GE(recall, s.min_recall)
+        << s.bands << " bands x " << s.rows << " rows";
+    EXPECT_GT(stats.lsh_signed_entities, 0u);
+    EXPECT_GT(stats.lsh_buckets, 0u);
+    if (s.bands == defaults.bands && s.rows == defaults.rows) {
+      default_recall = recall;
+    }
+  }
+
+  // A deliberately starved setting (few bands, many rows) demonstrates
+  // the trade-off: fewer candidates, lower recall than the default.
+  EntityGraphOptions starved;
+  starved.candidate_strategy = CandidateStrategy::kMinHashLsh;
+  starved.lsh.minhash.bands = 4;
+  starved.lsh.minhash.rows = 6;
+  EntityGraphStats starved_stats;
+  auto starved_graph =
+      BuildEntityGraph(w.qi, w.titles, w.vectors, starved, &starved_stats);
+  ASSERT_TRUE(starved_graph.ok());
+  EXPECT_LT(Recall(exact_edges, EdgeSet(*starved_graph)), default_recall);
+  EXPECT_LT(starved_stats.candidate_pairs, exact_stats.candidate_pairs);
+}
+
+TEST(LshRecallTest, CandidatesContainEverySharedBandPair) {
+  // The candidate set is *defined* as the pairs sharing at least one
+  // band bucket within max_bucket. Recompute bucket membership from
+  // first principles with the same MinHasher and check containment in
+  // both directions: superset of shared-band pairs, and nothing that
+  // shares no band.
+  auto w = MakePlanted(/*num_intents=*/12, /*intent_size=*/6,
+                       /*queries_per_intent=*/8, /*seed=*/7);
+  EntityGraphLshOptions options;
+  options.minhash.bands = 8;
+  options.minhash.rows = 2;
+  options.max_bucket = 0;  // unlimited: candidates == shared-band pairs
+  auto pairs = BuildLshCandidatePairs(w.queries_of, w.titles, options,
+                                      nullptr, nullptr);
+
+  const MinHasher hasher(options.minhash);
+  std::map<std::pair<size_t, uint64_t>, std::vector<uint32_t>> buckets;
+  std::vector<uint64_t> shingles, scratch, keys;
+  for (uint32_t e = 0; e < w.queries_of.size(); ++e) {
+    shingles.clear();
+    AppendQueryShingles(w.queries_of[e], &shingles);
+    AppendTitleShingles(w.titles[e], options.title_shingle_len, &shingles);
+    if (!hasher.BandKeys(shingles, &scratch, &keys)) continue;
+    for (size_t b = 0; b < keys.size(); ++b) {
+      buckets[{b, keys[b]}].push_back(e);
+    }
+  }
+  std::set<uint64_t> expected;
+  for (const auto& [key, members] : buckets) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const uint32_t u = std::min(members[i], members[j]);
+        const uint32_t v = std::max(members[i], members[j]);
+        expected.insert((static_cast<uint64_t>(u) << 32) | v);
+      }
+    }
+  }
+  const std::set<uint64_t> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(pairs.size(), got.size()) << "candidates not deduped";
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+}
+
+TEST(LshRecallTest, CandidatePairsIdenticalAcrossThreadCounts) {
+  auto w = MakePlanted(/*num_intents=*/20, /*intent_size=*/7,
+                       /*queries_per_intent=*/9, /*seed=*/31);
+  EntityGraphLshOptions options;
+  options.batch_entities = 16;  // force many batches through the queue
+  options.queue_capacity = 2;
+  auto serial = BuildLshCandidatePairs(w.queries_of, w.titles, options,
+                                       nullptr, nullptr);
+  ASSERT_FALSE(serial.empty());
+  for (size_t threads : {2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    EntityGraphStats stats;
+    auto parallel = BuildLshCandidatePairs(w.queries_of, w.titles, options,
+                                           &pool, &stats);
+    EXPECT_EQ(serial, parallel) << threads << " threads";
+    EXPECT_EQ(stats.lsh_signed_entities, w.queries_of.size());
+  }
+}
+
+TEST(LshRecallTest, GraphByteIdenticalAcrossThreadCounts) {
+  // The full determinism contract: the LSH-strategy entity graph —
+  // edges, order, and bitwise weights — must not depend on the thread
+  // count. {1, 2, 4, 8} mirrors the CI matrix of the recall gate.
+  auto w = MakePlanted(/*num_intents=*/25, /*intent_size=*/8,
+                       /*queries_per_intent=*/10, /*seed=*/101);
+  EntityGraphOptions options;
+  options.candidate_strategy = CandidateStrategy::kMinHashLsh;
+  options.lsh.batch_entities = 32;
+  EntityGraphStats base_stats;
+  auto base = BuildEntityGraph(w.qi, w.titles, w.vectors, options,
+                               &base_stats);
+  ASSERT_TRUE(base.ok());
+  ASSERT_GT(base->num_edges(), 0u);
+  const auto base_edges = base->AllEdges();
+  for (size_t threads : {2u, 4u, 8u}) {
+    options.num_threads = threads;
+    EntityGraphStats stats;
+    auto g = BuildEntityGraph(w.qi, w.titles, w.vectors, options, &stats);
+    ASSERT_TRUE(g.ok());
+    const auto edges = g->AllEdges();
+    ASSERT_EQ(edges.size(), base_edges.size()) << threads << " threads";
+    for (size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(edges[i].u, base_edges[i].u) << threads << " threads";
+      EXPECT_EQ(edges[i].v, base_edges[i].v) << threads << " threads";
+      EXPECT_EQ(edges[i].weight, base_edges[i].weight)
+          << threads << " threads";
+    }
+    EXPECT_EQ(stats.candidate_pairs, base_stats.candidate_pairs);
+    EXPECT_EQ(stats.kept_edges, base_stats.kept_edges);
+    EXPECT_EQ(stats.lsh_signed_entities, base_stats.lsh_signed_entities);
+    EXPECT_EQ(stats.lsh_buckets, base_stats.lsh_buckets);
+    EXPECT_EQ(stats.lsh_emitted_pairs, base_stats.lsh_emitted_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace shoal::core

@@ -1,0 +1,162 @@
+#include "core/minhash.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shoal::core {
+namespace {
+
+std::vector<uint64_t> ShinglesOf(const std::vector<uint32_t>& ids) {
+  std::vector<uint64_t> out;
+  AppendQueryShingles(ids, &out);
+  return out;
+}
+
+TEST(MinHashTest, SignatureIsDeterministic) {
+  MinHashConfig config;
+  const MinHasher a(config);
+  const MinHasher b(config);
+  const std::vector<uint64_t> shingles = ShinglesOf({1, 2, 3, 4, 5});
+  std::vector<uint64_t> sig_a, sig_b;
+  a.Sign(shingles, &sig_a);
+  b.Sign(shingles, &sig_b);
+  EXPECT_EQ(sig_a, sig_b);
+  EXPECT_EQ(sig_a.size(), a.signature_size());
+}
+
+TEST(MinHashTest, SignatureIgnoresShingleOrder) {
+  const MinHasher hasher((MinHashConfig()));
+  std::vector<uint64_t> forward, reversed;
+  hasher.Sign(ShinglesOf({1, 2, 3, 4}), &forward);
+  hasher.Sign(ShinglesOf({4, 3, 2, 1}), &reversed);
+  EXPECT_EQ(forward, reversed);
+}
+
+TEST(MinHashTest, SeedChangesSignature) {
+  MinHashConfig config;
+  const MinHasher a(config);
+  config.seed ^= 0x1234;
+  const MinHasher b(config);
+  std::vector<uint64_t> sig_a, sig_b;
+  a.Sign(ShinglesOf({1, 2, 3}), &sig_a);
+  b.Sign(ShinglesOf({1, 2, 3}), &sig_b);
+  EXPECT_NE(sig_a, sig_b);
+}
+
+TEST(MinHashTest, EmptySetYieldsSentinelSignature) {
+  const MinHasher hasher((MinHashConfig()));
+  std::vector<uint64_t> sig;
+  hasher.Sign({}, &sig);
+  for (uint64_t v : sig) EXPECT_EQ(v, MinHasher::kEmpty);
+  std::vector<uint64_t> scratch, keys;
+  EXPECT_FALSE(hasher.BandKeys({}, &scratch, &keys));
+}
+
+TEST(MinHashTest, ConfigClampsToOneBandOneRow) {
+  MinHashConfig config;
+  config.bands = 0;
+  config.rows = 0;
+  const MinHasher hasher(config);
+  EXPECT_EQ(hasher.bands(), 1u);
+  EXPECT_EQ(hasher.rows(), 1u);
+}
+
+TEST(MinHashTest, EstimateTracksTrueJaccard) {
+  // Sets A = [0, 200), B = [100, 300): true Jaccard = 100/300 = 1/3.
+  // With 128 independent rows the estimate's std-dev is about
+  // sqrt(j(1-j)/128) = 0.042, so +-0.15 is an eight-sigma corridor.
+  MinHashConfig config;
+  config.bands = 64;
+  config.rows = 2;
+  const MinHasher hasher(config);
+  std::vector<uint32_t> a_ids, b_ids;
+  for (uint32_t i = 0; i < 200; ++i) a_ids.push_back(i);
+  for (uint32_t i = 100; i < 300; ++i) b_ids.push_back(i);
+  std::vector<uint64_t> sig_a, sig_b;
+  hasher.Sign(ShinglesOf(a_ids), &sig_a);
+  hasher.Sign(ShinglesOf(b_ids), &sig_b);
+  EXPECT_NEAR(MinHasher::EstimateJaccard(sig_a, sig_b), 1.0 / 3.0, 0.15);
+}
+
+TEST(MinHashTest, IdenticalSetsEstimateOne) {
+  const MinHasher hasher((MinHashConfig()));
+  std::vector<uint64_t> sig_a, sig_b;
+  hasher.Sign(ShinglesOf({10, 20, 30}), &sig_a);
+  hasher.Sign(ShinglesOf({10, 20, 30}), &sig_b);
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(sig_a, sig_b), 1.0);
+}
+
+TEST(MinHashTest, BandKeysDifferAcrossBands) {
+  // Same row minima in different bands must not alias into one bucket
+  // key; with rows=1 every band sees the same minimum, so any collision
+  // across bands would be an aliasing bug.
+  MinHashConfig config;
+  config.bands = 16;
+  config.rows = 1;
+  const MinHasher hasher(config);
+  std::vector<uint64_t> sig(hasher.signature_size(), 42);
+  std::unordered_set<uint64_t> keys;
+  for (size_t b = 0; b < hasher.bands(); ++b) {
+    keys.insert(hasher.BandKey(sig, b));
+  }
+  EXPECT_EQ(keys.size(), hasher.bands());
+}
+
+TEST(MinHashTest, BandKeysMatchSignPlusFold) {
+  const MinHasher hasher((MinHashConfig()));
+  const std::vector<uint64_t> shingles = ShinglesOf({5, 6, 7});
+  std::vector<uint64_t> scratch, keys;
+  ASSERT_TRUE(hasher.BandKeys(shingles, &scratch, &keys));
+  ASSERT_EQ(keys.size(), hasher.bands());
+  std::vector<uint64_t> sig;
+  hasher.Sign(shingles, &sig);
+  EXPECT_EQ(scratch, sig);
+  for (size_t b = 0; b < hasher.bands(); ++b) {
+    EXPECT_EQ(keys[b], hasher.BandKey(sig, b));
+  }
+}
+
+TEST(MinHashTest, QueryAndTitleShinglesAreDisjointNamespaces) {
+  std::vector<uint64_t> as_query, as_title;
+  AppendQueryShingles({7}, &as_query);
+  AppendTitleShingles({7}, /*shingle_len=*/1, &as_title);
+  ASSERT_EQ(as_query.size(), 1u);
+  ASSERT_EQ(as_title.size(), 1u);
+  EXPECT_NE(as_query[0], as_title[0]);
+}
+
+TEST(MinHashTest, TitleShinglesSlideOverTokens) {
+  std::vector<uint64_t> out;
+  AppendTitleShingles({1, 2, 3, 4}, /*shingle_len=*/2, &out);
+  EXPECT_EQ(out.size(), 3u);  // (1,2), (2,3), (3,4)
+  // A shared bigram produces a shared shingle.
+  std::vector<uint64_t> other;
+  AppendTitleShingles({9, 2, 3}, /*shingle_len=*/2, &other);
+  EXPECT_EQ(other[1], out[1]);  // both contain (2,3)
+  // n-grams are order-sensitive.
+  std::vector<uint64_t> swapped;
+  AppendTitleShingles({2, 1}, /*shingle_len=*/2, &swapped);
+  std::vector<uint64_t> pair12;
+  AppendTitleShingles({1, 2}, /*shingle_len=*/2, &pair12);
+  EXPECT_NE(swapped[0], pair12[0]);
+}
+
+TEST(MinHashTest, ShortTitleHashesAsOneShingle) {
+  std::vector<uint64_t> out;
+  AppendTitleShingles({1, 2}, /*shingle_len=*/3, &out);
+  EXPECT_EQ(out.size(), 1u);
+  std::vector<uint64_t> empty_out;
+  AppendTitleShingles({}, /*shingle_len=*/3, &empty_out);
+  EXPECT_TRUE(empty_out.empty());
+  // shingle_len 0 behaves as unigrams.
+  std::vector<uint64_t> unigrams;
+  AppendTitleShingles({1, 2, 3}, /*shingle_len=*/0, &unigrams);
+  EXPECT_EQ(unigrams.size(), 3u);
+}
+
+}  // namespace
+}  // namespace shoal::core

@@ -1,0 +1,134 @@
+#include "util/bounded_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace shoal::util {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueueTest, CapacityZeroClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks: queue is full
+    second_pushed.store(true);
+  });
+  // The producer cannot finish until a Pop makes room.
+  EXPECT_FALSE(second_pushed.load());
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, PopDrainsAfterClose) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  ASSERT_TRUE(q.Push(8));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(&v));  // closed and drained
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFails) {
+  BoundedQueue<int> q(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  int v = 0;
+  EXPECT_FALSE(q.Pop(&v));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2));  // blocked on full queue, then closed
+  });
+  q.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.Pop(&v));  // blocked on empty queue, then closed
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, MpmcStressDeliversEveryItemOnce) {
+  // 4 producers x 250 items through a tiny queue into 3 consumers;
+  // every value must arrive exactly once. The capacity of 2 forces
+  // constant blocking on both sides.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> q(2);
+  std::atomic<size_t> remaining{kProducers};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+      if (remaining.fetch_sub(1) == 1) q.Close();
+    });
+  }
+  std::mutex mu;
+  std::vector<int> received;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (q.Pop(&v)) {
+        std::lock_guard<std::mutex> lock(mu);
+        received.push_back(v);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  ASSERT_EQ(received.size(),
+            static_cast<size_t>(kProducers * kPerProducer));
+  std::sort(received.begin(), received.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(received[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace shoal::util
