@@ -39,23 +39,43 @@ floor is an algorithmic regression, never machine noise; the companion
 count leaves (lsh_candidate_pairs, exact_edges, lsh_edges, common_edges,
 thread_identical) are identity leaves and gate under --mode identity.
 
+A sixth mode, `--mode incremental`, gates the taxonomy daemon's
+update-vs-rebuild contract in BENCH_incremental.json runs: every
+stability and speedup leaf present in the baseline must still be
+reported by the candidate (coverage), every candidate stability leaf —
+tier minima and per-cycle values alike — must stay at or above
+--min_stability, and every candidate speedup leaf at a size tier of at
+least --speedup_min_entities entities must stay at or above
+--min_speedup (smaller tiers diff informationally: fixed per-cycle
+costs dominate tiny windows, so the paper-scale claim is gated where
+it is meaningful). Stability is deterministic (seeded drift workload,
+bit-identical topic comparison), so a drop below the floor is an
+algorithmic regression; speedup is a wall-clock ratio whose noise is
+shared between numerator and denominator, so the floor is set well
+below the committed value. The companion counters (delta_entries,
+dirty_entities, *_topics, graph_identical, thread_identical) are
+identity leaves and gate under --mode identity.
+
 Usage: perf_diff.py OLD.json NEW.json
-           [--mode all|identity|timing|messages|latency|recall]
+           [--mode all|identity|timing|messages|latency|recall|incremental]
 
 Exit codes: 0 clean; 1 identity mismatch (modes all/identity) or a
 timing regression beyond --fail_above; 2 usage/IO errors (argparse);
 3 messages_per_merge regression (mode messages); 4 missing quantile
 coverage or a latency regression beyond --latency_fail_above (mode
 latency); 5 missing lsh_recall coverage or recall below --min_recall
-(mode recall).
+(mode recall); 6 missing stability/speedup coverage, stability below
+--min_stability, or gated speedup below --min_speedup (mode
+incremental).
 """
 
 import argparse
 import json
+import re
 import sys
 
 # Keys that identify an array element (checked in order).
-_ID_KEYS = ("entities", "threads", "name", "bench")
+_ID_KEYS = ("entities", "threads", "name", "bench", "day")
 
 # Leaves where a change is identity-relevant, not perf-relevant: a
 # changed merge count means the run is not comparable at all. For
@@ -72,7 +92,14 @@ _INVARIANT_KEYS = {"rounds", "merges", "messages", "supersteps", "edges",
                    "errors", "index_version", "messages_per_merge",
                    "crossover_entities", "lsh_candidate_pairs",
                    "exact_candidate_pairs", "exact_edges", "lsh_edges",
-                   "common_edges", "thread_identical"}
+                   "common_edges", "thread_identical",
+                   # bench_incremental daemon-cycle counters: the drift
+                   # workload is seeded and every maintenance stage is
+                   # deterministic, so these are pure functions of the
+                   # committed flags on any machine.
+                   "delta_entries", "dirty_entities", "num_topics",
+                   "touched_topics", "carried_topics", "untouched_topics",
+                   "stable_topics", "graph_identical"}
 
 # Leaves the `messages` mode gates (see module docstring).
 _MESSAGE_GATE_KEYS = {"messages_per_merge"}
@@ -83,6 +110,9 @@ _LATENCY_GATE_KEYS = {"p50_us", "p90_us", "p99_us", "p999_us"}
 
 # Leaves the `recall` mode gates (see module docstring).
 _RECALL_GATE_KEYS = {"lsh_recall"}
+
+# Leaves the `incremental` mode gates (see module docstring).
+_INCREMENTAL_GATE_KEYS = {"stability", "speedup"}
 
 
 def _element_key(value, index):
@@ -216,6 +246,54 @@ def check_recall(old, new, min_recall):
     return coverage, floors, rows
 
 
+def _path_entities(path):
+    """Returns the entities=N tier a leaf belongs to, or None."""
+    match = re.search(r"entities=(\d+)", path)
+    return int(match.group(1)) if match else None
+
+
+def check_incremental(old, new, min_stability, min_speedup,
+                      speedup_min_entities):
+    """Returns (coverage_problems, floor_problems, info_rows).
+
+    Coverage: every baseline stability/speedup leaf must survive in the
+    candidate — a bench change that stops measuring a tier or a cycle is
+    a regression even if the surviving leaves pass. Floors: every
+    candidate stability leaf must be >= min_stability; every candidate
+    speedup leaf whose path sits under an entities=N tier with
+    N >= speedup_min_entities must be >= min_speedup (smaller tiers are
+    informational — see module docstring).
+    """
+    gate_paths = sorted(
+        p for p in set(old) | set(new)
+        if p.rsplit("/", 1)[-1] in _INCREMENTAL_GATE_KEYS)
+    coverage, floors, rows = [], [], []
+    for path in gate_paths:
+        if path not in new:
+            coverage.append(f"{path}: missing from candidate "
+                            f"(baseline {old[path]:g})")
+            continue
+        value = new[path]
+        if path in old:
+            rows.append(f"{path}: {old[path]:g} -> {value:g}")
+        else:
+            rows.append(f"{path}: new coverage = {value:g}")
+        leaf = path.rsplit("/", 1)[-1]
+        if leaf == "stability":
+            if value < min_stability:
+                floors.append(f"{path}: {value:g} < {min_stability:g}")
+        elif leaf == "speedup":
+            tier = _path_entities(path)
+            if tier is not None and tier >= speedup_min_entities:
+                if value < min_speedup:
+                    floors.append(f"{path}: {value:g} < {min_speedup:g} "
+                                  f"(gated: {tier} entities)")
+            else:
+                rows.append(f"{path}: informational "
+                            f"(tier below {speedup_min_entities} entities)")
+    return coverage, floors, rows
+
+
 def diff_timing(old, new, threshold):
     """Returns (rows, only_old, only_new, worst_seconds_regression_pct)."""
     shared = sorted(set(old) & set(new))
@@ -243,7 +321,7 @@ def main():
     parser.add_argument("new", help="candidate metrics JSON")
     parser.add_argument("--mode",
                         choices=("all", "identity", "timing", "messages",
-                                 "latency", "recall"),
+                                 "latency", "recall", "incremental"),
                         default="all",
                         help="identity: hard-fail determinism check only; "
                              "timing: informational perf diff only; "
@@ -253,7 +331,10 @@ def main():
                              "p50/p90/p99/p999_us coverage and optional "
                              "regressions (exit 4); recall: gate "
                              "lsh_recall coverage and the --min_recall "
-                             "floor (exit 5)")
+                             "floor (exit 5); incremental: gate "
+                             "stability/speedup coverage and the "
+                             "--min_stability/--min_speedup floors "
+                             "(exit 6)")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="suppress timing rows whose |delta| is below "
                              "this percent (default 2)")
@@ -281,6 +362,19 @@ def main():
                         help="recall mode: exit 5 if any candidate "
                              "lsh_recall leaf is below this floor "
                              "(default 0.95)")
+    parser.add_argument("--min_stability", type=float, default=0.95,
+                        help="incremental mode: exit 6 if any candidate "
+                             "stability leaf is below this floor "
+                             "(default 0.95)")
+    parser.add_argument("--min_speedup", type=float, default=5.0,
+                        help="incremental mode: exit 6 if any candidate "
+                             "speedup leaf at a gated size tier is below "
+                             "this floor (default 5)")
+    parser.add_argument("--speedup_min_entities", type=int, default=20000,
+                        help="incremental mode: gate the --min_speedup "
+                             "floor only at size tiers with at least this "
+                             "many entities; smaller tiers diff "
+                             "informationally (default 20000)")
     args = parser.parse_args()
 
     with open(args.old) as f:
@@ -337,6 +431,33 @@ def main():
         gated = sum(1 for p in new
                     if p.rsplit("/", 1)[-1] in _RECALL_GATE_KEYS)
         print(f"recall: {gated} leaves at or above {args.min_recall:g}")
+        return 0
+
+    if args.mode == "incremental":
+        coverage, floors, rows = check_incremental(
+            old, new, args.min_stability, args.min_speedup,
+            args.speedup_min_entities)
+        for row in rows:
+            print(f"  {row}")
+        if coverage:
+            print("INCREMENTAL COVERAGE REGRESSION — stability/speedup "
+                  "leaves disappeared from the candidate:")
+            for problem in coverage:
+                print(f"  {problem}")
+            return 6
+        if floors:
+            print(f"INCREMENTAL REGRESSION — floors violated "
+                  f"(stability >= {args.min_stability:g}, gated speedup "
+                  f">= {args.min_speedup:g}):")
+            for problem in floors:
+                print(f"  {problem}")
+            return 6
+        gated = sum(1 for p in new
+                    if p.rsplit("/", 1)[-1] in _INCREMENTAL_GATE_KEYS)
+        print(f"incremental: {gated} leaves within floors "
+              f"(stability >= {args.min_stability:g}, speedup >= "
+              f"{args.min_speedup:g} at >= {args.speedup_min_entities} "
+              f"entities)")
         return 0
 
     if args.mode == "messages":

@@ -70,6 +70,44 @@ _LSH = {
 }
 
 
+# A BENCH_incremental.json-shaped document: per-tier daemon-vs-rebuild
+# rows with the stability/speedup leaves the incremental mode gates,
+# per-cycle breakdowns keyed by "day", and the deterministic counter
+# leaves the identity mode pins.
+_INCREMENTAL = {
+    "bench": "bench_incremental",
+    "seed": 2019,
+    "window_days": 3,
+    "sizes": [
+        {"entities": 5000, "full_rebuild_seconds": 1.1,
+         "incremental_seconds": 0.28, "speedup": 3.9, "stability": 0.9995,
+         "graph_identical": 1, "thread_identical": 1,
+         "cycles": [
+             {"day": 3, "incremental_seconds": 0.28, "stability": 0.9995,
+              "delta_entries": 2344, "dirty_entities": 414,
+              "num_topics": 2076, "touched_topics": 202,
+              "carried_topics": 1874, "untouched_topics": 1875,
+              "stable_topics": 1874},
+             {"day": 4, "incremental_seconds": 0.27, "stability": 1.0,
+              "delta_entries": 2310, "dirty_entities": 380,
+              "num_topics": 2080, "touched_topics": 190,
+              "carried_topics": 1890, "untouched_topics": 1890,
+              "stable_topics": 1890},
+         ]},
+        {"entities": 20000, "full_rebuild_seconds": 5.1,
+         "incremental_seconds": 0.75, "speedup": 6.8, "stability": 0.9777,
+         "graph_identical": 1, "thread_identical": 1,
+         "cycles": [
+             {"day": 3, "incremental_seconds": 0.75, "stability": 0.9777,
+              "delta_entries": 5600, "dirty_entities": 2100,
+              "num_topics": 8300, "touched_topics": 900,
+              "carried_topics": 7400, "untouched_topics": 7410,
+              "stable_topics": 7245},
+         ]},
+    ],
+}
+
+
 def _with(base, **updates):
     doc = json.loads(json.dumps(base))
     for dotted, value in updates.items():
@@ -366,6 +404,87 @@ class PerfDiffExitCodes(unittest.TestCase):
             result = self._run(_LSH, drifted, "--mode", "identity")
             self.assertEqual(result.returncode, 1,
                              f"{leaf}: {result.stdout}")
+
+    def test_incremental_mode_passes_within_floors(self):
+        result = self._run(_INCREMENTAL, _INCREMENTAL,
+                           "--mode", "incremental")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("stability", result.stdout)
+        # Improvements pass too.
+        better = _with(_INCREMENTAL, **{"sizes.1.speedup": 9.0,
+                                        "sizes.1.stability": 1.0})
+        result = self._run(_INCREMENTAL, better, "--mode", "incremental")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_incremental_stability_below_floor_exits_6(self):
+        # Tier minimum and per-cycle stability leaves are both gated.
+        for leaf in ("sizes.1.stability", "sizes.0.cycles.1.stability"):
+            eroded = _with(_INCREMENTAL, **{leaf: 0.90})
+            result = self._run(_INCREMENTAL, eroded, "--mode", "incremental")
+            self.assertEqual(result.returncode, 6,
+                             f"{leaf}: {result.stdout}")
+            self.assertIn("INCREMENTAL REGRESSION", result.stdout)
+        # The same value passes under an explicitly lowered floor.
+        eroded = _with(_INCREMENTAL, **{"sizes.1.stability": 0.90})
+        ok = self._run(_INCREMENTAL, eroded, "--mode", "incremental",
+                       "--min_stability", "0.85")
+        self.assertEqual(ok.returncode, 0, ok.stdout)
+
+    def test_incremental_speedup_floor_gates_large_tiers_only(self):
+        # The paper-scale tier is gated at --min_speedup...
+        slowed = _with(_INCREMENTAL, **{"sizes.1.speedup": 3.0})
+        result = self._run(_INCREMENTAL, slowed, "--mode", "incremental")
+        self.assertEqual(result.returncode, 6, result.stdout)
+        self.assertIn("speedup", result.stdout)
+        # ...while the small tier, where fixed per-cycle costs dominate,
+        # diffs informationally.
+        small = _with(_INCREMENTAL, **{"sizes.0.speedup": 1.2})
+        result = self._run(_INCREMENTAL, small, "--mode", "incremental")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("informational", result.stdout)
+        # Raising the gating threshold waives the large tier as well.
+        waived = self._run(_INCREMENTAL, slowed, "--mode", "incremental",
+                           "--speedup_min_entities", "50000")
+        self.assertEqual(waived.returncode, 0, waived.stdout)
+
+    def test_incremental_missing_coverage_exits_6(self):
+        # Dropping a tier means the bench silently stopped measuring.
+        pruned = json.loads(json.dumps(_INCREMENTAL))
+        del pruned["sizes"][0]
+        result = self._run(_INCREMENTAL, pruned, "--mode", "incremental")
+        self.assertEqual(result.returncode, 6, result.stdout)
+        self.assertIn("INCREMENTAL COVERAGE REGRESSION", result.stdout)
+        # So does dropping a measured cycle's stability leaf.
+        pruned = json.loads(json.dumps(_INCREMENTAL))
+        del pruned["sizes"][0]["cycles"][1]["stability"]
+        result = self._run(_INCREMENTAL, pruned, "--mode", "incremental")
+        self.assertEqual(result.returncode, 6, result.stdout)
+        self.assertIn("missing from candidate", result.stdout)
+
+    def test_incremental_mode_ignores_timing_and_counters(self):
+        # Counter drift is identity's job; wall-clock drift that leaves
+        # the speedup ratio intact is nobody's.
+        drifted = _with(_INCREMENTAL,
+                        **{"sizes.0.cycles.0.delta_entries": 1,
+                           "sizes.1.full_rebuild_seconds": 99.0})
+        result = self._run(_INCREMENTAL, drifted, "--mode", "incremental")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_incremental_counters_are_identity(self):
+        for leaf, value in (("sizes.0.cycles.0.delta_entries", 1),
+                            ("sizes.0.cycles.1.carried_topics", 2),
+                            ("sizes.1.graph_identical", 0),
+                            ("sizes.1.thread_identical", 0)):
+            drifted = _with(_INCREMENTAL, **{leaf: value})
+            result = self._run(_INCREMENTAL, drifted, "--mode", "identity")
+            self.assertEqual(result.returncode, 1,
+                             f"{leaf}: {result.stdout}")
+
+    def test_incremental_cycle_rows_align_by_day_despite_reordering(self):
+        reordered = json.loads(json.dumps(_INCREMENTAL))
+        reordered["sizes"][0]["cycles"].reverse()
+        result = self._run(_INCREMENTAL, reordered, "--mode", "identity")
+        self.assertEqual(result.returncode, 0, result.stdout)
 
 
 if __name__ == "__main__":

@@ -65,16 +65,18 @@ run_checked("${JSON_LINT}"
   "${WORK_DIR}/bodies/not_found.json")
 
 # Readiness is distinct from liveness: /readyz reports the loaded index
-# version and uptime once serving.
+# version, uptime, and freshness (when the index was installed and how
+# stale it is) once serving.
 run_checked("${JSON_LINT}"
   --expect=ready --expect=uptime_seconds --expect=index_version
+  --expect=index_installed_unix_ms --expect=index_staleness_sec
   "${WORK_DIR}/bodies/readyz.json")
 
 # The Prometheus exposition must survive the strict checker: sanitized
 # names, cumulative le buckets, +Inf == _count, _sum present.
 run_checked("${PROM_LINT}"
   --expect=serve_requests_total --expect=serve_query_latency_us
-  --expect=serve_index_version
+  --expect=serve_index_version --expect=serve_index_staleness_sec
   "${WORK_DIR}/bodies/metrics.prom")
 
 # Every request the selftest issued must have produced one JSONL access

@@ -1,0 +1,90 @@
+// http_probe: a tiny assertion-bearing HTTP GET client for the smoke
+// tests (cmake scripts cannot speak HTTP to a server they just forked).
+// Fetches --target from --host:--port, requires --expect-status and
+// every positional argument to appear as a substring of the body, and
+// retries until --retries attempts are spent — which doubles as the
+// wait-for-ready / wait-for-hot-reload primitive:
+//
+//   http_probe --port 18973 --target /readyz --retries 60
+//       '"ready": true' '"index_version": 3'
+//
+// On success, optionally writes the body to --out (for json_lint) and
+// exits 0; on failure prints the last response and exits 1.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http_server.h"
+#include "util/flags.h"
+#include "util/tsv.h"
+
+int main(int argc, char** argv) {
+  using namespace shoal;
+  util::FlagParser flags;
+  flags.AddString("host", "127.0.0.1", "server address");
+  flags.AddInt64("port", 8080, "server port");
+  flags.AddString("target", "/healthz", "request target (path + query)");
+  flags.AddInt64("expect-status", 200, "required HTTP status code");
+  flags.AddInt64("retries", 1, "attempts before giving up");
+  flags.AddInt64("retry-delay-ms", 500, "pause between attempts");
+  flags.AddString("out", "", "write the successful body here (empty = off)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) return 0;
+
+  const std::string& target = flags.GetString("target");
+  const int want_status = static_cast<int>(flags.GetInt64("expect-status"));
+  const int64_t retries = flags.GetInt64("retries");
+  std::string last_error;
+  for (int64_t attempt = 0; attempt < retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(flags.GetInt64("retry-delay-ms")));
+    }
+    auto fetched = serve::HttpFetch(
+        flags.GetString("host"),
+        static_cast<uint16_t>(flags.GetInt64("port")), target);
+    if (!fetched.ok()) {
+      last_error = fetched.status().ToString();
+      continue;
+    }
+    if (fetched->status != want_status) {
+      last_error = "status " + std::to_string(fetched->status) + " body:\n" +
+                   fetched->body;
+      continue;
+    }
+    const std::string* missing = nullptr;
+    for (const std::string& needle : flags.positional()) {
+      if (fetched->body.find(needle) == std::string::npos) {
+        missing = &needle;
+        break;
+      }
+    }
+    if (missing != nullptr) {
+      last_error = "body lacks '" + *missing + "':\n" + fetched->body;
+      continue;
+    }
+    if (!flags.GetString("out").empty()) {
+      auto wrote = util::WriteTextFile(flags.GetString("out"), fetched->body);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n",
+                     flags.GetString("out").c_str(),
+                     wrote.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("probe: GET %s -> %d (%zu bytes) ok\n", target.c_str(),
+                fetched->status, fetched->body.size());
+    return 0;
+  }
+  std::fprintf(stderr, "probe: GET %s failed after %lld attempt(s): %s\n",
+               target.c_str(), static_cast<long long>(retries),
+               last_error.c_str());
+  return 1;
+}

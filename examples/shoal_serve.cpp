@@ -60,11 +60,15 @@ std::string UrlEncode(const std::string& text) {
   return out;
 }
 
-// mtime of `path`, or 0 when it cannot be stat'ed.
+// mtime of `path` in nanoseconds, or 0 when it cannot be stat'ed.
+// Nanosecond resolution matters: a maintenance daemon republishing
+// within the same second as the previous version must still trip the
+// poller, and whole-second st_mtime would compare equal.
 int64_t FileMtime(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<int64_t>(st.st_mtime);
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
 }
 
 // Fetches `target` and writes the body to out_dir/name; fails loudly on

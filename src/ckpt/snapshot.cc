@@ -16,7 +16,8 @@ constexpr char kMagic[8] = {'S', 'H', 'O', 'A', 'L', 'S', 'N', 'P'};
 
 bool ValidKind(uint32_t kind) {
   return kind == static_cast<uint32_t>(SnapshotKind::kEntityGraph) ||
-         kind == static_cast<uint32_t>(SnapshotKind::kHacState);
+         kind == static_cast<uint32_t>(SnapshotKind::kHacState) ||
+         kind == static_cast<uint32_t>(SnapshotKind::kDaemonWindow);
 }
 
 }  // namespace
@@ -27,6 +28,8 @@ const char* SnapshotKindName(SnapshotKind kind) {
       return "entity_graph";
     case SnapshotKind::kHacState:
       return "hac_state";
+    case SnapshotKind::kDaemonWindow:
+      return "daemon_window";
   }
   return "unknown";
 }
@@ -182,6 +185,149 @@ util::Result<HacSnapshotData> DecodeHacSnapshot(std::string_view payload) {
   if (!reader.AtEnd()) {
     return util::Status::InvalidArgument(
         "HAC snapshot has trailing bytes");
+  }
+  return data;
+}
+
+std::string EncodeDaemonWindow(const DaemonWindowData& data) {
+  BinaryWriter writer;
+  writer.WriteF64(data.alpha);
+  writer.WriteF64(data.similarity_threshold);
+  writer.WriteU64(data.max_items_per_query);
+  writer.WriteU64(data.max_degree);
+  writer.WriteF64(data.hac_threshold);
+  writer.WriteU32(data.hac_linkage);
+  writer.WriteU64(data.diffusion_iterations);
+  writer.WriteU64(data.num_queries);
+  writer.WriteU64(data.num_entities);
+
+  writer.WriteU64(data.cycles_done);
+  writer.WriteU64(data.published_version);
+
+  writer.WriteU64(data.window.size());
+  for (const auto& day : data.window) {
+    writer.WriteString(day.name);
+    writer.WriteU64(day.pairs.size());
+    for (const auto& pair : day.pairs) {
+      writer.WriteU32(pair.query);
+      writer.WriteU32(pair.entity);
+      writer.WriteU32(pair.count);
+    }
+  }
+
+  writer.WriteU64(data.num_leaves);
+  writer.WriteU64(data.merges.size());
+  for (const auto& m : data.merges) {
+    writer.WriteU32(m.left);
+    writer.WriteU32(m.right);
+    writer.WriteF64(m.similarity);
+  }
+
+  writer.WriteU64(data.rankings.size());
+  for (const auto& topic : data.rankings) {
+    writer.WriteU32(topic.dendro_node);
+    writer.WriteU64(topic.ranking.size());
+    for (const auto& q : topic.ranking) {
+      writer.WriteU32(q.query);
+      writer.WriteF64(q.representativeness);
+      writer.WriteF64(q.popularity);
+      writer.WriteF64(q.concentration);
+    }
+  }
+  return writer.Take();
+}
+
+util::Result<DaemonWindowData> DecodeDaemonWindow(std::string_view payload) {
+  BinaryReader reader(payload);
+  DaemonWindowData data;
+  SHOAL_ASSIGN_OR_RETURN(data.alpha, reader.ReadF64());
+  SHOAL_ASSIGN_OR_RETURN(data.similarity_threshold, reader.ReadF64());
+  SHOAL_ASSIGN_OR_RETURN(data.max_items_per_query, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(data.max_degree, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(data.hac_threshold, reader.ReadF64());
+  SHOAL_ASSIGN_OR_RETURN(data.hac_linkage, reader.ReadU32());
+  SHOAL_ASSIGN_OR_RETURN(data.diffusion_iterations, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(data.num_queries, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(data.num_entities, reader.ReadU64());
+
+  SHOAL_ASSIGN_OR_RETURN(data.cycles_done, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(data.published_version, reader.ReadU64());
+
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_days, reader.ReadU64());
+  // name length + pair count per day at minimum.
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_days, 16));
+  data.window.resize(num_days);
+  for (uint64_t d = 0; d < num_days; ++d) {
+    auto& day = data.window[d];
+    SHOAL_ASSIGN_OR_RETURN(day.name, reader.ReadString());
+    SHOAL_ASSIGN_OR_RETURN(uint64_t num_pairs, reader.ReadU64());
+    SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_pairs, 12));
+    day.pairs.resize(num_pairs);
+    for (uint64_t i = 0; i < num_pairs; ++i) {
+      auto& pair = day.pairs[i];
+      SHOAL_ASSIGN_OR_RETURN(pair.query, reader.ReadU32());
+      SHOAL_ASSIGN_OR_RETURN(pair.entity, reader.ReadU32());
+      SHOAL_ASSIGN_OR_RETURN(pair.count, reader.ReadU32());
+      if (pair.query >= data.num_queries || pair.entity >= data.num_entities) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "daemon window snapshot: day %llu pair %llu (%u, %u) is out "
+            "of catalog range",
+            static_cast<unsigned long long>(d),
+            static_cast<unsigned long long>(i), pair.query, pair.entity));
+      }
+      if (pair.count == 0) {
+        return util::Status::InvalidArgument(
+            "daemon window snapshot holds a zero-count pair");
+      }
+      if (i > 0 && !(day.pairs[i - 1].query < pair.query ||
+                     (day.pairs[i - 1].query == pair.query &&
+                      day.pairs[i - 1].entity < pair.entity))) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "daemon window snapshot: day %llu pairs are not sorted",
+            static_cast<unsigned long long>(d)));
+      }
+    }
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(data.num_leaves, reader.ReadU64());
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_merges, reader.ReadU64());
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_merges, 16));
+  data.merges.resize(num_merges);
+  for (uint64_t i = 0; i < num_merges; ++i) {
+    SHOAL_ASSIGN_OR_RETURN(data.merges[i].left, reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(data.merges[i].right, reader.ReadU32());
+    SHOAL_ASSIGN_OR_RETURN(data.merges[i].similarity, reader.ReadF64());
+  }
+
+  SHOAL_ASSIGN_OR_RETURN(uint64_t num_rankings, reader.ReadU64());
+  SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_rankings, 12));
+  data.rankings.resize(num_rankings);
+  for (uint64_t t = 0; t < num_rankings; ++t) {
+    auto& topic = data.rankings[t];
+    SHOAL_ASSIGN_OR_RETURN(topic.dendro_node, reader.ReadU32());
+    if (t > 0 && data.rankings[t - 1].dendro_node >= topic.dendro_node) {
+      return util::Status::InvalidArgument(
+          "daemon window snapshot: rankings are not sorted by dendro node");
+    }
+    SHOAL_ASSIGN_OR_RETURN(uint64_t num_queries, reader.ReadU64());
+    SHOAL_RETURN_IF_ERROR(reader.CheckCount(num_queries, 28));
+    topic.ranking.resize(num_queries);
+    for (uint64_t i = 0; i < num_queries; ++i) {
+      auto& q = topic.ranking[i];
+      SHOAL_ASSIGN_OR_RETURN(q.query, reader.ReadU32());
+      SHOAL_ASSIGN_OR_RETURN(q.representativeness, reader.ReadF64());
+      SHOAL_ASSIGN_OR_RETURN(q.popularity, reader.ReadF64());
+      SHOAL_ASSIGN_OR_RETURN(q.concentration, reader.ReadF64());
+      if (q.query >= data.num_queries) {
+        return util::Status::InvalidArgument(util::StringPrintf(
+            "daemon window snapshot: ranking %llu names unknown query %u",
+            static_cast<unsigned long long>(t), q.query));
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "daemon window snapshot has trailing bytes");
   }
   return data;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/parallel_hac.h"
+#include "core/topic_describer.h"
 #include "graph/weighted_graph.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -15,8 +16,9 @@ namespace shoal::ckpt {
 
 // What a snapshot file contains. Values are part of the wire format.
 enum class SnapshotKind : uint32_t {
-  kEntityGraph = 1,  // the Sec 2.1 item entity graph, written once
-  kHacState = 2,     // mid- (or post-) HAC state, written every K rounds
+  kEntityGraph = 1,   // the Sec 2.1 item entity graph, written once
+  kHacState = 2,      // mid- (or post-) HAC state, written every K rounds
+  kDaemonWindow = 3,  // the daemon's standing sliding-window state
 };
 
 const char* SnapshotKindName(SnapshotKind kind);
@@ -53,6 +55,60 @@ struct HacSnapshotData {
   core::ClusterGraphState clusters;
 };
 
+// The taxonomy daemon's standing state between cycles (DESIGN.md §13):
+// the window's per-day click aggregates (from which the scored edge
+// store is a deterministic function), the standing dendrogram as a
+// merge list, and the carried per-topic description rankings keyed by
+// the topic's backing dendrogram node. A killed daemon restores this,
+// replays each day's aggregate as a delta to rebuild the edge store,
+// replays the merges, and resumes at the first spool file that sorts
+// after the newest window day — re-running an interrupted cycle from
+// its start.
+struct DaemonWindowData {
+  // Options fingerprint: a daemon restarted with different scoring or
+  // clustering knobs (or against a different catalog) must rebuild from
+  // the spool, not resume into an inconsistent store.
+  double alpha = 0.0;
+  double similarity_threshold = 0.0;
+  uint64_t max_items_per_query = 0;
+  uint64_t max_degree = 0;
+  double hac_threshold = 0.0;
+  uint32_t hac_linkage = 0;
+  uint64_t diffusion_iterations = 0;
+  uint64_t num_queries = 0;
+  uint64_t num_entities = 0;
+
+  uint64_t cycles_done = 0;
+  uint64_t published_version = 0;
+
+  // One entry per day currently in the window, oldest first. Pairs are
+  // the day's aggregated (query, entity) click counts, sorted by
+  // (query, entity).
+  struct WindowDay {
+    std::string name;  // spool day-file name, e.g. "day-0003.clicks.tsv"
+    struct Pair {
+      uint32_t query = 0;
+      uint32_t entity = 0;
+      uint32_t count = 0;
+    };
+    std::vector<Pair> pairs;
+  };
+  std::vector<WindowDay> window;
+
+  // Standing dendrogram as leaf count + ordered merge list.
+  uint64_t num_leaves = 0;
+  std::vector<HacSnapshotData::MergeRecord> merges;
+
+  // Carried per-topic rankings, ascending by dendro_node. Descriptions
+  // are not stored: a topic's description is by construction the top
+  // query texts of its ranking, so the restore regenerates them.
+  struct TopicRanking {
+    uint32_t dendro_node = 0;
+    std::vector<core::ScoredQuery> ranking;
+  };
+  std::vector<TopicRanking> rankings;
+};
+
 // --- payload codecs ------------------------------------------------------
 
 std::string EncodeEntityGraph(const graph::WeightedGraph& graph);
@@ -61,6 +117,9 @@ util::Result<graph::WeightedGraph> DecodeEntityGraph(
 
 std::string EncodeHacSnapshot(const HacSnapshotData& data);
 util::Result<HacSnapshotData> DecodeHacSnapshot(std::string_view payload);
+
+std::string EncodeDaemonWindow(const DaemonWindowData& data);
+util::Result<DaemonWindowData> DecodeDaemonWindow(std::string_view payload);
 
 // Deep-copies a live HAC run's progress view into serializable form,
 // stamping the options fingerprint from `options`.

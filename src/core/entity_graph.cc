@@ -26,12 +26,42 @@ uint64_t PairKey(uint32_t a, uint32_t b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
-// Item ids a query contributes to candidate generation. Over-cap queries
-// keep the top-`cap` links by click weight (ties toward the smaller item
-// id) instead of the first `cap` in storage order, so a strong co-click
-// link stored late in the adjacency list still generates its pairs.
-std::vector<uint32_t> CappedItems(const std::vector<BipartiteGraph::Link>& links,
-                                  size_t cap, bool* capped) {
+// One shard's worth of candidate generation: queries [begin, end).
+void CollectShardCandidates(const BipartiteGraph& query_item_graph,
+                            size_t begin, size_t end, size_t cap,
+                            std::unordered_set<uint64_t>* pairs,
+                            size_t* capped_queries) {
+  for (size_t q = begin; q < end; ++q) {
+    bool capped = false;
+    std::vector<uint32_t> items = CappedQueryItems(
+        query_item_graph.LeftNeighbors(static_cast<uint32_t>(q)), cap,
+        &capped);
+    if (capped) ++*capped_queries;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i] == items[j]) continue;
+        pairs->insert(PairKey(items[i], items[j]));
+      }
+    }
+  }
+}
+
+// One producer batch of the streaming LSH pipeline: the entities of a
+// contiguous range that had a non-empty shingle set, with their band
+// keys laid out back to back (`bands` keys per entity). Signatures
+// themselves never leave the producer — only the folded band keys
+// travel, so the n × (bands·rows) signature matrix is never
+// materialized.
+struct BandKeyBatch {
+  std::vector<uint32_t> entities;
+  std::vector<uint64_t> band_keys;
+};
+
+}  // namespace
+
+std::vector<uint32_t> CappedQueryItems(
+    const std::vector<BipartiteGraph::Link>& links, size_t cap,
+    bool* capped) {
   std::vector<uint32_t> items;
   if (links.size() <= cap) {
     *capped = false;
@@ -53,44 +83,26 @@ std::vector<uint32_t> CappedItems(const std::vector<BipartiteGraph::Link>& links
   return items;
 }
 
-// One shard's worth of candidate generation: queries [begin, end).
-void CollectShardCandidates(const BipartiteGraph& query_item_graph,
-                            size_t begin, size_t end, size_t cap,
-                            std::unordered_set<uint64_t>* pairs,
-                            size_t* capped_queries) {
-  for (size_t q = begin; q < end; ++q) {
-    bool capped = false;
-    std::vector<uint32_t> items = CappedItems(
-        query_item_graph.LeftNeighbors(static_cast<uint32_t>(q)), cap,
-        &capped);
-    if (capped) ++*capped_queries;
-    for (size_t i = 0; i < items.size(); ++i) {
-      for (size_t j = i + 1; j < items.size(); ++j) {
-        if (items[i] == items[j]) continue;
-        pairs->insert(PairKey(items[i], items[j]));
-      }
+util::Result<graph::WeightedGraph> ApplyDegreeCap(
+    std::vector<ScoredEdge> edges, size_t num_entities, size_t max_degree) {
+  std::sort(edges.begin(), edges.end(),
+            [](const ScoredEdge& a, const ScoredEdge& b) {
+              if (a.s != b.s) return a.s > b.s;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  std::vector<size_t> degree(num_entities, 0);
+  graph::WeightedGraph entity_graph(num_entities);
+  for (const ScoredEdge& e : edges) {
+    if (degree[e.u] >= max_degree && degree[e.v] >= max_degree) {
+      continue;
     }
+    SHOAL_RETURN_IF_ERROR(entity_graph.AddEdge(e.u, e.v, e.s));
+    ++degree[e.u];
+    ++degree[e.v];
   }
+  return entity_graph;
 }
-
-struct Scored {
-  uint32_t u;
-  uint32_t v;
-  double s;
-};
-
-// One producer batch of the streaming LSH pipeline: the entities of a
-// contiguous range that had a non-empty shingle set, with their band
-// keys laid out back to back (`bands` keys per entity). Signatures
-// themselves never leave the producer — only the folded band keys
-// travel, so the n × (bands·rows) signature matrix is never
-// materialized.
-struct BandKeyBatch {
-  std::vector<uint32_t> entities;
-  std::vector<uint64_t> band_keys;
-};
-
-}  // namespace
 
 std::vector<uint64_t> BuildLshCandidatePairs(
     const std::vector<std::vector<uint32_t>>& queries_of,
@@ -306,12 +318,12 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   // serial scan order over the sorted keys.
   stage_timer.Restart();
   obs::ScopedSpan scoring_span("entity_graph.scoring");
-  std::vector<std::vector<Scored>> shard_edges(max_shards);
+  std::vector<std::vector<ScoredEdge>> shard_edges(max_shards);
   for_shards(candidates.size(), [&](size_t begin, size_t end, size_t shard) {
     obs::ScopedSpan shard_span("entity_graph.score_shard");
     shard_span.AddArg("shard", static_cast<double>(shard));
     shard_span.AddArg("pairs", static_cast<double>(end - begin));
-    std::vector<Scored>& out = shard_edges[shard];
+    std::vector<ScoredEdge>& out = shard_edges[shard];
     out.reserve((end - begin) / 4 + 1);
     for (size_t i = begin; i < end; ++i) {
       const uint64_t key = candidates[i];
@@ -324,7 +336,7 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
     }
   });
   local_stats.scored_pairs = candidates.size();
-  std::vector<Scored> edges;
+  std::vector<ScoredEdge> edges;
   {
     size_t total = 0;
     for (const auto& s : shard_edges) total += s.size();
@@ -347,22 +359,10 @@ util::Result<graph::WeightedGraph> BuildEntityGraph(
   // order for equal similarities.
   stage_timer.Restart();
   SHOAL_TRACE_SPAN("entity_graph.degree_cap");
-  std::sort(edges.begin(), edges.end(), [](const Scored& a, const Scored& b) {
-    if (a.s != b.s) return a.s > b.s;
-    if (a.u != b.u) return a.u < b.u;
-    return a.v < b.v;
-  });
-  std::vector<size_t> degree(num_entities, 0);
-  graph::WeightedGraph entity_graph(num_entities);
-  for (const Scored& e : edges) {
-    if (degree[e.u] >= options.max_degree &&
-        degree[e.v] >= options.max_degree) {
-      continue;
-    }
-    SHOAL_RETURN_IF_ERROR(entity_graph.AddEdge(e.u, e.v, e.s));
-    ++degree[e.u];
-    ++degree[e.v];
-  }
+  auto capped_graph =
+      ApplyDegreeCap(std::move(edges), num_entities, options.max_degree);
+  if (!capped_graph.ok()) return capped_graph.status();
+  graph::WeightedGraph entity_graph = std::move(capped_graph).value();
   local_stats.kept_edges = entity_graph.num_edges();
   local_stats.degree_cap_seconds = stage_timer.ElapsedSeconds();
 

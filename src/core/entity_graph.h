@@ -90,6 +90,39 @@ struct EntityGraphStats {
   double degree_cap_seconds = 0.0;  // sort + greedy degree cap
 };
 
+// One scored candidate edge (u < v), the unit of the pre-degree-cap
+// edge store. BuildEntityGraph produces these internally; the
+// incremental maintenance path (src/daemon) keeps a standing set of
+// them between sliding-window updates.
+struct ScoredEdge {
+  uint32_t u = 0;
+  uint32_t v = 0;
+  double s = 0.0;
+
+  bool operator==(const ScoredEdge&) const = default;
+};
+
+// Item ids a query contributes to candidate generation. Over-cap
+// queries keep the top-`cap` links by click weight (ties toward the
+// smaller item id) instead of the first `cap` in storage order, so a
+// strong co-click link stored late in the adjacency list still
+// generates its pairs. The selected *set* depends only on the
+// (id, count) multiset, never on link storage order — the property the
+// incremental path relies on to reproduce candidacy from its own
+// aggregate counts.
+std::vector<uint32_t> CappedQueryItems(
+    const std::vector<graph::BipartiteGraph::Link>& links, size_t cap,
+    bool* capped);
+
+// Stage 5 of BuildEntityGraph, exposed so the incremental maintenance
+// path can finalize its standing edge store through the exact same
+// pass: sort by (similarity desc, u, v) and greedily keep edges while
+// either endpoint is under `max_degree`. Consumes `edges` (sorted in
+// place). Pure function of the edge multiset — byte-identical output
+// for any input order.
+util::Result<graph::WeightedGraph> ApplyDegreeCap(
+    std::vector<ScoredEdge> edges, size_t num_entities, size_t max_degree);
+
 // The kMinHashLsh candidate stage, exposed for tests and diagnostics:
 // returns the deduped, ascending `(u << 32) | v`-packed pairs that
 // BuildEntityGraph would rescore. `queries_of[e]` are the sorted query

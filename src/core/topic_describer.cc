@@ -4,11 +4,21 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "util/string_util.h"
+
 namespace shoal::core {
 
-util::Result<std::vector<std::vector<ScoredQuery>>> TopicDescriber::Describe(
+namespace {
+
+// Shared body of Describe / DescribeTopics. `doc_topics` feed the BM25
+// corpus (one pseudo-document each); `score_topics` ⊆ doc_topics are the
+// ones actually scored and rewritten. Describe passes the same set for
+// both; DescribeTopics passes every topic as docs and the caller's
+// subset as scores.
+util::Result<std::vector<std::vector<ScoredQuery>>> DescribeImpl(
     Taxonomy& taxonomy, const DescriberInput& input,
-    const DescriberOptions& options) {
+    const DescriberOptions& options, const std::vector<uint32_t>& doc_topics,
+    const std::vector<uint32_t>& score_topics) {
   if (input.taxonomy != nullptr && input.taxonomy != &taxonomy) {
     return util::Status::InvalidArgument(
         "DescriberInput.taxonomy must match the taxonomy argument");
@@ -31,24 +41,24 @@ util::Result<std::vector<std::vector<ScoredQuery>>> TopicDescriber::Describe(
         "entity titles do not match bipartite graph");
   }
 
-  // Topics to describe.
-  std::vector<uint32_t> topic_ids;
-  if (options.roots_only) {
-    topic_ids = taxonomy.roots();
-  } else {
-    topic_ids.resize(taxonomy.num_topics());
-    for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) topic_ids[t] = t;
-  }
-
-  // Pseudo-document D_t per described topic, and the BM25 index.
+  // Pseudo-document D_t per corpus topic, and the BM25 index.
   text::Bm25Index bm25(options.bm25);
   std::unordered_map<uint32_t, uint32_t> doc_of_topic;  // topic -> doc id
-  for (uint32_t t : topic_ids) {
+  for (uint32_t t : doc_topics) {
+    if (t >= taxonomy.num_topics()) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "topic %u is out of range (taxonomy has %zu topics)", t,
+          taxonomy.num_topics()));
+    }
     std::vector<uint32_t> doc;
     for (uint32_t e : taxonomy.topic(t).entities) {
       doc.insert(doc.end(), titles[e].begin(), titles[e].end());
     }
-    doc_of_topic.emplace(t, bm25.AddDocument(doc));
+    const auto inserted = doc_of_topic.emplace(t, bm25.AddDocument(doc));
+    if (!inserted.second) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("topic %u appears twice", t));
+    }
   }
 
   // Per-topic interaction counts: tf(q, I_t) and tf(I_t); candidates are
@@ -62,7 +72,12 @@ util::Result<std::vector<std::vector<ScoredQuery>>> TopicDescriber::Describe(
   };
   std::unordered_map<uint32_t, SoftmaxCache> softmax_cache;
 
-  for (uint32_t t : topic_ids) {
+  for (uint32_t t : score_topics) {
+    if (t >= taxonomy.num_topics() || doc_of_topic.find(t) ==
+                                          doc_of_topic.end()) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "scored topic %u is not part of the BM25 corpus", t));
+    }
     Topic& topic = taxonomy.topic(t);
     std::unordered_map<uint32_t, uint64_t> tf_q;  // query -> interactions
     uint64_t tf_total = 0;
@@ -123,6 +138,31 @@ util::Result<std::vector<std::vector<ScoredQuery>>> TopicDescriber::Describe(
     }
   }
   return rankings;
+}
+
+std::vector<uint32_t> AllTopicIds(const Taxonomy& taxonomy) {
+  std::vector<uint32_t> topic_ids(taxonomy.num_topics());
+  for (uint32_t t = 0; t < taxonomy.num_topics(); ++t) topic_ids[t] = t;
+  return topic_ids;
+}
+
+}  // namespace
+
+util::Result<std::vector<std::vector<ScoredQuery>>> TopicDescriber::Describe(
+    Taxonomy& taxonomy, const DescriberInput& input,
+    const DescriberOptions& options) {
+  const std::vector<uint32_t> topic_ids =
+      options.roots_only ? taxonomy.roots() : AllTopicIds(taxonomy);
+  return DescribeImpl(taxonomy, input, options, topic_ids, topic_ids);
+}
+
+util::Result<std::vector<std::vector<ScoredQuery>>>
+TopicDescriber::DescribeTopics(Taxonomy& taxonomy,
+                               const DescriberInput& input,
+                               const DescriberOptions& options,
+                               const std::vector<uint32_t>& topics_to_score) {
+  return DescribeImpl(taxonomy, input, options, AllTopicIds(taxonomy),
+                      topics_to_score);
 }
 
 }  // namespace shoal::core

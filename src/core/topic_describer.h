@@ -56,6 +56,19 @@ class TopicDescriber {
   static util::Result<std::vector<std::vector<ScoredQuery>>> Describe(
       Taxonomy& taxonomy, const DescriberInput& input,
       const DescriberOptions& options);
+
+  // Incremental form: every topic's pseudo-document still enters the
+  // BM25 corpus (the Sec 2.3 concentration softmax is global — con of a
+  // scored topic is exact under the full corpus), but only
+  // `topics_to_score` are scored and have their descriptions rewritten.
+  // Rankings of unscored topics come back empty; their descriptions are
+  // left untouched (the daemon carries them over from the previous
+  // cycle). `options.roots_only` is ignored here — the caller picks the
+  // subset. Duplicate or out-of-range ids are InvalidArgument.
+  static util::Result<std::vector<std::vector<ScoredQuery>>> DescribeTopics(
+      Taxonomy& taxonomy, const DescriberInput& input,
+      const DescriberOptions& options,
+      const std::vector<uint32_t>& topics_to_score);
 };
 
 }  // namespace shoal::core

@@ -1,0 +1,50 @@
+#ifndef SHOAL_DAEMON_SPOOL_H_
+#define SHOAL_DAEMON_SPOOL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/vocabulary.h"
+#include "util/result.h"
+
+namespace shoal::daemon {
+
+// The daemon's on-disk inbox. A spool directory holds the static
+// catalog (items.tsv + queries.tsv, the log_io exchange format minus
+// clicks.tsv) and one clicks file per arriving day:
+//
+//   <spool>/items.tsv              item_id  category_id  title
+//   <spool>/queries.tsv            query_id  text
+//   <spool>/day-0000.clicks.tsv    query_id  item_id  timestamp_sec
+//
+// Day files must sort lexicographically in arrival order (the
+// data::DriftDayFileName convention does); the daemon consumes them in
+// that order, one update cycle per file. A producer publishes a day by
+// writing the file under a temp name and renaming it into the spool —
+// the same atomic-appearance convention the serving index uses.
+
+// The static catalog: every entity/query id the window will ever
+// reference, with text tokenised into a vocabulary in file order
+// (items first, then queries — the same order the pipeline's word2vec
+// corpus uses).
+struct SpoolCatalog {
+  std::vector<data::ItemEntity> items;     // intent fields left kNoIntent
+  std::vector<data::SearchQuery> queries;  // intent fields left kNoIntent
+  text::Vocabulary vocab;
+};
+
+util::Result<SpoolCatalog> ImportSpoolCatalog(const std::string& dir);
+
+// One day's clicks, sorted by (timestamp, query, entity); ids are
+// validated against the catalog bounds.
+util::Result<std::vector<data::ClickEvent>> ReadDayClicks(
+    const std::string& path, size_t num_queries, size_t num_items);
+
+// Names (not paths) of the day files currently in the spool, sorted
+// lexicographically. A file qualifies when it ends in ".clicks.tsv".
+util::Result<std::vector<std::string>> ListDayFiles(const std::string& dir);
+
+}  // namespace shoal::daemon
+
+#endif  // SHOAL_DAEMON_SPOOL_H_

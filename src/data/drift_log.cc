@@ -1,0 +1,314 @@
+#include "data/drift_log.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace shoal::data {
+
+namespace {
+
+// One stationary-background pair: clicked `count` times on every day.
+struct BackgroundPair {
+  uint32_t query = 0;
+  uint32_t entity = 0;
+  uint32_t count = 0;
+};
+
+void SortDay(std::vector<ClickEvent>& clicks) {
+  std::sort(clicks.begin(), clicks.end(),
+            [](const ClickEvent& a, const ClickEvent& b) {
+              if (a.timestamp_sec != b.timestamp_sec) {
+                return a.timestamp_sec < b.timestamp_sec;
+              }
+              if (a.query != b.query) return a.query < b.query;
+              return a.entity < b.entity;
+            });
+}
+
+std::string PathOf(const std::string& dir, const std::string& file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+}  // namespace
+
+util::Result<DriftLog> GenerateDriftLog(const DriftOptions& options) {
+  if (options.num_days == 0) {
+    return util::Status::InvalidArgument("num_days must be >= 1");
+  }
+  if (options.hot_intents_per_day == 0) {
+    return util::Status::InvalidArgument("hot_intents_per_day must be >= 1");
+  }
+
+  DriftLog log;
+  log.options = options;
+
+  DatasetOptions catalog_options = options.catalog;
+  catalog_options.num_clicks = 0;  // clicks come from the day streams
+  SHOAL_ASSIGN_OR_RETURN(log.catalog, GenerateDataset(catalog_options));
+
+  const size_t num_entities = log.catalog.entities.size();
+  const size_t num_queries = log.catalog.queries.size();
+  const size_t births_e = static_cast<size_t>(
+      options.new_entity_fraction * static_cast<double>(num_entities));
+  const size_t births_q = static_cast<size_t>(
+      options.new_query_fraction * static_cast<double>(num_queries));
+  if (births_e * (options.num_days - 1) >= num_entities ||
+      births_q * (options.num_days - 1) >= num_queries) {
+    return util::Status::InvalidArgument(
+        "birth fractions leave no day-0 cohort");
+  }
+
+  // Independent stream from the catalog generator's so the catalog is
+  // byte-identical whether or not a drift log is layered on top.
+  util::Rng rng(options.catalog.seed ^ 0xd21f7106ULL);
+
+  // ---- hot intents (chosen first: births follow trending demand) --------
+  log.days.resize(options.num_days);
+  {
+    std::vector<uint32_t> rotation(log.catalog.intents.leaves());
+    for (size_t d = 0; d < options.num_days; ++d) {
+      rng.Shuffle(rotation);
+      const size_t num_hot =
+          std::min(options.hot_intents_per_day, rotation.size());
+      log.days[d].hot_intents.assign(rotation.begin(),
+                                     rotation.begin() + num_hot);
+      std::sort(log.days[d].hot_intents.begin(),
+                log.days[d].hot_intents.end());
+    }
+  }
+
+  // ---- birth days --------------------------------------------------------
+  // Newborns are drawn from the day's hot intents first so day-over-day
+  // churn stays concentrated; only if a day's hot intents run out of
+  // unborn members does it fall back to an arbitrary unborn row.
+  log.entity_birth_day.assign(num_entities, 0);
+  log.query_birth_day.assign(num_queries, 0);
+  {
+    auto assign_births = [&](size_t count_per_day, auto intent_of,
+                             std::vector<uint32_t>& birth_day, size_t universe,
+                             auto record) {
+      std::vector<bool> born_late(universe, false);
+      std::vector<uint32_t> fallback(universe);
+      std::iota(fallback.begin(), fallback.end(), 0u);
+      rng.Shuffle(fallback);
+      size_t fallback_next = 0;
+      for (size_t d = 1; d < options.num_days; ++d) {
+        std::vector<bool> hot(log.catalog.intents.size(), false);
+        for (uint32_t intent : log.days[d].hot_intents) hot[intent] = true;
+        std::vector<uint32_t> pool;
+        for (uint32_t id = 0; id < universe; ++id) {
+          if (!born_late[id] && hot[intent_of(id)]) pool.push_back(id);
+        }
+        rng.Shuffle(pool);
+        size_t taken = 0;
+        for (uint32_t id : pool) {
+          if (taken == count_per_day) break;
+          born_late[id] = true;
+          birth_day[id] = static_cast<uint32_t>(d);
+          record(d, id);
+          ++taken;
+        }
+        while (taken < count_per_day && fallback_next < universe) {
+          const uint32_t id = fallback[fallback_next++];
+          if (born_late[id]) continue;
+          born_late[id] = true;
+          birth_day[id] = static_cast<uint32_t>(d);
+          record(d, id);
+          ++taken;
+        }
+      }
+    };
+    assign_births(
+        births_e,
+        [&](uint32_t e) { return log.catalog.entities[e].intent; },
+        log.entity_birth_day, num_entities,
+        [&](size_t d, uint32_t e) { log.days[d].born_entities.push_back(e); });
+    assign_births(
+        births_q, [&](uint32_t q) { return log.catalog.queries[q].intent; },
+        log.query_birth_day, num_queries,
+        [&](size_t d, uint32_t q) { log.days[d].born_queries.push_back(q); });
+    for (DriftDay& day : log.days) {
+      std::sort(day.born_entities.begin(), day.born_entities.end());
+      std::sort(day.born_queries.begin(), day.born_queries.end());
+    }
+  }
+
+  // Day-0 cohort and per-intent active pools (grown as days pass).
+  const size_t num_intents = log.catalog.intents.size();
+  std::vector<std::vector<uint32_t>> active_entities_of(num_intents);
+  std::vector<std::vector<uint32_t>> active_queries_of(num_intents);
+  std::vector<uint32_t> active_entities;
+  std::vector<uint32_t> active_queries;
+  auto activate_entity = [&](uint32_t e) {
+    active_entities.push_back(e);
+    active_entities_of[log.catalog.entities[e].intent].push_back(e);
+  };
+  auto activate_query = [&](uint32_t q) {
+    active_queries.push_back(q);
+    active_queries_of[log.catalog.queries[q].intent].push_back(q);
+  };
+  for (uint32_t e = 0; e < num_entities; ++e) {
+    if (log.entity_birth_day[e] == 0) activate_entity(e);
+  }
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    if (log.query_birth_day[q] == 0) activate_query(q);
+  }
+  if (active_entities.empty() || active_queries.empty()) {
+    return util::Status::InvalidArgument("day-0 cohort is empty");
+  }
+
+  // ---- stationary background --------------------------------------------
+  // Drawn from the day-0 cohort only (always active), with a per-pair
+  // daily count fixed once: every day contributes the same aggregate.
+  std::vector<BackgroundPair> background;
+  background.reserve(options.background_pairs);
+  util::ZipfDistribution head(active_queries.size(),
+                              options.catalog.query_zipf_exponent);
+  for (size_t i = 0; i < options.background_pairs; ++i) {
+    BackgroundPair pair;
+    pair.query = active_queries[head.Sample(rng)];
+    const uint32_t intent = log.catalog.queries[pair.query].intent;
+    const auto& pool = active_entities_of[intent];
+    pair.entity = pool.empty()
+                      ? active_entities[rng.Uniform(active_entities.size())]
+                      : pool[rng.Uniform(pool.size())];
+    pair.count =
+        1 + static_cast<uint32_t>(rng.Poisson(options.background_extra_mean));
+    background.push_back(pair);
+  }
+
+  // ---- day streams -------------------------------------------------------
+  for (size_t d = 0; d < options.num_days; ++d) {
+    DriftDay& day = log.days[d];
+    const uint64_t begin = log.DayBeginSec(d);
+    const size_t num_hot = day.hot_intents.size();
+
+    for (uint32_t e : day.born_entities) activate_entity(e);
+    for (uint32_t q : day.born_queries) activate_query(q);
+
+    auto stamp = [&](uint32_t q, uint32_t e) {
+      ClickEvent event;
+      event.query = q;
+      event.entity = e;
+      event.timestamp_sec = begin + rng.Uniform(86400);
+      day.clicks.push_back(event);
+    };
+
+    // Background: identical (query, entity, count) multiset every day.
+    for (const BackgroundPair& pair : background) {
+      for (uint32_t c = 0; c < pair.count; ++c) stamp(pair.query, pair.entity);
+    }
+
+    // Drift burst on the day's hot intents.
+    for (size_t c = 0; c < options.drift_clicks_per_day; ++c) {
+      const uint32_t intent = day.hot_intents[rng.Uniform(num_hot)];
+      const auto& qpool = active_queries_of[intent];
+      const uint32_t q = qpool.empty()
+                             ? active_queries[rng.Uniform(active_queries.size())]
+                             : qpool[rng.Uniform(qpool.size())];
+      const auto& epool = active_entities_of[intent];
+      uint32_t e;
+      if (rng.Bernoulli(options.click_noise) || epool.empty()) {
+        e = active_entities[rng.Uniform(active_entities.size())];
+      } else {
+        e = epool[rng.Uniform(epool.size())];
+      }
+      stamp(q, e);
+    }
+
+    // Introduction clicks for the day's newborns.
+    for (uint32_t e : day.born_entities) {
+      const uint32_t intent = log.catalog.entities[e].intent;
+      const auto& qpool = active_queries_of[intent];
+      for (size_t c = 0; c < options.intro_clicks; ++c) {
+        const uint32_t q =
+            qpool.empty() ? active_queries[rng.Uniform(active_queries.size())]
+                          : qpool[rng.Uniform(qpool.size())];
+        stamp(q, e);
+      }
+    }
+    for (uint32_t q : day.born_queries) {
+      const uint32_t intent = log.catalog.queries[q].intent;
+      const auto& epool = active_entities_of[intent];
+      for (size_t c = 0; c < options.intro_clicks; ++c) {
+        const uint32_t e =
+            epool.empty() ? active_entities[rng.Uniform(active_entities.size())]
+                          : epool[rng.Uniform(epool.size())];
+        stamp(q, e);
+      }
+    }
+
+    SortDay(day.clicks);
+  }
+  return log;
+}
+
+graph::BipartiteGraph BuildWindowGraph(const DriftLog& log, size_t begin_day,
+                                       size_t end_day) {
+  graph::BipartiteGraph graph(log.catalog.queries.size(),
+                              log.catalog.entities.size());
+  for (size_t d = begin_day; d < end_day && d < log.days.size(); ++d) {
+    for (const ClickEvent& event : log.days[d].clicks) {
+      auto status = graph.AddInteraction(event.query, event.entity);
+      SHOAL_CHECK(status.ok()) << status.ToString();
+    }
+  }
+  return graph;
+}
+
+std::string DriftDayFileName(size_t day) {
+  return util::StringPrintf("day-%04zu.clicks.tsv", day);
+}
+
+util::Status ExportDriftCatalog(const DriftLog& log, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create directory " + dir + ": " +
+                                 ec.message());
+  }
+  std::vector<std::vector<std::string>> items;
+  items.push_back({"# item_id", "category_id", "title"});
+  for (const ItemEntity& entity : log.catalog.entities) {
+    items.push_back({std::to_string(entity.id),
+                     std::to_string(entity.category), entity.title});
+  }
+  std::vector<std::vector<std::string>> queries;
+  queries.push_back({"# query_id", "text"});
+  for (const SearchQuery& query : log.catalog.queries) {
+    queries.push_back({std::to_string(query.id), query.text});
+  }
+  SHOAL_RETURN_IF_ERROR(util::WriteTsv(PathOf(dir, "items.tsv"), items));
+  SHOAL_RETURN_IF_ERROR(util::WriteTsv(PathOf(dir, "queries.tsv"), queries));
+  return util::Status::OK();
+}
+
+util::Status ExportDriftDay(const DriftLog& log, size_t day,
+                            const std::string& dir) {
+  if (day >= log.days.size()) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("day %zu out of range (%zu days)", day,
+                           log.days.size()));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create directory " + dir + ": " +
+                                 ec.message());
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"# query_id", "item_id", "timestamp_sec"});
+  for (const ClickEvent& click : log.days[day].clicks) {
+    rows.push_back({std::to_string(click.query), std::to_string(click.entity),
+                    std::to_string(click.timestamp_sec)});
+  }
+  return util::WriteTsv(PathOf(dir, DriftDayFileName(day)), rows);
+}
+
+}  // namespace shoal::data

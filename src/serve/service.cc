@@ -155,12 +155,16 @@ ServingService::ServingService(std::shared_ptr<const ServingIndex> index,
   metrics_.index_epoch = &registry.GetGauge("serve.index.epoch");
   metrics_.index_resident_bytes =
       &registry.GetGauge("serve.index.resident_bytes");
+  metrics_.index_staleness_sec =
+      &registry.GetGauge("serve.index.staleness_sec");
+  const std::shared_ptr<const ServingIndex> live = Acquire();
+  if (live != nullptr) index_install_ms_.store(UnixMillis());
   if (registry.enabled()) {
-    const std::shared_ptr<const ServingIndex> live = Acquire();
     if (live != nullptr) {
       metrics_.index_version->Set(static_cast<double>(live->version()));
       metrics_.index_resident_bytes->Set(
           static_cast<double>(live->resident_bytes()));
+      metrics_.index_staleness_sec->Set(0.0);
     }
     metrics_.index_epoch->Set(static_cast<double>(index_.epoch()));
   }
@@ -199,6 +203,7 @@ void ServingService::SwapIndex(std::shared_ptr<const ServingIndex> index) {
   const uint64_t version = index->version();
   const size_t resident_bytes = index->resident_bytes();
   index_.Write(std::move(index));
+  index_install_ms_.store(UnixMillis());
   // Cached bodies describe the old version; drop them after the swap so
   // a request never mixes versions (it either hit the old cache before
   // the swap or recomputes against the new index).
@@ -207,6 +212,7 @@ void ServingService::SwapIndex(std::shared_ptr<const ServingIndex> index) {
     metrics_.index_version->Set(static_cast<double>(version));
     metrics_.index_epoch->Set(static_cast<double>(index_.epoch()));
     metrics_.index_resident_bytes->Set(static_cast<double>(resident_bytes));
+    metrics_.index_staleness_sec->Set(0.0);
     metrics_.index_swaps->Increment();
   }
 }
@@ -473,6 +479,24 @@ HttpResponse ServingService::HandleReadyz(const ServingIndex* index) {
   body.Set("uptime_seconds", util::JsonValue::Number(uptime_seconds));
   body.Set("index_epoch",
            util::JsonValue::Number(static_cast<double>(index_.epoch())));
+  // Freshness of the live index: when it was installed here and how
+  // long ago that was. "Installed" is this process's swap time — the
+  // closest observable proxy for the daemon's publish time without
+  // widening the file format.
+  const int64_t installed_ms = index_install_ms_.load();
+  if (index != nullptr && installed_ms > 0) {
+    const double staleness_sec =
+        static_cast<double>(UnixMillis() - installed_ms) / 1000.0;
+    body.Set("index_installed_unix_ms",
+             util::JsonValue::Number(static_cast<double>(installed_ms)));
+    body.Set("index_staleness_sec", util::JsonValue::Number(staleness_sec));
+    if (obs::MetricsRegistry::Global().enabled()) {
+      metrics_.index_staleness_sec->Set(staleness_sec);
+    }
+  } else {
+    body.Set("index_installed_unix_ms", util::JsonValue::Null());
+    body.Set("index_staleness_sec", util::JsonValue::Null());
+  }
   {
     std::lock_guard<std::mutex> lock(reload_status_mu_);
     if (last_reload_.attempted) {

@@ -1,6 +1,7 @@
 #ifndef SHOAL_SERVE_SERVICE_H_
 #define SHOAL_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -71,9 +72,10 @@ struct ServiceOptions {
 // serve.requests.total, serve.requests.errors, serve.requests.slow,
 // serve.cache.hits / .misses, serve.reload.successes / .failures,
 // serve.index.version, serve.index.swaps, and gauges serve.index.epoch
-// (RCU publication epoch of the live cell) and
-// serve.index.resident_bytes (bytes of the live index image, mmap or
-// heap).
+// (RCU publication epoch of the live cell), serve.index.resident_bytes
+// (bytes of the live index image, mmap or heap), and
+// serve.index.staleness_sec (seconds since the live index was installed
+// here; reset to 0 on every swap and refreshed on /readyz probes).
 class ServingService {
  public:
   // `index` may be null: the service starts unready (/readyz answers
@@ -144,6 +146,7 @@ class ServingService {
     obs::Gauge* index_version = nullptr;
     obs::Gauge* index_epoch = nullptr;
     obs::Gauge* index_resident_bytes = nullptr;
+    obs::Gauge* index_staleness_sec = nullptr;
   };
 
   HttpResponse Dispatch(const HttpRequest& request,
@@ -164,6 +167,11 @@ class ServingService {
 
   ServiceOptions options_;
   const std::chrono::steady_clock::time_point start_time_;
+  // Wall-clock time the live index was installed (0 = none yet); the
+  // source of /readyz's staleness fields and the
+  // serve.index.staleness_sec gauge (refreshed on every /readyz probe,
+  // so a scraper alongside a prober sees a current value).
+  std::atomic<int64_t> index_install_ms_{0};
   // Lock-free snapshot of the live index; Write publishes a new epoch.
   util::RcuCell<const ServingIndex> index_;
   std::mutex reload_mu_;  // serializes reloads, not request traffic

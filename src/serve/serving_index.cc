@@ -839,36 +839,57 @@ util::Result<ServingIndexData> CompileServingIndex(
       core::TopicDescriber::Describe(scored, scored_input, describer_options);
   if (!rankings.ok()) return rankings.status();
 
+  return BuildServingIndexData(scored, *rankings, *input.query_texts,
+                               entity_categories, options);
+}
+
+util::Result<ServingIndexData> BuildServingIndexData(
+    const core::Taxonomy& taxonomy,
+    const std::vector<std::vector<core::ScoredQuery>>& rankings,
+    const std::vector<std::string>& query_texts,
+    const std::vector<uint32_t>* entity_categories,
+    const CompileOptions& options) {
+  if (entity_categories != nullptr &&
+      entity_categories->size() != taxonomy.num_entities()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "entity_categories has %zu entries for %zu entities",
+        entity_categories->size(), taxonomy.num_entities()));
+  }
+  if (rankings.size() != taxonomy.num_topics()) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("rankings has %zu entries for %zu topics",
+                           rankings.size(), taxonomy.num_topics()));
+  }
+
   ServingIndexData data;
   data.version = options.version;
 
-  const size_t num_topics = scored.num_topics();
+  const size_t num_topics = taxonomy.num_topics();
   data.parent.resize(num_topics);
   data.level.resize(num_topics);
   data.topic_size.resize(num_topics);
   data.descriptions.resize(num_topics);
   for (uint32_t t = 0; t < num_topics; ++t) {
-    const core::Topic& topic = scored.topic(t);
+    const core::Topic& topic = taxonomy.topic(t);
     data.parent[t] = topic.parent;
     data.level[t] = topic.level;
     data.topic_size[t] = static_cast<uint32_t>(topic.entities.size());
     data.descriptions[t] = topic.description;
   }
 
-  data.entity_topic.resize(scored.num_entities());
-  data.entity_category.assign(scored.num_entities(), kNoCategoryId);
-  for (uint32_t e = 0; e < scored.num_entities(); ++e) {
-    data.entity_topic[e] = scored.TopicOfEntity(e);
+  data.entity_topic.resize(taxonomy.num_entities());
+  data.entity_category.assign(taxonomy.num_entities(), kNoCategoryId);
+  for (uint32_t e = 0; e < taxonomy.num_entities(); ++e) {
+    data.entity_topic[e] = taxonomy.TopicOfEntity(e);
     if (entity_categories != nullptr) {
       data.entity_category[e] = (*entity_categories)[e];
     }
   }
 
   // Invert the per-topic rankings into per-query posting lists.
-  const auto& query_texts = *input.query_texts;
   std::vector<std::vector<Posting>> by_query(query_texts.size());
-  for (uint32_t t = 0; t < rankings->size(); ++t) {
-    for (const core::ScoredQuery& sq : (*rankings)[t]) {
+  for (uint32_t t = 0; t < rankings.size(); ++t) {
+    for (const core::ScoredQuery& sq : rankings[t]) {
       if (sq.query >= by_query.size()) {
         return util::Status::OutOfRange(util::StringPrintf(
             "describer ranked query %u but only %zu query texts exist",

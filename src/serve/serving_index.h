@@ -261,6 +261,20 @@ util::Result<ServingIndexData> CompileServingIndex(
     const std::vector<uint32_t>* entity_categories,
     const CompileOptions& options);
 
+// The second half of CompileServingIndex, for callers that already hold
+// per-topic rankings (the incremental daemon scores only dirty topics
+// and carries the rest forward): fills the data arrays from `taxonomy`'s
+// topics/descriptions as-is and inverts `rankings` (one entry per topic;
+// empty entries contribute no postings) into per-query posting lists.
+// `query_texts` is the full query dictionary the ranking query ids index
+// into; only queries with non-empty posting lists are interned.
+util::Result<ServingIndexData> BuildServingIndexData(
+    const core::Taxonomy& taxonomy,
+    const std::vector<std::vector<core::ScoredQuery>>& rankings,
+    const std::vector<std::string>& query_texts,
+    const std::vector<uint32_t>* entity_categories,
+    const CompileOptions& options);
+
 // --- binary format --------------------------------------------------------
 // Both formats open with the same sniffable frame: 8-byte magic
 // "SHOALIDX" then a u32 format version at offset 8.

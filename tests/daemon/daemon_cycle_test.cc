@@ -1,0 +1,249 @@
+// End-to-end TaxonomyDaemon cycles over a planted drift workload: the
+// maintained entity graph must match a from-scratch build of every
+// window, published indexes must be byte-identical at any thread count,
+// and a daemon restored from its snapshot must continue exactly where
+// the original process would have.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/entity_graph.h"
+#include "daemon/daemon.h"
+#include "data/drift_log.h"
+#include "util/tsv.h"
+
+namespace shoal::daemon {
+namespace {
+
+class DaemonCycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: parallel ctest processes must not share a
+    // directory that TearDown deletes.
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("shoal_daemon_cycle_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static data::DriftLog MakeLog(size_t num_days) {
+    data::DriftOptions options;
+    options.catalog.num_entities = 220;
+    options.catalog.num_queries = 160;
+    options.catalog.seed = 2019;
+    options.num_days = num_days;
+    options.background_pairs = 1500;
+    options.drift_clicks_per_day = 600;
+    auto generated = data::GenerateDriftLog(options);
+    EXPECT_TRUE(generated.ok());
+    return std::move(generated).value();
+  }
+
+  // Spool with the catalog and days [0, num_days) already arrived.
+  std::string MakeSpool(const data::DriftLog& log, size_t num_days,
+                        const std::string& name) {
+    const std::string spool = dir_ + "/" + name;
+    std::filesystem::create_directories(spool);
+    EXPECT_TRUE(data::ExportDriftCatalog(log, spool).ok());
+    for (size_t d = 0; d < num_days; ++d) {
+      EXPECT_TRUE(data::ExportDriftDay(log, d, spool).ok());
+    }
+    return spool;
+  }
+
+  DaemonOptions MakeOptions(const std::string& spool,
+                            const std::string& tag) {
+    DaemonOptions options;
+    options.spool_dir = spool;
+    options.index_path = dir_ + "/" + tag + ".idx";
+    options.snapshot_path = dir_ + "/" + tag + ".snap";
+    options.window_days = 3;
+    return options;
+  }
+
+  static std::string FileBytes(const std::string& path) {
+    auto read = util::ReadTextFile(path);
+    EXPECT_TRUE(read.ok()) << path;
+    return read.ok() ? std::move(read).value() : std::string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DaemonCycleTest, MaintainedGraphMatchesFromScratchEveryCycle) {
+  auto log = MakeLog(/*num_days=*/5);
+  const std::string spool = MakeSpool(log, 5, "spool");
+  DaemonOptions options = MakeOptions(spool, "a");
+  auto created = TaxonomyDaemon::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto& daemon = *created.value();
+
+  for (size_t d = 0; d < 5; ++d) {
+    auto report = daemon.RunOnce();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->has_value()) << "day " << d;
+    EXPECT_EQ((*report)->day_file, data::DriftDayFileName(d));
+    EXPECT_EQ((*report)->published_version, d + 1);
+    EXPECT_EQ((*report)->full_rebuild, d == 0);
+    EXPECT_GT((*report)->num_topics, 0u);
+    EXPECT_EQ((*report)->touched_topics + (*report)->carried_topics,
+              (*report)->num_topics);
+
+    const size_t begin = d + 1 >= options.window_days
+                             ? d + 1 - options.window_days
+                             : 0;
+    auto reference = core::BuildEntityGraph(
+        data::BuildWindowGraph(log, begin, d + 1), daemon.title_words(),
+        daemon.word_vectors(), options.entity_graph);
+    ASSERT_TRUE(reference.ok());
+    auto maintained = daemon.graph().Materialize();
+    ASSERT_TRUE(maintained.ok());
+    ASSERT_EQ(reference->num_edges(), maintained->num_edges()) << "day " << d;
+    auto expected_edges = reference->AllEdges();
+    auto actual_edges = maintained->AllEdges();
+    for (size_t i = 0; i < expected_edges.size(); ++i) {
+      ASSERT_EQ(expected_edges[i].u, actual_edges[i].u) << "day " << d;
+      ASSERT_EQ(expected_edges[i].v, actual_edges[i].v) << "day " << d;
+      ASSERT_EQ(expected_edges[i].weight, actual_edges[i].weight)
+          << "day " << d;
+    }
+  }
+  // Later cycles must ride on the standing state, not rebuild: with the
+  // drift workload's stationary background, most topics carry over.
+  auto drained = daemon.RunOnce();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained->has_value()) << "spool should be drained";
+}
+
+TEST_F(DaemonCycleTest, PublishedIndexByteIdenticalAcrossThreadCounts) {
+  auto log = MakeLog(/*num_days=*/4);
+  const std::string spool = MakeSpool(log, 4, "spool");
+  std::vector<std::string> final_images;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::string tag = "t";
+    tag += std::to_string(threads);
+    DaemonOptions options = MakeOptions(spool, tag);
+    options.num_threads = threads;
+    auto created = TaxonomyDaemon::Create(options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto& daemon = *created.value();
+    while (true) {
+      auto report = daemon.RunOnce();
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      if (!report->has_value()) break;
+    }
+    EXPECT_EQ(daemon.published_version(), 4u);
+    final_images.push_back(FileBytes(options.index_path));
+  }
+  for (size_t i = 1; i < final_images.size(); ++i) {
+    EXPECT_EQ(final_images[0], final_images[i])
+        << "published index diverged at thread variant " << i;
+  }
+}
+
+TEST_F(DaemonCycleTest, SnapshotRestoreContinuesByteIdentically) {
+  auto log = MakeLog(/*num_days=*/4);
+  // Both spools start with days 1-3; day 4 arrives later in each.
+  const std::string spool_a = MakeSpool(log, 3, "spool_a");
+  const std::string spool_b = MakeSpool(log, 3, "spool_b");
+
+  DaemonOptions options_a = MakeOptions(spool_a, "a");
+  auto created_a = TaxonomyDaemon::Create(options_a);
+  ASSERT_TRUE(created_a.ok()) << created_a.status().ToString();
+  auto& daemon_a = *created_a.value();
+  for (int i = 0; i < 3; ++i) {
+    auto report = daemon_a.RunOnce();
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->has_value());
+  }
+
+  // A second process picks up A's snapshot (same options, own spool and
+  // index paths so the two do not race).
+  DaemonOptions options_b = MakeOptions(spool_b, "b");
+  options_b.snapshot_path = options_a.snapshot_path;
+  auto created_b = TaxonomyDaemon::Create(options_b);
+  ASSERT_TRUE(created_b.ok()) << created_b.status().ToString();
+  auto& daemon_b = *created_b.value();
+  EXPECT_TRUE(daemon_b.restored_from_snapshot());
+  EXPECT_EQ(daemon_b.cycles_done(), 3u);
+  EXPECT_EQ(daemon_b.published_version(), 3u);
+
+  // The restored standing store matches the live one bit for bit.
+  auto store_a = daemon_a.graph().StoreEdges();
+  auto store_b = daemon_b.graph().StoreEdges();
+  ASSERT_EQ(store_a.size(), store_b.size());
+  for (size_t i = 0; i < store_a.size(); ++i) {
+    EXPECT_EQ(store_a[i].u, store_b[i].u);
+    EXPECT_EQ(store_a[i].v, store_b[i].v);
+    EXPECT_EQ(store_a[i].s, store_b[i].s);
+  }
+
+  // Nothing new in B's spool yet: the restore must not re-consume days.
+  auto idle = daemon_b.RunOnce();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle->has_value());
+
+  // Day 4 arrives in both worlds; the continued process and the
+  // restored process must publish identical bytes.
+  ASSERT_TRUE(data::ExportDriftDay(log, 3, spool_a).ok());
+  ASSERT_TRUE(data::ExportDriftDay(log, 3, spool_b).ok());
+  auto report_a = daemon_a.RunOnce();
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_a->has_value());
+  auto report_b = daemon_b.RunOnce();
+  ASSERT_TRUE(report_b.ok());
+  ASSERT_TRUE(report_b->has_value());
+  EXPECT_EQ((*report_a)->published_version, (*report_b)->published_version);
+  EXPECT_EQ(FileBytes(options_a.index_path), FileBytes(options_b.index_path));
+}
+
+TEST_F(DaemonCycleTest, OptionsSkewAgainstSnapshotIsRejected) {
+  auto log = MakeLog(/*num_days=*/2);
+  const std::string spool = MakeSpool(log, 2, "spool");
+  DaemonOptions options = MakeOptions(spool, "a");
+  auto created = TaxonomyDaemon::Create(options);
+  ASSERT_TRUE(created.ok());
+  auto report = (*created)->RunOnce();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->has_value());
+
+  DaemonOptions skewed = options;
+  skewed.entity_graph.similarity_threshold += 0.1;
+  auto rejected = TaxonomyDaemon::Create(skewed);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(DaemonCycleTest, DriftKeepsMostTopicsCarried) {
+  auto log = MakeLog(/*num_days=*/5);
+  const std::string spool = MakeSpool(log, 5, "spool");
+  DaemonOptions options = MakeOptions(spool, "a");
+  auto created = TaxonomyDaemon::Create(options);
+  ASSERT_TRUE(created.ok());
+  auto& daemon = *created.value();
+  // Warm up through the first full window.
+  for (int i = 0; i < 3; ++i) {
+    auto report = daemon.RunOnce();
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->has_value());
+  }
+  // Steady-state cycles: the stationary background cancels out of the
+  // delta, so a healthy fraction of topics must ride across untouched.
+  for (int i = 0; i < 2; ++i) {
+    auto report = daemon.RunOnce();
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report->has_value());
+    EXPECT_LT((*report)->dirty_fraction, 1.0);
+    EXPECT_GT((*report)->carried_topics, 0u);
+    EXPECT_GT((*report)->delta.delta_entries, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace shoal::daemon

@@ -163,6 +163,51 @@ TEST(ServiceReadyzTest, ReadyServiceReports200WithVersionAndUptime) {
   EXPECT_TRUE(body.Find("last_reload")->is_null());
 }
 
+TEST(ServiceReadyzTest, ReportsIndexFreshness) {
+  ServeFixture f;
+  ServingService service(CompileShared(f, /*version=*/3), ServiceOptions());
+  auto body = MustParse(service.Handle(Get("/readyz")).body);
+  // Installed at construction: a timestamp is present and staleness is
+  // tiny but non-negative.
+  ASSERT_NE(body.Find("index_installed_unix_ms"), nullptr);
+  EXPECT_GT(body.Find("index_installed_unix_ms")->number(), 0.0);
+  ASSERT_NE(body.Find("index_staleness_sec"), nullptr);
+  EXPECT_GE(body.Find("index_staleness_sec")->number(), 0.0);
+  EXPECT_LT(body.Find("index_staleness_sec")->number(), 60.0);
+
+  // A swap refreshes the install time: staleness never exceeds the time
+  // since the most recent SwapIndex.
+  service.SwapIndex(CompileShared(f, /*version=*/4));
+  auto after = MustParse(service.Handle(Get("/readyz")).body);
+  EXPECT_EQ(after.Find("index_version")->number(), 4.0);
+  EXPECT_GE(after.Find("index_installed_unix_ms")->number(),
+            body.Find("index_installed_unix_ms")->number());
+}
+
+TEST(ServiceReadyzTest, UnreadyServiceHasNullFreshness) {
+  ServingService service(nullptr, ServiceOptions());
+  auto response = service.Handle(Get("/readyz"));
+  EXPECT_EQ(response.status, 503);
+  auto body = MustParse(response.body);
+  EXPECT_TRUE(body.Find("index_installed_unix_ms")->is_null());
+  EXPECT_TRUE(body.Find("index_staleness_sec")->is_null());
+}
+
+TEST(ServiceMetricsTest, StalenessGaugeTracksInstallAndProbes) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.Enable();
+  ServeFixture f;
+  ServingService service(CompileShared(f), ServiceOptions());
+  // Registered and reset at install; a /readyz probe refreshes it.
+  (void)service.Handle(Get("/readyz"));
+  const double probed = registry.GetGauge("serve.index.staleness_sec").value();
+  EXPECT_GE(probed, 0.0);
+  EXPECT_LT(probed, 60.0);
+  service.SwapIndex(CompileShared(f, /*version=*/2));
+  EXPECT_EQ(registry.GetGauge("serve.index.staleness_sec").value(), 0.0);
+  registry.Disable();
+}
+
 TEST(ServiceRequestIdTest, GeneratesWhenAbsentEchoesWhenPresent) {
   ServeFixture f;
   ServingService service(CompileShared(f), ServiceOptions());
